@@ -1,0 +1,58 @@
+// Cross-cutting experiment: the cost of the formal machinery — symbolic
+// dataflow extraction and the automatic HLS equivalence prover (the paper's
+// "automatic proving procedure ... performs the verification task").
+
+#include <benchmark/benchmark.h>
+
+#include "hls/emit.h"
+#include "verify/dataflow.h"
+#include "verify/random_design.h"
+
+namespace {
+
+using namespace ctrtl;
+
+hls::Dfg chain_dfg(unsigned ops) {
+  hls::Dfg dfg;
+  dfg.add_input("x");
+  dfg.add_input("y");
+  hls::ValueRef last = hls::ValueRef::of_input("x");
+  for (unsigned i = 0; i < ops; ++i) {
+    last = hls::ValueRef::of_node(dfg.add_node(
+        i % 3 == 0 ? hls::OpKind::kAdd
+                   : (i % 3 == 1 ? hls::OpKind::kSub : hls::OpKind::kMax),
+        {last, hls::ValueRef::of_input("y")}));
+  }
+  dfg.mark_output("out", last);
+  return dfg;
+}
+
+void BM_ExtractDataflow(benchmark::State& state) {
+  verify::RandomDesignOptions options;
+  options.seed = 31;
+  options.num_transfers = static_cast<unsigned>(state.range(0));
+  const transfer::Design design = verify::random_design(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::extract_dataflow(design));
+  }
+  state.SetItemsProcessed(state.iterations() * design.transfers.size());
+}
+BENCHMARK(BM_ExtractDataflow)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_HlsEquivalenceProof(benchmark::State& state) {
+  const hls::Dfg dfg = chain_dfg(static_cast<unsigned>(state.range(0)));
+  const hls::EmitResult emitted =
+      hls::synthesize(dfg, hls::default_resources(), "bench");
+  for (auto _ : state) {
+    const auto mismatches = verify::check_hls_equivalence(
+        dfg, emitted.design, emitted.output_registers);
+    if (!mismatches.empty()) {
+      state.SkipWithError("proof failed");
+    }
+    benchmark::DoNotOptimize(mismatches);
+  }
+  state.SetItemsProcessed(state.iterations() * dfg.nodes().size());
+}
+BENCHMARK(BM_HlsEquivalenceProof)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace

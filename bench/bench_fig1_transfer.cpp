@@ -1,0 +1,89 @@
+// Experiment E1 (paper fig. 1): the concrete register transfer
+// (R1,B1,R2,B2,5,ADD,6,B1,R1). Measures model construction and simulation
+// cost of the paper's running example, and the per-transfer cost as the
+// same tuple pattern is replicated across many steps.
+
+#include <benchmark/benchmark.h>
+
+#include "transfer/build.h"
+
+namespace {
+
+using namespace ctrtl;
+using transfer::Design;
+using transfer::ModuleKind;
+using transfer::RegisterTransfer;
+
+Design fig1_design() {
+  Design d;
+  d.name = "fig1";
+  d.cs_max = 7;
+  d.registers = {{"R1", 30}, {"R2", 12}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}};
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1")};
+  return d;
+}
+
+void BM_Fig1_BuildAndRun(benchmark::State& state) {
+  const Design design = fig1_design();
+  std::uint64_t deltas = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto model = transfer::build_model(design);
+    const rtl::RunResult result = model->run();
+    deltas = result.stats.delta_cycles;
+    events = result.stats.events;
+    if (model->find_register("R1")->value() != rtl::RtValue::of(42)) {
+      state.SkipWithError("wrong result");
+    }
+  }
+  state.counters["delta_cycles"] = static_cast<double>(deltas);
+  state.counters["events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_Fig1_BuildAndRun);
+
+void BM_Fig1_RunOnly(benchmark::State& state) {
+  // Re-measure with construction excluded: the cost of 42 delta cycles.
+  const Design design = fig1_design();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto model = transfer::build_model(design);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(model->run());
+  }
+}
+BENCHMARK(BM_Fig1_RunOnly);
+
+// The fig. 1 tuple replicated once per step window: per-transfer simulation
+// cost at scale (the paper: "Execution is very fast").
+void BM_Fig1_ReplicatedTransfers(benchmark::State& state) {
+  const unsigned transfers = static_cast<unsigned>(state.range(0));
+  Design d;
+  d.name = "replicated";
+  d.registers = {{"R1", 30}, {"R2", 12}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}};
+  for (unsigned i = 0; i < transfers; ++i) {
+    const unsigned step = 1 + 2 * i;
+    d.transfers.push_back(RegisterTransfer::full("R1", "B1", "R2", "B2", step,
+                                                 "ADD", step + 1, "B1", "R1"));
+  }
+  d.cs_max = 2 * transfers + 1;
+
+  std::uint64_t deltas = 0;
+  for (auto _ : state) {
+    auto model = transfer::build_model(d);
+    const rtl::RunResult result = model->run();
+    deltas = result.stats.delta_cycles;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["delta_cycles"] = static_cast<double>(deltas);
+  state.counters["deltas_per_transfer"] =
+      static_cast<double>(deltas) / transfers;
+  state.SetItemsProcessed(state.iterations() * transfers);
+}
+BENCHMARK(BM_Fig1_ReplicatedTransfers)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace

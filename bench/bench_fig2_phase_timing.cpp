@@ -1,0 +1,71 @@
+// Experiment E2 (paper fig. 2, section 2.2): the six-phase control-step
+// wheel. Verifies and measures the paper's cost model — "the simulation of
+// each control step takes 6 delta simulation cycles; the complete
+// simulation takes CS_MAX * 6 delta simulation cycles" — across a sweep of
+// CS_MAX values, reporting wall time per control step.
+
+#include <benchmark/benchmark.h>
+
+#include "rtl/controller.h"
+#include "rtl/transfer_process.h"
+
+namespace {
+
+using namespace ctrtl;
+
+void BM_ControllerPhaseWheel(benchmark::State& state) {
+  const unsigned cs_max = static_cast<unsigned>(state.range(0));
+  std::uint64_t deltas = 0;
+  for (auto _ : state) {
+    kernel::Scheduler sched;
+    rtl::Controller controller(sched, cs_max);
+    sched.run();
+    deltas = sched.stats().delta_cycles;
+    if (deltas != static_cast<std::uint64_t>(cs_max) * 6) {
+      state.SkipWithError("delta-cycle invariant violated");
+    }
+  }
+  state.counters["delta_cycles"] = static_cast<double>(deltas);
+  state.counters["deltas_per_step"] = static_cast<double>(deltas) / cs_max;
+  state.SetItemsProcessed(state.iterations() * cs_max);  // steps/second
+}
+BENCHMARK(BM_ControllerPhaseWheel)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+// How the per-step cost scales with the number of idle waiter processes
+// (every TRANS process re-checks its wait-until condition on each phase
+// event — the cost of the paper's timing scheme on large designs).
+void BM_PhaseWheelWithIdleWaiters(benchmark::State& state) {
+  const unsigned waiters = static_cast<unsigned>(state.range(0));
+  constexpr unsigned kSteps = 100;
+  for (auto _ : state) {
+    kernel::Scheduler sched;
+    rtl::Controller controller(sched, kSteps);
+    auto& source = sched.make_signal<rtl::RtValue>("src", rtl::RtValue::of(1));
+    std::vector<std::unique_ptr<rtl::TransferProcess>> transfers;
+    auto& sink = sched.make_signal<rtl::RtValue>(
+        "sink", rtl::RtValue::disc(),
+        [](std::span<const rtl::RtValue> v) { return rtl::resolve_rt(v); });
+    transfers.reserve(waiters);
+    for (unsigned i = 0; i < waiters; ++i) {
+      // Every waiter fires in step 1 and then sits in its wait-until for the
+      // remaining 99 steps.
+      transfers.push_back(std::make_unique<rtl::TransferProcess>(
+          sched, controller, 1, rtl::Phase::kRa, source, sink,
+          "t" + std::to_string(i)));
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.stats());
+    sched.shutdown();
+  }
+  state.counters["condition_checks_per_step"] = static_cast<double>(waiters);
+  state.SetItemsProcessed(state.iterations() * kSteps);
+}
+BENCHMARK(BM_PhaseWheelWithIdleWaiters)->Arg(0)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Experiment E8 (paper section 4, application 2): "High level synthesis
+// results are translated into our subset and can then be simulated at a
+// high level." Measures scheduling/allocation/emission throughput and the
+// end-to-end synthesize+simulate cost against the DFG size.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "hls/emit.h"
+#include "transfer/build.h"
+
+namespace {
+
+using namespace ctrtl;
+
+hls::Dfg chain_dfg(unsigned ops) {
+  // A mixed chain alternating adds/subs with occasional fresh-input muls:
+  // enough dependencies to exercise scheduling, bounded magnitudes.
+  hls::Dfg dfg;
+  dfg.add_input("x");
+  dfg.add_input("y");
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> pick(0, 3);
+  hls::ValueRef last = hls::ValueRef::of_input("x");
+  for (unsigned i = 0; i < ops; ++i) {
+    switch (pick(rng)) {
+      case 0:
+        last = hls::ValueRef::of_node(
+            dfg.add_node(hls::OpKind::kAdd, {last, hls::ValueRef::of_input("y")}));
+        break;
+      case 1:
+        last = hls::ValueRef::of_node(
+            dfg.add_node(hls::OpKind::kSub, {last, hls::ValueRef::of_constant(1)}));
+        break;
+      case 2:
+        last = hls::ValueRef::of_node(dfg.add_node(
+            hls::OpKind::kMin, {last, hls::ValueRef::of_constant(1000)}));
+        break;
+      default:
+        // Fresh-input multiply, merged back through a max.
+        last = hls::ValueRef::of_node(dfg.add_node(
+            hls::OpKind::kMax,
+            {last, hls::ValueRef::of_node(dfg.add_node(
+                       hls::OpKind::kMul, {hls::ValueRef::of_input("x"),
+                                           hls::ValueRef::of_constant(2)}))}));
+        break;
+    }
+  }
+  dfg.mark_output("out", last);
+  return dfg;
+}
+
+void BM_Synthesize(benchmark::State& state) {
+  const hls::Dfg dfg = chain_dfg(static_cast<unsigned>(state.range(0)));
+  unsigned cs_max = 0;
+  unsigned registers = 0;
+  for (auto _ : state) {
+    const hls::EmitResult result =
+        hls::synthesize(dfg, hls::default_resources(), "bench");
+    cs_max = result.design.cs_max;
+    registers = static_cast<unsigned>(result.design.registers.size());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["control_steps"] = cs_max;
+  state.counters["registers"] = registers;
+  state.SetItemsProcessed(state.iterations() * dfg.nodes().size());
+}
+BENCHMARK(BM_Synthesize)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SynthesizeAndSimulate(benchmark::State& state) {
+  const hls::Dfg dfg = chain_dfg(static_cast<unsigned>(state.range(0)));
+  const std::map<std::string, std::int64_t> inputs = {{"x", 9}, {"y", 4}};
+  const auto expected = hls::evaluate(dfg, inputs);
+  for (auto _ : state) {
+    const hls::EmitResult emitted =
+        hls::synthesize(dfg, hls::default_resources(), "bench");
+    auto model = transfer::build_model(emitted.design);
+    for (const auto& [name, value] : inputs) {
+      model->set_input(name, rtl::RtValue::of(value));
+    }
+    model->run();
+    const rtl::RtValue out =
+        model->find_register(emitted.output_registers.at("out"))->value();
+    if (out != rtl::RtValue::of(expected.at("out"))) {
+      state.SkipWithError("simulation diverged from algorithmic evaluation");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * dfg.nodes().size());
+}
+BENCHMARK(BM_SynthesizeAndSimulate)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Experiment E5 (paper section 3 + fig. 3): the IKS chip. Measures
+// (a) the microcode -> register-transfer translation (the paper's "this
+// could be easily automated. We have written a C program..."),
+// (b) elaboration of the chip model, and (c) simulation of one complete
+// IK iteration (30 control steps over the full resource set).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "iks/golden.h"
+#include "iks/program.h"
+#include "iks/resources.h"
+#include "transfer/build.h"
+#include "transfer/mapping.h"
+
+namespace {
+
+using namespace ctrtl;
+
+iks::IksInputs sample_inputs() {
+  const auto fix = [](double v) {
+    return static_cast<std::int64_t>(std::llround(v * 65536.0));
+  };
+  iks::IksInputs inputs;
+  inputs.theta1 = fix(0.3);
+  inputs.theta2 = fix(0.9);
+  inputs.l1 = fix(1.0);
+  inputs.l2 = fix(0.8);
+  inputs.px = fix(1.0 * std::cos(0.7) + 0.8 * std::cos(1.2));
+  inputs.py = fix(1.0 * std::sin(0.7) + 0.8 * std::sin(1.2));
+  return inputs;
+}
+
+void BM_MicrocodeTranslation(benchmark::State& state) {
+  const transfer::Design resources = iks::iks_resources(iks::iks_program_steps());
+  const std::vector<iks::MicroInstruction> program = iks::iks_program();
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    const auto transfers =
+        iks::translate_microcode(program, iks::iks_code_maps(), resources);
+    tuples = transfers.size();
+    benchmark::DoNotOptimize(transfers);
+  }
+  state.counters["microinstructions"] = static_cast<double>(program.size());
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.SetItemsProcessed(state.iterations() * program.size());
+}
+BENCHMARK(BM_MicrocodeTranslation);
+
+void BM_IksModelElaboration(benchmark::State& state) {
+  const iks::IksInputs inputs = sample_inputs();
+  const transfer::Design design = iks::iks_design(inputs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transfer::build_model(design));
+  }
+  state.counters["trans_processes"] =
+      static_cast<double>(transfer::to_instances(design.transfers).size());
+}
+BENCHMARK(BM_IksModelElaboration);
+
+void BM_IksIterationSimulation(benchmark::State& state) {
+  const iks::IksInputs inputs = sample_inputs();
+  const iks::GoldenTrace golden = iks::golden_iteration(inputs);
+  std::uint64_t deltas = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto model = iks::build_iks_model(inputs);
+    const rtl::RunResult result = model->run();
+    deltas = result.stats.delta_cycles;
+    events = result.stats.events;
+    const iks::IksOutputs outputs = iks::read_outputs(*model);
+    if (outputs.theta1_next != golden.theta1_next) {
+      state.SkipWithError("diverged from golden model");
+    }
+  }
+  state.counters["delta_cycles"] = static_cast<double>(deltas);
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["control_steps"] = iks::iks_program_steps();
+}
+BENCHMARK(BM_IksIterationSimulation);
+
+void BM_IksGoldenIteration(benchmark::State& state) {
+  // The algorithmic-level model, for scale: how much the RT-level fidelity
+  // costs relative to plain fixed-point arithmetic.
+  const iks::IksInputs inputs = sample_inputs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iks::golden_iteration(inputs));
+  }
+}
+BENCHMARK(BM_IksGoldenIteration);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Experiment E3 (paper section 2.7): the bidirectional tuple <-> TRANS
+// instance mapping that the paper's formal-verification story rests on.
+// Measures forward expansion, reverse pairing, and the full round trip.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "transfer/mapping.h"
+
+namespace {
+
+using namespace ctrtl;
+using transfer::RegisterTransfer;
+
+std::vector<RegisterTransfer> make_tuples(std::size_t count) {
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> pick(0, 7);
+  std::vector<RegisterTransfer> tuples;
+  tuples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const unsigned step = static_cast<unsigned>(2 * i + 1);
+    tuples.push_back(RegisterTransfer::full(
+        "R" + std::to_string(pick(rng)), "BA" + std::to_string(pick(rng)),
+        "S" + std::to_string(pick(rng)), "BB" + std::to_string(pick(rng)), step,
+        "ADD", step + 1, "BW" + std::to_string(pick(rng)),
+        "D" + std::to_string(pick(rng))));
+  }
+  return tuples;
+}
+
+void BM_ForwardMapping(benchmark::State& state) {
+  const auto tuples = make_tuples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transfer::to_instances(tuples));
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+BENCHMARK(BM_ForwardMapping)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ReverseMapping(benchmark::State& state) {
+  const auto tuples = make_tuples(static_cast<std::size_t>(state.range(0)));
+  const auto instances = transfer::to_instances(tuples);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transfer::to_partial_tuples(instances));
+  }
+  state.SetItemsProcessed(state.iterations() * instances.size());
+}
+BENCHMARK(BM_ReverseMapping)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_RoundTrip(benchmark::State& state) {
+  const auto tuples = make_tuples(static_cast<std::size_t>(state.range(0)));
+  const std::map<std::string, unsigned> latencies = {{"ADD", 1}};
+  std::size_t recovered = 0;
+  for (auto _ : state) {
+    auto partials = transfer::to_partial_tuples(transfer::to_instances(tuples));
+    const auto merged = transfer::merge_partials(std::move(partials), latencies);
+    recovered = merged.size();
+    benchmark::DoNotOptimize(merged);
+  }
+  if (recovered != tuples.size()) {
+    state.SkipWithError("round trip lost tuples");
+  }
+  state.counters["tuples_recovered"] = static_cast<double>(recovered);
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+BENCHMARK(BM_RoundTrip)->Arg(16)->Arg(256)->Arg(1024);
+
+}  // namespace

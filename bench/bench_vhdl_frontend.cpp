@@ -1,0 +1,87 @@
+// Experiment E9 (paper sections 1-2): the subset is *executable* VHDL.
+// Measures the front-end pipeline on emitted subset designs — lexing +
+// parsing, subset checking, elaboration, and interpreted simulation — and
+// compares interpreted VHDL execution against the native C++ model of the
+// same design.
+
+#include <benchmark/benchmark.h>
+
+#include "transfer/build.h"
+#include "verify/random_design.h"
+#include "vhdl/elaborator.h"
+#include "vhdl/emitter.h"
+#include "vhdl/parser.h"
+#include "vhdl/subset_check.h"
+
+namespace {
+
+using namespace ctrtl;
+
+transfer::Design workload(unsigned transfers) {
+  verify::RandomDesignOptions options;
+  options.seed = 23;
+  options.num_transfers = transfers;
+  return verify::random_design(options);
+}
+
+void BM_ParseSubset(benchmark::State& state) {
+  const std::string source =
+      vhdl::emit_vhdl(workload(static_cast<unsigned>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vhdl::parse(source));
+  }
+  state.SetBytesProcessed(state.iterations() * source.size());
+}
+BENCHMARK(BM_ParseSubset)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SubsetCheck(benchmark::State& state) {
+  const std::string source =
+      vhdl::emit_vhdl(workload(static_cast<unsigned>(state.range(0))));
+  const vhdl::DesignFile file = vhdl::parse(source);
+  for (auto _ : state) {
+    common::DiagnosticBag diags;
+    if (!vhdl::check_subset(file, diags)) {
+      state.SkipWithError("emitted design failed subset check");
+    }
+  }
+}
+BENCHMARK(BM_SubsetCheck)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ElaborateAndRun(benchmark::State& state) {
+  const transfer::Design design = workload(static_cast<unsigned>(state.range(0)));
+  const std::string source = vhdl::emit_vhdl(design);
+  const std::string top = vhdl::vhdl_name(design.name);
+  std::uint64_t deltas = 0;
+  for (auto _ : state) {
+    common::DiagnosticBag diags;
+    auto model = vhdl::load_model(source, top, diags);
+    if (!model) {
+      state.SkipWithError("elaboration failed");
+      break;
+    }
+    model->run();
+    deltas = model->scheduler().stats().delta_cycles;
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["delta_cycles"] = static_cast<double>(deltas);
+  state.SetItemsProcessed(state.iterations() * design.cs_max);
+}
+BENCHMARK(BM_ElaborateAndRun)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_NativeModelSameDesign(benchmark::State& state) {
+  // Native C++ components on the same kernel: how much the interpreted
+  // VHDL costs relative to compiled-in processes.
+  const transfer::Design design = workload(static_cast<unsigned>(state.range(0)));
+  std::uint64_t deltas = 0;
+  for (auto _ : state) {
+    auto model = transfer::build_model(design);
+    const rtl::RunResult result = model->run();
+    deltas = result.stats.delta_cycles;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["delta_cycles"] = static_cast<double>(deltas);
+  state.SetItemsProcessed(state.iterations() * design.cs_max);
+}
+BENCHMARK(BM_NativeModelSameDesign)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Experiment E6b: the clock-free abstract model vs the conventional
+// clocked RTL simulation of the *translated* design (process per flop,
+// combinational mux processes, a physical-time clock). The clocked
+// simulation pays clock traffic on every cycle whether work happens or
+// not; the abstract model pays six deltas per control step plus the
+// wait-until re-checks of idle TRANS processes. Counters expose both cost
+// structures per control step.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/clocked_rtl.h"
+#include "clocked/translate.h"
+#include "transfer/build.h"
+#include "verify/random_design.h"
+
+namespace {
+
+using namespace ctrtl;
+
+transfer::Design workload(unsigned transfers) {
+  verify::RandomDesignOptions options;
+  options.seed = 13;
+  options.num_transfers = transfers;
+  return verify::random_design(options);
+}
+
+void BM_AbstractModel(benchmark::State& state) {
+  const unsigned transfers = static_cast<unsigned>(state.range(0));
+  const transfer::Design design = workload(transfers);
+  std::uint64_t deltas = 0, events = 0, resumptions = 0, rejects = 0;
+  for (auto _ : state) {
+    auto model = transfer::build_model(design);
+    const rtl::RunResult result = model->run();
+    deltas = result.stats.delta_cycles;
+    events = result.stats.events;
+    resumptions = result.stats.resumptions;
+    rejects = result.stats.condition_rejects;
+    benchmark::DoNotOptimize(result);
+  }
+  const double steps = design.cs_max;
+  state.counters["deltas_per_step"] = static_cast<double>(deltas) / steps;
+  state.counters["events_per_step"] = static_cast<double>(events) / steps;
+  state.counters["resume_per_step"] = static_cast<double>(resumptions) / steps;
+  state.counters["cond_rejects_per_step"] = static_cast<double>(rejects) / steps;
+  state.SetItemsProcessed(state.iterations() * design.cs_max);
+}
+BENCHMARK(BM_AbstractModel)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ClockedRtl(benchmark::State& state) {
+  const unsigned transfers = static_cast<unsigned>(state.range(0));
+  const transfer::Design design = workload(transfers);
+  const clocked::TranslationPlan plan = clocked::plan_translation(design);
+  std::uint64_t events = 0, resumptions = 0;
+  unsigned cycles = 0;
+  for (auto _ : state) {
+    baseline::ClockedRtlSim sim(plan);
+    const baseline::ClockedRtlSim::Result result = sim.run();
+    events = result.stats.events;
+    resumptions = result.stats.resumptions;
+    cycles = result.clock_cycles;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["events_per_cycle"] = static_cast<double>(events) / cycles;
+  state.counters["resume_per_cycle"] = static_cast<double>(resumptions) / cycles;
+  state.SetItemsProcessed(state.iterations() * cycles);
+}
+BENCHMARK(BM_ClockedRtl)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Resource-conflict detection (the paper's debugging story):
+//
+// "simulation results allow easily to locate design errors leading to
+// resource conflicts: it would result to ILLEGAL values of resolved signals
+// in specific simulation cycles associated with a specific phase of a
+// specific control step."
+//
+// This example builds a schedule with a deliberate double-booking of bus
+// B1, shows (1) the static analyzer predicting it, (2) the reference
+// semantics deriving it, and (3) the simulator observing it — all three
+// naming the same (signal, step, phase). It then shows that the clocked
+// back end refuses to synthesize the broken schedule.
+
+#include <cstdio>
+
+#include "clocked/translate.h"
+#include "transfer/build.h"
+#include "transfer/conflict.h"
+#include "verify/semantics.h"
+
+int main() {
+  using namespace ctrtl;
+  using transfer::RegisterTransfer;
+
+  transfer::Design design;
+  design.name = "buggy";
+  design.cs_max = 7;
+  design.registers = {{"R1", 30}, {"R2", 12}, {"R3", 5}};
+  design.buses = {{"B1"}, {"B2"}};
+  design.modules = {{"ADD", transfer::ModuleKind::kAdd, 1},
+                    {"SUB", transfer::ModuleKind::kSub, 1}};
+  // Tuple 1 is fine; tuple 2 re-uses B1 at the same (5, ra) — the scheduling
+  // bug under investigation.
+  design.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1"),
+      RegisterTransfer::full("R3", "B1", "R2", "B2", 5, "SUB", 6, "B2", "R3"),
+  };
+
+  std::printf("schedule:\n");
+  for (const RegisterTransfer& tuple : design.transfers) {
+    std::printf("  %s\n", transfer::to_string(tuple).c_str());
+  }
+
+  // 1. Static analysis predicts the conflicts.
+  const transfer::AnalysisReport analysis = transfer::analyze(design);
+  std::printf("\nstatic analysis predicts %zu conflicts:\n",
+              analysis.drive_conflicts.size());
+  for (const transfer::DriveConflict& conflict : analysis.drive_conflicts) {
+    std::printf("  %s\n", to_string(conflict).c_str());
+  }
+
+  // 2. The reference semantics derives them.
+  const verify::EvalResult reference = verify::evaluate(design);
+  std::printf("\nreference semantics reports %zu ILLEGAL events:\n",
+              reference.conflicts.size());
+  for (const rtl::Conflict& conflict : reference.conflicts) {
+    std::printf("  %s\n", rtl::to_string(conflict).c_str());
+  }
+
+  // 3. Simulation observes them at the same delta cycles.
+  auto model = transfer::build_model(design);
+  const rtl::RunResult result = model->run();
+  std::printf("\nsimulation observes %zu ILLEGAL events:\n",
+              result.conflicts.size());
+  for (const rtl::Conflict& conflict : result.conflicts) {
+    std::printf("  %s\n", rtl::to_string(conflict).c_str());
+  }
+  std::printf("poisoned registers after the run: R1 = %s, R3 = %s\n",
+              rtl::to_string(model->find_register("R1")->value()).c_str(),
+              rtl::to_string(model->find_register("R3")->value()).c_str());
+
+  // 4. Synthesis refuses the broken schedule.
+  std::printf("\nclocked translation: ");
+  try {
+    (void)clocked::plan_translation(design);
+    std::printf("accepted (BUG)\n");
+    return 1;
+  } catch (const std::invalid_argument& error) {
+    std::printf("rejected, as it must be:\n%s\n", error.what());
+  }
+
+  const bool detected = !analysis.drive_conflicts.empty() &&
+                        !reference.conflicts.empty() && !result.conflicts.empty();
+  std::printf("%s\n", detected
+                          ? "conflict located identically by all three methods"
+                          : "DETECTION FAILED");
+  return detected ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// The paper's section 3 application: the IKS (inverse kinematics solution)
+// chip, modeled at the abstract register-transfer level and driven from
+// microcode.
+//
+// The microprogram performs one Jacobian-transpose IK iteration for a
+// two-link planar arm on the chip's resources (CORDIC, MACC, pipelined
+// multiplier, ALU adders with Rshift). This example iterates the chip until
+// the end effector reaches the target and verifies every iteration
+// bit-exactly against the algorithmic-level golden model — the paper's
+// bottom-up verification flow.
+
+#include <cmath>
+#include <cstdio>
+
+#include "iks/golden.h"
+#include "iks/program.h"
+#include "iks/resources.h"
+
+int main() {
+  using namespace ctrtl;
+  constexpr double kOne = static_cast<double>(std::int64_t{1} << iks::kFracBits);
+  const auto fix = [](double v) {
+    return static_cast<std::int64_t>(std::llround(v * 65536.0));
+  };
+
+  iks::IksInputs inputs;
+  inputs.theta1 = fix(0.20);
+  inputs.theta2 = fix(1.10);
+  inputs.l1 = fix(1.0);
+  inputs.l2 = fix(0.8);
+  // Target: the pose reached by joint angles (0.7, 0.5).
+  inputs.px = fix(1.0 * std::cos(0.7) + 0.8 * std::cos(1.2));
+  inputs.py = fix(1.0 * std::sin(0.7) + 0.8 * std::sin(1.2));
+
+  std::printf("IKS chip: two-link arm, target (%.4f, %.4f)\n",
+              inputs.px / kOne, inputs.py / kOne);
+  std::printf("%4s %10s %10s %12s %10s\n", "iter", "theta1", "theta2",
+              "pos error", "deltas");
+
+  bool all_exact = true;
+  std::uint64_t total_deltas = 0;
+  for (int iteration = 1; iteration <= 60; ++iteration) {
+    auto model = iks::build_iks_model(inputs);
+    const rtl::RunResult result = model->run();
+    total_deltas += result.stats.delta_cycles;
+    if (!result.conflict_free()) {
+      std::printf("resource conflict detected!\n");
+      return 1;
+    }
+    const iks::IksOutputs outputs = iks::read_outputs(*model);
+    const iks::GoldenTrace golden = iks::golden_iteration(inputs);
+    all_exact = all_exact && outputs.theta1_next == golden.theta1_next &&
+                outputs.theta2_next == golden.theta2_next;
+
+    inputs.theta1 = outputs.theta1_next;
+    inputs.theta2 = outputs.theta2_next;
+    const double err =
+        iks::position_error(inputs, inputs.theta1, inputs.theta2);
+    if (iteration <= 5 || iteration % 10 == 0) {
+      std::printf("%4d %10.5f %10.5f %12.6f %10llu\n", iteration,
+                  inputs.theta1 / kOne, inputs.theta2 / kOne, err,
+                  static_cast<unsigned long long>(result.stats.delta_cycles));
+    }
+    if (err < 0.01) {
+      std::printf("converged after %d iterations (error %.6f)\n", iteration, err);
+      break;
+    }
+  }
+  std::printf("RT-level model %s the algorithmic golden model bit-exactly\n",
+              all_exact ? "matched" : "DIVERGED from");
+  std::printf("total delta cycles: %llu (30 steps x 6 phases per iteration)\n",
+              static_cast<unsigned long long>(total_deltas));
+  return all_exact ? 0 : 1;
+}

@@ -1,0 +1,205 @@
+
+-- Standard cells of the clock-free RT subset (after Mutz, DATE'98).
+
+entity controller is
+  generic (cs_max: natural);
+  port (cs: inout natural := 0;
+        ph: inout phase := phase'high);
+end controller;
+
+architecture transfer of controller is
+begin
+  process (ph)
+  begin
+    if ph = phase'high then
+      if cs < cs_max then
+        cs <= cs + 1;
+        ph <= phase'low;
+      end if;
+    else
+      ph <= phase'succ(ph);
+    end if;
+  end process;
+end transfer;
+
+entity trans is
+  generic (s: natural; p: phase);
+  port (cs: in natural; ph: in phase;
+        ins: in integer; outs: out integer := disc);
+end trans;
+
+architecture transfer of trans is
+begin
+  process
+  begin
+    wait until cs = s and ph = p;
+    outs <= ins;
+    wait until cs = s and ph = phase'succ(p);
+    outs <= disc;
+  end process;
+end transfer;
+
+entity reg is
+  generic (init: integer := disc);
+  port (ph: in phase;
+        r_in: in resolved integer;
+        r_out: out integer := disc);
+end reg;
+
+architecture transfer of reg is
+begin
+  process
+    variable started: boolean := false;
+  begin
+    if not started then
+      started := true;
+      if init /= disc then
+        r_out <= init;
+      end if;
+    end if;
+    wait until ph = cr;
+    if r_in /= disc then
+      r_out <= r_in;
+    end if;
+  end process;
+end transfer;
+
+entity add is
+  port (ph: in phase;
+        m_in1, m_in2: in resolved integer;
+        m_out: out integer := disc);
+end add;
+
+architecture transfer of add is
+begin
+  process
+    variable m: integer := disc;
+  begin
+    wait until ph = cm;
+    m_out <= m;
+    if m /= illegal then
+      if m_in1 = disc and m_in2 = disc then
+        m := disc;
+      elsif m_in1 = illegal or m_in2 = illegal then
+        m := illegal;
+      elsif m_in1 /= disc and m_in2 /= disc then
+        m := m_in1 + m_in2;
+      else
+        m := illegal;
+      end if;
+    end if;
+  end process;
+end transfer;
+
+entity sub is
+  port (ph: in phase;
+        m_in1, m_in2: in resolved integer;
+        m_out: out integer := disc);
+end sub;
+
+architecture transfer of sub is
+begin
+  process
+    variable m: integer := disc;
+  begin
+    wait until ph = cm;
+    m_out <= m;
+    if m /= illegal then
+      if m_in1 = disc and m_in2 = disc then
+        m := disc;
+      elsif m_in1 = illegal or m_in2 = illegal then
+        m := illegal;
+      elsif m_in1 /= disc and m_in2 /= disc then
+        m := m_in1 - m_in2;
+      else
+        m := illegal;
+      end if;
+    end if;
+  end process;
+end transfer;
+
+entity mul is
+  port (ph: in phase;
+        m_in1, m_in2: in resolved integer;
+        m_out: out integer := disc);
+end mul;
+
+-- Two-stage pipelined multiplier (the IKS chip's multiplier shape):
+-- operands fetched in step s appear at the output in step s + 2.
+architecture transfer of mul is
+begin
+  process
+    variable m1: integer := disc;
+    variable m2: integer := disc;
+    variable poisoned: boolean := false;
+  begin
+    wait until ph = cm;
+    m_out <= m2;
+    m2 := m1;
+    if poisoned then
+      m1 := illegal;
+    elsif m_in1 = disc and m_in2 = disc then
+      m1 := disc;
+    elsif m_in1 = illegal or m_in2 = illegal then
+      m1 := illegal;
+      poisoned := true;
+    elsif m_in1 /= disc and m_in2 /= disc then
+      m1 := m_in1 * m_in2;
+    else
+      m1 := illegal;
+      poisoned := true;
+    end if;
+  end process;
+end transfer;
+
+entity cp is
+  port (ph: in phase;
+        m_in1: in resolved integer;
+        m_out: out integer := disc);
+end cp;
+
+-- Zero-latency copy: the paper's direct-link helper module.
+architecture transfer of cp is
+begin
+  process
+  begin
+    wait until ph = cm;
+    m_out <= m_in1;
+  end process;
+end transfer;
+
+-- The paper's section 2.7 example: (R1,B1,R2,B2,5,ADD,6,B1,R1) with
+-- CS_MAX = 7, R1 preloaded with 30, R2 with 12. Run with:
+--   ctrtl_sim examples/vhdl/example.vhd --top example --vcd example.vcd
+entity example is
+end example;
+
+architecture transfer of example is
+  -- timing signals
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+  -- module ports
+  signal add_in1, add_in2: resolved integer;
+  signal add_out: integer;
+  -- register ports
+  signal r1_in, r2_in: resolved integer;
+  signal r1_out, r2_out: integer;
+  -- buses
+  signal b1: resolved integer;
+  signal b2: resolved integer;
+begin
+  -- modules
+  add_proc: add port map (ph, add_in1, add_in2, add_out);
+  -- registers
+  r1_proc: reg generic map (30) port map (ph, r1_in, r1_out);
+  r2_proc: reg generic map (12) port map (ph, r2_in, r2_out);
+  -- transfers
+  r1_out_b1_5:  trans generic map (5, ra) port map (cs, ph, r1_out, b1);
+  b1_add_in1_5: trans generic map (5, rb) port map (cs, ph, b1, add_in1);
+  r2_out_b2_5:  trans generic map (5, ra) port map (cs, ph, r2_out, b2);
+  b2_add_in2_5: trans generic map (5, rb) port map (cs, ph, b2, add_in2);
+  add_out_b1_6: trans generic map (6, wa) port map (cs, ph, add_out, b1);
+  b1_r1_in_6:   trans generic map (6, wb) port map (cs, ph, b1, r1_in);
+  -- controller
+  control: controller generic map (7) port map (cs, ph);
+end transfer;

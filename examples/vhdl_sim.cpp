@@ -1,0 +1,95 @@
+// Executing the paper's own VHDL: this example embeds the subset source of
+// the section 2.7 `example` architecture (CONTROLLER, TRANS, REG, ADD cells
+// plus the structural netlist), parses it, checks subset conformance,
+// elaborates it onto the simulation kernel, and runs it — then does the
+// same for a design emitted from a transfer::Design, closing the loop
+// between the C++ API and the VHDL text.
+
+#include <cstdio>
+
+#include "transfer/design.h"
+#include "vhdl/elaborator.h"
+#include "vhdl/emitter.h"
+
+int main() {
+  using namespace ctrtl;
+
+  // ---- 1. The paper's example, as VHDL subset text -------------------------
+  const std::string source = vhdl::standard_cells() + R"(
+-- Section 2.7: "a partial description for the example given in fig 1",
+-- completed with register preloads R1 = 30, R2 = 12.
+entity example is
+end example;
+
+architecture transfer of example is
+  -- timing signals
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+  -- module ports
+  signal add_in1, add_in2: resolved integer;
+  signal add_out: integer;
+  -- register ports
+  signal r1_in, r2_in: resolved integer;
+  signal r1_out, r2_out: integer;
+  -- buses
+  signal b1: resolved integer;
+  signal b2: resolved integer;
+begin
+  -- modules
+  add_proc: add port map (ph, add_in1, add_in2, add_out);
+  -- registers
+  r1_proc: reg generic map (30) port map (ph, r1_in, r1_out);
+  r2_proc: reg generic map (12) port map (ph, r2_in, r2_out);
+  -- transfers
+  r1_out_b1_5:  trans generic map (5, ra) port map (cs, ph, r1_out, b1);
+  b1_add_in1_5: trans generic map (5, rb) port map (cs, ph, b1, add_in1);
+  r2_out_b2_5:  trans generic map (5, ra) port map (cs, ph, r2_out, b2);
+  b2_add_in2_5: trans generic map (5, rb) port map (cs, ph, b2, add_in2);
+  add_out_b1_6: trans generic map (6, wa) port map (cs, ph, add_out, b1);
+  b1_r1_in_6:   trans generic map (6, wb) port map (cs, ph, b1, r1_in);
+  -- controller
+  control: controller generic map (7) port map (cs, ph);
+end transfer;
+)";
+
+  common::DiagnosticBag diags;
+  auto model = vhdl::load_model(source, "example", diags);
+  if (!model) {
+    std::printf("front end rejected the source:\n%s", diags.to_text().c_str());
+    return 1;
+  }
+  std::printf("parsed + subset-checked + elaborated: %zu signals, %zu processes\n",
+              model->signals().size(), model->process_count());
+  model->run();
+  std::printf("  R1 = %s (expected 42), R2 = %s\n",
+              model->render("r1_out").c_str(), model->render("r2_out").c_str());
+  std::printf("  delta cycles = %llu (CS_MAX * 6 = 42), physical time = %llu fs\n",
+              static_cast<unsigned long long>(
+                  model->scheduler().stats().delta_cycles),
+              static_cast<unsigned long long>(model->scheduler().now().fs));
+
+  // ---- 2. Round trip: C++ Design -> emitted VHDL -> simulation -------------
+  transfer::Design design;
+  design.name = "roundtrip";
+  design.cs_max = 4;
+  design.registers = {{"A", 6}, {"B", 7}, {"OUT", std::nullopt}};
+  design.buses = {{"B1"}, {"B2"}};
+  design.modules = {{"MUL", transfer::ModuleKind::kMul, 2}};
+  design.transfers = {
+      transfer::RegisterTransfer::full("A", "B1", "B", "B2", 1, "MUL", 3, "B1",
+                                       "OUT")};
+  const std::string emitted = vhdl::emit_vhdl(design);
+  common::DiagnosticBag diags2;
+  auto reloaded = vhdl::load_model(emitted, "roundtrip", diags2);
+  if (!reloaded) {
+    std::printf("emitted VHDL failed to load:\n%s", diags2.to_text().c_str());
+    return 1;
+  }
+  reloaded->run();
+  std::printf("emitted VHDL round trip: OUT = %s (expected 42)\n",
+              reloaded->render("out_out").c_str());
+
+  const bool ok = model->read("r1_out") == 42 && reloaded->read("out_out") == 42;
+  std::printf("%s\n", ok ? "VHDL front end verified" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates every experiment: full test suite + all benchmark binaries.
+# Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "=== tests ==="
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee test_output.txt
+
+echo "=== examples ==="
+for e in "$BUILD"/examples/*; do
+  if [ -x "$e" ] && [ -f "$e" ]; then
+    echo "--- $(basename "$e") ---"
+    "$e"
+  fi
+done 2>&1 | tee example_output.txt
+
+echo "=== benchmarks ==="
+for b in "$BUILD"/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "### $(basename "$b")"
+    "$b"
+  fi
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clocked/translate.h"
+#include "kernel/scheduler.h"
+#include "rtl/value.h"
+#include "verify/trace.h"
+
+namespace ctrtl::baseline {
+
+/// Conventional clocked RTL simulation of a translated design, in the style
+/// today's synthesis-subset models simulate: one process per flip-flop
+/// group (registers, pipeline stages, step counter) triggered by the clock,
+/// plus combinational mux processes that re-evaluate whenever their inputs
+/// change. This is the "usual RT model" the paper positions itself against
+/// — functionally equivalent but with clock-edge and combinational event
+/// traffic on every cycle.
+///
+/// Used as the second baseline of experiment E6 (events/wall-time per
+/// transfer vs the clock-free model) and as an extra differential check:
+/// final register values must match the abstract model for clean designs.
+class ClockedRtlSim {
+ public:
+  explicit ClockedRtlSim(const clocked::TranslationPlan& plan,
+                         std::uint64_t period_fs = 1'000'000);
+  ~ClockedRtlSim();
+
+  ClockedRtlSim(const ClockedRtlSim&) = delete;
+  ClockedRtlSim& operator=(const ClockedRtlSim&) = delete;
+
+  struct Result {
+    kernel::KernelStats stats;
+    std::uint64_t kernel_cycles = 0;
+    unsigned clock_cycles = 0;
+  };
+
+  Result run();
+
+  [[nodiscard]] rtl::RtValue register_value(const std::string& name) const;
+  void set_input(const std::string& name, rtl::RtValue value);
+  [[nodiscard]] const std::vector<verify::RegisterWrite>& writes() const {
+    return writes_;
+  }
+  [[nodiscard]] kernel::Scheduler& scheduler() { return *scheduler_; }
+
+  struct Impl;
+
+ private:
+  std::unique_ptr<kernel::Scheduler> scheduler_;
+  std::unique_ptr<Impl> impl_;
+  std::vector<verify::RegisterWrite> writes_;
+  unsigned clock_cycles_ = 0;
+  std::uint64_t period_fs_ = 0;
+};
+
+}  // namespace ctrtl::baseline

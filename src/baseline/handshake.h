@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/scheduler.h"
+#include "rtl/value.h"
+#include "transfer/design.h"
+
+namespace ctrtl::baseline {
+
+/// The comparison point the paper names explicitly: abstract timing
+/// modelled "by means of VHDL without introducing physical time" using
+/// **asynchronous handshake** for every value exchange (section 2.7:
+/// "Execution is very fast, because we need not to deal with asynchronous
+/// handshake, as it is often used for exchanging values between modules
+/// when more abstract timing is modeled...").
+///
+/// Every register transfer becomes a client process that four-phase
+/// handshakes with the source register servers, the module server, and the
+/// destination register server; a sequencer process serializes the clients
+/// in schedule order. Each four-phase exchange costs four delta cycles, so
+/// a transfer costs ~20 deltas — versus the paper model's six deltas for a
+/// whole control step.
+///
+/// Functional behaviour matches the clock-free model for serialized
+/// schedules (each tuple's read/write window disjoint from the others');
+/// module latencies collapse (results are produced within the handshake),
+/// which is exactly the abstraction level such handshake models live at.
+class HandshakeModel {
+ public:
+  explicit HandshakeModel(const transfer::Design& design);
+  ~HandshakeModel();
+
+  HandshakeModel(const HandshakeModel&) = delete;
+  HandshakeModel& operator=(const HandshakeModel&) = delete;
+
+  struct Result {
+    kernel::KernelStats stats;
+    std::uint64_t kernel_cycles = 0;
+  };
+
+  Result run();
+
+  [[nodiscard]] rtl::RtValue register_value(const std::string& name) const;
+  void set_input(const std::string& name, rtl::RtValue value);
+
+  [[nodiscard]] kernel::Scheduler& scheduler() { return *scheduler_; }
+
+  /// Kernel-side state shared with the server/client processes (public so
+  /// the process functions in the implementation file can use it).
+  struct Impl;
+
+ private:
+  std::unique_ptr<kernel::Scheduler> scheduler_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ctrtl::baseline

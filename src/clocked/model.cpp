@@ -1,0 +1,251 @@
+#include "clocked/model.h"
+
+#include <stdexcept>
+
+#include "transfer/module_sim.h"
+
+namespace ctrtl::clocked {
+
+using rtl::RtValue;
+using Signal = kernel::Signal<RtValue>;
+
+/// Kernel-side structure: signals, drivers, and the datapath state the
+/// processes operate on.
+struct ClockedModel::Impl {
+  const transfer::Design* design = nullptr;
+  TranslationPlan plan;  // copied: the model outlives the caller's plan
+
+  kernel::Signal<bool>* clk = nullptr;
+  kernel::DriverId clk_driver = 0;
+  kernel::Signal<unsigned>* step = nullptr;
+  kernel::DriverId step_driver = 0;
+
+  struct RegisterState {
+    Signal* q = nullptr;
+    kernel::DriverId driver = 0;
+    const std::vector<WriteSelect>* writes = nullptr;
+  };
+  std::map<std::string, RegisterState> registers;
+
+  struct UnitState {
+    transfer::ModuleSim sim;
+    const std::map<unsigned, ModuleActivation>* schedule = nullptr;
+    explicit UnitState(const transfer::ModuleDecl& decl) : sim(decl) {}
+  };
+  std::map<std::string, UnitState> units;
+
+  std::map<std::string, RtValue> constants;
+  std::map<std::string, std::pair<Signal*, kernel::DriverId>> inputs;
+
+  [[nodiscard]] RtValue source_value(const transfer::Endpoint& source) const {
+    using transfer::Endpoint;
+    switch (source.kind) {
+      case Endpoint::Kind::kRegisterOut:
+        return registers.at(source.resource).q->read();
+      case Endpoint::Kind::kConstant:
+        return constants.at(source.resource);
+      case Endpoint::Kind::kInput:
+        return inputs.at(source.resource).first->read();
+      default:
+        throw std::logic_error("clocked datapath: unsupported operand source '" +
+                               to_string(source) + "'");
+    }
+  }
+};
+
+namespace {
+
+kernel::Process clock_process(kernel::Scheduler& sched, kernel::Signal<bool>& clk,
+                              kernel::DriverId driver, unsigned cycles,
+                              std::uint64_t period_fs) {
+  (void)sched;
+  for (unsigned i = 0; i < cycles; ++i) {
+    clk.drive(driver, true);
+    co_await kernel::wait_for_fs(period_fs / 2);
+    clk.drive(driver, false);
+    co_await kernel::wait_for_fs(period_fs - period_fs / 2);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+void evaluate_units(ClockedModel::Impl& impl, unsigned step,
+                    std::map<std::string, RtValue>& unit_out) {
+  // Datapath units: operand muxes select by the current step; each unit
+  // advances its pipeline once per control step.
+  for (auto& [name, unit] : impl.units) {
+    std::vector<RtValue> operands(unit.sim.decl().num_inputs(), RtValue::disc());
+    RtValue op = RtValue::disc();
+    if (unit.schedule != nullptr) {
+      const auto it = unit.schedule->find(step);
+      if (it != unit.schedule->end()) {
+        for (const OperandSelect& operand : it->second.operands) {
+          operands[operand.port] = impl.source_value(operand.source);
+        }
+        if (it->second.op.has_value()) {
+          op = RtValue::of(*it->second.op);
+        }
+      }
+    }
+    unit_out[name] = unit.sim.step(operands, op);
+  }
+}
+
+void latch_registers(ClockedModel::Impl& impl, unsigned step,
+                     const std::map<std::string, RtValue>& unit_out,
+                     std::vector<verify::RegisterWrite>& writes) {
+  // Register write muxes: latch the selected unit output when a write is
+  // scheduled for this step and the value is not DISC (the abstract REG's
+  // `if R_in /= DISC` guard).
+  for (auto& [name, reg] : impl.registers) {
+    if (reg.writes == nullptr) {
+      continue;
+    }
+    for (const WriteSelect& write : *reg.writes) {
+      if (write.step != step) {
+        continue;
+      }
+      const RtValue value = unit_out.at(write.module);
+      if (value.is_disc()) {
+        continue;
+      }
+      if (value != reg.q->read()) {
+        writes.push_back(verify::RegisterWrite{step, name, value});
+      }
+      reg.q->drive(reg.driver, value);
+    }
+  }
+}
+
+}  // namespace
+
+// The complete synchronous datapath, evaluated once per rising edge. All
+// signal reads see pre-edge values (drives are delta-delayed), so the
+// single-process form is cycle-equivalent to one process per flop.
+static kernel::Process datapath_process(ClockedModel::Impl& impl,
+                                        std::vector<verify::RegisterWrite>& writes) {
+  auto& clk = *impl.clk;
+  const std::vector<kernel::SignalBase*> sensitivity = {&clk};
+  for (;;) {
+    co_await kernel::wait_until(sensitivity, [&clk] { return clk.read(); });
+    const unsigned step = impl.step->read();
+    std::map<std::string, RtValue> unit_out;
+    evaluate_units(impl, step, unit_out);
+    latch_registers(impl, step, unit_out, writes);
+    impl.step->drive(impl.step_driver, step + 1);
+  }
+}
+
+// Two-cycles-per-step variant: edge A computes, edge B latches. The unit
+// outputs captured at the compute edge feed the latch edge (they are the
+// pipeline-stage flop values of that control step).
+static kernel::Process datapath_process_two_phase(
+    ClockedModel::Impl& impl, std::vector<verify::RegisterWrite>& writes) {
+  auto& clk = *impl.clk;
+  const std::vector<kernel::SignalBase*> sensitivity = {&clk};
+  std::map<std::string, RtValue> unit_out;
+  for (;;) {
+    // Compute edge.
+    co_await kernel::wait_until(sensitivity, [&clk] { return clk.read(); });
+    const unsigned step = impl.step->read();
+    unit_out.clear();
+    evaluate_units(impl, step, unit_out);
+    // Latch edge.
+    co_await kernel::wait_until(sensitivity, [&clk] { return clk.read(); });
+    latch_registers(impl, step, unit_out, writes);
+    impl.step->drive(impl.step_driver, step + 1);
+  }
+}
+
+ClockedModel::ClockedModel(const TranslationPlan& plan, std::uint64_t period_fs,
+                           ClockScheme scheme)
+    : scheduler_(std::make_unique<kernel::Scheduler>()),
+      impl_(std::make_unique<Impl>()),
+      clock_cycles_(scheme == ClockScheme::kTwoCyclesPerStep
+                        ? 2 * plan.clock_cycles
+                        : plan.clock_cycles),
+      period_fs_(period_fs),
+      scheme_(scheme) {
+  impl_->plan = plan;
+  const transfer::Design& design = impl_->plan.design;
+  impl_->design = &impl_->plan.design;
+
+  impl_->clk = &scheduler_->make_signal<bool>("clk", false);
+  impl_->clk_driver = impl_->clk->add_driver(false);
+  impl_->step = &scheduler_->make_signal<unsigned>("step", 0u);
+  impl_->step_driver = impl_->step->add_driver(0u);
+
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    Signal& q = scheduler_->make_signal<RtValue>(
+        reg.name + ".q", reg.initial.has_value() ? RtValue::of(*reg.initial)
+                                                 : RtValue::disc());
+    Impl::RegisterState state;
+    state.q = &q;
+    state.driver = q.add_driver(q.read());
+    const auto it = impl_->plan.register_schedule.find(reg.name);
+    state.writes = it == impl_->plan.register_schedule.end() ? nullptr : &it->second;
+    impl_->registers.emplace(reg.name, state);
+  }
+  for (const transfer::ModuleDecl& module : design.modules) {
+    auto [it, inserted] = impl_->units.emplace(module.name, Impl::UnitState(module));
+    const auto sched_it = impl_->plan.module_schedule.find(module.name);
+    it->second.schedule = sched_it == impl_->plan.module_schedule.end()
+                              ? nullptr
+                              : &sched_it->second;
+  }
+  for (const transfer::ConstantDecl& constant : design.constants) {
+    impl_->constants.emplace(constant.name, RtValue::of(constant.value));
+  }
+  // Implicit op constants are resolved through the plan's `op` field, not
+  // through a source endpoint, so nothing to create here.
+  for (const transfer::InputDecl& input : design.inputs) {
+    Signal& sig =
+        scheduler_->make_signal<RtValue>("in." + input.name, RtValue::disc());
+    impl_->inputs.emplace(input.name,
+                          std::pair{&sig, sig.add_driver(RtValue::disc())});
+  }
+
+  if (scheme_ == ClockScheme::kTwoCyclesPerStep) {
+    scheduler_->spawn("datapath", datapath_process_two_phase(*impl_, writes_));
+  } else {
+    scheduler_->spawn("datapath", datapath_process(*impl_, writes_));
+  }
+  scheduler_->spawn("clock",
+                    clock_process(*scheduler_, *impl_->clk, impl_->clk_driver,
+                                  clock_cycles_, period_fs_));
+}
+
+ClockedModel::~ClockedModel() {
+  scheduler_->shutdown();
+}
+
+ClockedModel::Result ClockedModel::run() {
+  const kernel::KernelStats before = scheduler_->stats();
+  const std::uint64_t start_fs = scheduler_->now().fs;
+  Result result;
+  result.kernel_cycles = scheduler_->run();
+  result.stats = scheduler_->stats() - before;
+  result.clock_cycles = clock_cycles_;
+  result.elapsed_fs = scheduler_->now().fs - start_fs;
+  return result;
+}
+
+rtl::RtValue ClockedModel::register_value(const std::string& name) const {
+  const auto it = impl_->registers.find(name);
+  if (it == impl_->registers.end()) {
+    throw std::invalid_argument("ClockedModel: no register '" + name + "'");
+  }
+  return it->second.q->read();
+}
+
+void ClockedModel::set_input(const std::string& name, rtl::RtValue value) {
+  const auto it = impl_->inputs.find(name);
+  if (it == impl_->inputs.end()) {
+    throw std::invalid_argument("ClockedModel: no input '" + name + "'");
+  }
+  it->second.first->drive(it->second.second, value);
+}
+
+}  // namespace ctrtl::clocked

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clocked/translate.h"
+#include "kernel/scheduler.h"
+#include "rtl/value.h"
+#include "verify/trace.h"
+
+namespace ctrtl::clocked {
+
+/// How control steps map onto clock cycles — the paper: "of course, there
+/// are different ways to implement control steps."
+enum class ClockScheme : std::uint8_t {
+  /// One clock cycle per control step: units evaluate and registers latch
+  /// on the same edge (mux-based interconnect).
+  kOneCyclePerStep,
+  /// Two clock cycles per control step: a compute edge (units evaluate and
+  /// advance their pipelines) followed by a latch edge (registers commit).
+  /// Slower in cycles, looser timing per cycle — a second legal low-level
+  /// architecture for the same abstract model.
+  kTwoCyclesPerStep,
+};
+
+/// Executable clocked implementation of a translated design: a clock
+/// generator running in *physical time*, a step counter, D-flip-flop
+/// registers with write muxes, and pipelined datapath units — the concrete
+/// RT architecture produced by `plan_translation`.
+///
+/// Observable behaviour (the per-step register write trace) must equal the
+/// clock-free abstract model's for every clock scheme;
+/// `verify::compare_write_traces` checks that.
+class ClockedModel {
+ public:
+  /// Builds the model from a plan. `period_fs` is the clock period.
+  explicit ClockedModel(const TranslationPlan& plan,
+                        std::uint64_t period_fs = 1'000'000,
+                        ClockScheme scheme = ClockScheme::kOneCyclePerStep);
+  ~ClockedModel();
+
+  ClockedModel(const ClockedModel&) = delete;
+  ClockedModel& operator=(const ClockedModel&) = delete;
+
+  struct Result {
+    kernel::KernelStats stats;
+    std::uint64_t kernel_cycles = 0;
+    unsigned clock_cycles = 0;
+    /// Physical time consumed (fs) — nonzero, unlike the abstract model.
+    std::uint64_t elapsed_fs = 0;
+  };
+
+  /// Runs the clock for the planned number of cycles.
+  Result run();
+
+  [[nodiscard]] rtl::RtValue register_value(const std::string& name) const;
+  void set_input(const std::string& name, rtl::RtValue value);
+
+  /// Register writes committed so far, tagged with the control step whose
+  /// cycle performed them (directly comparable with the abstract model's
+  /// verify::RegisterWriteTrace, preloads excluded).
+  [[nodiscard]] const std::vector<verify::RegisterWrite>& writes() const {
+    return writes_;
+  }
+
+  [[nodiscard]] kernel::Scheduler& scheduler() { return *scheduler_; }
+
+  /// Kernel-side state shared with the datapath process (public so the
+  /// process function in the implementation file can use it).
+  struct Impl;
+
+ private:
+  std::unique_ptr<kernel::Scheduler> scheduler_;
+  std::unique_ptr<Impl> impl_;
+  std::vector<verify::RegisterWrite> writes_;
+  unsigned clock_cycles_ = 0;
+  std::uint64_t period_fs_ = 0;
+  ClockScheme scheme_ = ClockScheme::kOneCyclePerStep;
+};
+
+}  // namespace ctrtl::clocked

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "transfer/design.h"
+
+namespace ctrtl::clocked {
+
+/// One operand feeding a module in a specific control step (a mux entry in
+/// the clocked implementation).
+struct OperandSelect {
+  unsigned port = 0;
+  transfer::Endpoint source;
+
+  friend bool operator==(const OperandSelect&, const OperandSelect&) = default;
+};
+
+/// Per-module read activity in one step: which sources feed which ports and
+/// which operation is selected.
+struct ModuleActivation {
+  std::vector<OperandSelect> operands;
+  std::optional<std::int64_t> op;
+};
+
+/// Per-register write activity: in step `step`, register latches the output
+/// of `module`.
+struct WriteSelect {
+  unsigned step = 0;
+  std::string module;
+
+  friend bool operator==(const WriteSelect&, const WriteSelect&) = default;
+};
+
+/// The control-step → clock-cycle translation of a design (the paper's
+/// "succeeding synthesis step ... performed by commercial synthesis tools").
+///
+/// The chosen low-level architecture is one clock cycle per control step
+/// with mux-based interconnect: buses dissolve into operand/write
+/// multiplexers selected by a step counter, registers become D-flip-flops
+/// with hold paths, pipelined modules keep internal stage registers. This is
+/// one of the "several low-level architectures" the abstract model admits.
+struct TranslationPlan {
+  /// Owned copy: the plan (and models built from it) are self-contained.
+  transfer::Design design;
+  /// module name -> (read step -> activation)
+  std::map<std::string, std::map<unsigned, ModuleActivation>> module_schedule;
+  /// register name -> write mux entries (sorted by step)
+  std::map<std::string, std::vector<WriteSelect>> register_schedule;
+  /// total clock cycles required: cs_max + 1 (final writes latch on the
+  /// edge that ends step cs_max)
+  unsigned clock_cycles = 0;
+
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Builds the plan. Requires a valid design whose static conflict analysis
+/// is clean — translating a schedule with resource conflicts would bake the
+/// bug into hardware, so it is rejected with std::invalid_argument (this is
+/// exactly the paper's point about catching conflicts at the abstract
+/// level).
+[[nodiscard]] TranslationPlan plan_translation(const transfer::Design& design);
+
+}  // namespace ctrtl::clocked

@@ -1,0 +1,71 @@
+#include "common/diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ctrtl::common {
+
+std::string to_string(const SourceLocation& loc) {
+  if (!loc.is_known()) {
+    return "<unknown>";
+  }
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+namespace {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string to_string(const Diagnostic& diag) {
+  std::ostringstream out;
+  out << severity_name(diag.severity) << ": " << diag.message;
+  if (diag.location.is_known()) {
+    out << " at " << to_string(diag.location);
+  }
+  return out.str();
+}
+
+void DiagnosticBag::note(std::string message, SourceLocation loc) {
+  entries_.push_back({Severity::kNote, std::move(message), loc});
+}
+
+void DiagnosticBag::warning(std::string message, SourceLocation loc) {
+  entries_.push_back({Severity::kWarning, std::move(message), loc});
+}
+
+void DiagnosticBag::error(std::string message, SourceLocation loc) {
+  entries_.push_back({Severity::kError, std::move(message), loc});
+}
+
+bool DiagnosticBag::has_errors() const {
+  return error_count() > 0;
+}
+
+std::size_t DiagnosticBag::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kError;
+      }));
+}
+
+std::string DiagnosticBag::to_text() const {
+  std::ostringstream out;
+  for (const Diagnostic& diag : entries_) {
+    out << to_string(diag) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ctrtl::common

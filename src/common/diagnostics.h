@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/source_location.h"
+
+namespace ctrtl::common {
+
+/// Severity of a reported diagnostic.
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+/// One diagnostic message, optionally anchored to a source location.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string message;
+  SourceLocation location;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Renders "error: message at 3:7" style text.
+std::string to_string(const Diagnostic& diag);
+
+/// Accumulates diagnostics produced by a pass (subset check, elaboration,
+/// conflict analysis, ...). Passes report into a bag instead of throwing so
+/// that a caller sees *all* problems of a model at once.
+class DiagnosticBag {
+ public:
+  void note(std::string message, SourceLocation loc = {});
+  void warning(std::string message, SourceLocation loc = {});
+  void error(std::string message, SourceLocation loc = {});
+
+  [[nodiscard]] bool has_errors() const;
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] const std::vector<Diagnostic>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// All diagnostics, one per line.
+  [[nodiscard]] std::string to_text() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Diagnostic> entries_;
+};
+
+}  // namespace ctrtl::common

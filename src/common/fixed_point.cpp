@@ -1,0 +1,48 @@
+#include "common/fixed_point.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ctrtl::common {
+
+Fixed Fixed::from_double(double value) {
+  return from_raw(static_cast<std::int64_t>(std::llround(value * kOne)));
+}
+
+double Fixed::to_double() const {
+  return static_cast<double>(raw_) / static_cast<double>(kOne);
+}
+
+Fixed operator*(Fixed a, Fixed b) {
+  // 64x64 -> 128-bit product, then rescale rounding to nearest (half up):
+  // floor((p + half) / 2^frac) — the arithmetic shift floors for both signs.
+  const __int128 product = static_cast<__int128>(a.raw_) * b.raw_;
+  const __int128 half = __int128{1} << (Fixed::kFracBits - 1);
+  return Fixed::from_raw(
+      static_cast<std::int64_t>((product + half) >> Fixed::kFracBits));
+}
+
+Fixed operator/(Fixed a, Fixed b) {
+  if (b.raw_ == 0) {
+    throw std::domain_error("Fixed: division by zero");
+  }
+  const __int128 scaled = static_cast<__int128>(a.raw_) << Fixed::kFracBits;
+  return Fixed::from_raw(static_cast<std::int64_t>(scaled / b.raw_));
+}
+
+std::string to_string(Fixed value) {
+  const double v = value.to_double();
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(4);
+  out << v;
+  return out.str();
+}
+
+std::int64_t abs_error_lsb(Fixed a, Fixed b) {
+  return std::llabs(a.raw() - b.raw());
+}
+
+}  // namespace ctrtl::common

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ctrtl::common {
+
+/// Signed fixed-point value in Q(31-FRAC_BITS).FRAC_BITS format, stored in a
+/// 64-bit accumulator so that multiply/accumulate chains (the IKS MACC
+/// resource) do not overflow for the magnitudes used by the inverse
+/// kinematics computation.
+///
+/// The IKS chip of Leung & Shanblatt operates on fractional fixed-point
+/// data; we use Q16.16 which comfortably covers joint angles (radians) and
+/// normalized link lengths while keeping the CORDIC gain arithmetic exact
+/// enough for trace-level comparisons (see `iks::golden`).
+class Fixed {
+ public:
+  static constexpr int kFracBits = 16;
+  static constexpr std::int64_t kOne = std::int64_t{1} << kFracBits;
+
+  constexpr Fixed() = default;
+
+  /// Wraps an already-scaled raw value.
+  [[nodiscard]] static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  [[nodiscard]] static constexpr Fixed from_int(std::int64_t value) {
+    return from_raw(value << kFracBits);
+  }
+
+  [[nodiscard]] static Fixed from_double(double value);
+
+  [[nodiscard]] constexpr std::int64_t raw() const { return raw_; }
+  [[nodiscard]] double to_double() const;
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a) { return from_raw(-a.raw_); }
+
+  /// Rounding fixed-point multiply.
+  friend Fixed operator*(Fixed a, Fixed b);
+
+  /// Fixed-point divide; the divisor must be non-zero.
+  friend Fixed operator/(Fixed a, Fixed b);
+
+  /// Arithmetic shift right (used by the CORDIC iterations and by the IKS
+  /// X-ADD `Rshift` micro-operation).
+  [[nodiscard]] constexpr Fixed asr(int amount) const {
+    return from_raw(raw_ >> amount);
+  }
+
+  friend constexpr bool operator==(Fixed, Fixed) = default;
+  friend constexpr auto operator<=>(Fixed a, Fixed b) { return a.raw_ <=> b.raw_; }
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+/// Decimal rendering with 4 fractional digits, e.g. "-1.2500".
+std::string to_string(Fixed value);
+
+/// Absolute difference in raw LSBs; used by golden-model comparisons.
+std::int64_t abs_error_lsb(Fixed a, Fixed b);
+
+}  // namespace ctrtl::common

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ctrtl::common {
+
+/// A position inside a source text (used by the VHDL front end and by
+/// diagnostics that refer back to model construction sites).
+///
+/// Lines and columns are 1-based; a default-constructed location is the
+/// "unknown" location and formats as "<unknown>".
+struct SourceLocation {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool is_known() const { return line != 0; }
+
+  friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+/// Renders "line:column" or "<unknown>".
+std::string to_string(const SourceLocation& loc);
+
+}  // namespace ctrtl::common

@@ -1,0 +1,77 @@
+#include "hls/allocate.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ctrtl::hls {
+
+std::map<std::size_t, Lifetime> lifetimes(const Dfg& dfg,
+                                          const Scheduled& schedule) {
+  std::map<std::size_t, Lifetime> result;
+  for (const Dfg::Node& node : dfg.nodes()) {
+    const unsigned def = schedule.op_for(node.id).finish;
+    result[node.id] = Lifetime{def, def};
+  }
+  for (const Dfg::Node& consumer : dfg.nodes()) {
+    for (const ValueRef& arg : consumer.args) {
+      if (arg.kind == ValueRef::Kind::kNode) {
+        Lifetime& life = result.at(arg.node);
+        life.last_use = std::max(life.last_use, schedule.op_for(consumer.id).start);
+      }
+    }
+  }
+  for (const auto& [name, ref] : dfg.outputs()) {
+    if (ref.kind == ValueRef::Kind::kNode) {
+      // Outputs are read *after* the run; they must survive every step,
+      // including the final one's writes.
+      result.at(ref.node).last_use = schedule.makespan + 1;
+    }
+  }
+  return result;
+}
+
+Allocation allocate_registers(const Dfg& dfg, const Scheduled& schedule) {
+  const std::map<std::size_t, Lifetime> lives = lifetimes(dfg, schedule);
+
+  // Left-edge: sort by definition step, greedily pack into register tracks.
+  std::vector<std::size_t> order;
+  order.reserve(lives.size());
+  for (const auto& [node, life] : lives) {
+    order.push_back(node);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return lives.at(a).def != lives.at(b).def ? lives.at(a).def < lives.at(b).def
+                                              : a < b;
+  });
+
+  Allocation allocation;
+  struct Track {
+    unsigned last_use = 0;
+    unsigned last_def = 0;
+  };
+  std::vector<Track> tracks;
+  for (const std::size_t node : order) {
+    const Lifetime& life = lives.at(node);
+    std::size_t track = tracks.size();
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+      // Safe to share when (a) the new value is written (at cr) no earlier
+      // than the step in which the old value is last read (at ra), and
+      // (b) the two writes land in different steps — two writes into one
+      // register in the same step would be a wb conflict.
+      if (life.def >= tracks[i].last_use && life.def > tracks[i].last_def) {
+        track = i;
+        break;
+      }
+    }
+    if (track == tracks.size()) {
+      tracks.push_back(Track{life.last_use, life.def});
+    } else {
+      tracks[track] = Track{life.last_use, life.def};
+    }
+    allocation.value_register[node] = "v" + std::to_string(track);
+  }
+  allocation.num_registers = static_cast<unsigned>(tracks.size());
+  return allocation;
+}
+
+}  // namespace ctrtl::hls

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hls/schedule.h"
+
+namespace ctrtl::hls {
+
+/// Storage binding for the scheduled dataflow graph: which register holds
+/// each node's result. Registers are shared between values with disjoint
+/// lifetimes via the classic left-edge algorithm.
+struct Allocation {
+  /// node id -> register name ("v0", "v1", ...)
+  std::map<std::size_t, std::string> value_register;
+  unsigned num_registers = 0;
+};
+
+/// Lifetime of a node's value: written at the end of step `def`
+/// (= op finish), last consumed during step `last_use` (>= def). Values
+/// feeding a graph output stay live through the whole schedule.
+struct Lifetime {
+  unsigned def = 0;
+  unsigned last_use = 0;
+};
+
+/// Computes value lifetimes under the schedule.
+[[nodiscard]] std::map<std::size_t, Lifetime> lifetimes(const Dfg& dfg,
+                                                        const Scheduled& schedule);
+
+/// Left-edge register allocation. Two values may share a register when the
+/// later one is defined no earlier than the earlier one's last use (the
+/// write happens at `cr`, after all reads of that step).
+[[nodiscard]] Allocation allocate_registers(const Dfg& dfg,
+                                            const Scheduled& schedule);
+
+}  // namespace ctrtl::hls

@@ -1,0 +1,181 @@
+#include "hls/dfg.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ctrtl::hls {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd:
+      return "add";
+    case OpKind::kSub:
+      return "sub";
+    case OpKind::kMul:
+      return "mul";
+    case OpKind::kMin:
+      return "min";
+    case OpKind::kMax:
+      return "max";
+    case OpKind::kNeg:
+      return "neg";
+    case OpKind::kCopy:
+      return "copy";
+  }
+  return "<corrupt>";
+}
+
+unsigned arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNeg:
+    case OpKind::kCopy:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+ValueRef ValueRef::of_input(std::string name) {
+  ValueRef ref;
+  ref.kind = Kind::kInput;
+  ref.input = std::move(name);
+  return ref;
+}
+
+ValueRef ValueRef::of_constant(std::int64_t value) {
+  ValueRef ref;
+  ref.kind = Kind::kConstant;
+  ref.constant = value;
+  return ref;
+}
+
+ValueRef ValueRef::of_node(std::size_t id) {
+  ValueRef ref;
+  ref.kind = Kind::kNode;
+  ref.node = id;
+  return ref;
+}
+
+std::string to_string(const ValueRef& ref) {
+  switch (ref.kind) {
+    case ValueRef::Kind::kInput:
+      return "$" + ref.input;
+    case ValueRef::Kind::kConstant:
+      return std::to_string(ref.constant);
+    case ValueRef::Kind::kNode:
+      return "n" + std::to_string(ref.node);
+  }
+  return "<corrupt>";
+}
+
+void Dfg::add_input(const std::string& name) {
+  if (has_input(name)) {
+    throw std::invalid_argument("duplicate input '" + name + "'");
+  }
+  inputs_.push_back(name);
+}
+
+bool Dfg::has_input(const std::string& name) const {
+  return std::find(inputs_.begin(), inputs_.end(), name) != inputs_.end();
+}
+
+void Dfg::check_ref(const ValueRef& ref, const char* context) const {
+  switch (ref.kind) {
+    case ValueRef::Kind::kInput:
+      if (!has_input(ref.input)) {
+        throw std::invalid_argument(std::string(context) + ": unknown input '" +
+                                    ref.input + "'");
+      }
+      break;
+    case ValueRef::Kind::kNode:
+      if (ref.node >= nodes_.size()) {
+        throw std::invalid_argument(std::string(context) +
+                                    ": forward/unknown node reference");
+      }
+      break;
+    case ValueRef::Kind::kConstant:
+      break;
+  }
+}
+
+std::size_t Dfg::add_node(OpKind kind, std::vector<ValueRef> args) {
+  if (args.size() != arity(kind)) {
+    throw std::invalid_argument("op '" + to_string(kind) + "' needs " +
+                                std::to_string(arity(kind)) + " arguments");
+  }
+  for (const ValueRef& arg : args) {
+    check_ref(arg, "add_node");
+  }
+  nodes_.push_back(Node{nodes_.size(), kind, std::move(args)});
+  return nodes_.back().id;
+}
+
+void Dfg::mark_output(const std::string& name, ValueRef ref) {
+  check_ref(ref, "mark_output");
+  outputs_[name] = std::move(ref);
+}
+
+bool Dfg::validate(common::DiagnosticBag& diags) const {
+  if (nodes_.empty()) {
+    diags.error("dataflow graph has no operations");
+  }
+  if (outputs_.empty()) {
+    diags.error("dataflow graph has no outputs");
+  }
+  return !diags.has_errors();
+}
+
+std::map<std::string, std::int64_t> evaluate(
+    const Dfg& dfg, const std::map<std::string, std::int64_t>& inputs) {
+  std::vector<std::int64_t> values(dfg.nodes().size(), 0);
+  const auto resolve = [&](const ValueRef& ref) -> std::int64_t {
+    switch (ref.kind) {
+      case ValueRef::Kind::kInput: {
+        const auto it = inputs.find(ref.input);
+        if (it == inputs.end()) {
+          throw std::invalid_argument("evaluate: missing input '" + ref.input + "'");
+        }
+        return it->second;
+      }
+      case ValueRef::Kind::kConstant:
+        return ref.constant;
+      case ValueRef::Kind::kNode:
+        return values[ref.node];
+    }
+    throw std::logic_error("evaluate: corrupt ref");
+  };
+  for (const Dfg::Node& node : dfg.nodes()) {
+    const std::int64_t a = resolve(node.args[0]);
+    const std::int64_t b = node.args.size() > 1 ? resolve(node.args[1]) : 0;
+    switch (node.kind) {
+      case OpKind::kAdd:
+        values[node.id] = a + b;
+        break;
+      case OpKind::kSub:
+        values[node.id] = a - b;
+        break;
+      case OpKind::kMul:
+        values[node.id] = a * b;
+        break;
+      case OpKind::kMin:
+        values[node.id] = std::min(a, b);
+        break;
+      case OpKind::kMax:
+        values[node.id] = std::max(a, b);
+        break;
+      case OpKind::kNeg:
+        values[node.id] = -a;
+        break;
+      case OpKind::kCopy:
+        values[node.id] = a;
+        break;
+    }
+  }
+  std::map<std::string, std::int64_t> outputs;
+  for (const auto& [name, ref] : dfg.outputs()) {
+    outputs[name] = resolve(ref);
+  }
+  return outputs;
+}
+
+}  // namespace ctrtl::hls

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+
+namespace ctrtl::hls {
+
+/// Operation repertoire of the high-level synthesis front end.
+enum class OpKind : std::uint8_t { kAdd, kSub, kMul, kMin, kMax, kNeg, kCopy };
+
+[[nodiscard]] std::string to_string(OpKind kind);
+[[nodiscard]] unsigned arity(OpKind kind);
+
+/// A value consumed by an operation: an external input, a literal, or the
+/// result of another node.
+struct ValueRef {
+  enum class Kind : std::uint8_t { kInput, kConstant, kNode };
+
+  Kind kind = Kind::kConstant;
+  std::string input;        // kInput
+  std::int64_t constant = 0;  // kConstant
+  std::size_t node = 0;       // kNode
+
+  [[nodiscard]] static ValueRef of_input(std::string name);
+  [[nodiscard]] static ValueRef of_constant(std::int64_t value);
+  [[nodiscard]] static ValueRef of_node(std::size_t id);
+
+  friend bool operator==(const ValueRef&, const ValueRef&) = default;
+};
+
+[[nodiscard]] std::string to_string(const ValueRef& ref);
+
+/// A dataflow graph: the algorithmic-level input to scheduling and
+/// allocation. Acyclic by construction — `add_node` only accepts references
+/// to already-created nodes.
+class Dfg {
+ public:
+  struct Node {
+    std::size_t id = 0;
+    OpKind kind = OpKind::kAdd;
+    std::vector<ValueRef> args;
+  };
+
+  /// Declares an external input (becomes a preloaded register).
+  void add_input(const std::string& name);
+
+  /// Adds an operation; returns its node id. Throws std::invalid_argument
+  /// on arity mismatch or forward references.
+  std::size_t add_node(OpKind kind, std::vector<ValueRef> args);
+
+  /// Names a value as a graph output.
+  void mark_output(const std::string& name, ValueRef ref);
+
+  [[nodiscard]] const std::vector<std::string>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::map<std::string, ValueRef>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] bool has_input(const std::string& name) const;
+
+  /// Structural validation (all refs resolvable, outputs named, >= 1 node).
+  bool validate(common::DiagnosticBag& diags) const;
+
+ private:
+  void check_ref(const ValueRef& ref, const char* context) const;
+
+  std::vector<std::string> inputs_;
+  std::vector<Node> nodes_;
+  std::map<std::string, ValueRef> outputs_;
+};
+
+/// Reference (algorithmic-level) evaluation: the golden model HLS results
+/// are verified against, per the paper's "verify the correctness of high
+/// level synthesis results at an early stage".
+[[nodiscard]] std::map<std::string, std::int64_t> evaluate(
+    const Dfg& dfg, const std::map<std::string, std::int64_t>& inputs);
+
+}  // namespace ctrtl::hls

@@ -1,0 +1,148 @@
+#include "hls/emit.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ctrtl::hls {
+
+namespace {
+
+std::string constant_name(std::int64_t value) {
+  return value < 0 ? "cm" + std::to_string(-value) : "c" + std::to_string(value);
+}
+
+}  // namespace
+
+EmitResult emit_design(const Dfg& dfg, const Scheduled& schedule,
+                       const Allocation& allocation, const std::string& name) {
+  EmitResult result;
+  transfer::Design& design = result.design;
+  design.name = name;
+  design.cs_max = std::max(schedule.makespan, 1u);
+
+  for (const std::string& input : dfg.inputs()) {
+    design.inputs.push_back({input});
+  }
+  std::set<std::string> registers;
+  for (const auto& [node, reg] : allocation.value_register) {
+    registers.insert(reg);
+  }
+  for (const std::string& reg : registers) {
+    design.registers.push_back({reg, std::nullopt});
+  }
+
+  // Literal pool.
+  std::set<std::int64_t> literals;
+  for (const Dfg::Node& node : dfg.nodes()) {
+    for (const ValueRef& arg : node.args) {
+      if (arg.kind == ValueRef::Kind::kConstant) {
+        literals.insert(arg.constant);
+      }
+    }
+  }
+  for (const std::int64_t value : literals) {
+    design.constants.push_back({constant_name(value), value});
+  }
+
+  const auto source_endpoint = [&](const ValueRef& ref) -> transfer::Endpoint {
+    switch (ref.kind) {
+      case ValueRef::Kind::kInput:
+        return transfer::Endpoint::input(ref.input);
+      case ValueRef::Kind::kConstant:
+        return transfer::Endpoint::constant(constant_name(ref.constant));
+      case ValueRef::Kind::kNode:
+        return transfer::Endpoint::register_out(
+            allocation.value_register.at(ref.node));
+    }
+    throw std::logic_error("emit_design: corrupt ref");
+  };
+
+  // Bus assignment: reads of a step use buses 0..k in slot order, writes of
+  // a step use buses 0..m — read and write windows of one step never
+  // overlap in phase, so they may share bus names.
+  std::map<unsigned, unsigned> read_slots;   // step -> next free bus
+  std::map<unsigned, unsigned> write_slots;  // step -> next free bus
+  unsigned max_bus = 0;
+
+  const auto next_bus = [&](std::map<unsigned, unsigned>& slots,
+                            unsigned step) -> std::string {
+    const unsigned index = slots[step]++;
+    max_bus = std::max(max_bus, index + 1);
+    return "B" + std::to_string(index);
+  };
+
+  for (const Dfg::Node& node : dfg.nodes()) {
+    const Scheduled::Op& op = schedule.op_for(node.id);
+    transfer::RegisterTransfer tuple;
+    tuple.read_step = op.start;
+    tuple.module = op.unit;
+    tuple.operand_a = transfer::OperandPath{source_endpoint(node.args[0]),
+                                            next_bus(read_slots, op.start)};
+    if (node.args.size() > 1) {
+      tuple.operand_b = transfer::OperandPath{source_endpoint(node.args[1]),
+                                              next_bus(read_slots, op.start)};
+    }
+    tuple.write_step = op.finish;
+    tuple.write_bus = next_bus(write_slots, op.finish);
+    tuple.destination = allocation.value_register.at(node.id);
+    // Op codes are attached by `synthesize` once unit kinds are known.
+    design.transfers.push_back(std::move(tuple));
+  }
+
+  for (const auto& [out_name, ref] : dfg.outputs()) {
+    switch (ref.kind) {
+      case ValueRef::Kind::kNode:
+        result.output_registers[out_name] = allocation.value_register.at(ref.node);
+        break;
+      case ValueRef::Kind::kConstant:
+        result.constant_outputs[out_name] = ref.constant;
+        break;
+      case ValueRef::Kind::kInput:
+        result.input_outputs[out_name] = ref.input;
+        break;
+    }
+  }
+
+  for (unsigned i = 0; i < std::max(max_bus, 1u); ++i) {
+    design.buses.push_back({"B" + std::to_string(i)});
+  }
+  return result;
+}
+
+EmitResult synthesize(const Dfg& dfg, const Resources& resources,
+                      const std::string& name) {
+  common::DiagnosticBag diags;
+  if (!dfg.validate(diags)) {
+    throw std::invalid_argument("synthesize: invalid dataflow graph:\n" +
+                                diags.to_text());
+  }
+  const Scheduled schedule = list_schedule(dfg, resources);
+  const Allocation allocation = allocate_registers(dfg, schedule);
+  EmitResult result = emit_design(dfg, schedule, allocation, name);
+
+  // Module declarations from the resource spec (only units actually used).
+  std::set<std::string> used;
+  for (const Scheduled::Op& op : schedule.ops) {
+    used.insert(op.unit);
+  }
+  for (const UnitSpec& unit : resources.units) {
+    if (used.contains(unit.name)) {
+      result.design.modules.push_back(
+          {unit.name, unit.kind, unit.latency, /*frac_bits=*/0});
+    }
+  }
+  // Attach op codes now that unit kinds are known.
+  std::map<std::string, transfer::ModuleKind> kinds;
+  for (const transfer::ModuleDecl& module : result.design.modules) {
+    kinds[module.name] = module.kind;
+  }
+  for (std::size_t i = 0; i < dfg.nodes().size(); ++i) {
+    const Scheduled::Op& op = schedule.op_for(i);
+    result.design.transfers[i].op = op_code_for(kinds.at(op.unit),
+                                                dfg.nodes()[i].kind);
+  }
+  return result;
+}
+
+}  // namespace ctrtl::hls

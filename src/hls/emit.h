@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hls/allocate.h"
+#include "hls/schedule.h"
+#include "transfer/design.h"
+
+namespace ctrtl::hls {
+
+/// The product of high-level synthesis: an abstract register-transfer
+/// design plus the mapping needed to read results back.
+struct EmitResult {
+  transfer::Design design;
+  /// output name -> register holding it after the run
+  std::map<std::string, std::string> output_registers;
+  /// outputs that are plain literals or inputs (no register involved)
+  std::map<std::string, std::int64_t> constant_outputs;
+  std::map<std::string, std::string> input_outputs;
+};
+
+/// Lowers a scheduled+allocated dataflow graph into a transfer::Design:
+/// one full 9-tuple per operation, buses assigned per step (reads and
+/// writes may share buses — their transfer windows are phase-disjoint),
+/// inputs as design inputs, literals as constant sources.
+[[nodiscard]] EmitResult emit_design(const Dfg& dfg, const Scheduled& schedule,
+                                     const Allocation& allocation,
+                                     const std::string& name);
+
+/// The whole flow: validate, schedule, allocate, emit. This is the paper's
+/// application 2: "High level synthesis results are translated into our
+/// subset and can then be simulated at a high level."
+[[nodiscard]] EmitResult synthesize(const Dfg& dfg, const Resources& resources,
+                                    const std::string& name);
+
+}  // namespace ctrtl::hls

@@ -1,0 +1,204 @@
+#include "hls/schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "rtl/modules.h"
+
+namespace ctrtl::hls {
+
+Resources default_resources() {
+  return Resources{{
+      UnitSpec{"ALU", transfer::ModuleKind::kAlu, 1},
+      UnitSpec{"MUL", transfer::ModuleKind::kMul, 2},
+  }};
+}
+
+bool unit_supports(transfer::ModuleKind kind, OpKind op) {
+  switch (kind) {
+    case transfer::ModuleKind::kAdd:
+      return op == OpKind::kAdd;
+    case transfer::ModuleKind::kSub:
+      return op == OpKind::kSub;
+    case transfer::ModuleKind::kMul:
+      return op == OpKind::kMul;
+    case transfer::ModuleKind::kCopy:
+      return op == OpKind::kCopy;
+    case transfer::ModuleKind::kAlu:
+      switch (op) {
+        case OpKind::kAdd:
+        case OpKind::kSub:
+        case OpKind::kMin:
+        case OpKind::kMax:
+        case OpKind::kNeg:
+        case OpKind::kCopy:
+          return true;
+        default:
+          return false;
+      }
+    default:
+      return false;  // MACC/CORDIC are not HLS targets here
+  }
+}
+
+std::optional<std::int64_t> op_code_for(transfer::ModuleKind kind, OpKind op) {
+  if (kind != transfer::ModuleKind::kAlu) {
+    return std::nullopt;
+  }
+  switch (op) {
+    case OpKind::kAdd:
+      return rtl::alu_ops::kAdd;
+    case OpKind::kSub:
+      return rtl::alu_ops::kSub;
+    case OpKind::kMin:
+      return rtl::alu_ops::kMin;
+    case OpKind::kMax:
+      return rtl::alu_ops::kMax;
+    case OpKind::kNeg:
+      return rtl::alu_ops::kNegA;
+    case OpKind::kCopy:
+      return rtl::alu_ops::kPassA;
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+unsigned min_latency(const Resources& resources, OpKind op) {
+  unsigned best = 0;
+  bool found = false;
+  for (const UnitSpec& unit : resources.units) {
+    if (unit_supports(unit.kind, op) && (!found || unit.latency < best)) {
+      best = unit.latency;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("no unit supports operation '" + to_string(op) +
+                                "'");
+  }
+  return best;
+}
+
+}  // namespace
+
+std::map<std::size_t, unsigned> asap(const Dfg& dfg, const Resources& resources) {
+  std::map<std::size_t, unsigned> start;
+  for (const Dfg::Node& node : dfg.nodes()) {
+    unsigned earliest = 1;
+    for (const ValueRef& arg : node.args) {
+      if (arg.kind == ValueRef::Kind::kNode) {
+        const unsigned finish =
+            start.at(arg.node) + min_latency(resources, dfg.nodes()[arg.node].kind);
+        earliest = std::max(earliest, finish + 1);
+      }
+    }
+    start[node.id] = earliest;
+  }
+  return start;
+}
+
+std::map<std::size_t, unsigned> alap(const Dfg& dfg, const Resources& resources,
+                                     unsigned deadline) {
+  std::map<std::size_t, unsigned> start;
+  // Process in reverse topological order (node ids are topological).
+  for (std::size_t i = dfg.nodes().size(); i-- > 0;) {
+    const Dfg::Node& node = dfg.nodes()[i];
+    const unsigned latency = min_latency(resources, node.kind);
+    if (deadline < latency) {
+      throw std::invalid_argument("alap: deadline shorter than latency");
+    }
+    unsigned latest = deadline - latency;  // finish by deadline
+    for (const Dfg::Node& consumer : dfg.nodes()) {
+      for (const ValueRef& arg : consumer.args) {
+        if (arg.kind == ValueRef::Kind::kNode && arg.node == node.id) {
+          // consumer.start >= finish + 1  =>  start <= consumer.start - latency - 1
+          const unsigned consumer_start = start.at(consumer.id);
+          if (consumer_start < latency + 1) {
+            throw std::invalid_argument("alap: deadline infeasible");
+          }
+          latest = std::min(latest, consumer_start - latency - 1);
+        }
+      }
+    }
+    if (latest < 1) {
+      throw std::invalid_argument("alap: deadline infeasible");
+    }
+    start[node.id] = latest;
+  }
+  return start;
+}
+
+Scheduled list_schedule(const Dfg& dfg, const Resources& resources) {
+  // Priorities: ALAP against a generous deadline; smaller slack first.
+  const std::map<std::size_t, unsigned> asap_steps = asap(dfg, resources);
+  unsigned horizon = 1;
+  for (const auto& [node, start] : asap_steps) {
+    horizon = std::max(horizon, start + min_latency(resources, dfg.nodes()[node].kind));
+  }
+  // Worst case fully serialized: sum of latencies + one step per op.
+  unsigned serial = 1;
+  for (const Dfg::Node& node : dfg.nodes()) {
+    serial += min_latency(resources, node.kind) + 1;
+  }
+  const std::map<std::size_t, unsigned> alap_steps =
+      alap(dfg, resources, std::max(horizon, serial));
+
+  Scheduled result;
+  result.ops.resize(dfg.nodes().size());
+  std::vector<bool> scheduled(dfg.nodes().size(), false);
+  std::vector<unsigned> finish(dfg.nodes().size(), 0);
+  // unit -> steps at which it already starts an operation
+  std::map<std::string, std::set<unsigned>> unit_busy;
+
+  std::size_t remaining = dfg.nodes().size();
+  unsigned step = 1;
+  const unsigned step_limit = serial * 4 + 16;  // defensive bound
+  while (remaining > 0) {
+    if (step > step_limit) {
+      throw std::logic_error("list_schedule: failed to converge");
+    }
+    // Ready: unscheduled ops whose node operands are available before `step`.
+    std::vector<std::size_t> ready;
+    for (const Dfg::Node& node : dfg.nodes()) {
+      if (scheduled[node.id]) {
+        continue;
+      }
+      bool ok = true;
+      for (const ValueRef& arg : node.args) {
+        if (arg.kind == ValueRef::Kind::kNode &&
+            (!scheduled[arg.node] || finish[arg.node] >= step)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        ready.push_back(node.id);
+      }
+    }
+    std::sort(ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
+      return alap_steps.at(a) < alap_steps.at(b);
+    });
+    for (const std::size_t node : ready) {
+      const OpKind op = dfg.nodes()[node].kind;
+      for (const UnitSpec& unit : resources.units) {
+        if (!unit_supports(unit.kind, op) || unit_busy[unit.name].contains(step)) {
+          continue;
+        }
+        unit_busy[unit.name].insert(step);
+        scheduled[node] = true;
+        finish[node] = step + unit.latency;
+        result.ops[node] = Scheduled::Op{node, step, finish[node], unit.name};
+        result.makespan = std::max(result.makespan, finish[node]);
+        --remaining;
+        break;
+      }
+    }
+    ++step;
+  }
+  return result;
+}
+
+}  // namespace ctrtl::hls

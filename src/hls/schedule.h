@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hls/dfg.h"
+#include "transfer/design.h"
+
+namespace ctrtl::hls {
+
+/// One functional unit available to the scheduler.
+struct UnitSpec {
+  std::string name;
+  transfer::ModuleKind kind = transfer::ModuleKind::kAlu;
+  unsigned latency = 1;
+};
+
+/// The resource allocation given to scheduling (the paper's "resources are
+/// allocated and register transfers are scheduled").
+struct Resources {
+  std::vector<UnitSpec> units;
+};
+
+/// One ALU plus one two-stage multiplier — a sensible default datapath.
+[[nodiscard]] Resources default_resources();
+
+/// Can a unit of this kind execute the operation?
+[[nodiscard]] bool unit_supports(transfer::ModuleKind kind, OpKind op);
+
+/// The op code a unit needs on its operation port for `op` (nullopt for
+/// fixed-function units).
+[[nodiscard]] std::optional<std::int64_t> op_code_for(transfer::ModuleKind kind,
+                                                      OpKind op);
+
+/// Result of scheduling + binding.
+struct Scheduled {
+  struct Op {
+    std::size_t node = 0;
+    unsigned start = 0;        // read step
+    unsigned finish = 0;       // write step (start + unit latency)
+    std::string unit;
+  };
+  std::vector<Op> ops;  // indexed by node id
+  unsigned makespan = 0;  // last write step == required cs_max
+
+  [[nodiscard]] const Op& op_for(std::size_t node) const { return ops.at(node); }
+};
+
+/// As-soon-as-possible start steps (ignoring resource limits); uses each
+/// node's minimum latency over the supporting units. Step numbering starts
+/// at 1; a consumer starts no earlier than producer finish + 1 (the value
+/// must pass through its register).
+[[nodiscard]] std::map<std::size_t, unsigned> asap(const Dfg& dfg,
+                                                   const Resources& resources);
+
+/// As-late-as-possible start steps against `deadline`.
+[[nodiscard]] std::map<std::size_t, unsigned> alap(const Dfg& dfg,
+                                                   const Resources& resources,
+                                                   unsigned deadline);
+
+/// Resource-constrained list scheduling with ALAP-slack priority; every
+/// unit is pipelined with initiation interval 1 (the paper's modules), so
+/// a unit accepts one new operation per control step.
+/// Throws std::invalid_argument when some operation has no supporting unit.
+[[nodiscard]] Scheduled list_schedule(const Dfg& dfg, const Resources& resources);
+
+}  // namespace ctrtl::hls

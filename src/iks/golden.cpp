@@ -1,0 +1,75 @@
+#include "iks/golden.h"
+
+#include <cmath>
+
+#include "iks/resources.h"
+#include "rtl/modules.h"
+
+namespace ctrtl::iks {
+
+namespace {
+
+std::int64_t fmul(std::int64_t a, std::int64_t b) {
+  return rtl::fixed_mul(a, b, kFracBits);
+}
+
+rtl::CordicModule::SinCos sincos(std::int64_t angle) {
+  return rtl::CordicModule::rotate(angle, kFracBits, kCordicIterations);
+}
+
+}  // namespace
+
+GoldenTrace golden_iteration(const IksInputs& inputs) {
+  GoldenTrace t;
+  const auto sc1 = sincos(inputs.theta1);
+  t.c1 = sc1.cos;
+  t.s1 = sc1.sin;
+  const auto sc12 = sincos(inputs.theta1 + inputs.theta2);
+  t.c12 = sc12.cos;
+  t.s12 = sc12.sin;
+
+  // MACC accumulations (same op order as microinstructions 8..13).
+  t.x = fmul(inputs.l1, t.c1) + fmul(inputs.l2, t.c12);
+  t.y = fmul(inputs.l1, t.s1) + fmul(inputs.l2, t.s12);
+
+  t.ex = inputs.px - t.x;
+  t.ey = inputs.py - t.y;
+
+  // dt1 = (x*ey - y*ex) >> k
+  t.dt1 = (fmul(t.x, t.ey) - fmul(t.y, t.ex)) >> kGainShift;
+  // dt2 = (l2*c12*ey - l2*s12*ex) >> k, with the products formed exactly as
+  // the microprogram does (Z = l2*c12, Y = l2*s12 first).
+  const std::int64_t z = fmul(inputs.l2, t.c12);
+  const std::int64_t yy = fmul(inputs.l2, t.s12);
+  t.dt2 = (fmul(z, t.ey) - fmul(yy, t.ex)) >> kGainShift;
+
+  t.theta1_next = inputs.theta1 + t.dt1;
+  t.theta2_next = inputs.theta2 + t.dt2;
+  return t;
+}
+
+std::vector<GoldenTrace> golden_iterate(IksInputs inputs, unsigned iterations) {
+  std::vector<GoldenTrace> traces;
+  traces.reserve(iterations);
+  for (unsigned i = 0; i < iterations; ++i) {
+    const GoldenTrace trace = golden_iteration(inputs);
+    traces.push_back(trace);
+    inputs.theta1 = trace.theta1_next;
+    inputs.theta2 = trace.theta2_next;
+  }
+  return traces;
+}
+
+double position_error(const IksInputs& inputs, std::int64_t theta1,
+                      std::int64_t theta2) {
+  const auto sc1 = sincos(theta1);
+  const auto sc12 = sincos(theta1 + theta2);
+  const std::int64_t x = fmul(inputs.l1, sc1.cos) + fmul(inputs.l2, sc12.cos);
+  const std::int64_t y = fmul(inputs.l1, sc1.sin) + fmul(inputs.l2, sc12.sin);
+  const double one = static_cast<double>(std::int64_t{1} << kFracBits);
+  const double dx = static_cast<double>(inputs.px - x) / one;
+  const double dy = static_cast<double>(inputs.py - y) / one;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace ctrtl::iks

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iks/program.h"
+
+namespace ctrtl::iks {
+
+/// Algorithmic-level model of one IKS iteration: the same fixed-point
+/// operations the microprogram performs (identical CORDIC kernel, identical
+/// multiply rounding), so the register-transfer model must match it
+/// **bit-exactly**. This is the "description at the algorithmic level" the
+/// paper verifies the RT model against (bottom-up evaluation).
+struct GoldenTrace {
+  std::int64_t c1 = 0, s1 = 0;    // cos/sin theta1
+  std::int64_t c12 = 0, s12 = 0;  // cos/sin (theta1+theta2)
+  std::int64_t x = 0, y = 0;      // forward kinematics
+  std::int64_t ex = 0, ey = 0;    // position error
+  std::int64_t dt1 = 0, dt2 = 0;  // Jacobian-transpose updates (shifted)
+  std::int64_t theta1_next = 0;
+  std::int64_t theta2_next = 0;
+};
+
+[[nodiscard]] GoldenTrace golden_iteration(const IksInputs& inputs);
+
+/// Runs `iterations` golden iterations, feeding each result back as the
+/// next angles. Returns the per-iteration traces.
+[[nodiscard]] std::vector<GoldenTrace> golden_iterate(IksInputs inputs,
+                                                      unsigned iterations);
+
+/// Euclidean position error |target - fk(theta)| in fixed-point units,
+/// evaluated with the same fixed-point kernels.
+[[nodiscard]] double position_error(const IksInputs& inputs, std::int64_t theta1,
+                                    std::int64_t theta2);
+
+}  // namespace ctrtl::iks

@@ -1,0 +1,233 @@
+#include "iks/microcode.h"
+
+#include <stdexcept>
+
+#include "iks/resources.h"
+#include "rtl/modules.h"
+
+namespace ctrtl::iks {
+
+RegSel RegSel::fixed(std::string reg) {
+  return RegSel{Kind::kFixed, std::move(reg), 'j'};
+}
+RegSel RegSel::j_file(char field) {
+  return RegSel{Kind::kJFile, {}, field};
+}
+RegSel RegSel::r_file(char field) {
+  return RegSel{Kind::kRFile, {}, field};
+}
+RegSel RegSel::constant(std::string name) {
+  return RegSel{Kind::kConstant, std::move(name), 'j'};
+}
+
+namespace {
+
+using rtl::alu_ops::kAdd;
+using rtl::alu_ops::kRshiftBase;
+using rtl::alu_ops::kSub;
+
+CodeMaps build_code_maps() {
+  CodeMaps maps;
+
+  // ----- opc1: routing patterns ---------------------------------------------
+  // 0: no routing.
+  maps.opc1[0] = {};
+  // 1: J[j] -> BusA -> CPZ (register move source).
+  maps.opc1[1] = {{RegSel::j_file(), "BusA", "CPZ", 0}};
+  // 2: zang -> BusA -> CORDIC.
+  maps.opc1[2] = {{RegSel::fixed("zang"), "BusA", "CORDIC", 0}};
+  // 3: J[j] -> BusA -> ZADD.in1, J[m] -> BusB -> ZADD.in2.
+  maps.opc1[3] = {{RegSel::j_file('j'), "BusA", "ZADD", 0},
+                  {RegSel::j_file('m'), "BusB", "ZADD", 1}};
+  // 4: Z -> BusA -> CPZ.
+  maps.opc1[4] = {{RegSel::fixed("Z"), "BusA", "CPZ", 0}};
+  // 5: J[j] -> BusA -> MACC.in1, R[r] -> BusB -> MACC.in2.
+  maps.opc1[5] = {{RegSel::j_file(), "BusA", "MACC", 0},
+                  {RegSel::r_file(), "BusB", "MACC", 1}};
+  // 6: J[j] -> BusA -> ZADD.in1, R[r] -> BusB -> ZADD.in2.
+  maps.opc1[6] = {{RegSel::j_file(), "BusA", "ZADD", 0},
+                  {RegSel::r_file(), "BusB", "ZADD", 1}};
+  // 7: R[r] -> BusA -> MULT.in1, R[m] -> BusB -> MULT.in2 (m as R index).
+  maps.opc1[7] = {{RegSel::r_file('r'), "BusA", "MULT", 0},
+                  {RegSel::r_file('m'), "BusB", "MULT", 1}};
+  // 8: J[j] -> BusA -> MULT.in1, R[r] -> BusB -> MULT.in2.
+  maps.opc1[8] = {{RegSel::j_file(), "BusA", "MULT", 0},
+                  {RegSel::r_file(), "BusB", "MULT", 1}};
+  // 9: P -> BusA -> ZADD.in1, X -> BusB -> ZADD.in2.
+  maps.opc1[9] = {{RegSel::fixed("P"), "BusA", "ZADD", 0},
+                  {RegSel::fixed("X"), "BusB", "ZADD", 1}};
+  // 10: R[r] -> BusA -> XADD.in1 (shift operand).
+  maps.opc1[10] = {{RegSel::r_file(), "BusA", "XADD", 0}};
+  // 11: Z -> BusA -> MULT.in1, R[r] -> BusB -> MULT.in2.
+  maps.opc1[11] = {{RegSel::fixed("Z"), "BusA", "MULT", 0},
+                   {RegSel::r_file(), "BusB", "MULT", 1}};
+  // 12: Y -> BusA -> MULT.in1, R[r] -> BusB -> MULT.in2.
+  maps.opc1[12] = {{RegSel::fixed("Y"), "BusA", "MULT", 0},
+                   {RegSel::r_file(), "BusB", "MULT", 1}};
+  // 13: J[j] -> BusA -> YADD.in1, R[r] -> BusB -> YADD.in2.
+  maps.opc1[13] = {{RegSel::j_file(), "BusA", "YADD", 0},
+                   {RegSel::r_file(), "BusB", "YADD", 1}};
+  // 14: #one -> BusA -> CPF (flag source).
+  maps.opc1[14] = {{RegSel::constant("one"), "BusA", "CPF", 0}};
+  // 20: the paper's worked example (store address 7, opc1 = 20):
+  //     J[j] over BusA towards y2, Y over a direct link towards x2. The
+  //     direct link is realized per the paper's own recipe with the extra
+  //     bus LA and the copy modules CPY/CPX.
+  maps.opc1[20] = {{RegSel::j_file(), "BusA", "CPY", 0},
+                   {RegSel::fixed("Y"), "LA", "CPX", 0}};
+
+  // ----- opc2: module operations --------------------------------------------
+  maps.opc2[0] = {};
+  // 1: CPZ result -> zang (move completion over BusB).
+  maps.opc2[1] = {{"CPZ", std::nullopt,
+                   ModuleAction::Write{RegSel::fixed("zang"), "BusB"}}};
+  // 2: the paper's worked example (opc2 = 2): complete the y2/x2 moves and
+  //    set the flag F := 1 (the paper's `setf`; the flag source is the
+  //    constant `one` routed through CPF by opc1 = 14 in the same step of
+  //    the example program, see iks_paper_example_program()).
+  maps.opc2[2] = {
+      {"CPY", std::nullopt, ModuleAction::Write{RegSel::fixed("y2"), "BusB"}},
+      {"CPX", std::nullopt, ModuleAction::Write{RegSel::fixed("x2"), "LB"}},
+  };
+  // 3/4: CORDIC cos/sin -> R[r] via BusB.
+  maps.opc2[3] = {{"CORDIC", rtl::CordicModule::kOpCos,
+                   ModuleAction::Write{RegSel::r_file('r'), "BusB"}}};
+  maps.opc2[4] = {{"CORDIC", rtl::CordicModule::kOpSin,
+                   ModuleAction::Write{RegSel::r_file('r'), "BusB"}}};
+  // 5: ZADD add -> Z via BusA.
+  maps.opc2[5] = {{"ZADD", kAdd, ModuleAction::Write{RegSel::fixed("Z"), "BusA"}}};
+  // 6: MACC clear.
+  maps.opc2[6] = {{"MACC", rtl::MaccModule::kOpClear, std::nullopt}};
+  // 7: MACC multiply-accumulate, no write-back.
+  maps.opc2[7] = {{"MACC", rtl::MaccModule::kOpMac, std::nullopt}};
+  // 8: MACC multiply-accumulate and write the accumulator to R[m] via BusB.
+  maps.opc2[8] = {{"MACC", rtl::MaccModule::kOpMac,
+                   ModuleAction::Write{RegSel::r_file('m'), "BusB"}}};
+  // 9: ZADD subtract -> R[m] via BusA.
+  maps.opc2[9] = {{"ZADD", kSub, ModuleAction::Write{RegSel::r_file('m'), "BusA"}}};
+  // 10/11/12/13: MULT result -> P / X / Y / Z via BusA (fixed unit, no op).
+  maps.opc2[10] = {{"MULT", std::nullopt,
+                    ModuleAction::Write{RegSel::fixed("P"), "BusA"}}};
+  maps.opc2[11] = {{"MULT", std::nullopt,
+                    ModuleAction::Write{RegSel::fixed("X"), "BusA"}}};
+  maps.opc2[12] = {{"MULT", std::nullopt,
+                    ModuleAction::Write{RegSel::fixed("Y"), "BusA"}}};
+  maps.opc2[13] = {{"MULT", std::nullopt,
+                    ModuleAction::Write{RegSel::fixed("Z"), "BusA"}}};
+  // 14: ZADD subtract -> R[m] via BusB (used when BusA carries another
+  //     write in the same step).
+  maps.opc2[14] = {{"ZADD", kSub, ModuleAction::Write{RegSel::r_file('m'), "BusB"}}};
+  // 15: XADD arithmetic right shift by the gain constant -> R[m] via BusB —
+  //     the paper's `Rshift(x2, i)` micro-operation.
+  maps.opc2[15] = {{"XADD", kRshiftBase + kGainShift,
+                    ModuleAction::Write{RegSel::r_file('m'), "BusB"}}};
+  // 16: YADD add -> R[m] via BusA.
+  maps.opc2[16] = {{"YADD", kAdd, ModuleAction::Write{RegSel::r_file('m'), "BusA"}}};
+  // 17: CPF result -> F via BusB (flag set completion).
+  maps.opc2[17] = {{"CPF", std::nullopt,
+                    ModuleAction::Write{RegSel::fixed("F"), "BusB"}}};
+  return maps;
+}
+
+unsigned field_value(char field, const MicroInstruction& instr) {
+  switch (field) {
+    case 'j':
+      return instr.j;
+    case 'r':
+      return instr.r;
+    case 'm':
+      return instr.m;
+    default:
+      throw std::logic_error("resolve_reg: bad field selector");
+  }
+}
+
+std::string resolve_reg(const RegSel& sel, const MicroInstruction& instr) {
+  switch (sel.kind) {
+    case RegSel::Kind::kFixed:
+      return sel.name;
+    case RegSel::Kind::kJFile:
+      return j_reg(field_value(sel.field, instr));
+    case RegSel::Kind::kRFile:
+      return r_reg(field_value(sel.field, instr));
+    case RegSel::Kind::kConstant:
+      return sel.name;
+  }
+  throw std::logic_error("resolve_reg: corrupt selector");
+}
+
+transfer::Endpoint source_endpoint(const RegSel& sel,
+                                   const MicroInstruction& instr) {
+  if (sel.kind == RegSel::Kind::kConstant) {
+    return transfer::Endpoint::constant(sel.name);
+  }
+  return transfer::Endpoint::register_out(resolve_reg(sel, instr));
+}
+
+}  // namespace
+
+const CodeMaps& iks_code_maps() {
+  static const CodeMaps maps = build_code_maps();
+  return maps;
+}
+
+std::vector<transfer::RegisterTransfer> translate_microcode(
+    std::span<const MicroInstruction> program, const CodeMaps& maps,
+    const transfer::Design& resources) {
+  std::vector<transfer::RegisterTransfer> transfers;
+  for (const MicroInstruction& instr : program) {
+    const unsigned step = instr.addr;
+    if (step == 0) {
+      throw std::invalid_argument("microinstruction at address 0 (steps are 1-based)");
+    }
+    const auto routes_it = maps.opc1.find(instr.opc1);
+    if (routes_it == maps.opc1.end()) {
+      throw std::invalid_argument("unknown opc1 code " + std::to_string(instr.opc1));
+    }
+    const auto actions_it = maps.opc2.find(instr.opc2);
+    if (actions_it == maps.opc2.end()) {
+      throw std::invalid_argument("unknown opc2 code " + std::to_string(instr.opc2));
+    }
+
+    // Operand paths per module, from the routing code.
+    std::map<std::string, transfer::RegisterTransfer> per_module;
+    for (const Route& route : routes_it->second) {
+      transfer::RegisterTransfer& tuple = per_module[route.module];
+      tuple.module = route.module;
+      tuple.read_step = step;
+      transfer::OperandPath path{source_endpoint(route.src, instr), route.bus};
+      if (route.port == 0) {
+        tuple.operand_a = std::move(path);
+      } else {
+        tuple.operand_b = std::move(path);
+      }
+    }
+    // Operations and write-backs, from the operation code.
+    for (const ModuleAction& action : actions_it->second) {
+      transfer::RegisterTransfer& tuple = per_module[action.module];
+      tuple.module = action.module;
+      if (action.op.has_value()) {
+        tuple.op = action.op;
+        if (!tuple.read_step.has_value()) {
+          tuple.read_step = step;  // op-only action (e.g. MACC clear)
+        }
+      }
+      if (action.write.has_value()) {
+        const transfer::ModuleDecl* module = resources.find_module(action.module);
+        if (module == nullptr) {
+          throw std::invalid_argument("action on undeclared module '" +
+                                      action.module + "'");
+        }
+        tuple.write_step = step + module->latency;
+        tuple.write_bus = action.write->bus;
+        tuple.destination = resolve_reg(action.write->dst, instr);
+      }
+    }
+    for (auto& [module, tuple] : per_module) {
+      transfers.push_back(std::move(tuple));
+    }
+  }
+  return transfers;
+}
+
+}  // namespace ctrtl::iks

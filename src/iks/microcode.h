@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "transfer/design.h"
+
+namespace ctrtl::iks {
+
+/// A register selector in a code map: a fixed register, a file entry
+/// indexed by a microinstruction field (j, r, or m), or a constant source.
+struct RegSel {
+  enum class Kind : std::uint8_t { kFixed, kJFile, kRFile, kConstant };
+  Kind kind = Kind::kFixed;
+  std::string name;  // fixed register / constant name
+  char field = 'j';  // which instruction field indexes the file ('j','r','m')
+
+  [[nodiscard]] static RegSel fixed(std::string reg);
+  [[nodiscard]] static RegSel j_file(char field = 'j');
+  [[nodiscard]] static RegSel r_file(char field = 'r');
+  [[nodiscard]] static RegSel constant(std::string name);
+};
+
+/// One routing micro-operation (what an opc1 code encodes): move a source
+/// register onto a bus and into a module input port during the read phases.
+struct Route {
+  RegSel src;
+  std::string bus;
+  std::string module;
+  unsigned port = 0;
+};
+
+/// One module action (what an opc2 code encodes): the operation a unit
+/// performs this step and, optionally, where its result is written back —
+/// the section 3 extension: "a register transfer also defines the operation
+/// to be performed by the module".
+struct ModuleAction {
+  std::string module;
+  std::optional<std::int64_t> op;  // op-port code; nullopt for fixed units
+  /// Destination of the unit's result (write step = read step + latency).
+  struct Write {
+    RegSel dst;
+    std::string bus;
+  };
+  std::optional<Write> write;
+};
+
+/// One row of the microprogram store, mirroring the paper's table columns
+///   addr cycle opc1 opc2 m J R1 M/R.
+struct MicroInstruction {
+  unsigned addr = 0;   // microprogram store address; executes in step addr
+  unsigned opc1 = 0;   // routing code
+  unsigned opc2 = 0;   // operation code
+  unsigned m = 0;      // auxiliary index field (M/R write index, 2nd J index)
+  unsigned j = 0;      // J-file index
+  unsigned r = 0;      // R-file index
+};
+
+/// The code maps of the microprogram ("For opc1 and opc2 code maps exist").
+struct CodeMaps {
+  std::map<unsigned, std::vector<Route>> opc1;
+  std::map<unsigned, std::vector<ModuleAction>> opc2;
+};
+
+/// The shipped code maps: the routing/operation patterns used by the IKS
+/// microprogram, plus the paper's worked example (opc1 = 20, opc2 = 2 at
+/// store address 7: "(J[6],BusA,y2,1), (Y,direct,x2,1)" with the flag set).
+[[nodiscard]] const CodeMaps& iks_code_maps();
+
+/// The microcode-to-register-transfer translator — the reimplementation of
+/// the paper's "C program, that translates the microcode tables ... to
+/// transfer process instances". Each instruction executes in control step
+/// `addr`; latencies place result writes automatically.
+///
+/// Throws std::invalid_argument for unknown op codes or malformed rows.
+[[nodiscard]] std::vector<transfer::RegisterTransfer> translate_microcode(
+    std::span<const MicroInstruction> program, const CodeMaps& maps,
+    const transfer::Design& resources);
+
+}  // namespace ctrtl::iks

@@ -1,0 +1,112 @@
+#include "iks/program.h"
+
+#include "iks/resources.h"
+#include "transfer/build.h"
+
+namespace ctrtl::iks {
+
+std::vector<MicroInstruction> iks_program() {
+  // Register plan:
+  //   J0=t1 J1=t2 J2=px J3=py J4=l1 J5=l2 (inputs)
+  //   R0=cos t1 / temp   R1=sin t1 / dt1   R2=cos(t1+t2) / temp
+  //   R3=sin(t1+t2)/dt2  R4=x / t1'        R5=y / t2'
+  //   R6=ex  R7=ey       P,X,Y,Z = unit result latches
+  //
+  // Fields: {addr, opc1, opc2, m, j, r}.
+  return {
+      // trigonometry ----------------------------------------------------------
+      {1, 1, 1, 0, 0, 0},    // zang := J0 (t1)
+      {2, 2, 3, 0, 0, 0},    // R0 := cos(zang)          [written step 3]
+      {3, 2, 4, 0, 0, 1},    // R1 := sin(zang)          [step 4]
+      {4, 3, 5, 1, 0, 0},    // Z := J0 + J1 (t1 + t2)
+      {5, 4, 1, 0, 0, 0},    // zang := Z
+      {6, 2, 3, 0, 0, 2},    // R2 := cos(zang)          [step 7]
+      {7, 2, 4, 0, 0, 3},    // R3 := sin(zang)          [step 8]
+      // forward kinematics ----------------------------------------------------
+      {8, 0, 6, 0, 0, 0},    // MACC clear
+      {9, 5, 7, 0, 4, 0},    // mac(l1, cos t1)
+      {10, 5, 8, 4, 5, 2},   // mac(l2, cos(t1+t2)); R4 := acc  [step 11]
+      {11, 0, 6, 0, 0, 0},   // MACC clear
+      {12, 5, 7, 0, 4, 1},   // mac(l1, sin t1)
+      {13, 5, 8, 5, 5, 3},   // mac(l2, sin(t1+t2)); R5 := acc  [step 14]
+      // position error --------------------------------------------------------
+      {14, 6, 9, 6, 2, 4},   // R6 := J2 - R4 (ex = px - x)
+      {15, 6, 9, 7, 3, 5},   // R7 := J3 - R5 (ey = py - y)
+      // Jacobian-transpose products --------------------------------------------
+      {16, 7, 10, 7, 0, 4},  // P := R4 * R7 (x * ey)    [step 18]
+      {17, 7, 11, 6, 0, 5},  // X := R5 * R6 (y * ex)    [step 19]
+      {18, 8, 12, 0, 5, 3},  // Y := J5 * R3 (l2 sin)    [step 20]
+      {19, 8, 13, 0, 5, 2},  // Z := J5 * R2 (l2 cos)    [step 21]
+      {20, 9, 14, 0, 0, 0},  // R0 := P - X
+      {21, 10, 15, 1, 0, 0}, // R1 := R0 >> k (dt1)
+      {22, 11, 10, 0, 0, 7}, // P := Z * R7              [step 24]
+      {23, 12, 11, 0, 0, 6}, // X := Y * R6              [step 25]
+      {24, 0, 0, 0, 0, 0},   // (pipeline drain)
+      {25, 0, 0, 0, 0, 0},   // (pipeline drain)
+      {26, 9, 14, 2, 0, 0},  // R2 := P - X
+      {27, 10, 15, 3, 0, 2}, // R3 := R2 >> k (dt2)
+      // joint update ----------------------------------------------------------
+      {28, 13, 16, 4, 0, 1}, // R4 := J0 + R1 (t1')
+      {29, 13, 16, 5, 1, 3}, // R5 := J1 + R3 (t2')
+      {30, 14, 17, 0, 0, 0}, // F := 1 (setf)
+  };
+}
+
+unsigned iks_program_steps() {
+  return 30;
+}
+
+MicroInstruction iks_paper_example_row() {
+  // "addr 7: opc1 20, opc2 2" with J index 6 — decodes to
+  // (J[6],BusA,y2,...), (Y,direct,x2,...).
+  return MicroInstruction{7, 20, 2, 0, 6, 0};
+}
+
+transfer::Design iks_design(const IksInputs& inputs) {
+  transfer::Design design = iks_resources(iks_program_steps());
+  const std::vector<MicroInstruction> program = iks_program();
+  design.transfers = translate_microcode(program, iks_code_maps(), design);
+
+  // Preload the J file with the iteration inputs.
+  const std::map<std::string, std::int64_t> preload = {
+      {j_reg(0), inputs.theta1}, {j_reg(1), inputs.theta2},
+      {j_reg(2), inputs.px},     {j_reg(3), inputs.py},
+      {j_reg(4), inputs.l1},     {j_reg(5), inputs.l2},
+  };
+  for (transfer::RegisterDecl& reg : design.registers) {
+    const auto it = preload.find(reg.name);
+    if (it != preload.end()) {
+      reg.initial = it->second;
+    }
+  }
+  return design;
+}
+
+std::unique_ptr<rtl::RtModel> build_iks_model(const IksInputs& inputs) {
+  return transfer::build_model(iks_design(inputs));
+}
+
+namespace {
+
+std::int64_t reg_payload(rtl::RtModel& model, const std::string& name) {
+  const rtl::RtValue value = model.find_register(name)->value();
+  return value.has_value() ? value.payload() : 0;
+}
+
+}  // namespace
+
+IksOutputs read_outputs(rtl::RtModel& model) {
+  IksOutputs outputs;
+  outputs.theta1_next = reg_payload(model, r_reg(4));
+  outputs.theta2_next = reg_payload(model, r_reg(5));
+  outputs.err_x = reg_payload(model, r_reg(6));
+  outputs.err_y = reg_payload(model, r_reg(7));
+  // The forward-kinematics position is recovered from target - error (its
+  // own registers are reused for the joint update late in the program).
+  outputs.ee_x = reg_payload(model, j_reg(2)) - outputs.err_x;
+  outputs.ee_y = reg_payload(model, j_reg(3)) - outputs.err_y;
+  outputs.flag = reg_payload(model, "F");
+  return outputs;
+}
+
+}  // namespace ctrtl::iks

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iks/microcode.h"
+#include "rtl/model.h"
+
+namespace ctrtl::iks {
+
+/// Inputs of one inverse-kinematics iteration, Q16.16 fixed-point.
+struct IksInputs {
+  std::int64_t theta1 = 0;  // current joint angles (radians)
+  std::int64_t theta2 = 0;
+  std::int64_t px = 0;      // target position
+  std::int64_t py = 0;
+  std::int64_t l1 = 0;      // link lengths
+  std::int64_t l2 = 0;
+};
+
+/// Observable results of one iteration (register contents after the run).
+struct IksOutputs {
+  std::int64_t theta1_next = 0;  // updated joint angles (R4, R5)
+  std::int64_t theta2_next = 0;
+  std::int64_t ee_x = 0;         // forward-kinematics position (written into
+  std::int64_t ee_y = 0;         // R4/R5 mid-run; preserved in EX/EY derivation)
+  std::int64_t err_x = 0;        // position error (R6, R7)
+  std::int64_t err_y = 0;
+  std::int64_t flag = 0;         // completion flag F (1.0 fixed-point)
+};
+
+/// The IKS microprogram: one Jacobian-transpose iteration of the two-link
+/// planar arm
+///
+///   (x, y)  = (l1 cos t1 + l2 cos(t1+t2),  l1 sin t1 + l2 sin(t1+t2))
+///   (ex,ey) = (px - x, py - y)
+///   dt1     = (x*ey - y*ex)                        >> k
+///   dt2     = (l2 cos(t1+t2)*ey - l2 sin(t1+t2)*ex) >> k
+///   t'      = t + dt
+///
+/// expressed as 30 microinstructions over the IKS resources: CORDIC for the
+/// trigonometry, MACC for the position dot products, MULT for the Jacobian
+/// products, and the ALU adders (including the `Rshift` gain scaling) for
+/// updates. This stands in for the proprietary Leung & Shanblatt microcode;
+/// the translation pipeline (tables -> code maps -> 9-tuples -> TRANS
+/// instances) is exactly the paper's.
+[[nodiscard]] std::vector<MicroInstruction> iks_program();
+
+/// Control steps needed by `iks_program` (its cs_max).
+[[nodiscard]] unsigned iks_program_steps();
+
+/// The paper's worked example row: store address 7 with opc1 = 20,
+/// opc2 = 2 (plus the flag-source route), decoding to the transfers
+/// "(J[6],BusA,y2,...)", "(Y,direct,x2,...)" and F := 1.
+[[nodiscard]] MicroInstruction iks_paper_example_row();
+
+/// Builds the complete executable model: resources + translated program,
+/// with the inputs preloaded into the J file
+///   J0=theta1 J1=theta2 J2=px J3=py J4=l1 J5=l2.
+[[nodiscard]] std::unique_ptr<rtl::RtModel> build_iks_model(const IksInputs& inputs);
+
+/// The same, as a Design (for the reference evaluator / clocked back end /
+/// benches).
+[[nodiscard]] transfer::Design iks_design(const IksInputs& inputs);
+
+/// Reads the outputs back from a finished model run.
+[[nodiscard]] IksOutputs read_outputs(rtl::RtModel& model);
+
+}  // namespace ctrtl::iks

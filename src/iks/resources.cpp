@@ -1,0 +1,54 @@
+#include "iks/resources.h"
+
+namespace ctrtl::iks {
+
+std::string j_reg(unsigned index) {
+  return "J" + std::to_string(index);
+}
+std::string r_reg(unsigned index) {
+  return "R" + std::to_string(index);
+}
+std::string m_reg(unsigned index) {
+  return "M" + std::to_string(index);
+}
+
+transfer::Design iks_resources(unsigned cs_max) {
+  using transfer::ModuleKind;
+  transfer::Design design;
+  design.name = "iks";
+  design.cs_max = cs_max;
+
+  for (unsigned i = 0; i < 7; ++i) {
+    design.registers.push_back({j_reg(i), std::nullopt});
+  }
+  for (unsigned i = 0; i < 8; ++i) {
+    design.registers.push_back({r_reg(i), std::nullopt});
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    design.registers.push_back({m_reg(i), std::nullopt});
+  }
+  for (const char* name : {"P", "X", "Y", "Z", "zang", "x2", "y2", "F"}) {
+    design.registers.push_back({name, std::nullopt});
+  }
+
+  design.buses = {{"BusA"}, {"BusB"}, {"LA"}, {"LB"}};
+
+  // One fixed-point unit scaled to 1.0 for flag setting and literal zero.
+  design.constants = {{"one", std::int64_t{1} << kFracBits}, {"zero", 0}};
+
+  design.modules = {
+      {"MULT", ModuleKind::kMul, 2, kFracBits},
+      {"ZADD", ModuleKind::kAlu, 0},
+      {"XADD", ModuleKind::kAlu, 0},
+      {"YADD", ModuleKind::kAlu, 0},
+      {"MACC", ModuleKind::kMacc, 1, kFracBits},
+      {"CORDIC", ModuleKind::kCordic, 1, kFracBits, kCordicIterations},
+      {"CPZ", ModuleKind::kCopy, 0},
+      {"CPY", ModuleKind::kCopy, 0},
+      {"CPX", ModuleKind::kCopy, 0},
+      {"CPF", ModuleKind::kCopy, 0},
+  };
+  return design;
+}
+
+}  // namespace ctrtl::iks

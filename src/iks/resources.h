@@ -1,0 +1,40 @@
+#pragma once
+
+#include "transfer/design.h"
+
+namespace ctrtl::iks {
+
+/// Fixed-point format of the IKS datapath (Q16.16).
+inline constexpr unsigned kFracBits = 16;
+/// CORDIC iteration depth.
+inline constexpr unsigned kCordicIterations = 24;
+/// Gain shift of the Jacobian-transpose update (`Rshift(x, k)`).
+inline constexpr unsigned kGainShift = 2;
+
+/// The resource set of the IKS chip after fig. 3 of the paper (Leung &
+/// Shanblatt's inverse-kinematics ASIC), adapted to this library's module
+/// repertoire:
+///
+///  - register files `J[0..6]` (joint/pose parameters), `R[0..7]`
+///    (working store), `M[0..3]` (spare, kept for structural fidelity);
+///  - dedicated registers `P, X, Y, Z` (unit result latches), `zang`
+///    (CORDIC angle), `x2, y2` (the paper's worked-example destinations),
+///    and the flag `F`;
+///  - buses `BusA`, `BusB`, write-back buses shared phase-disjointly, and
+///    the direct-link buses `LA/LB` with their COPY modules (`CPZ`, `CPY`,
+///    `CPX`, `CPF`) — the paper's recipe: "two extra buses and one extra
+///    module, which just copies the input to the output";
+///  - functional units: the 2-stage pipelined multiplier `MULT`, the
+///    non-pipelined (latency 0) ALU adders `ZADD/XADD/YADD` with operation
+///    select (the section 3 extension), the multiplier/accumulator `MACC`,
+///    and the `CORDIC` core.
+///
+/// Register preloads (inputs) are left DISC; the program loader sets them.
+[[nodiscard]] transfer::Design iks_resources(unsigned cs_max);
+
+/// Canonical register names.
+[[nodiscard]] std::string j_reg(unsigned index);
+[[nodiscard]] std::string r_reg(unsigned index);
+[[nodiscard]] std::string m_reg(unsigned index);
+
+}  // namespace ctrtl::iks

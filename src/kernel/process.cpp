@@ -1,0 +1,84 @@
+#include "kernel/process.h"
+
+#include <stdexcept>
+
+#include "kernel/scheduler.h"
+#include "kernel/signal.h"
+
+namespace ctrtl::kernel {
+
+namespace detail {
+
+namespace {
+thread_local ProcessState* t_current_process = nullptr;
+}  // namespace
+
+ProcessState* current_process() {
+  return t_current_process;
+}
+
+void set_current_process(ProcessState* process) {
+  t_current_process = process;
+}
+
+}  // namespace detail
+
+void ProcessState::detach_from_signals() {
+  for (SignalBase* signal : sensitivity) {
+    signal->remove_waiter(this);
+  }
+  sensitivity.clear();
+}
+
+namespace {
+
+ProcessState* require_current() {
+  ProcessState* state = detail::current_process();
+  if (state == nullptr) {
+    throw std::logic_error(
+        "kernel wait awaitable used outside a scheduler-run process");
+  }
+  return state;
+}
+
+void register_waiter(ProcessState* state, std::coroutine_handle<> resume_handle,
+                     std::vector<SignalBase*> signals,
+                     std::function<bool()> predicate) {
+  state->resume_handle = resume_handle;
+  state->predicate = std::move(predicate);
+  state->sensitivity = std::move(signals);
+  for (SignalBase* signal : state->sensitivity) {
+    signal->add_waiter(state);
+  }
+}
+
+}  // namespace
+
+void WaitOn::await_suspend(std::coroutine_handle<> handle) {
+  register_waiter(require_current(), handle, std::move(signals_), {});
+}
+
+void WaitUntil::await_suspend(std::coroutine_handle<> handle) {
+  register_waiter(require_current(), handle, std::move(signals_),
+                  std::move(predicate_));
+}
+
+void WaitFor::await_suspend(std::coroutine_handle<> handle) {
+  ProcessState* state = require_current();
+  state->resume_handle = handle;
+  state->scheduler->schedule_timed_wakeup(fs_delay_, state);
+}
+
+WaitOn wait_on(std::vector<SignalBase*> signals) {
+  return WaitOn(std::move(signals));
+}
+
+WaitUntil wait_until(std::vector<SignalBase*> signals, std::function<bool()> predicate) {
+  return WaitUntil(std::move(signals), std::move(predicate));
+}
+
+WaitFor wait_for_fs(std::uint64_t fs_delay) {
+  return WaitFor(fs_delay);
+}
+
+}  // namespace ctrtl::kernel

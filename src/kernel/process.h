@@ -1,0 +1,173 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctrtl::kernel {
+
+class Scheduler;
+class SignalBase;
+struct ProcessPromise;
+
+/// The coroutine return type of a simulation process.
+///
+/// A process is written as a C++20 coroutine returning `Process`; its `wait`
+/// statements are `co_await`s on the awaitables below. The object itself is
+/// a move-only owner of the coroutine frame until the process is handed to
+/// `Scheduler::spawn`, which takes ownership.
+class [[nodiscard]] Process {
+ public:
+  using promise_type = ProcessPromise;
+
+  explicit Process(std::coroutine_handle<ProcessPromise> handle) : handle_(handle) {}
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+ private:
+  friend class Scheduler;
+
+  std::coroutine_handle<ProcessPromise> release() {
+    return std::exchange(handle_, nullptr);
+  }
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<ProcessPromise> handle_;
+};
+
+/// Scheduler-side bookkeeping for one process.
+struct ProcessState {
+  std::coroutine_handle<ProcessPromise> handle;
+  /// Innermost suspended coroutine to resume (differs from `handle` when the
+  /// process suspended inside a nested `Task`, e.g. the VHDL interpreter).
+  std::coroutine_handle<> resume_handle;
+  std::string name;
+  Scheduler* scheduler = nullptr;
+  std::size_t id = 0;
+
+  /// Non-empty while suspended on a `wait until` — re-checked on each event
+  /// on the sensitivity set, per VHDL wait-statement semantics.
+  std::function<bool()> predicate;
+  /// Signals whose waiter lists currently hold this process.
+  std::vector<SignalBase*> sensitivity;
+  /// Deduplicates triggering when several sensitivity signals fire in the
+  /// same simulation cycle.
+  std::uint64_t trigger_epoch = 0;
+
+  bool started = false;
+  bool terminated = false;
+  std::exception_ptr exception;
+
+  /// Removes this process from all waiter lists (called before resuming).
+  void detach_from_signals();
+};
+
+struct ProcessPromise {
+  ProcessState* state = nullptr;
+
+  Process get_return_object() {
+    return Process(std::coroutine_handle<ProcessPromise>::from_promise(*this));
+  }
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<ProcessPromise> handle) const noexcept {
+      if (ProcessState* state = handle.promise().state) {
+        state->terminated = true;
+      }
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void return_void() {}
+  void unhandled_exception() {
+    if (state != nullptr) {
+      state->exception = std::current_exception();
+      state->terminated = true;
+    } else {
+      std::terminate();
+    }
+  }
+};
+
+/// `co_await wait_on({&sig, ...})` — VHDL `wait on sig, ...;`
+/// Suspends until an event occurs on any listed signal.
+class WaitOn {
+ public:
+  explicit WaitOn(std::vector<SignalBase*> signals) : signals_(std::move(signals)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  void await_resume() const noexcept {}
+
+ private:
+  std::vector<SignalBase*> signals_;
+};
+
+/// `co_await wait_until({&sig, ...}, pred)` — VHDL `wait until <cond>;`
+/// Suspends; on each event on the sensitivity set the predicate is
+/// evaluated and the process resumes only when it holds. Like VHDL, the
+/// process *always* suspends first even if the predicate is already true.
+class WaitUntil {
+ public:
+  WaitUntil(std::vector<SignalBase*> signals, std::function<bool()> predicate)
+      : signals_(std::move(signals)), predicate_(std::move(predicate)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  void await_resume() const noexcept {}
+
+ private:
+  std::vector<SignalBase*> signals_;
+  std::function<bool()> predicate_;
+};
+
+/// `co_await wait_for_fs(t)` — VHDL `wait for <t>;`
+/// Resumes the process after `t` femtoseconds of physical time. Rejected by
+/// the clock-free subset checker; used by the clocked back end and baseline.
+class WaitFor {
+ public:
+  explicit WaitFor(std::uint64_t fs_delay) : fs_delay_(fs_delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle);
+  void await_resume() const noexcept {}
+
+ private:
+  std::uint64_t fs_delay_;
+};
+
+[[nodiscard]] WaitOn wait_on(std::vector<SignalBase*> signals);
+[[nodiscard]] WaitUntil wait_until(std::vector<SignalBase*> signals,
+                                   std::function<bool()> predicate);
+[[nodiscard]] WaitFor wait_for_fs(std::uint64_t fs_delay);
+
+namespace detail {
+/// The process currently executing on this thread (set by the scheduler
+/// around every resumption). Wait awaitables use it so they also work from
+/// nested `Task` coroutines.
+[[nodiscard]] ProcessState* current_process();
+void set_current_process(ProcessState* process);
+}  // namespace detail
+
+}  // namespace ctrtl::kernel

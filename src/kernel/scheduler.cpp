@@ -1,0 +1,209 @@
+#include "kernel/scheduler.h"
+
+#include <stdexcept>
+
+namespace ctrtl::kernel {
+
+std::string to_string(const SimTime& time) {
+  return std::to_string(time.fs) + " fs +" + std::to_string(time.delta) + "d";
+}
+
+Scheduler::~Scheduler() {
+  shutdown();
+}
+
+void Scheduler::register_signal(std::unique_ptr<SignalBase> signal) {
+  signal->id_ = signals_.size();
+  signals_.push_back(std::move(signal));
+}
+
+ProcessState& Scheduler::spawn(std::string name, Process process) {
+  auto state = std::make_unique<ProcessState>();
+  state->handle = process.release();
+  state->name = std::move(name);
+  state->scheduler = this;
+  state->id = processes_.size();
+  state->handle.promise().state = state.get();
+  ProcessState& ref = *state;
+  processes_.push_back(std::move(state));
+  return ref;
+}
+
+void Scheduler::note_activation(SignalBase* signal) {
+  if (!signal->pending_active_) {
+    signal->pending_active_ = true;
+    active_.push_back(signal);
+  }
+}
+
+void Scheduler::schedule_timed(std::uint64_t fs_delay, std::function<void()> apply) {
+  timed_.push(TimedEntry{now_.fs + fs_delay, timed_seq_++, std::move(apply), nullptr});
+}
+
+void Scheduler::schedule_timed_wakeup(std::uint64_t fs_delay, ProcessState* process) {
+  timed_.push(TimedEntry{now_.fs + fs_delay, timed_seq_++, {}, process});
+}
+
+bool Scheduler::quiescent() const {
+  return active_.empty() && timed_.empty();
+}
+
+void Scheduler::resume(ProcessState* process) {
+  process->detach_from_signals();
+  process->predicate = {};
+  ++stats_.resumptions;
+  // Resume the innermost suspended coroutine (the process itself, or a
+  // nested Task frame). The thread-local current-process pointer lets the
+  // wait awaitables find this ProcessState from any nesting depth.
+  const std::coroutine_handle<> target =
+      process->resume_handle ? process->resume_handle
+                             : std::coroutine_handle<>(process->handle);
+  process->resume_handle = nullptr;
+  ProcessState* const previous = detail::current_process();
+  detail::set_current_process(process);
+  target.resume();
+  detail::set_current_process(previous);
+  if (process->exception && !pending_exception_) {
+    pending_exception_ = process->exception;
+  }
+  if (process->terminated && process->handle) {
+    process->handle.destroy();
+    process->handle = nullptr;
+  }
+}
+
+void Scheduler::rethrow_pending() {
+  if (pending_exception_) {
+    std::exception_ptr e = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Scheduler::initialize() {
+  if (initialized_) {
+    return;
+  }
+  initialized_ = true;
+  // VHDL initialization, step 1: the initial value of every signal is the
+  // resolution of its drivers' initial contributions (LRM 12.6.1). No
+  // events are produced.
+  for (const auto& signal : signals_) {
+    signal->apply_update();
+  }
+  // Step 2: every process executes once, in elaboration order,
+  // until its first wait statement.
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    ProcessState* process = processes_[i].get();
+    if (!process->started && process->handle) {
+      process->started = true;
+      resume(process);
+    }
+  }
+  rethrow_pending();
+}
+
+bool Scheduler::step() {
+  if (!initialized_) {
+    initialize();
+    return true;
+  }
+
+  std::vector<ProcessState*> runnable;
+
+  if (!active_.empty()) {
+    // Delta cycle: physical time does not advance.
+    ++now_.delta;
+    ++stats_.delta_cycles;
+  } else if (!timed_.empty()) {
+    // Advance physical time to the next transaction/wakeup.
+    now_.fs = timed_.top().fs;
+    now_.delta = 0;
+    ++stats_.timed_cycles;
+    while (!timed_.empty() && timed_.top().fs == now_.fs) {
+      TimedEntry entry = timed_.top();
+      timed_.pop();
+      if (entry.apply) {
+        entry.apply();  // marks the signal active for this cycle's update
+      }
+      if (entry.wake != nullptr) {
+        runnable.push_back(entry.wake);
+      }
+    }
+  } else {
+    return false;  // quiescent
+  }
+
+  // --- Update phase --------------------------------------------------------
+  ++epoch_;
+  std::vector<SignalBase*> updating;
+  updating.swap(active_);
+  std::vector<ProcessState*> triggered;
+  for (SignalBase* signal : updating) {
+    signal->pending_active_ = false;
+    ++stats_.updates;
+    if (!signal->apply_update()) {
+      continue;
+    }
+    ++stats_.events;
+    for (const auto& [id, observer] : observers_) {
+      observer(*signal, now_);
+    }
+    for (ProcessState* waiter : signal->waiters_) {
+      if (waiter->trigger_epoch != epoch_) {
+        waiter->trigger_epoch = epoch_;
+        triggered.push_back(waiter);
+      }
+    }
+  }
+
+  // --- Wait-condition evaluation -------------------------------------------
+  for (ProcessState* process : triggered) {
+    if (process->predicate && !process->predicate()) {
+      ++stats_.condition_rejects;
+      continue;
+    }
+    runnable.push_back(process);
+  }
+
+  // --- Execution phase ------------------------------------------------------
+  for (ProcessState* process : runnable) {
+    if (process->handle && !process->terminated) {
+      resume(process);
+    }
+  }
+  rethrow_pending();
+  return true;
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_cycles) {
+  initialize();
+  std::uint64_t cycles = 0;
+  while (cycles < max_cycles && step()) {
+    ++cycles;
+  }
+  return cycles;
+}
+
+std::size_t Scheduler::add_event_observer(EventObserver observer) {
+  const std::size_t id = next_observer_id_++;
+  observers_.emplace_back(id, std::move(observer));
+  return id;
+}
+
+void Scheduler::remove_event_observer(std::size_t id) {
+  std::erase_if(observers_, [id](const auto& entry) { return entry.first == id; });
+}
+
+void Scheduler::shutdown() {
+  for (auto& process : processes_) {
+    if (process->handle) {
+      process->detach_from_signals();
+      process->handle.destroy();
+      process->handle = nullptr;
+      process->terminated = true;
+    }
+  }
+}
+
+}  // namespace ctrtl::kernel

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "kernel/process.h"
+#include "kernel/signal.h"
+#include "kernel/stats.h"
+#include "kernel/time.h"
+
+namespace ctrtl::kernel {
+
+/// Discrete-event scheduler implementing the VHDL simulation cycle for the
+/// feature set used by the paper's subset (plus physical time for the
+/// clocked back end):
+///
+///   1. *Update phase*: apply scheduled driver transactions, resolve signal
+///      values, record events.
+///   2. *Process evaluation*: processes waiting on an evented signal are
+///      triggered; `wait until` conditions are re-checked.
+///   3. *Execution phase*: triggered processes resume and run until their
+///      next `wait`, scheduling new transactions (with delta delay by
+///      default).
+///
+/// A cycle at unchanged physical time is a **delta cycle**; the paper's
+/// control-step phases advance exactly one per delta cycle.
+class Scheduler {
+ public:
+  static constexpr std::uint64_t kNoLimit = std::numeric_limits<std::uint64_t>::max();
+
+  Scheduler() = default;
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Creates a signal owned by the scheduler. Returned reference stays valid
+  /// for the scheduler's lifetime.
+  template <typename T>
+  Signal<T>& make_signal(std::string name, T initial,
+                         typename Signal<T>::Resolver resolver = {}) {
+    auto signal = std::make_unique<Signal<T>>(*this, std::move(name),
+                                              std::move(initial), std::move(resolver));
+    Signal<T>& ref = *signal;
+    register_signal(std::move(signal));
+    return ref;
+  }
+
+  /// Registers a process coroutine. Ownership of the frame moves into the
+  /// scheduler; it first executes during initialization (VHDL: every process
+  /// runs once at time zero).
+  ProcessState& spawn(std::string name, Process process);
+
+  /// Runs the initialization phase if it has not happened yet, then
+  /// simulation cycles until the model is quiescent or `max_cycles` cycles
+  /// have run. Returns the number of cycles executed (excluding
+  /// initialization). Rethrows the first process exception.
+  std::uint64_t run(std::uint64_t max_cycles = kNoLimit);
+
+  /// Executes the initialization phase (idempotent).
+  void initialize();
+
+  /// One simulation cycle; returns false when quiescent (nothing ran).
+  bool step();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] const KernelStats& stats() const { return stats_; }
+
+  /// True when no transactions or timed wakeups are outstanding.
+  [[nodiscard]] bool quiescent() const;
+
+  [[nodiscard]] std::size_t signal_count() const { return signals_.size(); }
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+
+  /// Observers invoked on every signal event (after the value changed).
+  /// Multiple observers may be attached (conflict monitor + trace recorder).
+  using EventObserver = std::function<void(const SignalBase&, SimTime)>;
+  std::size_t add_event_observer(EventObserver observer);
+  void remove_event_observer(std::size_t id);
+
+  /// Destroys all process coroutine frames. Owners whose component objects
+  /// are referenced from process frames must call this before destroying
+  /// those components.
+  void shutdown();
+
+  // --- internal API for signals and awaitables -----------------------------
+  void note_activation(SignalBase* signal);
+  void note_transaction() { ++stats_.transactions; }
+  void schedule_timed(std::uint64_t fs_delay, std::function<void()> apply);
+  void schedule_timed_wakeup(std::uint64_t fs_delay, ProcessState* process);
+
+ private:
+  void register_signal(std::unique_ptr<SignalBase> signal);
+  void resume(ProcessState* process);
+  void rethrow_pending();
+
+  struct TimedEntry {
+    std::uint64_t fs = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> apply;  // either a transaction thunk ...
+    ProcessState* wake = nullptr;  // ... or a process wakeup
+  };
+  struct TimedLater {
+    bool operator()(const TimedEntry& a, const TimedEntry& b) const {
+      return a.fs != b.fs ? a.fs > b.fs : a.seq > b.seq;
+    }
+  };
+
+  std::vector<std::unique_ptr<SignalBase>> signals_;
+  std::vector<std::unique_ptr<ProcessState>> processes_;
+  std::vector<SignalBase*> active_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>, TimedLater> timed_;
+  std::uint64_t timed_seq_ = 0;
+
+  SimTime now_;
+  KernelStats stats_;
+  std::uint64_t epoch_ = 0;
+  bool initialized_ = false;
+  std::exception_ptr pending_exception_;
+  std::vector<std::pair<std::size_t, EventObserver>> observers_;
+  std::size_t next_observer_id_ = 0;
+};
+
+}  // namespace ctrtl::kernel

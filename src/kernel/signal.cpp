@@ -1,0 +1,37 @@
+#include "kernel/signal.h"
+
+#include <algorithm>
+
+#include "kernel/process.h"
+#include "kernel/scheduler.h"
+
+namespace ctrtl::kernel {
+
+SignalBase::SignalBase(Scheduler& scheduler, std::string name)
+    : scheduler_(scheduler), name_(std::move(name)) {}
+
+SignalBase::~SignalBase() = default;
+
+void SignalBase::notify_activation() {
+  scheduler_.note_activation(this);
+}
+
+void SignalBase::notify_transaction() {
+  scheduler_.note_transaction();
+}
+
+void SignalBase::schedule_timed_thunk(std::uint64_t fs_delay,
+                                      std::function<void()> apply) {
+  scheduler_.schedule_timed(fs_delay, std::move(apply));
+}
+
+void SignalBase::add_waiter(ProcessState* process) {
+  waiters_.push_back(process);
+}
+
+void SignalBase::remove_waiter(ProcessState* process) {
+  waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), process),
+                 waiters_.end());
+}
+
+}  // namespace ctrtl::kernel

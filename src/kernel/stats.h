@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ctrtl::kernel {
+
+/// Counters accumulated by the scheduler across a run.
+///
+/// `delta_cycles` is the number the paper reasons about: a clock-free model
+/// with CS_MAX control steps must take exactly `CS_MAX * 6` delta cycles
+/// (section 2.2). The remaining counters feed the performance-comparison
+/// benches (experiment E6).
+struct KernelStats {
+  /// Simulation cycles executed at an unchanged physical time (delta cycles).
+  std::uint64_t delta_cycles = 0;
+  /// Simulation cycles that advanced physical time.
+  std::uint64_t timed_cycles = 0;
+  /// Signal updates that produced an event (value change).
+  std::uint64_t events = 0;
+  /// Signal updates applied (with or without a resulting event).
+  std::uint64_t updates = 0;
+  /// Process resumptions (including wait-until condition re-checks that
+  /// resumed the process body).
+  std::uint64_t resumptions = 0;
+  /// Wait-until condition evaluations that did *not* resume the process.
+  std::uint64_t condition_rejects = 0;
+  /// Driver transactions scheduled by processes.
+  std::uint64_t transactions = 0;
+
+  friend KernelStats operator-(KernelStats a, const KernelStats& b) {
+    a.delta_cycles -= b.delta_cycles;
+    a.timed_cycles -= b.timed_cycles;
+    a.events -= b.events;
+    a.updates -= b.updates;
+    a.resumptions -= b.resumptions;
+    a.condition_rejects -= b.condition_rejects;
+    a.transactions -= b.transactions;
+    return a;
+  }
+};
+
+}  // namespace ctrtl::kernel

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace ctrtl::kernel {
+
+/// A nested awaitable coroutine for use *inside* simulation processes.
+///
+/// A `Process` body may `co_await` a `Task`; the task body may itself
+/// `co_await` further tasks or the kernel wait awaitables. Suspension
+/// propagates transitively to the kernel (the scheduler resumes the
+/// innermost coroutine, see `ProcessState::resume_handle`), and completion
+/// resumes the awaiting parent by symmetric transfer.
+///
+/// The VHDL interpreter uses this to execute statement lists recursively:
+/// each statement executor is a Task, and `wait` statements suspend the
+/// whole interpreter stack.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> handle) const noexcept {
+        const std::coroutine_handle<> continuation = handle.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> continuation) {
+    handle_.promise().continuation = continuation;
+    return handle_;  // symmetric transfer into the child
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace ctrtl::kernel

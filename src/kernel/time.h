@@ -1,0 +1,25 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ctrtl::kernel {
+
+/// A point in VHDL simulation time: physical time in femtoseconds plus the
+/// delta-cycle count within that physical instant.
+///
+/// The paper's whole point is that abstract register-transfer models advance
+/// *only* in delta time (`fs` stays 0 for the entire run); the kernel still
+/// carries physical time so that the clocked baseline/back end can reuse it.
+struct SimTime {
+  std::uint64_t fs = 0;
+  std::uint64_t delta = 0;
+
+  friend constexpr auto operator<=>(const SimTime&, const SimTime&) = default;
+};
+
+/// Renders "<fs> fs +<delta>d".
+std::string to_string(const SimTime& time);
+
+}  // namespace ctrtl::kernel

@@ -1,0 +1,53 @@
+#include "rtl/controller.h"
+
+namespace ctrtl::rtl {
+
+Controller::Controller(kernel::Scheduler& scheduler, unsigned cs_max, std::string name)
+    : scheduler_(scheduler),
+      cs_max_(cs_max),
+      cs_(scheduler.make_signal<unsigned>(name + ".CS", 0u)),
+      ph_(scheduler.make_signal<Phase>(name + ".PH", kPhaseHigh)),
+      cs_driver_(cs_.add_driver(0u)),
+      ph_driver_(ph_.add_driver(kPhaseHigh)) {
+  scheduler_.spawn(std::move(name), run());
+}
+
+std::pair<unsigned, Phase> Controller::locate(std::uint64_t delta_ordinal) {
+  if (delta_ordinal == 0) {
+    throw std::out_of_range("delta ordinal 0 is the initialization phase");
+  }
+  const std::uint64_t zero_based = delta_ordinal - 1;
+  const unsigned step = static_cast<unsigned>(zero_based / kPhasesPerStep) + 1;
+  const Phase phase = phase_from_index(static_cast<int>(zero_based % kPhasesPerStep));
+  return {step, phase};
+}
+
+kernel::Process Controller::run() {
+  // Paper source:
+  //   process (PH)
+  //   begin
+  //     if (PH = Phase'High) then
+  //       if (CS < CS_MAX) then CS <= CS+1; PH <= Phase'Low; end if;
+  //     else
+  //       PH <= Phase'Succ(PH);
+  //     end if;
+  //   end process;
+  // A sensitivity-list process runs its body once at time zero and then
+  // waits on PH after each execution.
+  // Note: sensitivity vectors are built outside the co_await expression to
+  // sidestep a GCC 12 coroutine bug with braced initializer lists.
+  const std::vector<kernel::SignalBase*> sensitivity = {&ph_};
+  for (;;) {
+    if (ph_.read() == kPhaseHigh) {
+      if (cs_.read() < cs_max_) {
+        cs_.drive(cs_driver_, cs_.read() + 1);
+        ph_.drive(ph_driver_, kPhaseLow);
+      }
+    } else {
+      ph_.drive(ph_driver_, succ(ph_.read()));
+    }
+    co_await kernel::wait_on(sensitivity);
+  }
+}
+
+}  // namespace ctrtl::rtl

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+
+#include "kernel/scheduler.h"
+#include "rtl/phase.h"
+
+namespace ctrtl::rtl {
+
+/// The paper's CONTROLLER entity (section 2.2): drives the control-step
+/// counter `CS` and the phase signal `PH` with delta delay only.
+///
+/// Initial state is `CS = 0, PH = cr` (`Phase'High`), so the very first
+/// delta cycle opens control step 1 at phase `ra`. When step `cs_max`
+/// reaches `cr` no further assignment is made and the simulation becomes
+/// quiescent — a complete run is exactly `cs_max * 6` delta cycles.
+class Controller {
+ public:
+  using StepSignal = kernel::Signal<unsigned>;
+  using PhaseSignal = kernel::Signal<Phase>;
+
+  Controller(kernel::Scheduler& scheduler, unsigned cs_max,
+             std::string name = "CONTROL");
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  [[nodiscard]] StepSignal& cs() { return cs_; }
+  [[nodiscard]] const StepSignal& cs() const { return cs_; }
+  [[nodiscard]] PhaseSignal& ph() { return ph_; }
+  [[nodiscard]] const PhaseSignal& ph() const { return ph_; }
+  [[nodiscard]] unsigned cs_max() const { return cs_max_; }
+
+  /// Expected number of delta cycles for a full run of this controller.
+  [[nodiscard]] std::uint64_t expected_delta_cycles() const {
+    return static_cast<std::uint64_t>(cs_max_) * kPhasesPerStep;
+  }
+
+  /// Maps a delta-cycle ordinal (1-based, as counted by the kernel) back to
+  /// the (control step, phase) it realizes. This is the "close relationship
+  /// of control step phases to the VHDL simulation delta cycle" the paper
+  /// relies on for locating design errors.
+  [[nodiscard]] static std::pair<unsigned, Phase> locate(std::uint64_t delta_ordinal);
+
+ private:
+  kernel::Process run();
+
+  kernel::Scheduler& scheduler_;
+  unsigned cs_max_;
+  StepSignal& cs_;
+  PhaseSignal& ph_;
+  kernel::DriverId cs_driver_;
+  kernel::DriverId ph_driver_;
+};
+
+}  // namespace ctrtl::rtl

@@ -1,0 +1,22 @@
+#include "rtl/phase.h"
+
+#include <ostream>
+#include <string>
+
+namespace ctrtl::rtl {
+
+Phase phase_from_name(std::string_view name) {
+  for (int i = 0; i < kPhasesPerStep; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    if (phase_name(phase) == name) {
+      return phase;
+    }
+  }
+  throw std::invalid_argument("unknown phase name '" + std::string(name) + "'");
+}
+
+std::ostream& operator<<(std::ostream& os, Phase phase) {
+  return os << phase_name(phase);
+}
+
+}  // namespace ctrtl::rtl

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string_view>
+
+namespace ctrtl::rtl {
+
+/// The six phases of a control step (paper fig. 2), in cyclic order:
+///
+///   ra: register output ports -> buses
+///   rb: buses -> module input ports
+///   cm: module input ports evaluated, modules compute
+///   wa: module output ports -> buses
+///   wb: buses -> register input ports
+///   cr: register input -> output ports (registers latch)
+///
+/// Declared in the paper as `type Phase is (ra, rb, cm, wa, wb, cr);` with
+/// `Phase'Low = ra` and `Phase'High = cr`.
+enum class Phase : std::uint8_t { kRa = 0, kRb, kCm, kWa, kWb, kCr };
+
+inline constexpr int kPhasesPerStep = 6;
+inline constexpr Phase kPhaseLow = Phase::kRa;
+inline constexpr Phase kPhaseHigh = Phase::kCr;
+
+/// `Phase'Succ`. Like the VHDL attribute it is undefined past 'High;
+/// calling it on `cr` throws.
+[[nodiscard]] constexpr Phase succ(Phase phase) {
+  if (phase == kPhaseHigh) {
+    throw std::out_of_range("Phase'Succ(cr) is undefined");
+  }
+  return static_cast<Phase>(static_cast<std::uint8_t>(phase) + 1);
+}
+
+/// `Phase'Pred`; undefined below 'Low.
+[[nodiscard]] constexpr Phase pred(Phase phase) {
+  if (phase == kPhaseLow) {
+    throw std::out_of_range("Phase'Pred(ra) is undefined");
+  }
+  return static_cast<Phase>(static_cast<std::uint8_t>(phase) - 1);
+}
+
+[[nodiscard]] constexpr int phase_index(Phase phase) {
+  return static_cast<int>(phase);
+}
+
+[[nodiscard]] constexpr Phase phase_from_index(int index) {
+  if (index < 0 || index >= kPhasesPerStep) {
+    throw std::out_of_range("phase index out of range");
+  }
+  return static_cast<Phase>(index);
+}
+
+[[nodiscard]] constexpr std::string_view phase_name(Phase phase) {
+  constexpr std::array<std::string_view, kPhasesPerStep> kNames = {
+      "ra", "rb", "cm", "wa", "wb", "cr"};
+  return kNames[static_cast<std::size_t>(phase)];
+}
+
+/// Parses "ra".."cr"; throws std::invalid_argument on anything else.
+[[nodiscard]] Phase phase_from_name(std::string_view name);
+
+std::ostream& operator<<(std::ostream& os, Phase phase);
+
+}  // namespace ctrtl::rtl

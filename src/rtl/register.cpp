@@ -1,0 +1,48 @@
+#include "rtl/register.h"
+
+namespace ctrtl::rtl {
+
+namespace {
+
+RtValue resolve_adapter(std::span<const RtValue> contributions) {
+  return resolve_rt(contributions);
+}
+
+}  // namespace
+
+Register::Register(kernel::Scheduler& scheduler, Controller& controller,
+                   std::string name, std::optional<RtValue> initial)
+    : controller_(controller),
+      name_(std::move(name)),
+      initial_(initial),
+      in_(scheduler.make_signal<RtValue>(name_ + ".in", RtValue::disc(),
+                                         resolve_adapter)),
+      out_(scheduler.make_signal<RtValue>(name_ + ".out", RtValue::disc())),
+      out_driver_(out_.add_driver(RtValue::disc())) {
+  scheduler.spawn(name_, run());
+}
+
+kernel::Process Register::run() {
+  // Paper source:
+  //   process
+  //   begin
+  //     wait until PH=cR;
+  //     if R_in /= DISC then R_out <= R_in; end if;
+  //   end process;
+  // The preload (if any) is driven during initialization, before the first
+  // delta cycle, so it is visible from control step 1 onward.
+  if (initial_.has_value()) {
+    out_.drive(out_driver_, *initial_);
+  }
+  auto& ph = controller_.ph();
+  const std::vector<kernel::SignalBase*> sensitivity = {&ph};
+  for (;;) {
+    co_await kernel::wait_until(sensitivity,
+                                [&] { return ph.read() == Phase::kCr; });
+    if (!in_.read().is_disc()) {
+      out_.drive(out_driver_, in_.read());
+    }
+  }
+}
+
+}  // namespace ctrtl::rtl

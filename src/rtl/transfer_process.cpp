@@ -1,0 +1,46 @@
+#include "rtl/transfer_process.h"
+
+namespace ctrtl::rtl {
+
+TransferProcess::TransferProcess(kernel::Scheduler& scheduler, Controller& controller,
+                                 unsigned step, Phase phase, RtSignal& source,
+                                 RtSignal& sink, std::string name)
+    : controller_(controller),
+      step_(step),
+      phase_(phase),
+      source_(source),
+      sink_(sink),
+      sink_driver_(sink.add_driver(RtValue::disc())),
+      name_(std::move(name)) {
+  if (phase == kPhaseHigh) {
+    // The release assignment at Phase'Succ(P) would be undefined.
+    throw std::invalid_argument("TRANS '" + name_ + "': phase cr has no successor");
+  }
+  scheduler.spawn(name_, run());
+}
+
+kernel::Process TransferProcess::run() {
+  // Paper source:
+  //   process
+  //   begin
+  //     wait until CS=S and PH=P;   OutS <= InS;
+  //     wait until CS=S and PH=Phase'Succ(P); OutS <= DISC;
+  //   end process;
+  // After the second assignment the VHDL process loops back to the first
+  // wait; since CS only increases, the condition never holds again and the
+  // process stays suspended forever. The loop below reproduces that.
+  auto& cs = controller_.cs();
+  auto& ph = controller_.ph();
+  const Phase release_phase = succ(phase_);
+  const std::vector<kernel::SignalBase*> sensitivity = {&cs, &ph};
+  for (;;) {
+    co_await kernel::wait_until(
+        sensitivity, [&] { return cs.read() == step_ && ph.read() == phase_; });
+    sink_.drive(sink_driver_, source_.read());
+    co_await kernel::wait_until(
+        sensitivity, [&] { return cs.read() == step_ && ph.read() == release_phase; });
+    sink_.drive(sink_driver_, RtValue::disc());
+  }
+}
+
+}  // namespace ctrtl::rtl

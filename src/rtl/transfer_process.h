@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+#include "kernel/scheduler.h"
+#include "rtl/controller.h"
+#include "rtl/phase.h"
+#include "rtl/value.h"
+
+namespace ctrtl::rtl {
+
+/// A bus or functional-unit input port: a resolved RtValue signal combined
+/// with the paper's resolution function.
+using RtSignal = kernel::Signal<RtValue>;
+
+/// The paper's TRANS entity (section 2.4): activated at phase `P` of
+/// control step `S` it drives the sink with the source value; at the
+/// succeeding phase it drives DISC, releasing the sink.
+///
+///   entity TRANS is
+///     generic (S: Natural; P: Phase);
+///     port (CS: in Natural; PH: in Phase; InS: in Integer;
+///           OutS: out Integer := DISC);
+///   end TRANS;
+class TransferProcess {
+ public:
+  TransferProcess(kernel::Scheduler& scheduler, Controller& controller,
+                  unsigned step, Phase phase, RtSignal& source, RtSignal& sink,
+                  std::string name);
+
+  TransferProcess(const TransferProcess&) = delete;
+  TransferProcess& operator=(const TransferProcess&) = delete;
+
+  [[nodiscard]] unsigned step() const { return step_; }
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] const RtSignal& source() const { return source_; }
+  [[nodiscard]] const RtSignal& sink() const { return sink_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  kernel::Process run();
+
+  Controller& controller_;
+  unsigned step_;
+  Phase phase_;
+  RtSignal& source_;
+  RtSignal& sink_;
+  kernel::DriverId sink_driver_;
+  std::string name_;
+};
+
+}  // namespace ctrtl::rtl

@@ -1,0 +1,63 @@
+#include "rtl/value.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace ctrtl::rtl {
+
+std::int64_t RtValue::to_inband() const {
+  switch (kind_) {
+    case Kind::kDisc:
+      return kDiscEncoding;
+    case Kind::kIllegal:
+      return kIllegalEncoding;
+    case Kind::kValue:
+      if (payload_ < 0) {
+        throw std::domain_error(
+            "RtValue::to_inband: negative payload collides with sentinel encoding");
+      }
+      return payload_;
+  }
+  throw std::logic_error("RtValue: corrupt kind");
+}
+
+std::int64_t RtValue::payload() const {
+  if (kind_ != Kind::kValue) {
+    throw std::logic_error("RtValue::payload on a non-value (" + to_string(*this) + ")");
+  }
+  return payload_;
+}
+
+RtValue resolve_rt(std::span<const RtValue> contributions) {
+  RtValue unique = RtValue::disc();
+  bool saw_value = false;
+  for (const RtValue& contribution : contributions) {
+    if (contribution.is_disc()) {
+      continue;
+    }
+    if (contribution.is_illegal() || saw_value) {
+      return RtValue::illegal();
+    }
+    unique = contribution;
+    saw_value = true;
+  }
+  return unique;
+}
+
+std::string to_string(const RtValue& value) {
+  switch (value.kind()) {
+    case RtValue::Kind::kDisc:
+      return "DISC";
+    case RtValue::Kind::kIllegal:
+      return "ILLEGAL";
+    case RtValue::Kind::kValue:
+      return std::to_string(value.payload());
+  }
+  return "<corrupt>";
+}
+
+std::ostream& operator<<(std::ostream& os, const RtValue& value) {
+  return os << to_string(value);
+}
+
+}  // namespace ctrtl::rtl

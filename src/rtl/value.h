@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace ctrtl::rtl {
+
+/// The value domain of the paper's subset: integers extended with two
+/// sentinels, DISC ("no value", a disconnected source) and ILLEGAL (the
+/// result of a resource conflict).
+///
+/// The paper encodes the sentinels in-band (`DISC = -1`, `ILLEGAL = -2`,
+/// naturals are regular values). We store an explicit tag plus a full
+/// signed 64-bit payload so the same machinery carries the IKS chip's
+/// signed fixed-point data; `to_inband`/`from_inband` provide the paper's
+/// exact encoding for the VHDL front end and for naturals-only models.
+class RtValue {
+ public:
+  enum class Kind : std::uint8_t { kDisc, kIllegal, kValue };
+
+  /// The paper's in-band sentinel encodings.
+  static constexpr std::int64_t kDiscEncoding = -1;
+  static constexpr std::int64_t kIllegalEncoding = -2;
+
+  /// Default is DISC — the idle state of every port and bus.
+  constexpr RtValue() = default;
+
+  [[nodiscard]] static constexpr RtValue disc() { return RtValue(); }
+  [[nodiscard]] static constexpr RtValue illegal() {
+    return RtValue(Kind::kIllegal, 0);
+  }
+  [[nodiscard]] static constexpr RtValue of(std::int64_t payload) {
+    return RtValue(Kind::kValue, payload);
+  }
+
+  /// Decodes the paper's Integer encoding (-1 → DISC, -2 → ILLEGAL,
+  /// everything else → a value).
+  [[nodiscard]] static constexpr RtValue from_inband(std::int64_t encoded) {
+    if (encoded == kDiscEncoding) {
+      return disc();
+    }
+    if (encoded == kIllegalEncoding) {
+      return illegal();
+    }
+    return of(encoded);
+  }
+
+  /// Encodes back into the paper's Integer representation. Only valid for
+  /// DISC, ILLEGAL, or non-negative payloads (the paper's naturals); a
+  /// negative payload would collide with the sentinels.
+  [[nodiscard]] std::int64_t to_inband() const;
+
+  [[nodiscard]] constexpr Kind kind() const { return kind_; }
+  [[nodiscard]] constexpr bool is_disc() const { return kind_ == Kind::kDisc; }
+  [[nodiscard]] constexpr bool is_illegal() const { return kind_ == Kind::kIllegal; }
+  [[nodiscard]] constexpr bool has_value() const { return kind_ == Kind::kValue; }
+
+  /// The payload; only meaningful when `has_value()`.
+  [[nodiscard]] std::int64_t payload() const;
+
+  friend constexpr bool operator==(const RtValue&, const RtValue&) = default;
+
+ private:
+  constexpr RtValue(Kind kind, std::int64_t payload)
+      : kind_(kind), payload_(payload) {}
+
+  Kind kind_ = Kind::kDisc;
+  std::int64_t payload_ = 0;
+};
+
+/// The paper's resolution function for buses and functional-unit input
+/// ports (section 2.3):
+///   - all contributions DISC                  -> DISC
+///   - any contribution ILLEGAL                -> ILLEGAL
+///   - two or more non-DISC contributions      -> ILLEGAL
+///   - exactly one non-DISC contribution       -> that value
+[[nodiscard]] RtValue resolve_rt(std::span<const RtValue> contributions);
+
+/// "DISC", "ILLEGAL", or the decimal payload.
+[[nodiscard]] std::string to_string(const RtValue& value);
+
+std::ostream& operator<<(std::ostream& os, const RtValue& value);
+
+}  // namespace ctrtl::rtl

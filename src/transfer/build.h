@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+
+#include "rtl/model.h"
+#include "transfer/design.h"
+
+namespace ctrtl::transfer {
+
+/// Elaborates a `Design` into an executable `rtl::RtModel`:
+/// resources become Register/Module/bus objects, each 9-tuple expands into
+/// its TRANS instances (the paper's forward mapping), and op codes become
+/// implicit constant sources feeding module operation ports.
+///
+/// Throws `std::invalid_argument` (with the full diagnostic text) when the
+/// design does not validate. `mode` selects the transfer execution scheme
+/// (paper-faithful TRANS processes vs the indexed dispatcher ablation).
+[[nodiscard]] std::unique_ptr<rtl::RtModel> build_model(
+    const Design& design,
+    rtl::TransferMode mode = rtl::TransferMode::kProcessPerTransfer);
+
+/// Resolves a symbolic endpoint to its signal in an elaborated model.
+/// Throws `std::invalid_argument` when the endpoint names nothing.
+[[nodiscard]] rtl::RtSignal& endpoint_signal(rtl::RtModel& model,
+                                             const Endpoint& endpoint);
+
+/// The per-module latency map of a design (used by `merge_partials` and the
+/// clocked back end).
+[[nodiscard]] std::map<std::string, unsigned> latency_map(const Design& design);
+
+}  // namespace ctrtl::transfer

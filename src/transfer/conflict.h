@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/phase.h"
+#include "transfer/design.h"
+
+namespace ctrtl::transfer {
+
+/// A statically-predicted resource conflict: several TRANS instances drive
+/// the same sink in the same (step, phase). The ILLEGAL value becomes
+/// visible on the sink one phase later — `step`/`visible_phase` name that
+/// simulation cycle, matching the dynamic `rtl::Conflict` records.
+struct DriveConflict {
+  std::string sink;  // signal name, matching rtl naming ("B1", "ADD.in1", ...)
+  unsigned step = 0;
+  rtl::Phase drive_phase = rtl::Phase::kRa;
+  rtl::Phase visible_phase = rtl::Phase::kRb;
+  unsigned driver_count = 0;
+
+  friend bool operator==(const DriveConflict&, const DriveConflict&) = default;
+};
+
+std::string to_string(const DriveConflict& conflict);
+
+/// A module whose operand discipline is violated in some step: a strict
+/// subset of the required operand ports receives a transfer, which makes
+/// the module compute ILLEGAL (paper section 2.6).
+struct DisciplineViolation {
+  std::string module;
+  unsigned step = 0;
+  unsigned ports_driven = 0;
+  unsigned ports_required = 0;
+
+  friend bool operator==(const DisciplineViolation&, const DisciplineViolation&) = default;
+};
+
+std::string to_string(const DisciplineViolation& violation);
+
+struct AnalysisReport {
+  std::vector<DriveConflict> drive_conflicts;
+  std::vector<DisciplineViolation> discipline_violations;
+
+  [[nodiscard]] bool clean() const {
+    return drive_conflicts.empty() && discipline_violations.empty();
+  }
+};
+
+/// Static scheduling analysis over the transfer set (no simulation): finds
+/// all multi-drive conflicts and operand-discipline violations.
+///
+/// Drive conflicts are *potential*: they materialize as dynamic ILLEGAL
+/// values when at least two of the colliding sources carry non-DISC values
+/// at that step (always the case once source registers are loaded). A
+/// report with `clean() == true` guarantees a conflict-free simulation —
+/// this is cross-checked against the exact reference evaluator and the
+/// kernel in the property tests.
+[[nodiscard]] AnalysisReport analyze(const Design& design);
+
+}  // namespace ctrtl::transfer

@@ -1,0 +1,289 @@
+#include "transfer/mapping.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace ctrtl::transfer {
+
+std::string op_constant_name(std::int64_t code) {
+  return "op" + std::to_string(code);
+}
+
+bool parse_op_constant_name(const std::string& name, std::int64_t& code) {
+  if (name.size() < 3 || name.compare(0, 2, "op") != 0) {
+    return false;
+  }
+  try {
+    std::size_t consumed = 0;
+    const long long value = std::stoll(name.substr(2), &consumed);
+    if (consumed != name.size() - 2) {
+      return false;
+    }
+    code = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<TransInstance> to_instances(const RegisterTransfer& transfer) {
+  std::vector<TransInstance> instances;
+  const auto add_operand = [&](const OperandPath& path, unsigned port) {
+    instances.push_back(TransInstance{*transfer.read_step, rtl::Phase::kRa,
+                                      path.source, Endpoint::bus(path.bus)});
+    instances.push_back(TransInstance{*transfer.read_step, rtl::Phase::kRb,
+                                      Endpoint::bus(path.bus),
+                                      Endpoint::module_in(transfer.module, port)});
+  };
+  if (transfer.operand_a) {
+    add_operand(*transfer.operand_a, 0);
+  }
+  if (transfer.operand_b) {
+    add_operand(*transfer.operand_b, 1);
+  }
+  if (transfer.op && transfer.read_step) {
+    instances.push_back(TransInstance{*transfer.read_step, rtl::Phase::kRb,
+                                      Endpoint::constant(op_constant_name(*transfer.op)),
+                                      Endpoint::module_op(transfer.module)});
+  }
+  if (transfer.write_step && transfer.write_bus && transfer.destination) {
+    instances.push_back(TransInstance{*transfer.write_step, rtl::Phase::kWa,
+                                      Endpoint::module_out(transfer.module),
+                                      Endpoint::bus(*transfer.write_bus)});
+    instances.push_back(TransInstance{*transfer.write_step, rtl::Phase::kWb,
+                                      Endpoint::bus(*transfer.write_bus),
+                                      Endpoint::register_in(*transfer.destination)});
+  }
+  return instances;
+}
+
+std::vector<TransInstance> to_instances(std::span<const RegisterTransfer> transfers) {
+  std::vector<TransInstance> instances;
+  for (const RegisterTransfer& transfer : transfers) {
+    const std::vector<TransInstance> expanded = to_instances(transfer);
+    instances.insert(instances.end(), expanded.begin(), expanded.end());
+  }
+  return instances;
+}
+
+namespace {
+
+using StepBus = std::pair<unsigned, std::string>;
+
+}  // namespace
+
+std::vector<RegisterTransfer> to_partial_tuples(
+    std::span<const TransInstance> instances, std::vector<TransInstance>* orphans) {
+  // Index the bus-driving halves by (step, bus).
+  std::multimap<StepBus, const TransInstance*> ra_by_bus;   // source -> bus
+  std::multimap<StepBus, const TransInstance*> wa_by_bus;   // module.out -> bus
+  std::vector<const TransInstance*> rb_list;                // bus -> module port/op
+  std::vector<const TransInstance*> wb_list;                // bus -> register
+  std::vector<bool> used(instances.size(), false);
+  std::map<const TransInstance*, std::size_t> index_of;
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const TransInstance& inst = instances[i];
+    index_of[&inst] = i;
+    switch (inst.phase) {
+      case rtl::Phase::kRa:
+        if (inst.sink.kind == Endpoint::Kind::kBus) {
+          ra_by_bus.emplace(StepBus{inst.step, inst.sink.resource}, &inst);
+        }
+        break;
+      case rtl::Phase::kRb:
+        if (inst.source.kind == Endpoint::Kind::kBus ||
+            inst.source.kind == Endpoint::Kind::kConstant) {
+          rb_list.push_back(&inst);
+        }
+        break;
+      case rtl::Phase::kWa:
+        if (inst.sink.kind == Endpoint::Kind::kBus) {
+          wa_by_bus.emplace(StepBus{inst.step, inst.sink.resource}, &inst);
+        }
+        break;
+      case rtl::Phase::kWb:
+        if (inst.source.kind == Endpoint::Kind::kBus) {
+          wb_list.push_back(&inst);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<RegisterTransfer> partials;
+
+  // (ra, rb) pairs: operand paths. An rb whose source is an op constant
+  // becomes an op-only partial directly.
+  for (const TransInstance* rb : rb_list) {
+    if (rb->sink.kind == Endpoint::Kind::kModuleOp) {
+      std::int64_t code = 0;
+      if (rb->source.kind == Endpoint::Kind::kConstant &&
+          parse_op_constant_name(rb->source.resource, code)) {
+        RegisterTransfer partial;
+        partial.module = rb->sink.resource;
+        partial.read_step = rb->step;
+        partial.op = code;
+        partials.push_back(std::move(partial));
+        used[index_of[rb]] = true;
+      }
+      continue;
+    }
+    if (rb->sink.kind != Endpoint::Kind::kModuleIn) {
+      continue;
+    }
+    const auto [begin, end] =
+        ra_by_bus.equal_range(StepBus{rb->step, rb->source.resource});
+    for (auto it = begin; it != end; ++it) {
+      const TransInstance* ra = it->second;
+      RegisterTransfer partial;
+      OperandPath path{ra->source, rb->source.resource};
+      if (rb->sink.port == 0) {
+        partial.operand_a = std::move(path);
+      } else {
+        partial.operand_b = std::move(path);
+      }
+      partial.read_step = rb->step;
+      partial.module = rb->sink.resource;
+      partials.push_back(std::move(partial));
+      used[index_of[ra]] = true;
+      used[index_of[rb]] = true;
+    }
+  }
+
+  // (wa, wb) pairs: result paths.
+  for (const TransInstance* wb : wb_list) {
+    if (wb->sink.kind != Endpoint::Kind::kRegisterIn) {
+      continue;
+    }
+    const auto [begin, end] =
+        wa_by_bus.equal_range(StepBus{wb->step, wb->source.resource});
+    for (auto it = begin; it != end; ++it) {
+      const TransInstance* wa = it->second;
+      RegisterTransfer partial;
+      partial.module = wa->source.resource;
+      partial.write_step = wb->step;
+      partial.write_bus = wb->source.resource;
+      partial.destination = wb->sink.resource;
+      partials.push_back(std::move(partial));
+      used[index_of[wa]] = true;
+      used[index_of[wb]] = true;
+    }
+  }
+
+  if (orphans != nullptr) {
+    orphans->clear();
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (!used[i]) {
+        orphans->push_back(instances[i]);
+      }
+    }
+  }
+  return partials;
+}
+
+namespace {
+
+/// Merges `from` into `into` when their operand/op fields do not collide.
+bool try_merge_read(RegisterTransfer& into, const RegisterTransfer& from) {
+  if (from.operand_a && into.operand_a) {
+    return false;
+  }
+  if (from.operand_b && into.operand_b) {
+    return false;
+  }
+  if (from.op && into.op && *from.op != *into.op) {
+    return false;
+  }
+  if (from.operand_a) {
+    into.operand_a = from.operand_a;
+  }
+  if (from.operand_b) {
+    into.operand_b = from.operand_b;
+  }
+  if (from.op) {
+    into.op = from.op;
+  }
+  return true;
+}
+
+bool is_read_partial(const RegisterTransfer& t) {
+  return t.read_step.has_value() && !t.write_step.has_value();
+}
+
+bool is_write_partial(const RegisterTransfer& t) {
+  return t.write_step.has_value() && !t.read_step.has_value();
+}
+
+}  // namespace
+
+std::vector<RegisterTransfer> merge_partials(
+    std::vector<RegisterTransfer> partials,
+    const std::map<std::string, unsigned>& module_latency) {
+  // Phase 1: merge read partials per (module, read step).
+  std::vector<RegisterTransfer> reads;
+  std::vector<RegisterTransfer> writes;
+  std::vector<RegisterTransfer> rest;
+  for (RegisterTransfer& partial : partials) {
+    if (is_read_partial(partial)) {
+      bool merged = false;
+      for (RegisterTransfer& read : reads) {
+        if (read.module == partial.module && read.read_step == partial.read_step &&
+            try_merge_read(read, partial)) {
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        reads.push_back(std::move(partial));
+      }
+    } else if (is_write_partial(partial)) {
+      writes.push_back(std::move(partial));
+    } else {
+      rest.push_back(std::move(partial));
+    }
+  }
+
+  // Phase 2: fuse each write partial with the unique matching read partial.
+  std::vector<bool> read_used(reads.size(), false);
+  std::vector<RegisterTransfer> result;
+  for (RegisterTransfer& write : writes) {
+    const auto latency_it = module_latency.find(write.module);
+    std::optional<std::size_t> match;
+    if (latency_it != module_latency.end() &&
+        *write.write_step >= latency_it->second + 1) {
+      const unsigned wanted_read = *write.write_step - latency_it->second;
+      for (std::size_t i = 0; i < reads.size(); ++i) {
+        if (read_used[i] || reads[i].module != write.module ||
+            reads[i].read_step != wanted_read) {
+          continue;
+        }
+        if (match.has_value()) {
+          match.reset();  // ambiguous; keep both partial
+          break;
+        }
+        match = i;
+      }
+    }
+    if (match.has_value()) {
+      RegisterTransfer fused = reads[*match];
+      fused.write_step = write.write_step;
+      fused.write_bus = write.write_bus;
+      fused.destination = write.destination;
+      read_used[*match] = true;
+      result.push_back(std::move(fused));
+    } else {
+      result.push_back(std::move(write));
+    }
+  }
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (!read_used[i]) {
+      result.push_back(std::move(reads[i]));
+    }
+  }
+  result.insert(result.end(), rest.begin(), rest.end());
+  return result;
+}
+
+}  // namespace ctrtl::transfer

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "transfer/tuple.h"
+
+namespace ctrtl::transfer {
+
+/// Canonical name of the implicit constant source that feeds a module's
+/// operation port ("op5" for op code 5). Parsing it back yields the code.
+[[nodiscard]] std::string op_constant_name(std::int64_t code);
+[[nodiscard]] bool parse_op_constant_name(const std::string& name, std::int64_t& code);
+
+/// The paper's forward mapping (section 2.7): a 9-tuple expands into one
+/// TRANS instance per underlined tuple fragment —
+///
+///   (R1,B1,R2,B2,5,ADD,6,B1,R1) -> R1_out_B1_5   (5, ra, R1.out -> B1)
+///                                  B1_ADD_in1_5  (5, rb, B1 -> ADD.in1)
+///                                  R2_out_B2_5   (5, ra, R2.out -> B2)
+///                                  B2_ADD_in2_5  (5, rb, B2 -> ADD.in2)
+///                                  ADD_out_B1_6  (6, wa, ADD.mout -> B1)
+///                                  B1_R1_in_6    (6, wb, B1 -> R1.in)
+///
+/// The op extension adds (read_step, rb, #opN -> module.op).
+[[nodiscard]] std::vector<TransInstance> to_instances(const RegisterTransfer& transfer);
+
+/// Forward mapping over a whole schedule.
+[[nodiscard]] std::vector<TransInstance> to_instances(
+    std::span<const RegisterTransfer> transfers);
+
+/// The paper's reverse mapping: TRANS instances pair up into *partial*
+/// tuples ('-' fields), one partial per (ra, rb) operand pair and one per
+/// (wa, wb) result pair:
+///
+///   R1_out_B1_5, B1_ADD_in1_5 -> (R1, B1, -, -, 5, ADD, -, -, -)
+///   ADD_out_B1_6, B1_R1_in_6  -> (-, -, -, -, -, ADD, 6, B1, R1)
+///
+/// Instances that do not pair (dangling drives) are reported in `orphans`
+/// when the pointer is non-null.
+[[nodiscard]] std::vector<RegisterTransfer> to_partial_tuples(
+    std::span<const TransInstance> instances,
+    std::vector<TransInstance>* orphans = nullptr);
+
+/// Merges compatible partial tuples into full tuples:
+///  1. read partials of the same module and read step merge their operand
+///     and op fields;
+///  2. a write partial fuses with the unique read partial whose
+///     `read_step + latency(module)` equals its write step.
+/// `module_latency` supplies the per-module pipeline depth. Unmergeable
+/// partials are returned as-is.
+[[nodiscard]] std::vector<RegisterTransfer> merge_partials(
+    std::vector<RegisterTransfer> partials,
+    const std::map<std::string, unsigned>& module_latency);
+
+}  // namespace ctrtl::transfer

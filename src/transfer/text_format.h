@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/diagnostics.h"
+#include "transfer/design.h"
+
+namespace ctrtl::transfer {
+
+/// Plain-text serialization of a `Design` (".rtd" files) so schedules can
+/// be written by hand or by external schedulers and fed to the tools.
+///
+/// Line-oriented format; `#` starts a comment:
+///
+///   design  <name>
+///   cs_max  <steps>
+///   register <name> [init <int>]
+///   bus      <name>
+///   input    <name>
+///   constant <name> <int>
+///   module   <name> <kind> [latency <n>] [frac <n>] [iters <n>]
+///   transfer <srcA> <busA> <srcB> <busB> <read> <module> <write> <wbus> <dst> [op <int>]
+///
+/// `<kind>` is one of add, sub, mul, alu, copy, macc, cordic. In a transfer
+/// line, `-` marks an absent field (partial tuples); operand sources are a
+/// bare name (register), `%name` (constant), or `$name` (external input) —
+/// `%` rather than the in-memory `#` sigil, which is the comment character
+/// here.
+[[nodiscard]] std::string to_text(const Design& design);
+
+/// Parses the format above. All problems (with line numbers) go into
+/// `diags`; returns the design regardless — check `!diags.has_errors()`.
+[[nodiscard]] Design parse_design(std::string_view text,
+                                  common::DiagnosticBag& diags);
+
+}  // namespace ctrtl::transfer

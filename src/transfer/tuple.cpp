@@ -1,0 +1,180 @@
+#include "transfer/tuple.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ctrtl::transfer {
+
+Endpoint Endpoint::register_out(std::string name) {
+  return {Kind::kRegisterOut, std::move(name), 0};
+}
+Endpoint Endpoint::register_in(std::string name) {
+  return {Kind::kRegisterIn, std::move(name), 0};
+}
+Endpoint Endpoint::module_out(std::string name) {
+  return {Kind::kModuleOut, std::move(name), 0};
+}
+Endpoint Endpoint::module_in(std::string name, unsigned port) {
+  return {Kind::kModuleIn, std::move(name), port};
+}
+Endpoint Endpoint::module_op(std::string name) {
+  return {Kind::kModuleOp, std::move(name), 0};
+}
+Endpoint Endpoint::bus(std::string name) {
+  return {Kind::kBus, std::move(name), 0};
+}
+Endpoint Endpoint::constant(std::string name) {
+  return {Kind::kConstant, std::move(name), 0};
+}
+Endpoint Endpoint::input(std::string name) {
+  return {Kind::kInput, std::move(name), 0};
+}
+
+std::string to_string(const Endpoint& endpoint) {
+  switch (endpoint.kind) {
+    case Endpoint::Kind::kRegisterOut:
+      return endpoint.resource + ".out";
+    case Endpoint::Kind::kRegisterIn:
+      return endpoint.resource + ".in";
+    case Endpoint::Kind::kModuleOut:
+      return endpoint.resource + ".mout";
+    case Endpoint::Kind::kModuleIn:
+      return endpoint.resource + ".in" + std::to_string(endpoint.port + 1);
+    case Endpoint::Kind::kModuleOp:
+      return endpoint.resource + ".op";
+    case Endpoint::Kind::kBus:
+      return endpoint.resource;
+    case Endpoint::Kind::kConstant:
+      return "#" + endpoint.resource;
+    case Endpoint::Kind::kInput:
+      return "$" + endpoint.resource;
+  }
+  throw std::logic_error("Endpoint: corrupt kind");
+}
+
+Endpoint parse_endpoint(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("empty endpoint");
+  }
+  if (text.front() == '#') {
+    return Endpoint::constant(text.substr(1));
+  }
+  if (text.front() == '$') {
+    return Endpoint::input(text.substr(1));
+  }
+  const std::size_t dot = text.rfind('.');
+  if (dot == std::string::npos) {
+    return Endpoint::bus(text);
+  }
+  const std::string resource = text.substr(0, dot);
+  const std::string suffix = text.substr(dot + 1);
+  if (resource.empty() || suffix.empty()) {
+    throw std::invalid_argument("malformed endpoint '" + text + "'");
+  }
+  if (suffix == "out") {
+    return Endpoint::register_out(resource);
+  }
+  if (suffix == "in") {
+    return Endpoint::register_in(resource);
+  }
+  if (suffix == "mout") {
+    return Endpoint::module_out(resource);
+  }
+  if (suffix == "op") {
+    return Endpoint::module_op(resource);
+  }
+  if (suffix.size() >= 3 && suffix.compare(0, 2, "in") == 0) {
+    const int port = std::stoi(suffix.substr(2));
+    if (port < 1) {
+      throw std::invalid_argument("module port index must be >= 1 in '" + text + "'");
+    }
+    return Endpoint::module_in(resource, static_cast<unsigned>(port - 1));
+  }
+  throw std::invalid_argument("unknown endpoint suffix '" + suffix + "'");
+}
+
+bool RegisterTransfer::complete() const {
+  return operand_a.has_value() && operand_b.has_value() && read_step.has_value() &&
+         !module.empty() && write_step.has_value() && write_bus.has_value() &&
+         destination.has_value();
+}
+
+RegisterTransfer RegisterTransfer::full(std::string src_a, std::string bus_a,
+                                        std::string src_b, std::string bus_b,
+                                        unsigned read_step, std::string module,
+                                        unsigned write_step, std::string write_bus,
+                                        std::string destination,
+                                        std::optional<std::int64_t> op) {
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::register_out(std::move(src_a)), std::move(bus_a)};
+  t.operand_b = OperandPath{Endpoint::register_out(std::move(src_b)), std::move(bus_b)};
+  t.read_step = read_step;
+  t.module = std::move(module);
+  t.write_step = write_step;
+  t.write_bus = std::move(write_bus);
+  t.destination = std::move(destination);
+  t.op = op;
+  return t;
+}
+
+namespace {
+
+std::string operand_source_text(const OperandPath& path) {
+  // Registers print bare (the paper's tuples name registers directly);
+  // constants and inputs keep their sigil.
+  if (path.source.kind == Endpoint::Kind::kRegisterOut) {
+    return path.source.resource;
+  }
+  return to_string(path.source);
+}
+
+}  // namespace
+
+std::string to_string(const RegisterTransfer& transfer) {
+  std::ostringstream out;
+  out << '(';
+  out << (transfer.operand_a ? operand_source_text(*transfer.operand_a) : "-") << ',';
+  out << (transfer.operand_a ? transfer.operand_a->bus : "-") << ',';
+  out << (transfer.operand_b ? operand_source_text(*transfer.operand_b) : "-") << ',';
+  out << (transfer.operand_b ? transfer.operand_b->bus : "-") << ',';
+  if (transfer.read_step) {
+    out << *transfer.read_step;
+  } else {
+    out << '-';
+  }
+  out << ',' << (transfer.module.empty() ? "-" : transfer.module) << ',';
+  if (transfer.write_step) {
+    out << *transfer.write_step;
+  } else {
+    out << '-';
+  }
+  out << ',' << (transfer.write_bus ? *transfer.write_bus : "-") << ',';
+  out << (transfer.destination ? *transfer.destination : "-");
+  out << ')';
+  if (transfer.op) {
+    out << "|op=" << *transfer.op;
+  }
+  return out.str();
+}
+
+std::string TransInstance::name() const {
+  std::string source_text = to_string(source);
+  std::string sink_text = to_string(sink);
+  for (std::string* text : {&source_text, &sink_text}) {
+    for (char& c : *text) {
+      if (c == '.' || c == '#' || c == '$') {
+        c = '_';
+      }
+    }
+  }
+  return source_text + "_" + sink_text + "_" + std::to_string(step);
+}
+
+std::string to_string(const TransInstance& instance) {
+  std::ostringstream out;
+  out << "TRANS(" << instance.step << "," << rtl::phase_name(instance.phase) << ") "
+      << to_string(instance.source) << " -> " << to_string(instance.sink);
+  return out.str();
+}
+
+}  // namespace ctrtl::transfer

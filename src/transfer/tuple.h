@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtl/phase.h"
+
+namespace ctrtl::transfer {
+
+/// A structural endpoint of a transfer: a port of a functional unit, a bus,
+/// or a literal/constant source.
+struct Endpoint {
+  enum class Kind : std::uint8_t {
+    kRegisterOut,
+    kRegisterIn,
+    kModuleOut,
+    kModuleIn,
+    kModuleOp,
+    kBus,
+    kConstant,
+    kInput,
+  };
+
+  Kind kind = Kind::kBus;
+  std::string resource;
+  unsigned port = 0;  // module input index (0-based) for kModuleIn
+
+  [[nodiscard]] static Endpoint register_out(std::string name);
+  [[nodiscard]] static Endpoint register_in(std::string name);
+  [[nodiscard]] static Endpoint module_out(std::string name);
+  [[nodiscard]] static Endpoint module_in(std::string name, unsigned port);
+  [[nodiscard]] static Endpoint module_op(std::string name);
+  [[nodiscard]] static Endpoint bus(std::string name);
+  [[nodiscard]] static Endpoint constant(std::string name);
+  [[nodiscard]] static Endpoint input(std::string name);
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+/// "R1.out", "ADD.in1", "ADD.op", "B1", "#k0" (constant), "$x_in" (input).
+[[nodiscard]] std::string to_string(const Endpoint& endpoint);
+
+/// Inverse of `to_string`. Throws std::invalid_argument on malformed text.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& text);
+
+/// One operand path of a register transfer: a source feeding one module
+/// input via a bus.
+struct OperandPath {
+  /// Source of the operand: usually a register output; constants and
+  /// external inputs are allowed (IKS literal operands).
+  Endpoint source;
+  std::string bus;
+
+  friend bool operator==(const OperandPath&, const OperandPath&) = default;
+};
+
+/// The paper's 9-tuple denoting one register transfer (section 2.1):
+///
+///   (R1, B1, R2, B2, 5, ADD, 6, B1, R1)
+///
+/// "In control step 5 the value at the output port of register R1 is
+/// transferred to the left input port of the module ADD via bus B1, ...;
+/// in control step 6 the value of the output port of ADD is transferred to
+/// the input port of register R1 via bus B1."
+///
+/// Fields are optional because the paper's *reverse* mapping (TRANS
+/// instances back to tuples) produces partial tuples with '-' entries.
+/// The optional `op` field is the section 3 extension: the operation the
+/// module performs during this transfer.
+struct RegisterTransfer {
+  std::optional<OperandPath> operand_a;
+  std::optional<OperandPath> operand_b;
+  std::optional<unsigned> read_step;
+  std::string module;
+  std::optional<unsigned> write_step;
+  std::optional<std::string> write_bus;
+  std::optional<std::string> destination;  // register name
+  std::optional<std::int64_t> op;
+
+  /// True when every positional field of the 9-tuple is present.
+  [[nodiscard]] bool complete() const;
+
+  /// Convenience builder for the common full tuple.
+  [[nodiscard]] static RegisterTransfer full(
+      std::string src_a, std::string bus_a, std::string src_b, std::string bus_b,
+      unsigned read_step, std::string module, unsigned write_step,
+      std::string write_bus, std::string destination,
+      std::optional<std::int64_t> op = std::nullopt);
+
+  friend bool operator==(const RegisterTransfer&, const RegisterTransfer&) = default;
+};
+
+/// "(R1,B1,R2,B2,5,ADD,6,B1,R1)"; missing entries print as '-', the op
+/// extension (when present) appends "|op=N".
+[[nodiscard]] std::string to_string(const RegisterTransfer& transfer);
+
+/// One TRANS process instance in symbolic form (before elaboration).
+struct TransInstance {
+  unsigned step = 0;
+  rtl::Phase phase = rtl::Phase::kRa;
+  Endpoint source;
+  Endpoint sink;
+
+  /// "R1_out_B1_5" — the paper's instance-naming scheme.
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const TransInstance&, const TransInstance&) = default;
+  friend auto operator<=>(const TransInstance&, const TransInstance&) = default;
+};
+
+[[nodiscard]] std::string to_string(const TransInstance& instance);
+
+}  // namespace ctrtl::transfer

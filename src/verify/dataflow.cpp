@@ -1,0 +1,468 @@
+#include "verify/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+#include "rtl/modules.h"
+#include "transfer/mapping.h"
+
+namespace ctrtl::verify {
+
+using rtl::Phase;
+using transfer::Endpoint;
+using transfer::TransInstance;
+
+DfExprPtr DfExpr::disc() {
+  static const DfExprPtr instance = std::make_shared<DfExpr>();
+  return instance;
+}
+
+DfExprPtr DfExpr::illegal() {
+  auto expr = std::make_shared<DfExpr>();
+  expr->kind = Kind::kIllegal;
+  return expr;
+}
+
+DfExprPtr DfExpr::input(std::string name) {
+  auto expr = std::make_shared<DfExpr>();
+  expr->kind = Kind::kInput;
+  expr->name = std::move(name);
+  return expr;
+}
+
+DfExprPtr DfExpr::literal(std::int64_t value) {
+  auto expr = std::make_shared<DfExpr>();
+  expr->kind = Kind::kConstant;
+  expr->constant = value;
+  return expr;
+}
+
+DfExprPtr DfExpr::initial(std::string reg) {
+  auto expr = std::make_shared<DfExpr>();
+  expr->kind = Kind::kInitial;
+  expr->name = std::move(reg);
+  return expr;
+}
+
+DfExprPtr DfExpr::make(std::string op, std::vector<DfExprPtr> args) {
+  auto expr = std::make_shared<DfExpr>();
+  expr->kind = Kind::kOp;
+  expr->op = std::move(op);
+  expr->args = std::move(args);
+  return expr;
+}
+
+namespace {
+
+bool is_commutative(const std::string& op) {
+  return op == "add" || op == "min" || op == "max" || op.starts_with("mul");
+}
+
+}  // namespace
+
+std::string canonical(const DfExprPtr& expr) {
+  if (!expr) {
+    return "<null>";
+  }
+  switch (expr->kind) {
+    case DfExpr::Kind::kDisc:
+      return "DISC";
+    case DfExpr::Kind::kIllegal:
+      return "ILLEGAL";
+    case DfExpr::Kind::kInput:
+      return "$" + expr->name;
+    case DfExpr::Kind::kConstant:
+      return std::to_string(expr->constant);
+    case DfExpr::Kind::kInitial:
+      return "@" + expr->name;
+    case DfExpr::Kind::kOp: {
+      std::vector<std::string> parts;
+      parts.reserve(expr->args.size());
+      for (const DfExprPtr& arg : expr->args) {
+        parts.push_back(canonical(arg));
+      }
+      if (is_commutative(expr->op)) {
+        std::sort(parts.begin(), parts.end());
+      }
+      std::ostringstream out;
+      out << expr->op << '(';
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        out << (i != 0 ? "," : "") << parts[i];
+      }
+      out << ')';
+      return out.str();
+    }
+  }
+  return "<corrupt>";
+}
+
+bool equivalent(const DfExprPtr& a, const DfExprPtr& b) {
+  return canonical(a) == canonical(b);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic execution of the schedule
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Symbolic analog of transfer::ModuleSim.
+class SymbolicUnit {
+ public:
+  explicit SymbolicUnit(const transfer::ModuleDecl& decl) : decl_(&decl) {
+    pipeline_.assign(decl.latency, DfExpr::disc());
+  }
+
+  [[nodiscard]] const DfExprPtr& out() const { return out_; }
+
+  DfExprPtr step(std::vector<DfExprPtr> operands, const DfExprPtr& op,
+                 bool& saw_illegal) {
+    if (decl_->latency == 0) {
+      out_ = evaluate(std::move(operands), op, saw_illegal);
+      return out_;
+    }
+    out_ = pipeline_.back();
+    const DfExprPtr next =
+        poisoned_ ? DfExpr::illegal() : evaluate(std::move(operands), op, saw_illegal);
+    pipeline_.pop_back();
+    pipeline_.push_front(next);
+    if (next->kind == DfExpr::Kind::kIllegal) {
+      poisoned_ = true;
+    }
+    return out_;
+  }
+
+ private:
+  [[nodiscard]] DfExprPtr evaluate(std::vector<DfExprPtr> operands,
+                                   const DfExprPtr& op, bool& saw_illegal) {
+    const auto illegal = [&] {
+      saw_illegal = true;
+      return DfExpr::illegal();
+    };
+    for (const DfExprPtr& operand : operands) {
+      if (operand->kind == DfExpr::Kind::kIllegal) {
+        return illegal();
+      }
+    }
+    const bool has_op = decl_->has_op_port();
+    std::int64_t op_code = 0;
+    if (has_op) {
+      if (op->kind == DfExpr::Kind::kIllegal) {
+        return illegal();
+      }
+      if (op->kind == DfExpr::Kind::kDisc) {
+        for (const DfExprPtr& operand : operands) {
+          if (operand->kind != DfExpr::Kind::kDisc) {
+            return illegal();
+          }
+        }
+        return decl_->kind == transfer::ModuleKind::kMacc ? acc_ : DfExpr::disc();
+      }
+      if (op->kind != DfExpr::Kind::kConstant) {
+        throw std::invalid_argument(
+            "symbolic execution: op codes must be literal constants");
+      }
+      op_code = op->constant;
+    }
+    const unsigned arity = arity_for(op_code);
+    unsigned present = 0;
+    for (unsigned i = 0; i < arity && i < operands.size(); ++i) {
+      if (operands[i]->kind != DfExpr::Kind::kDisc) {
+        ++present;
+      }
+    }
+    if (present == 0 && !has_op) {
+      return DfExpr::disc();
+    }
+    if (present != arity) {
+      return illegal();
+    }
+    operands.resize(arity);
+    return apply(std::move(operands), op_code);
+  }
+
+  [[nodiscard]] unsigned arity_for(std::int64_t op_code) const {
+    switch (decl_->kind) {
+      case transfer::ModuleKind::kAlu: {
+        static const rtl::AluModule::OpTable kOps = rtl::make_standard_alu_ops();
+        return kOps.at(op_code).arity;
+      }
+      case transfer::ModuleKind::kMacc:
+        switch (op_code) {
+          case rtl::MaccModule::kOpClear:
+          case rtl::MaccModule::kOpHold:
+            return 0;
+          case rtl::MaccModule::kOpLoad:
+            return 1;
+          default:
+            return 2;
+        }
+      case transfer::ModuleKind::kCordic:
+        return 1;
+      default:
+        return decl_->num_inputs();
+    }
+  }
+
+  [[nodiscard]] DfExprPtr apply(std::vector<DfExprPtr> v, std::int64_t op_code) {
+    const std::string mul_name = "mul" + std::to_string(decl_->frac_bits);
+    switch (decl_->kind) {
+      case transfer::ModuleKind::kAdd:
+        return DfExpr::make("add", std::move(v));
+      case transfer::ModuleKind::kSub:
+        return DfExpr::make("sub", std::move(v));
+      case transfer::ModuleKind::kMul:
+        return DfExpr::make(mul_name, std::move(v));
+      case transfer::ModuleKind::kCopy:
+        return v[0];  // copies vanish (the direct-link helper is transparent)
+      case transfer::ModuleKind::kAlu:
+        switch (op_code) {
+          case rtl::alu_ops::kAdd:
+            return DfExpr::make("add", std::move(v));
+          case rtl::alu_ops::kSub:
+            return DfExpr::make("sub", std::move(v));
+          case rtl::alu_ops::kMin:
+            return DfExpr::make("min", std::move(v));
+          case rtl::alu_ops::kMax:
+            return DfExpr::make("max", std::move(v));
+          case rtl::alu_ops::kPassA:
+            return v[0];
+          case rtl::alu_ops::kPassB:
+            return v[1];
+          case rtl::alu_ops::kNegA:
+            return DfExpr::make("neg", std::move(v));
+          default:
+            if (op_code >= rtl::alu_ops::kRshiftBase &&
+                op_code <= rtl::alu_ops::kRshiftMax) {
+              return DfExpr::make(
+                  "asr" + std::to_string(op_code - rtl::alu_ops::kRshiftBase),
+                  std::move(v));
+            }
+            throw std::invalid_argument("symbolic execution: unknown ALU op");
+        }
+      case transfer::ModuleKind::kMacc:
+        switch (op_code) {
+          case rtl::MaccModule::kOpClear:
+            acc_ = DfExpr::literal(0);
+            break;
+          case rtl::MaccModule::kOpHold:
+            break;
+          case rtl::MaccModule::kOpLoad:
+            acc_ = v[0];
+            break;
+          default:
+            // MACC steps normalize to add/mul nodes so accumulations
+            // compare equal to the same computation on ALU + MULT units.
+            acc_ = DfExpr::make(
+                "add", {acc_, DfExpr::make(mul_name, std::move(v))});
+            break;
+        }
+        return acc_;
+      case transfer::ModuleKind::kCordic:
+        return DfExpr::make(
+            op_code == rtl::CordicModule::kOpSin ? "sin" : "cos", std::move(v));
+    }
+    throw std::logic_error("symbolic execution: corrupt module kind");
+  }
+
+  const transfer::ModuleDecl* decl_;
+  std::deque<DfExprPtr> pipeline_;
+  DfExprPtr out_ = DfExpr::disc();
+  DfExprPtr acc_ = DfExpr::literal(0);
+  bool poisoned_ = false;
+};
+
+DfExprPtr resolve_symbolic(const std::vector<DfExprPtr>& contributions,
+                           bool& saw_illegal) {
+  DfExprPtr unique = DfExpr::disc();
+  bool found = false;
+  for (const DfExprPtr& value : contributions) {
+    if (value->kind == DfExpr::Kind::kDisc) {
+      continue;
+    }
+    if (value->kind == DfExpr::Kind::kIllegal || found) {
+      saw_illegal = true;
+      return DfExpr::illegal();
+    }
+    unique = value;
+    found = true;
+  }
+  return unique;
+}
+
+}  // namespace
+
+DataflowResult extract_dataflow(const transfer::Design& design) {
+  common::DiagnosticBag diags;
+  if (!validate(design, diags)) {
+    throw std::invalid_argument("extract_dataflow: design does not validate:\n" +
+                                diags.to_text());
+  }
+
+  DataflowResult result;
+  std::map<std::string, DfExprPtr> registers;
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    registers[reg.name] = reg.initial.has_value()
+                              ? DfExpr::literal(*reg.initial)
+                              : DfExpr::disc();
+  }
+  std::map<std::string, DfExprPtr> constants;
+  for (const transfer::ConstantDecl& constant : design.constants) {
+    constants[constant.name] = DfExpr::literal(constant.value);
+  }
+  std::map<std::string, SymbolicUnit> units;
+  for (const transfer::ModuleDecl& module : design.modules) {
+    units.emplace(module.name, SymbolicUnit(module));
+  }
+
+  const std::vector<TransInstance> instances =
+      transfer::to_instances(design.transfers);
+
+  std::map<std::string, DfExprPtr> visible;
+
+  const auto source_value = [&](const Endpoint& source) -> DfExprPtr {
+    switch (source.kind) {
+      case Endpoint::Kind::kRegisterOut:
+        return registers.at(source.resource);
+      case Endpoint::Kind::kConstant: {
+        const auto it = constants.find(source.resource);
+        if (it != constants.end()) {
+          return it->second;
+        }
+        std::int64_t code = 0;
+        if (transfer::parse_op_constant_name(source.resource, code)) {
+          return DfExpr::literal(code);
+        }
+        throw std::logic_error("extract_dataflow: unknown constant");
+      }
+      case Endpoint::Kind::kInput:
+        return DfExpr::input(source.resource);
+      case Endpoint::Kind::kModuleOut:
+        return units.at(source.resource).out();
+      case Endpoint::Kind::kBus: {
+        const auto it = visible.find(source.resource);
+        return it == visible.end() ? DfExpr::disc() : it->second;
+      }
+      default:
+        throw std::logic_error("extract_dataflow: bad source endpoint");
+    }
+  };
+
+  for (unsigned step = 1; step <= design.cs_max; ++step) {
+    for (int phase_index = 0; phase_index < rtl::kPhasesPerStep; ++phase_index) {
+      const Phase phase = rtl::phase_from_index(phase_index);
+      std::map<std::string, std::vector<DfExprPtr>> contributions;
+      if (phase != rtl::kPhaseLow) {
+        const Phase drive_phase = rtl::pred(phase);
+        for (const TransInstance& instance : instances) {
+          if (instance.step == step && instance.phase == drive_phase) {
+            contributions[to_string(instance.sink)].push_back(
+                source_value(instance.source));
+          }
+        }
+      }
+      std::map<std::string, DfExprPtr> next_visible;
+      for (const auto& [sink, values] : contributions) {
+        next_visible[sink] = resolve_symbolic(values, result.saw_illegal);
+      }
+      visible = std::move(next_visible);
+
+      if (phase == Phase::kCm) {
+        for (auto& [name, unit] : units) {
+          const transfer::ModuleDecl* decl = design.find_module(name);
+          std::vector<DfExprPtr> operands(decl->num_inputs(), DfExpr::disc());
+          for (unsigned port = 0; port < operands.size(); ++port) {
+            const auto it =
+                visible.find(to_string(Endpoint::module_in(name, port)));
+            if (it != visible.end()) {
+              operands[port] = it->second;
+            }
+          }
+          DfExprPtr op = DfExpr::disc();
+          if (decl->has_op_port()) {
+            const auto it = visible.find(to_string(Endpoint::module_op(name)));
+            if (it != visible.end()) {
+              op = it->second;
+            }
+          }
+          unit.step(std::move(operands), op, result.saw_illegal);
+        }
+      } else if (phase == Phase::kCr) {
+        for (auto& [name, value] : registers) {
+          const auto it = visible.find(to_string(Endpoint::register_in(name)));
+          if (it != visible.end() && it->second->kind != DfExpr::Kind::kDisc) {
+            value = it->second;
+          }
+        }
+      }
+    }
+    visible.clear();
+  }
+
+  result.registers = std::move(registers);
+  return result;
+}
+
+DfExprPtr dfg_expr(const hls::Dfg& dfg, const hls::ValueRef& ref) {
+  switch (ref.kind) {
+    case hls::ValueRef::Kind::kInput:
+      return DfExpr::input(ref.input);
+    case hls::ValueRef::Kind::kConstant:
+      return DfExpr::literal(ref.constant);
+    case hls::ValueRef::Kind::kNode: {
+      const hls::Dfg::Node& node = dfg.nodes()[ref.node];
+      std::vector<DfExprPtr> args;
+      args.reserve(node.args.size());
+      for (const hls::ValueRef& arg : node.args) {
+        args.push_back(dfg_expr(dfg, arg));
+      }
+      switch (node.kind) {
+        case hls::OpKind::kAdd:
+          return DfExpr::make("add", std::move(args));
+        case hls::OpKind::kSub:
+          return DfExpr::make("sub", std::move(args));
+        case hls::OpKind::kMul:
+          return DfExpr::make("mul0", std::move(args));
+        case hls::OpKind::kMin:
+          return DfExpr::make("min", std::move(args));
+        case hls::OpKind::kMax:
+          return DfExpr::make("max", std::move(args));
+        case hls::OpKind::kNeg:
+          return DfExpr::make("neg", std::move(args));
+        case hls::OpKind::kCopy:
+          return args[0];
+      }
+      throw std::logic_error("dfg_expr: corrupt op kind");
+    }
+  }
+  throw std::logic_error("dfg_expr: corrupt ref");
+}
+
+std::vector<std::string> check_hls_equivalence(
+    const hls::Dfg& dfg, const transfer::Design& design,
+    const std::map<std::string, std::string>& output_registers) {
+  const DataflowResult extracted = extract_dataflow(design);
+  std::vector<std::string> mismatches;
+  for (const auto& [output, reg] : output_registers) {
+    const auto ref_it = dfg.outputs().find(output);
+    if (ref_it == dfg.outputs().end()) {
+      mismatches.push_back(output + ": not a DFG output");
+      continue;
+    }
+    const DfExprPtr expected = dfg_expr(dfg, ref_it->second);
+    const auto reg_it = extracted.registers.find(reg);
+    if (reg_it == extracted.registers.end()) {
+      mismatches.push_back(output + ": register '" + reg + "' missing");
+      continue;
+    }
+    if (!equivalent(expected, reg_it->second)) {
+      mismatches.push_back(output + ": expected " + canonical(expected) +
+                           ", design computes " + canonical(reg_it->second));
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace ctrtl::verify

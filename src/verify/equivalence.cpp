@@ -1,0 +1,117 @@
+#include "verify/equivalence.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "transfer/build.h"
+
+namespace ctrtl::verify {
+
+std::string CheckReport::to_text() const {
+  std::ostringstream out;
+  for (const std::string& mismatch : mismatches) {
+    out << mismatch << '\n';
+  }
+  return out.str();
+}
+
+CheckReport check_consistency(const transfer::Design& design,
+                              const std::map<std::string, std::int64_t>& inputs) {
+  CheckReport report;
+
+  // Side 1: the dedicated formal semantics.
+  const EvalResult reference = evaluate(design, inputs);
+
+  // Side 2: VHDL-style event simulation.
+  const auto model = transfer::build_model(design);
+  for (const auto& [name, value] : inputs) {
+    model->set_input(name, rtl::RtValue::of(value));
+  }
+  const rtl::RunResult simulated = model->run();
+
+  // Delta-cycle cost (plus at most one trailing delta for the final
+  // register-output update, which performs no phase work).
+  if (simulated.stats.delta_cycles != reference.expected_delta_cycles &&
+      simulated.stats.delta_cycles != reference.expected_delta_cycles + 1) {
+    std::ostringstream out;
+    out << "delta cycles: simulated " << simulated.stats.delta_cycles
+        << ", semantics requires " << reference.expected_delta_cycles
+        << " (cs_max * 6)";
+    report.mismatches.push_back(out.str());
+  }
+
+  // Register values.
+  for (const auto& [name, expected] : reference.registers) {
+    const rtl::Register* reg = model->find_register(name);
+    if (reg == nullptr) {
+      report.mismatches.push_back("register " + name + " missing in model");
+      continue;
+    }
+    if (reg->value() != expected) {
+      report.mismatches.push_back("register " + name + ": semantics " +
+                                  rtl::to_string(expected) + ", simulation " +
+                                  rtl::to_string(reg->value()));
+    }
+  }
+
+  // Conflicts (order-insensitive; the kernel's update order within a delta
+  // is an implementation detail).
+  auto expected_conflicts = reference.conflicts;
+  auto actual_conflicts = simulated.conflicts;
+  const auto conflict_key = [](const rtl::Conflict& c) {
+    return std::tuple(c.step, c.phase, c.signal);
+  };
+  const auto by_key = [&](const rtl::Conflict& a, const rtl::Conflict& b) {
+    return conflict_key(a) < conflict_key(b);
+  };
+  std::sort(expected_conflicts.begin(), expected_conflicts.end(), by_key);
+  std::sort(actual_conflicts.begin(), actual_conflicts.end(), by_key);
+  if (expected_conflicts != actual_conflicts) {
+    std::ostringstream out;
+    out << "conflict sets differ; semantics {";
+    for (const rtl::Conflict& c : expected_conflicts) {
+      out << " [" << rtl::to_string(c) << "]";
+    }
+    out << " } simulation {";
+    for (const rtl::Conflict& c : actual_conflicts) {
+      out << " [" << rtl::to_string(c) << "]";
+    }
+    out << " }";
+    report.mismatches.push_back(out.str());
+  }
+  return report;
+}
+
+CheckReport compare_write_traces(const std::vector<RegisterWrite>& expected,
+                                 const std::vector<RegisterWrite>& actual,
+                                 bool ignore_preload) {
+  const auto filter = [&](const std::vector<RegisterWrite>& writes) {
+    std::vector<RegisterWrite> out;
+    for (const RegisterWrite& write : writes) {
+      if (!ignore_preload || write.step != 0) {
+        out.push_back(write);
+      }
+    }
+    return out;
+  };
+  const std::vector<RegisterWrite> lhs = filter(expected);
+  const std::vector<RegisterWrite> rhs = filter(actual);
+
+  CheckReport report;
+  const std::size_t common = std::min(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (lhs[i] != rhs[i]) {
+      report.mismatches.push_back("write " + std::to_string(i) + ": expected [" +
+                                  to_string(lhs[i]) + "], actual [" +
+                                  to_string(rhs[i]) + "]");
+    }
+  }
+  if (lhs.size() != rhs.size()) {
+    report.mismatches.push_back(
+        "write counts differ: expected " + std::to_string(lhs.size()) +
+        ", actual " + std::to_string(rhs.size()));
+  }
+  return report;
+}
+
+}  // namespace ctrtl::verify

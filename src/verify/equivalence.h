@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "transfer/design.h"
+#include "verify/semantics.h"
+#include "verify/trace.h"
+
+namespace ctrtl::verify {
+
+/// Outcome of a consistency/equivalence check; empty `mismatches` means the
+/// two sides agree.
+struct CheckReport {
+  std::vector<std::string> mismatches;
+
+  [[nodiscard]] bool consistent() const { return mismatches.empty(); }
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// The paper's semantics-consistency theorem, checked mechanically: runs a
+/// design through BOTH the reference transition-system semantics
+/// (`verify::evaluate`) and the event-driven kernel (`transfer::build_model`
+/// + simulate), and compares
+///   - final register values,
+///   - the full conflict record (signal, step, phase — order-insensitive),
+///   - the delta-cycle count against cs_max * 6.
+[[nodiscard]] CheckReport check_consistency(
+    const transfer::Design& design,
+    const std::map<std::string, std::int64_t>& inputs = {});
+
+/// Compares two register-write traces (e.g. abstract vs clocked
+/// implementations of the same schedule). Writes must agree in per-register
+/// order and value; `ignore_preload` drops step-0 entries (initial loads)
+/// before comparing.
+[[nodiscard]] CheckReport compare_write_traces(
+    const std::vector<RegisterWrite>& expected,
+    const std::vector<RegisterWrite>& actual, bool ignore_preload = false);
+
+}  // namespace ctrtl::verify

@@ -1,0 +1,114 @@
+#include "verify/random_design.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "rtl/modules.h"
+
+namespace ctrtl::verify {
+
+transfer::Design random_design(const RandomDesignOptions& options) {
+  using transfer::ModuleKind;
+  using transfer::RegisterTransfer;
+
+  if (options.num_registers < 3 || options.num_buses < 3) {
+    throw std::invalid_argument("random_design: needs >= 3 registers and buses");
+  }
+
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<int> small(0, 9);
+
+  transfer::Design design;
+  design.name = "rand" + std::to_string(options.seed);
+
+  for (unsigned i = 0; i < options.num_registers; ++i) {
+    // Registers 0 and 1 are read-only seeds (always small values); the rest
+    // start initialized too so every operand carries a value.
+    design.registers.push_back({"R" + std::to_string(i), small(rng)});
+  }
+  for (unsigned i = 0; i < options.num_buses; ++i) {
+    design.buses.push_back({"B" + std::to_string(i)});
+  }
+  design.modules = {{"ADD", ModuleKind::kAdd, 1},
+                    {"SUB", ModuleKind::kSub, 1},
+                    {"MUL", ModuleKind::kMul, 2, 0}};
+  if (options.use_alu) {
+    design.modules.push_back({"ALU", ModuleKind::kAlu, 1});
+  }
+
+  const auto reg = [&](unsigned index) { return "R" + std::to_string(index); };
+  const auto bus = [&](unsigned index) { return "B" + std::to_string(index); };
+  std::uniform_int_distribution<unsigned> any_reg(0, options.num_registers - 1);
+  std::uniform_int_distribution<unsigned> dest_reg(2, options.num_registers - 1);
+  std::uniform_int_distribution<unsigned> seed_reg(0, 1);
+  std::uniform_int_distribution<unsigned> any_bus(0, options.num_buses - 1);
+  std::uniform_int_distribution<unsigned> module_pick(
+      0, options.use_alu ? 3u : 2u);
+  std::uniform_int_distribution<unsigned> natural_pick(0, 1);  // ADD or MUL
+
+  unsigned step = 1;
+  for (unsigned i = 0; i < options.num_transfers; ++i) {
+    // Map {0,1} onto {ADD, MUL} when only natural results are allowed.
+    const unsigned which =
+        options.naturals_only ? (natural_pick(rng) == 0 ? 0u : 2u)
+                              : module_pick(rng);
+    std::string module;
+    unsigned latency = 1;
+    std::optional<std::int64_t> op;
+    unsigned src_a = any_reg(rng);
+    unsigned src_b = any_reg(rng);
+    switch (which) {
+      case 0:
+        module = "ADD";
+        break;
+      case 1:
+        module = "SUB";
+        break;
+      case 2:
+        module = "MUL";
+        latency = 2;
+        // Overflow containment: multiply only seed registers.
+        src_a = seed_reg(rng);
+        src_b = seed_reg(rng);
+        break;
+      default: {
+        module = "ALU";
+        const std::int64_t codes[] = {rtl::alu_ops::kAdd, rtl::alu_ops::kSub,
+                                      rtl::alu_ops::kMin, rtl::alu_ops::kMax};
+        op = codes[static_cast<std::size_t>(small(rng)) % 4];
+        break;
+      }
+    }
+    // Distinct operand buses prevent intra-tuple conflicts.
+    const unsigned bus_a = any_bus(rng);
+    const unsigned bus_b = (bus_a + 1) % options.num_buses;
+    const unsigned bus_w = any_bus(rng);
+    design.transfers.push_back(RegisterTransfer::full(
+        reg(src_a), bus(bus_a), reg(src_b), bus(bus_b), step, module,
+        step + latency, bus(bus_w), reg(dest_reg(rng)), op));
+    step += latency + 1;  // fresh window: no cross-tuple collisions
+  }
+  design.cs_max = step + 1;
+
+  if (options.inject_conflicts && !design.transfers.empty()) {
+    // Double-book the bus of an existing tuple's first operand: an extra
+    // read of a different register onto the same (step, bus).
+    std::uniform_int_distribution<std::size_t> pick_tuple(
+        0, design.transfers.size() - 1);
+    const RegisterTransfer& victim = design.transfers[pick_tuple(rng)];
+    RegisterTransfer extra;
+    const unsigned other =
+        (victim.operand_a->source.resource == reg(0)) ? 1 : 0;
+    extra.operand_a = transfer::OperandPath{
+        transfer::Endpoint::register_out(reg(other)), victim.operand_a->bus};
+    extra.read_step = victim.read_step;
+    extra.module = victim.module;
+    if (victim.op.has_value()) {
+      extra.op = victim.op;
+    }
+    design.transfers.push_back(std::move(extra));
+  }
+  return design;
+}
+
+}  // namespace ctrtl::verify

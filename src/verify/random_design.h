@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "transfer/design.h"
+
+namespace ctrtl::verify {
+
+/// Knobs for the randomized register-transfer design generator used by the
+/// property tests and the scaling benchmarks.
+struct RandomDesignOptions {
+  std::uint32_t seed = 1;
+  unsigned num_registers = 6;  // >= 3
+  unsigned num_buses = 4;      // >= 3
+  unsigned num_transfers = 8;
+  /// Also schedule ALU tuples with random op codes.
+  bool use_alu = false;
+  /// Inject multi-drive conflicts: some transfers share a (step, bus) pair.
+  bool inject_conflicts = false;
+  /// Restrict to add/mul so every payload stays a natural number — required
+  /// when the design must round-trip through the paper's in-band Integer
+  /// encoding (DISC = -1, ILLEGAL = -2 collide with negative payloads).
+  bool naturals_only = false;
+};
+
+/// Generates a valid `Design`. Without `inject_conflicts` the schedule is
+/// serialized (each tuple gets a fresh step window) and all operand sources
+/// carry values, so the design simulates conflict-free; with it, randomly
+/// chosen tuples double-book a bus and must produce ILLEGAL at a
+/// predictable (step, phase).
+///
+/// Multiplications draw operands only from the two read-only seed
+/// registers, keeping payloads far from int64 overflow no matter how many
+/// transfers are generated.
+[[nodiscard]] transfer::Design random_design(const RandomDesignOptions& options);
+
+}  // namespace ctrtl::verify

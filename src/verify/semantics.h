@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtl/model.h"
+#include "transfer/design.h"
+
+namespace ctrtl::verify {
+
+/// Result of the reference evaluation of a design.
+struct EvalResult {
+  /// Final register values after cs_max control steps.
+  std::map<std::string, rtl::RtValue> registers;
+  /// ILLEGAL events in (step, phase) order — same records the simulator's
+  /// conflict monitor produces.
+  std::vector<rtl::Conflict> conflicts;
+  /// What a delta-cycle-faithful simulation must cost: cs_max * 6.
+  std::uint64_t expected_delta_cycles = 0;
+};
+
+/// The paper's *dedicated formal semantics* of register transfer models
+/// (section 2.7), implemented as a direct transition system over
+/// (step, phase) — deliberately **without** the event-driven kernel.
+///
+/// Each control step evaluates its six phases in order; a value driven by a
+/// TRANS instance at phase p is visible at phase succ(p); buses and ports
+/// resolve contributions with the section 2.3 function; modules compute at
+/// `cm` with their pipeline discipline; registers latch at `cr`.
+///
+/// The property test `semantics == simulation` realizes the paper's claim
+/// that "the close relationship of the register transfer model to the VHDL
+/// simulation delta cycle allows to prove the consistency of the dedicated
+/// semantics ... with VHDL simulation semantics".
+///
+/// Throws std::invalid_argument when the design does not validate.
+[[nodiscard]] EvalResult evaluate(
+    const transfer::Design& design,
+    const std::map<std::string, std::int64_t>& inputs = {});
+
+}  // namespace ctrtl::verify

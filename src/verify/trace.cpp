@@ -1,0 +1,72 @@
+#include "verify/trace.h"
+
+#include <sstream>
+
+namespace ctrtl::verify {
+
+TraceRecorder::TraceRecorder(kernel::Scheduler& scheduler) : scheduler_(scheduler) {
+  observer_id_ = scheduler_.add_event_observer(
+      [this](const kernel::SignalBase& signal, kernel::SimTime time) {
+        events_.push_back(TraceEvent{time, signal.name(), signal.debug_value()});
+      });
+}
+
+TraceRecorder::~TraceRecorder() {
+  scheduler_.remove_event_observer(observer_id_);
+}
+
+std::vector<TraceEvent> TraceRecorder::events_for(const std::string& signal) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.signal == signal) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_text() const {
+  std::ostringstream out;
+  for (const TraceEvent& event : events_) {
+    out << kernel::to_string(event.time) << "  " << event.signal << " = "
+        << event.value << '\n';
+  }
+  return out.str();
+}
+
+std::string to_string(const RegisterWrite& write) {
+  std::ostringstream out;
+  out << "step " << write.step << ": " << write.reg << " := "
+      << rtl::to_string(write.value);
+  return out.str();
+}
+
+RegisterWriteTrace::RegisterWriteTrace(rtl::RtModel& model) : model_(model) {
+  // Register output ports only ever change one delta after a cr latch
+  // (delta 6s + 1 records the write committed in step s; s == 0 is the
+  // preload during initialization).
+  std::map<const kernel::SignalBase*, std::string> outs;
+  for (const auto& reg : model.registers()) {
+    outs[&reg->out()] = reg->name();
+  }
+  observer_id_ = model_.scheduler().add_event_observer(
+      [this, outs = std::move(outs)](const kernel::SignalBase& signal,
+                                     kernel::SimTime time) {
+        const auto it = outs.find(&signal);
+        if (it == outs.end()) {
+          return;
+        }
+        const auto* out_signal = static_cast<const rtl::RtSignal*>(&signal);
+        const std::uint64_t delta = time.delta;
+        const unsigned step =
+            delta == 0 ? 0u
+                       : static_cast<unsigned>((delta - 1) / rtl::kPhasesPerStep);
+        writes_.push_back(RegisterWrite{step, it->second, out_signal->read()});
+      });
+}
+
+RegisterWriteTrace::~RegisterWriteTrace() {
+  model_.scheduler().remove_event_observer(observer_id_);
+}
+
+}  // namespace ctrtl::verify

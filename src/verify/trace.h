@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/scheduler.h"
+#include "rtl/model.h"
+
+namespace ctrtl::verify {
+
+/// One recorded signal event.
+struct TraceEvent {
+  kernel::SimTime time;
+  std::string signal;
+  std::string value;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Records every signal event of a scheduler run. Attach before running,
+/// detach (or destroy) afterwards; the recorder replaces the scheduler's
+/// event observer while attached.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(kernel::Scheduler& scheduler);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::vector<TraceEvent> events_for(const std::string& signal) const;
+  void clear() { events_.clear(); }
+
+  /// One line per event: "<fs> fs +<delta>d  <signal> = <value>".
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  kernel::Scheduler& scheduler_;
+  std::size_t observer_id_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// A register write trace: the sequence of (step, register, value) commits.
+/// This is the observable behaviour used for abstract-vs-clocked
+/// equivalence — both implementations must perform the same writes in the
+/// same control-step order.
+struct RegisterWrite {
+  unsigned step = 0;
+  std::string reg;
+  rtl::RtValue value;
+
+  friend bool operator==(const RegisterWrite&, const RegisterWrite&) = default;
+};
+
+[[nodiscard]] std::string to_string(const RegisterWrite& write);
+
+/// Extracts the register-write trace from a clock-free model run: watches
+/// each register's output port and maps event deltas back to control steps.
+/// Must be constructed before the model runs.
+class RegisterWriteTrace {
+ public:
+  explicit RegisterWriteTrace(rtl::RtModel& model);
+  ~RegisterWriteTrace();
+
+  RegisterWriteTrace(const RegisterWriteTrace&) = delete;
+  RegisterWriteTrace& operator=(const RegisterWriteTrace&) = delete;
+
+  [[nodiscard]] const std::vector<RegisterWrite>& writes() const { return writes_; }
+
+ private:
+  rtl::RtModel& model_;
+  std::size_t observer_id_ = 0;
+  std::vector<RegisterWrite> writes_;
+};
+
+}  // namespace ctrtl::verify

@@ -1,0 +1,95 @@
+#include "verify/vcd.h"
+
+#include <bitset>
+#include <charconv>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+namespace ctrtl::verify {
+
+namespace {
+
+/// Short printable identifier for the n-th signal (VCD id-char alphabet).
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& text) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc() && ptr == text.data() + text.size()) {
+    return value;
+  }
+  return std::nullopt;
+}
+
+std::string binary64(std::int64_t value) {
+  return std::bitset<64>(static_cast<std::uint64_t>(value)).to_string();
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& out, const std::vector<TraceEvent>& events,
+               const VcdOptions& options) {
+  // Collect signals in first-appearance order.
+  std::map<std::string, std::string> ids;
+  std::vector<std::string> order;
+  for (const TraceEvent& event : events) {
+    if (!ids.contains(event.signal)) {
+      ids[event.signal] = vcd_id(ids.size());
+      order.push_back(event.signal);
+    }
+  }
+
+  out << "$date ctrtl trace $end\n";
+  out << "$version ctrtl clock-free RT simulator $end\n";
+  out << "$timescale " << options.timescale << " $end\n";
+  out << "$scope module " << options.scope << " $end\n";
+  for (const std::string& name : order) {
+    // Dots are hierarchy separators for viewers; flatten them.
+    std::string flat = name;
+    for (char& c : flat) {
+      if (c == '.' || c == ' ') {
+        c = '_';
+      }
+    }
+    out << "$var wire 64 " << ids[name] << " " << flat << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  std::uint64_t last_time = ~std::uint64_t{0};
+  for (const TraceEvent& event : events) {
+    const std::uint64_t time = event.time.fs + event.time.delta;
+    if (time != last_time) {
+      out << '#' << time << '\n';
+      last_time = time;
+    }
+    const std::string& id = ids[event.signal];
+    if (event.value == "DISC") {
+      out << "bz " << id << '\n';
+    } else if (event.value == "ILLEGAL") {
+      out << "bx " << id << '\n';
+    } else if (const auto number = parse_int(event.value)) {
+      out << 'b' << binary64(*number) << ' ' << id << '\n';
+    } else {
+      out << 's' << event.value << ' ' << id << '\n';
+    }
+  }
+}
+
+std::string to_vcd(const std::vector<TraceEvent>& events,
+                   const VcdOptions& options) {
+  std::ostringstream out;
+  write_vcd(out, events, options);
+  return out.str();
+}
+
+}  // namespace ctrtl::verify

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/trace.h"
+
+namespace ctrtl::verify {
+
+/// Options for VCD (IEEE 1364 value change dump) export.
+struct VcdOptions {
+  /// Timescale text written to the header. Clock-free runs use delta cycles
+  /// as the time axis ("1 ns" per delta reads nicely in viewers); clocked
+  /// runs should use "1 fs" so physical time is exact.
+  std::string timescale = "1 ns";
+  /// Name of the enclosing scope.
+  std::string scope = "ctrtl";
+};
+
+/// Writes a recorded trace as a VCD file for waveform viewers (GTKWave
+/// etc.). Signal values map as follows:
+///   - integers       -> 64-bit binary vectors
+///   - "DISC"         -> all-z (high impedance — a disconnected source!)
+///   - "ILLEGAL"      -> all-x (unknown — a resource conflict!)
+///   - anything else  -> string value changes
+/// The time axis is `fs + delta` (for clock-free runs fs is 0, so each
+/// delta cycle is one tick; for clocked runs deltas vanish inside the
+/// femtosecond scale).
+void write_vcd(std::ostream& out, const std::vector<TraceEvent>& events,
+               const VcdOptions& options = {});
+
+/// Convenience: renders to a string.
+[[nodiscard]] std::string to_vcd(const std::vector<TraceEvent>& events,
+                                 const VcdOptions& options = {});
+
+}  // namespace ctrtl::verify

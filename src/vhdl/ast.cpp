@@ -1,0 +1,76 @@
+#include "vhdl/ast.h"
+
+namespace ctrtl::vhdl {
+
+std::string to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "/=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "<corrupt>";
+}
+
+std::string to_string(PortMode mode) {
+  switch (mode) {
+    case PortMode::kIn:
+      return "in";
+    case PortMode::kOut:
+      return "out";
+    case PortMode::kInout:
+      return "inout";
+  }
+  return "<corrupt>";
+}
+
+const PortDecl* Entity::find_port(const std::string& port_name) const {
+  for (const PortDecl& port : ports) {
+    if (port.name == port_name) {
+      return &port;
+    }
+  }
+  return nullptr;
+}
+
+const Entity* DesignFile::find_entity(const std::string& name) const {
+  for (const Entity& entity : entities) {
+    if (entity.name == name) {
+      return &entity;
+    }
+  }
+  return nullptr;
+}
+
+const Architecture* DesignFile::find_architecture_of(
+    const std::string& entity_name) const {
+  const Architecture* found = nullptr;
+  for (const Architecture& architecture : architectures) {
+    if (architecture.entity == entity_name) {
+      found = &architecture;  // last one wins
+    }
+  }
+  return found;
+}
+
+}  // namespace ctrtl::vhdl

@@ -1,0 +1,250 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/source_location.h"
+
+namespace ctrtl::vhdl {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot };
+
+[[nodiscard]] std::string to_string(BinaryOp op);
+
+struct IntLiteral {
+  std::int64_t value = 0;
+};
+
+/// A simple name: signal, variable, constant, generic, or enum literal —
+/// resolved during elaboration.
+struct NameRef {
+  std::string name;
+};
+
+/// `prefix'attribute` or `prefix'attribute(argument)`,
+/// e.g. `Phase'High`, `Phase'Succ(PH)`.
+struct AttributeRef {
+  std::string prefix;
+  std::string attribute;
+  ExprPtr argument;  // may be null
+};
+
+struct BinaryExpr {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// `name(arg, ...)` — a call to an architecture-declared function (the
+/// paper's §2.6 mechanism for grouping combinational levels).
+struct CallExpr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+struct UnaryExpr {
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct Expr {
+  common::SourceLocation location;
+  std::variant<IntLiteral, NameRef, AttributeRef, BinaryExpr, UnaryExpr, CallExpr>
+      node;
+};
+
+// ---------------------------------------------------------------------------
+// Sequential statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// `wait [on s, ...] [until cond] [for t];`
+struct WaitStmt {
+  std::vector<std::string> on_signals;
+  ExprPtr until;     // may be null
+  ExprPtr for_time;  // may be null; rejected by the clock-free subset check
+};
+
+/// `target <= value [after t];`
+struct SignalAssignStmt {
+  std::string target;
+  ExprPtr value;
+  ExprPtr after;  // may be null; rejected by the clock-free subset check
+};
+
+/// `target := value;`
+struct VariableAssignStmt {
+  std::string target;
+  ExprPtr value;
+};
+
+struct IfStmt {
+  struct Arm {
+    ExprPtr condition;
+    std::vector<StmtPtr> body;
+  };
+  std::vector<Arm> arms;          // if / elsif chain
+  std::vector<StmtPtr> else_body;
+};
+
+struct NullStmt {};
+
+/// `return expr;` — only inside function bodies.
+struct ReturnStmt {
+  ExprPtr value;
+};
+
+struct Stmt {
+  common::SourceLocation location;
+  std::variant<WaitStmt, SignalAssignStmt, VariableAssignStmt, IfStmt, NullStmt,
+               ReturnStmt>
+      node;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+/// `[resolved] type_name` — the subset treats `resolved` as a builtin
+/// resolution-function marker realizing the paper's section 2.3 semantics.
+struct SubtypeIndication {
+  bool resolved = false;
+  std::string type_name;  // "integer", "natural", "phase", "boolean", ...
+};
+
+/// `type Phase is (ra, rb, cm, wa, wb, cr);`
+struct TypeDecl {
+  std::string name;
+  std::vector<std::string> literals;
+  common::SourceLocation location;
+};
+
+struct ConstantDecl {
+  std::string name;
+  SubtypeIndication subtype;
+  ExprPtr value;
+  common::SourceLocation location;
+};
+
+struct SignalDecl {
+  std::vector<std::string> names;
+  SubtypeIndication subtype;
+  ExprPtr init;  // may be null
+  common::SourceLocation location;
+};
+
+struct VariableDecl {
+  std::vector<std::string> names;
+  SubtypeIndication subtype;
+  ExprPtr init;  // may be null
+  common::SourceLocation location;
+};
+
+/// `function id (params) return type is {vars} begin {stmts} end;`
+/// Pure combinational helpers: no waits, no signal assignments inside.
+struct FunctionDecl {
+  struct Param {
+    std::string name;
+    SubtypeIndication subtype;
+  };
+  std::string name;
+  std::vector<Param> params;
+  SubtypeIndication result;
+  std::vector<VariableDecl> variables;
+  std::vector<StmtPtr> body;
+  common::SourceLocation location;
+};
+
+enum class PortMode : std::uint8_t { kIn, kOut, kInout };
+
+[[nodiscard]] std::string to_string(PortMode mode);
+
+struct PortDecl {
+  std::string name;
+  PortMode mode = PortMode::kIn;
+  SubtypeIndication subtype;
+  ExprPtr init;  // default expression, e.g. `OutS: out Integer := DISC`
+  common::SourceLocation location;
+};
+
+struct GenericDecl {
+  std::string name;
+  SubtypeIndication subtype;
+  ExprPtr init;  // may be null
+  common::SourceLocation location;
+};
+
+// ---------------------------------------------------------------------------
+// Design units
+// ---------------------------------------------------------------------------
+
+struct Entity {
+  std::string name;
+  std::vector<GenericDecl> generics;
+  std::vector<PortDecl> ports;
+  common::SourceLocation location;
+
+  [[nodiscard]] const PortDecl* find_port(const std::string& port_name) const;
+};
+
+struct ProcessStmt {
+  std::string label;
+  std::vector<std::string> sensitivity;
+  std::vector<VariableDecl> variables;
+  std::vector<StmtPtr> body;
+  common::SourceLocation location;
+};
+
+/// `label: unit [generic map (e, ...)] [port map (name, ...)];`
+/// Positional association only, matching the paper's style.
+struct ComponentInst {
+  std::string label;
+  std::string unit;
+  std::vector<ExprPtr> generic_map;
+  std::vector<std::string> port_map;
+  common::SourceLocation location;
+};
+
+struct Architecture {
+  std::string name;
+  std::string entity;
+  std::vector<TypeDecl> types;
+  std::vector<ConstantDecl> constants;
+  std::vector<SignalDecl> signals;
+  std::vector<FunctionDecl> functions;
+  std::vector<ProcessStmt> processes;
+  std::vector<ComponentInst> instances;
+  common::SourceLocation location;
+};
+
+struct DesignFile {
+  std::vector<Entity> entities;
+  std::vector<Architecture> architectures;
+
+  [[nodiscard]] const Entity* find_entity(const std::string& name) const;
+  /// The most recently declared architecture of an entity (VHDL's default
+  /// binding rule for unnamed configurations).
+  [[nodiscard]] const Architecture* find_architecture_of(
+      const std::string& entity_name) const;
+};
+
+}  // namespace ctrtl::vhdl

@@ -1,0 +1,857 @@
+#include "vhdl/elaborator.h"
+
+#include <limits>
+#include <optional>
+#include <set>
+
+#include "kernel/task.h"
+#include "rtl/value.h"
+#include "vhdl/parser.h"
+#include "vhdl/subset_check.h"
+
+namespace ctrtl::vhdl {
+
+ElaborationError::ElaborationError(const std::string& message,
+                                   common::SourceLocation location)
+    : std::runtime_error(message + " at " + common::to_string(location)),
+      location_(location) {}
+
+namespace {
+
+/// The paper's resolution function over the in-band integer encoding.
+std::int64_t resolve_inband(std::span<const std::int64_t> values) {
+  std::int64_t unique = rtl::RtValue::kDiscEncoding;
+  bool saw_value = false;
+  for (const std::int64_t v : values) {
+    if (v == rtl::RtValue::kDiscEncoding) {
+      continue;
+    }
+    if (v == rtl::RtValue::kIllegalEncoding || saw_value) {
+      return rtl::RtValue::kIllegalEncoding;
+    }
+    unique = v;
+    saw_value = true;
+  }
+  return unique;
+}
+
+}  // namespace
+
+/// Everything one interpreted process can see: its AST, visible signals,
+/// constants (generics, enum literals, declared constants), its variables,
+/// and the drivers it owns.
+struct ProcessEnv {
+  std::string name;
+  const ProcessStmt* ast = nullptr;
+  kernel::Scheduler* scheduler = nullptr;
+  const std::map<std::string, EnumType>* enum_types = nullptr;
+  std::map<std::string, const FunctionDecl*> functions;
+  std::map<std::string, SimSignal*> signals;
+  std::map<std::string, std::int64_t> constants;
+  std::map<std::string, std::int64_t> variables;
+  std::map<std::string, std::pair<SimSignal*, kernel::DriverId>> drivers;
+};
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Expression evaluation (shared by static elaboration and the interpreter)
+// --------------------------------------------------------------------------
+
+struct EvalScope {
+  const std::map<std::string, std::int64_t>* variables = nullptr;  // innermost
+  const std::map<std::string, SimSignal*>* signals = nullptr;
+  const std::map<std::string, std::int64_t>* constants = nullptr;
+  const std::map<std::string, EnumType>* enum_types = nullptr;
+  const std::map<std::string, const FunctionDecl*>* functions = nullptr;
+};
+
+std::int64_t eval(const Expr& expr, const EvalScope& scope);
+std::int64_t call_function(const FunctionDecl& function,
+                           std::vector<std::int64_t> args,
+                           const EvalScope& outer, common::SourceLocation loc);
+
+std::int64_t eval_attribute(const AttributeRef& attr, const Expr& expr,
+                            const EvalScope& scope) {
+  const auto arg = [&]() -> std::int64_t {
+    if (!attr.argument) {
+      throw ElaborationError("attribute '" + attr.attribute + "' needs an argument",
+                             expr.location);
+    }
+    return eval(*attr.argument, scope);
+  };
+
+  const EnumType* enum_type = nullptr;
+  if (scope.enum_types != nullptr) {
+    const auto it = scope.enum_types->find(attr.prefix);
+    if (it != scope.enum_types->end()) {
+      enum_type = &it->second;
+    }
+  }
+
+  if (enum_type != nullptr) {
+    const auto last = static_cast<std::int64_t>(enum_type->literals.size()) - 1;
+    if (attr.attribute == "high" || attr.attribute == "right") {
+      return last;
+    }
+    if (attr.attribute == "low" || attr.attribute == "left") {
+      return 0;
+    }
+    if (attr.attribute == "succ") {
+      const std::int64_t v = arg();
+      if (v >= last) {
+        throw ElaborationError("'Succ past " + enum_type->name + "'High",
+                               expr.location);
+      }
+      return v + 1;
+    }
+    if (attr.attribute == "pred") {
+      const std::int64_t v = arg();
+      if (v <= 0) {
+        throw ElaborationError("'Pred below " + enum_type->name + "'Low",
+                               expr.location);
+      }
+      return v - 1;
+    }
+    if (attr.attribute == "pos" || attr.attribute == "val") {
+      return arg();
+    }
+  } else if (attr.prefix == "integer" || attr.prefix == "natural") {
+    if (attr.attribute == "high") {
+      return std::numeric_limits<std::int64_t>::max();
+    }
+    if (attr.attribute == "low" || attr.attribute == "left") {
+      return attr.prefix == "natural" ? 0
+                                      : std::numeric_limits<std::int64_t>::min();
+    }
+    if (attr.attribute == "succ") {
+      return arg() + 1;
+    }
+    if (attr.attribute == "pred") {
+      return arg() - 1;
+    }
+  }
+  throw ElaborationError(
+      "unsupported attribute " + attr.prefix + "'" + attr.attribute, expr.location);
+}
+
+std::int64_t eval(const Expr& expr, const EvalScope& scope) {
+  return std::visit(
+      [&](const auto& node) -> std::int64_t {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, IntLiteral>) {
+          return node.value;
+        } else if constexpr (std::is_same_v<T, NameRef>) {
+          if (scope.variables != nullptr) {
+            const auto it = scope.variables->find(node.name);
+            if (it != scope.variables->end()) {
+              return it->second;
+            }
+          }
+          if (scope.signals != nullptr) {
+            const auto it = scope.signals->find(node.name);
+            if (it != scope.signals->end()) {
+              return it->second->read();
+            }
+          }
+          if (scope.constants != nullptr) {
+            const auto it = scope.constants->find(node.name);
+            if (it != scope.constants->end()) {
+              return it->second;
+            }
+          }
+          throw ElaborationError("unknown name '" + node.name + "'", expr.location);
+        } else if constexpr (std::is_same_v<T, AttributeRef>) {
+          return eval_attribute(node, expr, scope);
+        } else if constexpr (std::is_same_v<T, CallExpr>) {
+          if (scope.functions == nullptr) {
+            throw ElaborationError("function calls are not allowed here",
+                                   expr.location);
+          }
+          const auto it = scope.functions->find(node.callee);
+          if (it == scope.functions->end()) {
+            throw ElaborationError("unknown function '" + node.callee + "'",
+                                   expr.location);
+          }
+          std::vector<std::int64_t> args;
+          args.reserve(node.args.size());
+          for (const ExprPtr& arg : node.args) {
+            args.push_back(eval(*arg, scope));
+          }
+          return call_function(*it->second, std::move(args), scope,
+                               expr.location);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          const std::int64_t lhs = eval(*node.lhs, scope);
+          // `and`/`or` are not short-circuit in VHDL for plain boolean, but
+          // evaluation has no side effects here, so order is immaterial.
+          const std::int64_t rhs = eval(*node.rhs, scope);
+          switch (node.op) {
+            case BinaryOp::kAdd:
+              return lhs + rhs;
+            case BinaryOp::kSub:
+              return lhs - rhs;
+            case BinaryOp::kMul:
+              return lhs * rhs;
+            case BinaryOp::kDiv:
+              if (rhs == 0) {
+                throw ElaborationError("division by zero", expr.location);
+              }
+              return lhs / rhs;
+            case BinaryOp::kEq:
+              return lhs == rhs ? 1 : 0;
+            case BinaryOp::kNeq:
+              return lhs != rhs ? 1 : 0;
+            case BinaryOp::kLt:
+              return lhs < rhs ? 1 : 0;
+            case BinaryOp::kLe:
+              return lhs <= rhs ? 1 : 0;
+            case BinaryOp::kGt:
+              return lhs > rhs ? 1 : 0;
+            case BinaryOp::kGe:
+              return lhs >= rhs ? 1 : 0;
+            case BinaryOp::kAnd:
+              return (lhs != 0 && rhs != 0) ? 1 : 0;
+            case BinaryOp::kOr:
+              return (lhs != 0 || rhs != 0) ? 1 : 0;
+          }
+          throw ElaborationError("corrupt binary op", expr.location);
+        } else {  // UnaryExpr
+          const std::int64_t operand = eval(*node.operand, scope);
+          return node.op == UnaryOp::kNeg ? -operand : (operand == 0 ? 1 : 0);
+        }
+      },
+      expr.node);
+}
+
+// --------------------------------------------------------------------------
+// Function interpretation (pure combinational helpers, paper 2.6)
+// --------------------------------------------------------------------------
+
+thread_local unsigned t_call_depth = 0;
+
+std::optional<std::int64_t> exec_function_stmts(
+    const std::vector<StmtPtr>& stmts, const EvalScope& scope,
+    std::map<std::string, std::int64_t>& variables) {
+  for (const StmtPtr& stmt : stmts) {
+    if (const auto* ret = std::get_if<ReturnStmt>(&stmt->node)) {
+      return eval(*ret->value, scope);
+    }
+    if (const auto* assign = std::get_if<VariableAssignStmt>(&stmt->node)) {
+      const auto it = variables.find(assign->target);
+      if (it == variables.end()) {
+        throw ElaborationError(
+            "function: unknown variable '" + assign->target + "'",
+            stmt->location);
+      }
+      it->second = eval(*assign->value, scope);
+      continue;
+    }
+    if (const auto* ifstmt = std::get_if<IfStmt>(&stmt->node)) {
+      bool taken = false;
+      for (const IfStmt::Arm& arm : ifstmt->arms) {
+        if (eval(*arm.condition, scope) != 0) {
+          if (const auto result = exec_function_stmts(arm.body, scope, variables)) {
+            return result;
+          }
+          taken = true;
+          break;
+        }
+      }
+      if (!taken) {
+        if (const auto result =
+                exec_function_stmts(ifstmt->else_body, scope, variables)) {
+          return result;
+        }
+      }
+      continue;
+    }
+    if (std::holds_alternative<NullStmt>(stmt->node)) {
+      continue;
+    }
+    throw ElaborationError(
+        "function bodies may only contain variable assignments, if, null, "
+        "and return",
+        stmt->location);
+  }
+  return std::nullopt;
+}
+
+std::int64_t call_function(const FunctionDecl& function,
+                           std::vector<std::int64_t> args,
+                           const EvalScope& outer, common::SourceLocation loc) {
+  if (args.size() != function.params.size()) {
+    throw ElaborationError("function '" + function.name + "' expects " +
+                               std::to_string(function.params.size()) +
+                               " arguments, got " + std::to_string(args.size()),
+                           loc);
+  }
+  // RAII so the counter unwinds correctly when errors propagate through
+  // nested calls.
+  struct DepthGuard {
+    DepthGuard() { ++t_call_depth; }
+    ~DepthGuard() { --t_call_depth; }
+  } depth_guard;
+  if (t_call_depth > 256) {
+    throw ElaborationError("function call depth limit exceeded (recursion in '" +
+                               function.name + "'?)",
+                           loc);
+  }
+  std::map<std::string, std::int64_t> frame;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    frame[function.params[i].name] = args[i];
+  }
+  EvalScope scope;
+  scope.variables = &frame;
+  scope.constants = outer.constants;
+  scope.enum_types = outer.enum_types;
+  scope.functions = outer.functions;  // functions may call functions
+  for (const VariableDecl& decl : function.variables) {
+    for (const std::string& name : decl.names) {
+      frame[name] = decl.init ? eval(*decl.init, scope) : 0;
+    }
+  }
+  const auto result = exec_function_stmts(function.body, scope, frame);
+  if (!result.has_value()) {
+    throw ElaborationError("function '" + function.name +
+                               "' fell off the end without returning",
+                           function.location);
+  }
+  return *result;
+}
+
+// --------------------------------------------------------------------------
+// Interpreter
+// --------------------------------------------------------------------------
+
+EvalScope process_scope(ProcessEnv& env) {
+  EvalScope scope;
+  scope.variables = &env.variables;
+  scope.signals = &env.signals;
+  scope.constants = &env.constants;
+  scope.enum_types = env.enum_types;
+  scope.functions = &env.functions;
+  return scope;
+}
+
+SimSignal* resolve_signal(ProcessEnv& env, const std::string& name,
+                          common::SourceLocation loc) {
+  const auto it = env.signals.find(name);
+  if (it == env.signals.end()) {
+    throw ElaborationError("process '" + env.name + "': unknown signal '" + name + "'",
+                           loc);
+  }
+  return it->second;
+}
+
+/// Signals named in an expression (the implicit sensitivity of `wait until`).
+void collect_signals(const Expr& expr, ProcessEnv& env,
+                     std::vector<kernel::SignalBase*>& out) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NameRef>) {
+          const auto it = env.signals.find(node.name);
+          if (it != env.signals.end()) {
+            out.push_back(it->second);
+          }
+        } else if constexpr (std::is_same_v<T, AttributeRef>) {
+          if (node.argument) {
+            collect_signals(*node.argument, env, out);
+          }
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          collect_signals(*node.lhs, env, out);
+          collect_signals(*node.rhs, env, out);
+        } else if constexpr (std::is_same_v<T, CallExpr>) {
+          for (const ExprPtr& arg : node.args) {
+            collect_signals(*arg, env, out);
+          }
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          collect_signals(*node.operand, env, out);
+        }
+      },
+      expr.node);
+}
+
+kernel::Task exec_stmts(ProcessEnv& env, const std::vector<StmtPtr>& stmts) {
+  for (const StmtPtr& stmt : stmts) {
+    if (std::holds_alternative<WaitStmt>(stmt->node)) {
+      const WaitStmt& wait = std::get<WaitStmt>(stmt->node);
+      std::vector<kernel::SignalBase*> sensitivity;
+      for (const std::string& name : wait.on_signals) {
+        sensitivity.push_back(resolve_signal(env, name, stmt->location));
+      }
+      if (wait.until && sensitivity.empty()) {
+        collect_signals(*wait.until, env, sensitivity);
+        if (sensitivity.empty()) {
+          throw ElaborationError(
+              "process '" + env.name + "': wait-until condition mentions no signal",
+              stmt->location);
+        }
+      }
+      if (wait.for_time) {
+        const std::int64_t fs = eval(*wait.for_time, process_scope(env));
+        co_await kernel::wait_for_fs(static_cast<std::uint64_t>(fs));
+      } else if (wait.until) {
+        const Expr* condition = wait.until.get();
+        co_await kernel::wait_until(std::move(sensitivity), [&env, condition] {
+          return eval(*condition, process_scope(env)) != 0;
+        });
+      } else {
+        co_await kernel::wait_on(std::move(sensitivity));
+      }
+    } else if (std::holds_alternative<SignalAssignStmt>(stmt->node)) {
+      const SignalAssignStmt& assign = std::get<SignalAssignStmt>(stmt->node);
+      const auto it = env.drivers.find(assign.target);
+      if (it == env.drivers.end()) {
+        throw ElaborationError(
+            "process '" + env.name + "': no driver for '" + assign.target + "'",
+            stmt->location);
+      }
+      const std::int64_t value = eval(*assign.value, process_scope(env));
+      if (assign.after) {
+        const std::int64_t fs = eval(*assign.after, process_scope(env));
+        it->second.first->drive_after(it->second.second, value,
+                                      static_cast<std::uint64_t>(fs));
+      } else {
+        it->second.first->drive(it->second.second, value);
+      }
+    } else if (std::holds_alternative<VariableAssignStmt>(stmt->node)) {
+      const VariableAssignStmt& assign = std::get<VariableAssignStmt>(stmt->node);
+      const auto it = env.variables.find(assign.target);
+      if (it == env.variables.end()) {
+        throw ElaborationError(
+            "process '" + env.name + "': unknown variable '" + assign.target + "'",
+            stmt->location);
+      }
+      it->second = eval(*assign.value, process_scope(env));
+    } else if (std::holds_alternative<IfStmt>(stmt->node)) {
+      const IfStmt& ifstmt = std::get<IfStmt>(stmt->node);
+      bool taken = false;
+      for (const IfStmt::Arm& arm : ifstmt.arms) {
+        if (eval(*arm.condition, process_scope(env)) != 0) {
+          co_await exec_stmts(env, arm.body);
+          taken = true;
+          break;
+        }
+      }
+      if (!taken) {
+        co_await exec_stmts(env, ifstmt.else_body);
+      }
+    }
+    else if (std::holds_alternative<ReturnStmt>(stmt->node)) {
+      throw ElaborationError(
+          "process '" + env.name + "': return outside a function",
+          stmt->location);
+    }
+    // NullStmt: nothing.
+  }
+}
+
+bool contains_wait(const std::vector<StmtPtr>& stmts) {
+  for (const StmtPtr& stmt : stmts) {
+    if (std::holds_alternative<WaitStmt>(stmt->node)) {
+      return true;
+    }
+    if (const IfStmt* ifstmt = std::get_if<IfStmt>(&stmt->node)) {
+      for (const IfStmt::Arm& arm : ifstmt->arms) {
+        if (contains_wait(arm.body)) {
+          return true;
+        }
+      }
+      if (contains_wait(ifstmt->else_body)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+kernel::Process run_process(ProcessEnv* env) {
+  const bool has_sensitivity = !env->ast->sensitivity.empty();
+  std::vector<kernel::SignalBase*> sensitivity;
+  for (const std::string& name : env->ast->sensitivity) {
+    sensitivity.push_back(resolve_signal(*env, name, env->ast->location));
+  }
+  const bool suspends = has_sensitivity || contains_wait(env->ast->body);
+  for (;;) {
+    co_await exec_stmts(*env, env->ast->body);
+    if (has_sensitivity) {
+      co_await kernel::wait_on(sensitivity);
+    } else if (!suspends) {
+      break;  // defensive: the subset checker rejects such processes
+    }
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Elaboration
+// --------------------------------------------------------------------------
+
+class Elaborator {
+ public:
+  Elaborator(ElaboratedModel& model, common::DiagnosticBag& diags)
+      : model_(model), diags_(diags) {}
+
+  bool run(const std::string& top_entity) {
+    register_builtin_types();
+    for (const Architecture& arch : model_.file_.architectures) {
+      for (const TypeDecl& type : arch.types) {
+        register_enum(type);
+      }
+    }
+    const Entity* top = model_.file_.find_entity(top_entity);
+    if (top == nullptr) {
+      diags_.error("top entity '" + top_entity + "' not found");
+      return false;
+    }
+    instantiate(*top, {}, {}, "");
+    return !diags_.has_errors();
+  }
+
+ private:
+  void register_builtin_types() {
+    model_.enum_types_["boolean"] = EnumType{"boolean", {"false", "true"}};
+    model_.enum_types_["phase"] =
+        EnumType{"phase", {"ra", "rb", "cm", "wa", "wb", "cr"}};
+    // Implicit standard package: the paper's value constants and the enum
+    // literals of all builtin types.
+    global_constants_["disc"] = rtl::RtValue::kDiscEncoding;
+    global_constants_["illegal"] = rtl::RtValue::kIllegalEncoding;
+    for (const auto& [name, type] : model_.enum_types_) {
+      for (std::size_t i = 0; i < type.literals.size(); ++i) {
+        global_constants_[type.literals[i]] = static_cast<std::int64_t>(i);
+      }
+    }
+  }
+
+  void register_enum(const TypeDecl& type) {
+    if (model_.enum_types_.contains(type.name)) {
+      // Re-declaration across architectures (the paper repeats `type Phase`)
+      // is accepted when identical.
+      if (model_.enum_types_[type.name].literals != type.literals) {
+        diags_.error("conflicting redeclaration of type '" + type.name + "'",
+                     type.location);
+      }
+      return;
+    }
+    model_.enum_types_[type.name] = EnumType{type.name, type.literals};
+    for (std::size_t i = 0; i < type.literals.size(); ++i) {
+      global_constants_[type.literals[i]] = static_cast<std::int64_t>(i);
+    }
+  }
+
+  std::int64_t type_default(const SubtypeIndication& subtype) const {
+    // The subset's defaulting rule: 0 for every type (enum ordinal 0,
+    // integer 0). Sources that care use explicit defaults, as the paper does.
+    (void)subtype;
+    return 0;
+  }
+
+  std::int64_t static_eval(const Expr& expr,
+                           const std::map<std::string, std::int64_t>& constants,
+                           const std::map<std::string, const FunctionDecl*>*
+                               functions = nullptr) {
+    EvalScope scope;
+    scope.constants = &constants;
+    scope.enum_types = &model_.enum_types_;
+    scope.functions = functions;
+    return eval(expr, scope);
+  }
+
+  struct InstanceScope {
+    std::map<std::string, SimSignal*> signals;
+    std::map<std::string, std::int64_t> constants;
+    std::map<std::string, std::int64_t> port_defaults;  // formal -> default value
+    std::map<std::string, std::int64_t> signal_inits;   // name -> declared init
+    std::map<std::string, const FunctionDecl*> functions;
+  };
+
+  void instantiate(const Entity& entity,
+                   const std::map<std::string, SimSignal*>& port_actuals,
+                   const std::map<std::string, std::int64_t>& generic_values,
+                   const std::string& prefix) {
+    const Architecture* arch = model_.file_.find_architecture_of(entity.name);
+    if (arch == nullptr) {
+      diags_.error("entity '" + entity.name + "' has no architecture",
+                   entity.location);
+      return;
+    }
+
+    InstanceScope scope;
+    scope.constants = global_constants_;
+    for (const FunctionDecl& function : arch->functions) {
+      scope.functions[function.name] = &function;
+    }
+
+    // Generics.
+    for (const GenericDecl& generic : entity.generics) {
+      const auto it = generic_values.find(generic.name);
+      if (it != generic_values.end()) {
+        scope.constants[generic.name] = it->second;
+      } else if (generic.init) {
+        scope.constants[generic.name] = static_eval(*generic.init, scope.constants);
+      } else {
+        diags_.error("generic '" + generic.name + "' of '" + entity.name +
+                         "' has no value",
+                     generic.location);
+        scope.constants[generic.name] = 0;
+      }
+    }
+
+    // Ports: bind actuals, or create a signal for unbound (top-level) ports.
+    for (const PortDecl& port : entity.ports) {
+      const std::int64_t default_value =
+          port.init ? static_eval(*port.init, scope.constants)
+                    : type_default(port.subtype);
+      scope.port_defaults[port.name] = default_value;
+      const auto it = port_actuals.find(port.name);
+      if (it != port_actuals.end()) {
+        scope.signals[port.name] = it->second;
+      } else {
+        SimSignal& signal = make_signal(prefix + port.name, default_value,
+                                        port.subtype);
+        scope.signals[port.name] = &signal;
+        scope.signal_inits[port.name] = default_value;
+      }
+    }
+
+    // Architecture constants (may call the architecture's own functions).
+    for (const ConstantDecl& constant : arch->constants) {
+      scope.constants[constant.name] =
+          static_eval(*constant.value, scope.constants, &scope.functions);
+    }
+
+    // Architecture signals.
+    for (const SignalDecl& decl : arch->signals) {
+      const std::int64_t init = decl.init
+                                    ? static_eval(*decl.init, scope.constants)
+                                    : type_default(decl.subtype);
+      for (const std::string& name : decl.names) {
+        SimSignal& signal = make_signal(prefix + name, init, decl.subtype);
+        scope.signals[name] = &signal;
+        scope.signal_inits[name] = init;
+      }
+    }
+
+    // Child instances.
+    for (const ComponentInst& inst : arch->instances) {
+      const Entity* child = model_.file_.find_entity(inst.unit);
+      if (child == nullptr) {
+        diags_.error("instantiation '" + inst.label + "': unknown entity '" +
+                         inst.unit + "'",
+                     inst.location);
+        continue;
+      }
+      std::map<std::string, std::int64_t> child_generics;
+      for (std::size_t i = 0;
+           i < inst.generic_map.size() && i < child->generics.size(); ++i) {
+        child_generics[child->generics[i].name] =
+            static_eval(*inst.generic_map[i], scope.constants);
+      }
+      std::map<std::string, SimSignal*> child_ports;
+      if (inst.port_map.size() != child->ports.size()) {
+        diags_.error("instantiation '" + inst.label + "': port count mismatch",
+                     inst.location);
+        continue;
+      }
+      bool ok = true;
+      for (std::size_t i = 0; i < inst.port_map.size(); ++i) {
+        const auto sig_it = scope.signals.find(inst.port_map[i]);
+        if (sig_it == scope.signals.end()) {
+          diags_.error("instantiation '" + inst.label + "': unknown actual '" +
+                           inst.port_map[i] + "'",
+                       inst.location);
+          ok = false;
+          break;
+        }
+        child_ports[child->ports[i].name] = sig_it->second;
+      }
+      if (ok) {
+        instantiate(*child, child_ports, child_generics, prefix + inst.label + ".");
+      }
+    }
+
+    // Processes.
+    for (std::size_t i = 0; i < arch->processes.size(); ++i) {
+      const ProcessStmt& process = arch->processes[i];
+      spawn_process(process, entity, scope,
+                    prefix + (process.label.empty()
+                                  ? "process" + std::to_string(i)
+                                  : process.label));
+    }
+  }
+
+  void spawn_process(const ProcessStmt& process, const Entity& entity,
+                     const InstanceScope& scope, const std::string& name) {
+    auto env = std::make_unique<ProcessEnv>();
+    env->name = name;
+    env->ast = &process;
+    env->scheduler = model_.scheduler_.get();
+    env->enum_types = &model_.enum_types_;
+    env->functions = scope.functions;
+    env->signals = scope.signals;
+    env->constants = scope.constants;
+    for (const VariableDecl& decl : process.variables) {
+      for (const std::string& var : decl.names) {
+        env->variables[var] =
+            decl.init ? static_eval(*decl.init, scope.constants)
+                      : type_default(decl.subtype);
+      }
+    }
+    // One driver per signal this process assigns; initial contribution is
+    // the port default (for formals) or the signal's declared initial.
+    std::set<std::string> targets;
+    collect_assign_targets(process.body, targets);
+    for (const std::string& target : targets) {
+      const auto sig_it = scope.signals.find(target);
+      if (sig_it == scope.signals.end()) {
+        diags_.error("process '" + name + "' assigns unknown signal '" + target + "'",
+                     process.location);
+        continue;
+      }
+      std::int64_t init = 0;
+      if (const auto def_it = scope.port_defaults.find(target);
+          def_it != scope.port_defaults.end() &&
+          entity.find_port(target) != nullptr) {
+        init = def_it->second;
+      } else if (const auto init_it = scope.signal_inits.find(target);
+                 init_it != scope.signal_inits.end()) {
+        init = init_it->second;
+      }
+      env->drivers[target] = {sig_it->second, sig_it->second->add_driver(init)};
+    }
+    model_.scheduler_->spawn(name, run_process(env.get()));
+    model_.envs_.push_back(std::move(env));
+  }
+
+  static void collect_assign_targets(const std::vector<StmtPtr>& stmts,
+                                     std::set<std::string>& targets) {
+    for (const StmtPtr& stmt : stmts) {
+      if (const auto* assign = std::get_if<SignalAssignStmt>(&stmt->node)) {
+        targets.insert(assign->target);
+      } else if (const auto* ifstmt = std::get_if<IfStmt>(&stmt->node)) {
+        for (const IfStmt::Arm& arm : ifstmt->arms) {
+          collect_assign_targets(arm.body, targets);
+        }
+        collect_assign_targets(ifstmt->else_body, targets);
+      }
+    }
+  }
+
+  SimSignal& make_signal(const std::string& name, std::int64_t init,
+                         const SubtypeIndication& subtype) {
+    SimSignal::Resolver resolver;
+    if (subtype.resolved) {
+      resolver = resolve_inband;
+    }
+    SimSignal& signal = model_.scheduler_->make_signal<std::int64_t>(
+        name, init, std::move(resolver));
+    model_.signals_[name] = &signal;
+    model_.signal_types_[name] = subtype.type_name;
+    return signal;
+  }
+
+  ElaboratedModel& model_;
+  common::DiagnosticBag& diags_;
+  std::map<std::string, std::int64_t> global_constants_;
+};
+
+// --------------------------------------------------------------------------
+// ElaboratedModel
+// --------------------------------------------------------------------------
+
+ElaboratedModel::ElaboratedModel()
+    : scheduler_(std::make_unique<kernel::Scheduler>()) {}
+
+ElaboratedModel::~ElaboratedModel() {
+  // Interpreter frames reference envs_ and file_; destroy them first.
+  scheduler_->shutdown();
+}
+
+std::uint64_t ElaboratedModel::run(std::uint64_t max_cycles) {
+  return scheduler_->run(max_cycles);
+}
+
+SimSignal* ElaboratedModel::find_signal(const std::string& name) {
+  const auto it = signals_.find(name);
+  return it == signals_.end() ? nullptr : it->second;
+}
+
+std::int64_t ElaboratedModel::read(const std::string& name) const {
+  const auto it = signals_.find(name);
+  if (it == signals_.end()) {
+    throw std::invalid_argument("no signal named '" + name + "'");
+  }
+  return it->second->read();
+}
+
+std::string ElaboratedModel::render(const std::string& name) const {
+  const std::int64_t value = read(name);
+  const auto type_it = signal_types_.find(name);
+  if (type_it != signal_types_.end()) {
+    const auto enum_it = enum_types_.find(type_it->second);
+    if (enum_it != enum_types_.end()) {
+      const auto& literals = enum_it->second.literals;
+      if (value >= 0 && value < static_cast<std::int64_t>(literals.size())) {
+        return literals[static_cast<std::size_t>(value)];
+      }
+      return "<out-of-range " + std::to_string(value) + ">";
+    }
+    if (type_it->second == "integer" || type_it->second == "natural") {
+      return rtl::to_string(rtl::RtValue::from_inband(value));
+    }
+  }
+  return std::to_string(value);
+}
+
+void ElaboratedModel::set_value(const std::string& name, std::int64_t value) {
+  const auto it = signals_.find(name);
+  if (it == signals_.end()) {
+    throw std::invalid_argument("no signal named '" + name + "'");
+  }
+  const auto driver_it = testbench_drivers_.find(name);
+  kernel::DriverId driver = 0;
+  if (driver_it == testbench_drivers_.end()) {
+    driver = it->second->add_driver(it->second->read());
+    testbench_drivers_[name] = driver;
+  } else {
+    driver = driver_it->second;
+  }
+  it->second->drive(driver, value);
+}
+
+std::size_t ElaboratedModel::process_count() const {
+  return envs_.size();
+}
+
+std::unique_ptr<ElaboratedModel> elaborate(DesignFile file,
+                                           const std::string& top_entity,
+                                           common::DiagnosticBag& diags) {
+  auto model = std::make_unique<ElaboratedModel>();
+  model->file_ = std::move(file);
+  Elaborator elaborator(*model, diags);
+  if (!elaborator.run(top_entity)) {
+    return nullptr;
+  }
+  return model;
+}
+
+std::unique_ptr<ElaboratedModel> load_model(std::string_view source,
+                                            const std::string& top_entity,
+                                            common::DiagnosticBag& diags) {
+  DesignFile file;
+  try {
+    file = parse(source);
+  } catch (const std::runtime_error& error) {
+    diags.error(error.what());
+    return nullptr;
+  }
+  if (!check_subset(file, diags)) {
+    return nullptr;
+  }
+  return elaborate(std::move(file), top_entity, diags);
+}
+
+}  // namespace ctrtl::vhdl

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "kernel/scheduler.h"
+#include "vhdl/ast.h"
+
+namespace ctrtl::vhdl {
+
+/// Raised for dynamic interpretation errors (bad attribute argument,
+/// undefined name at run time, enum range violation, ...).
+class ElaborationError : public std::runtime_error {
+ public:
+  ElaborationError(const std::string& message, common::SourceLocation location);
+  [[nodiscard]] common::SourceLocation location() const { return location_; }
+
+ private:
+  common::SourceLocation location_;
+};
+
+/// VHDL signals of the subset carry int64 values: integers use the paper's
+/// in-band encoding (DISC = -1, ILLEGAL = -2), enumerations their ordinal.
+using SimSignal = kernel::Signal<std::int64_t>;
+
+struct EnumType {
+  std::string name;
+  std::vector<std::string> literals;
+};
+
+struct ProcessEnv;  // internal interpreter environment
+
+/// An elaborated, executable design: a kernel scheduler populated with the
+/// signals and interpreted processes of the design hierarchy. Signal names
+/// are hierarchical: top-level architecture signals and ports by their own
+/// name, instance-internal ones as "label.signal".
+class ElaboratedModel {
+ public:
+  ElaboratedModel();
+  ~ElaboratedModel();
+  ElaboratedModel(const ElaboratedModel&) = delete;
+  ElaboratedModel& operator=(const ElaboratedModel&) = delete;
+
+  [[nodiscard]] kernel::Scheduler& scheduler() { return *scheduler_; }
+
+  /// Runs to quiescence (bounded by max_cycles); returns cycles executed.
+  std::uint64_t run(std::uint64_t max_cycles = kernel::Scheduler::kNoLimit);
+
+  [[nodiscard]] SimSignal* find_signal(const std::string& name);
+  /// Effective value; throws std::invalid_argument for unknown names.
+  [[nodiscard]] std::int64_t read(const std::string& name) const;
+  /// Value rendered with enum literals / DISC / ILLEGAL where applicable.
+  [[nodiscard]] std::string render(const std::string& name) const;
+
+  /// Drives a top-level signal from the testbench (a driver is created on
+  /// first use); takes effect at the next delta cycle.
+  void set_value(const std::string& name, std::int64_t value);
+
+  [[nodiscard]] const std::map<std::string, SimSignal*>& signals() const {
+    return signals_;
+  }
+  [[nodiscard]] std::size_t process_count() const;
+
+ private:
+  friend class Elaborator;
+  friend std::unique_ptr<ElaboratedModel> elaborate(DesignFile,
+                                                    const std::string&,
+                                                    common::DiagnosticBag&);
+
+  std::unique_ptr<kernel::Scheduler> scheduler_;
+  DesignFile file_;  // owned: interpreter coroutines reference the AST
+  std::map<std::string, SimSignal*> signals_;
+  std::map<std::string, std::string> signal_types_;
+  std::map<std::string, EnumType> enum_types_;
+  std::map<std::string, kernel::DriverId> testbench_drivers_;
+  std::vector<std::unique_ptr<ProcessEnv>> envs_;
+};
+
+/// Elaborates `top_entity` from the design file (which is consumed and kept
+/// alive inside the returned model). Structural errors are reported into
+/// `diags` and yield nullptr. Run `check_subset` first for subset
+/// conformance; elaboration only checks what it needs to build the model.
+[[nodiscard]] std::unique_ptr<ElaboratedModel> elaborate(
+    DesignFile file, const std::string& top_entity, common::DiagnosticBag& diags);
+
+/// Convenience: parse + subset-check + elaborate.
+[[nodiscard]] std::unique_ptr<ElaboratedModel> load_model(
+    std::string_view source, const std::string& top_entity,
+    common::DiagnosticBag& diags);
+
+}  // namespace ctrtl::vhdl

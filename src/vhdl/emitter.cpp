@@ -1,0 +1,347 @@
+#include "vhdl/emitter.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "transfer/mapping.h"
+
+namespace ctrtl::vhdl {
+
+std::string standard_cells() {
+  // The cell library of the paper (section 2): CONTROLLER, TRANS, REG and a
+  // family of modules. REG carries an extra `init` generic so testbenches
+  // can preload registers (the paper loads them from outside the shown
+  // fragment); `started` guards the preload against the implicit process
+  // loop. ADD/SUB/MUL extend the paper's operand discipline with an
+  // explicit ILLEGAL-operand check so conflicts propagate exactly like the
+  // C++ library's modules.
+  return R"(
+-- Standard cells of the clock-free RT subset (after Mutz, DATE'98).
+
+entity controller is
+  generic (cs_max: natural);
+  port (cs: inout natural := 0;
+        ph: inout phase := phase'high);
+end controller;
+
+architecture transfer of controller is
+begin
+  process (ph)
+  begin
+    if ph = phase'high then
+      if cs < cs_max then
+        cs <= cs + 1;
+        ph <= phase'low;
+      end if;
+    else
+      ph <= phase'succ(ph);
+    end if;
+  end process;
+end transfer;
+
+entity trans is
+  generic (s: natural; p: phase);
+  port (cs: in natural; ph: in phase;
+        ins: in integer; outs: out integer := disc);
+end trans;
+
+architecture transfer of trans is
+begin
+  process
+  begin
+    wait until cs = s and ph = p;
+    outs <= ins;
+    wait until cs = s and ph = phase'succ(p);
+    outs <= disc;
+  end process;
+end transfer;
+
+entity reg is
+  generic (init: integer := disc);
+  port (ph: in phase;
+        r_in: in resolved integer;
+        r_out: out integer := disc);
+end reg;
+
+architecture transfer of reg is
+begin
+  process
+    variable started: boolean := false;
+  begin
+    if not started then
+      started := true;
+      if init /= disc then
+        r_out <= init;
+      end if;
+    end if;
+    wait until ph = cr;
+    if r_in /= disc then
+      r_out <= r_in;
+    end if;
+  end process;
+end transfer;
+
+entity add is
+  port (ph: in phase;
+        m_in1, m_in2: in resolved integer;
+        m_out: out integer := disc);
+end add;
+
+architecture transfer of add is
+begin
+  process
+    variable m: integer := disc;
+  begin
+    wait until ph = cm;
+    m_out <= m;
+    if m /= illegal then
+      if m_in1 = disc and m_in2 = disc then
+        m := disc;
+      elsif m_in1 = illegal or m_in2 = illegal then
+        m := illegal;
+      elsif m_in1 /= disc and m_in2 /= disc then
+        m := m_in1 + m_in2;
+      else
+        m := illegal;
+      end if;
+    end if;
+  end process;
+end transfer;
+
+entity sub is
+  port (ph: in phase;
+        m_in1, m_in2: in resolved integer;
+        m_out: out integer := disc);
+end sub;
+
+architecture transfer of sub is
+begin
+  process
+    variable m: integer := disc;
+  begin
+    wait until ph = cm;
+    m_out <= m;
+    if m /= illegal then
+      if m_in1 = disc and m_in2 = disc then
+        m := disc;
+      elsif m_in1 = illegal or m_in2 = illegal then
+        m := illegal;
+      elsif m_in1 /= disc and m_in2 /= disc then
+        m := m_in1 - m_in2;
+      else
+        m := illegal;
+      end if;
+    end if;
+  end process;
+end transfer;
+
+entity mul is
+  port (ph: in phase;
+        m_in1, m_in2: in resolved integer;
+        m_out: out integer := disc);
+end mul;
+
+-- Two-stage pipelined multiplier (the IKS chip's multiplier shape):
+-- operands fetched in step s appear at the output in step s + 2.
+architecture transfer of mul is
+begin
+  process
+    variable m1: integer := disc;
+    variable m2: integer := disc;
+    variable poisoned: boolean := false;
+  begin
+    wait until ph = cm;
+    m_out <= m2;
+    m2 := m1;
+    if poisoned then
+      m1 := illegal;
+    elsif m_in1 = disc and m_in2 = disc then
+      m1 := disc;
+    elsif m_in1 = illegal or m_in2 = illegal then
+      m1 := illegal;
+      poisoned := true;
+    elsif m_in1 /= disc and m_in2 /= disc then
+      m1 := m_in1 * m_in2;
+    else
+      m1 := illegal;
+      poisoned := true;
+    end if;
+  end process;
+end transfer;
+
+entity cp is
+  port (ph: in phase;
+        m_in1: in resolved integer;
+        m_out: out integer := disc);
+end cp;
+
+-- Zero-latency copy: the paper's direct-link helper module.
+architecture transfer of cp is
+begin
+  process
+  begin
+    wait until ph = cm;
+    m_out <= m_in1;
+  end process;
+end transfer;
+)";
+}
+
+std::string vhdl_name(const std::string& resource_name) {
+  std::string out;
+  for (const char c : resource_name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front())) != 0) {
+    out.insert(out.begin(), 'n');
+  }
+  return out;
+}
+
+namespace {
+
+const char* cell_for(const transfer::ModuleDecl& module) {
+  const auto require = [&](unsigned latency, unsigned frac_bits) {
+    if (module.latency != latency || module.frac_bits != frac_bits) {
+      throw std::invalid_argument(
+          "emit_vhdl: module '" + module.name + "' (" + to_string(module.kind) +
+          ") must have latency " + std::to_string(latency) + " and frac_bits " +
+          std::to_string(frac_bits) + " to match the emitted cell");
+    }
+  };
+  switch (module.kind) {
+    case transfer::ModuleKind::kAdd:
+      require(1, 0);
+      return "add";
+    case transfer::ModuleKind::kSub:
+      require(1, 0);
+      return "sub";
+    case transfer::ModuleKind::kMul:
+      require(2, 0);
+      return "mul";
+    case transfer::ModuleKind::kCopy:
+      require(0, 0);
+      return "cp";
+    default:
+      throw std::invalid_argument(
+          "emit_vhdl: module kind '" + to_string(module.kind) +
+          "' is not expressible in the emitted cell library");
+  }
+}
+
+}  // namespace
+
+std::string emit_vhdl(const transfer::Design& design) {
+  using transfer::Endpoint;
+
+  std::ostringstream out;
+  out << standard_cells();
+
+  const std::string top = vhdl_name(design.name);
+  out << "\nentity " << top << " is\nend " << top << ";\n\n";
+  out << "architecture transfer of " << top << " is\n";
+  out << "  -- timing signals (PH must start at Phase'High = cr, see the\n";
+  out << "  -- CONTROLLER port defaults in the paper)\n";
+  out << "  signal cs: natural := 0;\n  signal ph: phase := cr;\n";
+
+  out << "  -- register ports\n";
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    const std::string name = vhdl_name(reg.name);
+    out << "  signal " << name << "_in: resolved integer;\n";
+    out << "  signal " << name << "_out: integer;\n";
+  }
+  out << "  -- module ports\n";
+  for (const transfer::ModuleDecl& module : design.modules) {
+    cell_for(module);  // validate early
+    const std::string name = vhdl_name(module.name);
+    out << "  signal " << name << "_in1: resolved integer;\n";
+    if (module.num_inputs() > 1) {
+      out << "  signal " << name << "_in2: resolved integer;\n";
+    }
+    out << "  signal " << name << "_out: integer;\n";
+  }
+  out << "  -- buses\n";
+  for (const transfer::BusDecl& bus : design.buses) {
+    out << "  signal " << vhdl_name(bus.name) << ": resolved integer;\n";
+  }
+  if (!design.constants.empty()) {
+    out << "  -- constant sources (undriven signals keep their initial value)\n";
+    for (const transfer::ConstantDecl& constant : design.constants) {
+      out << "  signal c_" << vhdl_name(constant.name) << ": integer := "
+          << constant.value << ";\n";
+    }
+  }
+  if (!design.inputs.empty()) {
+    out << "  -- external inputs (testbench-driven)\n";
+    for (const transfer::InputDecl& input : design.inputs) {
+      out << "  signal i_" << vhdl_name(input.name) << ": integer := disc;\n";
+    }
+  }
+  out << "begin\n";
+
+  out << "  -- registers\n";
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    const std::string name = vhdl_name(reg.name);
+    out << "  " << name << "_proc: reg generic map ("
+        << (reg.initial.has_value() ? *reg.initial : -1) << ") port map (ph, "
+        << name << "_in, " << name << "_out);\n";
+  }
+  out << "  -- modules\n";
+  for (const transfer::ModuleDecl& module : design.modules) {
+    const std::string name = vhdl_name(module.name);
+    out << "  " << name << "_proc: " << cell_for(module)
+        << " port map (ph, " << name << "_in1, ";
+    if (module.num_inputs() > 1) {
+      out << name << "_in2, ";
+    }
+    out << name << "_out);\n";
+  }
+
+  const auto endpoint_text = [&](const Endpoint& endpoint) -> std::string {
+    switch (endpoint.kind) {
+      case Endpoint::Kind::kRegisterOut:
+        return vhdl_name(endpoint.resource) + "_out";
+      case Endpoint::Kind::kRegisterIn:
+        return vhdl_name(endpoint.resource) + "_in";
+      case Endpoint::Kind::kModuleOut:
+        return vhdl_name(endpoint.resource) + "_out";
+      case Endpoint::Kind::kModuleIn:
+        return vhdl_name(endpoint.resource) + "_in" +
+               std::to_string(endpoint.port + 1);
+      case Endpoint::Kind::kBus:
+        return vhdl_name(endpoint.resource);
+      case Endpoint::Kind::kConstant:
+        return "c_" + vhdl_name(endpoint.resource);
+      case Endpoint::Kind::kInput:
+        return "i_" + vhdl_name(endpoint.resource);
+      case Endpoint::Kind::kModuleOp:
+        throw std::invalid_argument(
+            "emit_vhdl: op ports are not expressible in the emitted subset");
+    }
+    throw std::logic_error("emit_vhdl: corrupt endpoint");
+  };
+
+  out << "  -- transfers (one TRANS per tuple fragment, section 2.7)\n";
+  std::size_t counter = 0;
+  for (const transfer::TransInstance& instance :
+       transfer::to_instances(design.transfers)) {
+    out << "  t" << counter++ << ": trans generic map (" << instance.step << ", "
+        << rtl::phase_name(instance.phase) << ") port map (cs, ph, "
+        << endpoint_text(instance.source) << ", " << endpoint_text(instance.sink)
+        << ");\n";
+  }
+
+  out << "  -- controller\n";
+  out << "  control: controller generic map (" << design.cs_max
+      << ") port map (cs, ph);\n";
+  out << "end transfer;\n";
+  return out.str();
+}
+
+}  // namespace ctrtl::vhdl

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "transfer/design.h"
+
+namespace ctrtl::vhdl {
+
+/// The subset's standard cell library as VHDL source: the paper's
+/// CONTROLLER, TRANS, REG (extended with an `init` generic), the pipelined
+/// ADD/SUB/MUL, and the zero-latency COPY. Parsable by `parse` and
+/// executable by the elaborator.
+[[nodiscard]] std::string standard_cells();
+
+/// Emits a `transfer::Design` as a complete, self-contained VHDL subset
+/// design file: the standard cells followed by one top-level entity
+/// (named after the design) whose architecture instantiates a CONTROLLER,
+/// one REG per register, one module per functional unit, and one TRANS per
+/// tuple fragment — exactly the structure of the paper's section 2.7
+/// example.
+///
+/// Supported module kinds: add, sub, mul (frac_bits 0), copy. Designs using
+/// op-port modules (alu/macc/cordic) throw std::invalid_argument — their
+/// behaviour is not expressible in the emitted cell library.
+[[nodiscard]] std::string emit_vhdl(const transfer::Design& design);
+
+/// The VHDL identifier a design resource name maps to (lower-cased,
+/// non-alphanumerics replaced by '_'); exposed for tests and tools reading
+/// back emitted models.
+[[nodiscard]] std::string vhdl_name(const std::string& resource_name);
+
+}  // namespace ctrtl::vhdl

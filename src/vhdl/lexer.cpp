@@ -1,0 +1,232 @@
+#include "vhdl/lexer.h"
+
+#include <cctype>
+
+namespace ctrtl::vhdl {
+
+std::string to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer literal";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kTick:
+      return "'''";
+    case TokenKind::kAssign:
+      return "':='";
+    case TokenKind::kArrow:
+      return "'=>'";
+    case TokenKind::kLessEqual:
+      return "'<='";
+    case TokenKind::kGreaterEqual:
+      return "'>='";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kGreater:
+      return "'>'";
+    case TokenKind::kEqual:
+      return "'='";
+    case TokenKind::kNotEqual:
+      return "'/='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kEndOfFile:
+      return "end of file";
+  }
+  return "<corrupt>";
+}
+
+LexError::LexError(const std::string& message, common::SourceLocation location)
+    : std::runtime_error(message + " at " + common::to_string(location)),
+      location_(location) {}
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : source_(source) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  [[nodiscard]] common::SourceLocation location() const { return {line_, column_}; }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cursor(source);
+
+  const auto push = [&](TokenKind kind, std::string text,
+                        common::SourceLocation loc, std::int64_t value = 0) {
+    tokens.push_back(Token{kind, std::move(text), value, loc});
+  };
+
+  while (!cursor.done()) {
+    const common::SourceLocation loc = cursor.location();
+    const char c = cursor.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cursor.advance();
+      continue;
+    }
+    // Comment: `--` to end of line.
+    if (c == '-' && cursor.peek(1) == '-') {
+      while (!cursor.done() && cursor.peek() != '\n') {
+        cursor.advance();
+      }
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::string text;
+      while (!cursor.done() && is_ident_char(cursor.peek())) {
+        text.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(cursor.advance()))));
+      }
+      push(TokenKind::kIdentifier, std::move(text), loc);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::int64_t value = 0;
+      std::string text;
+      while (!cursor.done() &&
+             (std::isdigit(static_cast<unsigned char>(cursor.peek())) != 0 ||
+              cursor.peek() == '_')) {
+        const char digit = cursor.advance();
+        if (digit == '_') {
+          continue;  // VHDL digit separator
+        }
+        text.push_back(digit);
+        value = value * 10 + (digit - '0');
+      }
+      push(TokenKind::kInteger, std::move(text), loc, value);
+      continue;
+    }
+
+    cursor.advance();
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", loc);
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")", loc);
+        break;
+      case ';':
+        push(TokenKind::kSemicolon, ";", loc);
+        break;
+      case ',':
+        push(TokenKind::kComma, ",", loc);
+        break;
+      case '.':
+        push(TokenKind::kDot, ".", loc);
+        break;
+      case '\'':
+        push(TokenKind::kTick, "'", loc);
+        break;
+      case '&':
+        push(TokenKind::kAmp, "&", loc);
+        break;
+      case '+':
+        push(TokenKind::kPlus, "+", loc);
+        break;
+      case '-':
+        push(TokenKind::kMinus, "-", loc);
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", loc);
+        break;
+      case ':':
+        if (cursor.peek() == '=') {
+          cursor.advance();
+          push(TokenKind::kAssign, ":=", loc);
+        } else {
+          push(TokenKind::kColon, ":", loc);
+        }
+        break;
+      case '=':
+        if (cursor.peek() == '>') {
+          cursor.advance();
+          push(TokenKind::kArrow, "=>", loc);
+        } else {
+          push(TokenKind::kEqual, "=", loc);
+        }
+        break;
+      case '<':
+        if (cursor.peek() == '=') {
+          cursor.advance();
+          push(TokenKind::kLessEqual, "<=", loc);
+        } else {
+          push(TokenKind::kLess, "<", loc);
+        }
+        break;
+      case '>':
+        if (cursor.peek() == '=') {
+          cursor.advance();
+          push(TokenKind::kGreaterEqual, ">=", loc);
+        } else {
+          push(TokenKind::kGreater, ">", loc);
+        }
+        break;
+      case '/':
+        if (cursor.peek() == '=') {
+          cursor.advance();
+          push(TokenKind::kNotEqual, "/=", loc);
+        } else {
+          push(TokenKind::kSlash, "/", loc);
+        }
+        break;
+      default:
+        throw LexError(std::string("unexpected character '") + c + "'", loc);
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEndOfFile, "", 0, cursor.location()});
+  return tokens;
+}
+
+}  // namespace ctrtl::vhdl

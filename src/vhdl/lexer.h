@@ -1,0 +1,27 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vhdl/token.h"
+
+namespace ctrtl::vhdl {
+
+/// Raised on malformed source (unknown character, bad literal).
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, common::SourceLocation location);
+  [[nodiscard]] common::SourceLocation location() const { return location_; }
+
+ private:
+  common::SourceLocation location_;
+};
+
+/// Tokenizes VHDL subset source. Handles `--` comments, case-insensitive
+/// identifiers (normalized to lower case), decimal integer literals (with
+/// optional `_` separators), and the operator/punctuation set of the subset.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace ctrtl::vhdl

@@ -1,0 +1,732 @@
+#include "vhdl/parser.h"
+
+#include <set>
+
+#include "vhdl/lexer.h"
+
+namespace ctrtl::vhdl {
+
+ParseError::ParseError(const std::string& message, common::SourceLocation location)
+    : std::runtime_error(message + " at " + common::to_string(location)),
+      location_(location) {}
+
+namespace {
+
+const std::set<std::string> kKeywords = {
+    "entity", "is",      "generic", "port",    "in",     "out",   "inout",
+    "end",    "architecture", "of", "begin",   "process", "wait", "until",
+    "on",     "for",     "if",      "then",    "elsif",  "else",  "signal",
+    "variable", "constant", "type", "map",     "null",   "not",   "and",
+    "or",     "after",   "resolved", "function", "return"};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  DesignFile parse_file() {
+    DesignFile file;
+    while (!at(TokenKind::kEndOfFile)) {
+      if (at_word("entity")) {
+        file.entities.push_back(parse_entity());
+      } else if (at_word("architecture")) {
+        file.architectures.push_back(parse_architecture());
+      } else {
+        fail("expected 'entity' or 'architecture'");
+      }
+    }
+    return file;
+  }
+
+ private:
+  // --- token plumbing --------------------------------------------------------
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().is(kind); }
+  [[nodiscard]] bool at_word(const std::string& word) const {
+    return peek().is_word(word);
+  }
+
+  Token advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Token expect(TokenKind kind, const std::string& context) {
+    if (!at(kind)) {
+      fail("expected " + to_string(kind) + " " + context + ", found '" +
+           peek().text + "'");
+    }
+    return advance();
+  }
+
+  void expect_word(const std::string& word) {
+    if (!at_word(word)) {
+      fail("expected '" + word + "', found '" + peek().text + "'");
+    }
+    advance();
+  }
+
+  std::string expect_identifier(const std::string& context) {
+    const Token token = expect(TokenKind::kIdentifier, context);
+    if (kKeywords.contains(token.text)) {
+      fail("keyword '" + token.text + "' used as " + context);
+    }
+    return token.text;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, peek().location);
+  }
+
+  // --- design units ----------------------------------------------------------
+
+  Entity parse_entity() {
+    Entity entity;
+    entity.location = peek().location;
+    expect_word("entity");
+    entity.name = expect_identifier("entity name");
+    expect_word("is");
+    if (at_word("generic")) {
+      advance();
+      expect(TokenKind::kLParen, "after 'generic'");
+      parse_interface_list(entity.generics);
+      expect(TokenKind::kRParen, "closing generic clause");
+      expect(TokenKind::kSemicolon, "after generic clause");
+    }
+    if (at_word("port")) {
+      advance();
+      expect(TokenKind::kLParen, "after 'port'");
+      parse_port_list(entity.ports);
+      expect(TokenKind::kRParen, "closing port clause");
+      expect(TokenKind::kSemicolon, "after port clause");
+    }
+    expect_word("end");
+    if (at_word("entity")) {
+      advance();
+    }
+    if (at(TokenKind::kIdentifier)) {
+      advance();  // optional repeated name
+    }
+    expect(TokenKind::kSemicolon, "after entity declaration");
+    return entity;
+  }
+
+  void parse_interface_list(std::vector<GenericDecl>& generics) {
+    for (;;) {
+      std::vector<std::string> names;
+      names.push_back(expect_identifier("generic name"));
+      while (at(TokenKind::kComma)) {
+        advance();
+        names.push_back(expect_identifier("generic name"));
+      }
+      expect(TokenKind::kColon, "in generic declaration");
+      const SubtypeIndication subtype = parse_subtype();
+      ExprPtr init;
+      if (at(TokenKind::kAssign)) {
+        advance();
+        init = parse_expr();
+      }
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        GenericDecl decl;
+        decl.name = names[i];
+        decl.subtype = subtype;
+        decl.init = init && i + 1 == names.size() ? std::move(init) : clone(init);
+        decl.location = peek().location;
+        generics.push_back(std::move(decl));
+      }
+      if (!at(TokenKind::kSemicolon)) {
+        break;
+      }
+      advance();
+    }
+  }
+
+  void parse_port_list(std::vector<PortDecl>& ports) {
+    for (;;) {
+      std::vector<std::string> names;
+      names.push_back(expect_identifier("port name"));
+      while (at(TokenKind::kComma)) {
+        advance();
+        names.push_back(expect_identifier("port name"));
+      }
+      expect(TokenKind::kColon, "in port declaration");
+      PortMode mode = PortMode::kIn;
+      if (at_word("in")) {
+        advance();
+        mode = PortMode::kIn;
+      } else if (at_word("out")) {
+        advance();
+        mode = PortMode::kOut;
+      } else if (at_word("inout")) {
+        advance();
+        mode = PortMode::kInout;
+      }
+      const SubtypeIndication subtype = parse_subtype();
+      ExprPtr init;
+      if (at(TokenKind::kAssign)) {
+        advance();
+        init = parse_expr();
+      }
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        PortDecl decl;
+        decl.name = names[i];
+        decl.mode = mode;
+        decl.subtype = subtype;
+        decl.init = init && i + 1 == names.size() ? std::move(init) : clone(init);
+        decl.location = peek().location;
+        ports.push_back(std::move(decl));
+      }
+      if (!at(TokenKind::kSemicolon)) {
+        break;
+      }
+      advance();
+    }
+  }
+
+  SubtypeIndication parse_subtype() {
+    SubtypeIndication subtype;
+    if (at_word("resolved")) {
+      advance();
+      subtype.resolved = true;
+    }
+    subtype.type_name = expect_identifier("type name");
+    return subtype;
+  }
+
+  Architecture parse_architecture() {
+    Architecture arch;
+    arch.location = peek().location;
+    expect_word("architecture");
+    arch.name = expect_identifier("architecture name");
+    expect_word("of");
+    arch.entity = expect_identifier("entity name");
+    expect_word("is");
+    while (!at_word("begin")) {
+      if (at_word("type")) {
+        arch.types.push_back(parse_type_decl());
+      } else if (at_word("constant")) {
+        arch.constants.push_back(parse_constant_decl());
+      } else if (at_word("signal")) {
+        arch.signals.push_back(parse_signal_decl());
+      } else if (at_word("function")) {
+        arch.functions.push_back(parse_function_decl());
+      } else {
+        fail("expected declaration or 'begin' in architecture body");
+      }
+    }
+    expect_word("begin");
+    while (!at_word("end")) {
+      parse_concurrent_statement(arch);
+    }
+    expect_word("end");
+    if (at_word("architecture")) {
+      advance();
+    }
+    if (at(TokenKind::kIdentifier)) {
+      advance();
+    }
+    expect(TokenKind::kSemicolon, "after architecture body");
+    return arch;
+  }
+
+  TypeDecl parse_type_decl() {
+    TypeDecl decl;
+    decl.location = peek().location;
+    expect_word("type");
+    decl.name = expect_identifier("type name");
+    expect_word("is");
+    expect(TokenKind::kLParen, "starting enumeration literal list");
+    decl.literals.push_back(expect_identifier("enumeration literal"));
+    while (at(TokenKind::kComma)) {
+      advance();
+      decl.literals.push_back(expect_identifier("enumeration literal"));
+    }
+    expect(TokenKind::kRParen, "closing enumeration literal list");
+    expect(TokenKind::kSemicolon, "after type declaration");
+    return decl;
+  }
+
+  ConstantDecl parse_constant_decl() {
+    ConstantDecl decl;
+    decl.location = peek().location;
+    expect_word("constant");
+    decl.name = expect_identifier("constant name");
+    expect(TokenKind::kColon, "in constant declaration");
+    decl.subtype = parse_subtype();
+    expect(TokenKind::kAssign, "constant value");
+    decl.value = parse_expr();
+    expect(TokenKind::kSemicolon, "after constant declaration");
+    return decl;
+  }
+
+  FunctionDecl parse_function_decl() {
+    FunctionDecl decl;
+    decl.location = peek().location;
+    expect_word("function");
+    decl.name = expect_identifier("function name");
+    if (at(TokenKind::kLParen)) {
+      advance();
+      for (;;) {
+        std::vector<std::string> names;
+        names.push_back(expect_identifier("parameter name"));
+        while (at(TokenKind::kComma)) {
+          advance();
+          names.push_back(expect_identifier("parameter name"));
+        }
+        expect(TokenKind::kColon, "in parameter declaration");
+        const SubtypeIndication subtype = parse_subtype();
+        for (std::string& name : names) {
+          decl.params.push_back(FunctionDecl::Param{std::move(name), subtype});
+        }
+        if (!at(TokenKind::kSemicolon)) {
+          break;
+        }
+        advance();
+      }
+      expect(TokenKind::kRParen, "closing parameter list");
+    }
+    expect_word("return");
+    decl.result = parse_subtype();
+    expect_word("is");
+    while (at_word("variable")) {
+      decl.variables.push_back(parse_variable_decl());
+    }
+    expect_word("begin");
+    while (!at_word("end")) {
+      decl.body.push_back(parse_statement());
+    }
+    expect_word("end");
+    if (at_word("function")) {
+      advance();
+    }
+    if (at(TokenKind::kIdentifier)) {
+      advance();
+    }
+    expect(TokenKind::kSemicolon, "after function body");
+    return decl;
+  }
+
+  SignalDecl parse_signal_decl() {
+    SignalDecl decl;
+    decl.location = peek().location;
+    expect_word("signal");
+    decl.names.push_back(expect_identifier("signal name"));
+    while (at(TokenKind::kComma)) {
+      advance();
+      decl.names.push_back(expect_identifier("signal name"));
+    }
+    expect(TokenKind::kColon, "in signal declaration");
+    decl.subtype = parse_subtype();
+    if (at(TokenKind::kAssign)) {
+      advance();
+      decl.init = parse_expr();
+    }
+    expect(TokenKind::kSemicolon, "after signal declaration");
+    return decl;
+  }
+
+  VariableDecl parse_variable_decl() {
+    VariableDecl decl;
+    decl.location = peek().location;
+    expect_word("variable");
+    decl.names.push_back(expect_identifier("variable name"));
+    while (at(TokenKind::kComma)) {
+      advance();
+      decl.names.push_back(expect_identifier("variable name"));
+    }
+    expect(TokenKind::kColon, "in variable declaration");
+    decl.subtype = parse_subtype();
+    if (at(TokenKind::kAssign)) {
+      advance();
+      decl.init = parse_expr();
+    }
+    expect(TokenKind::kSemicolon, "after variable declaration");
+    return decl;
+  }
+
+  void parse_concurrent_statement(Architecture& arch) {
+    // Optional label.
+    std::string label;
+    if (at(TokenKind::kIdentifier) && !kKeywords.contains(peek().text) &&
+        peek(1).is(TokenKind::kColon)) {
+      label = advance().text;
+      advance();  // ':'
+    }
+    if (at_word("process")) {
+      arch.processes.push_back(parse_process(std::move(label)));
+    } else {
+      arch.instances.push_back(parse_instance(std::move(label)));
+    }
+  }
+
+  ProcessStmt parse_process(std::string label) {
+    ProcessStmt process;
+    process.label = std::move(label);
+    process.location = peek().location;
+    expect_word("process");
+    if (at(TokenKind::kLParen)) {
+      advance();
+      process.sensitivity.push_back(expect_identifier("sensitivity signal"));
+      while (at(TokenKind::kComma)) {
+        advance();
+        process.sensitivity.push_back(expect_identifier("sensitivity signal"));
+      }
+      expect(TokenKind::kRParen, "closing sensitivity list");
+    }
+    while (at_word("variable")) {
+      process.variables.push_back(parse_variable_decl());
+    }
+    expect_word("begin");
+    while (!at_word("end")) {
+      process.body.push_back(parse_statement());
+    }
+    expect_word("end");
+    expect_word("process");
+    if (at(TokenKind::kIdentifier)) {
+      advance();
+    }
+    expect(TokenKind::kSemicolon, "after process");
+    return process;
+  }
+
+  ComponentInst parse_instance(std::string label) {
+    ComponentInst inst;
+    inst.label = std::move(label);
+    inst.location = peek().location;
+    if (inst.label.empty()) {
+      fail("component instantiation requires a label");
+    }
+    inst.unit = expect_identifier("entity name in instantiation");
+    if (at_word("generic")) {
+      advance();
+      expect_word("map");
+      expect(TokenKind::kLParen, "starting generic map");
+      inst.generic_map.push_back(parse_expr());
+      while (at(TokenKind::kComma)) {
+        advance();
+        inst.generic_map.push_back(parse_expr());
+      }
+      expect(TokenKind::kRParen, "closing generic map");
+    }
+    if (at_word("port")) {
+      advance();
+      expect_word("map");
+      expect(TokenKind::kLParen, "starting port map");
+      inst.port_map.push_back(expect_identifier("port map actual"));
+      while (at(TokenKind::kComma)) {
+        advance();
+        inst.port_map.push_back(expect_identifier("port map actual"));
+      }
+      expect(TokenKind::kRParen, "closing port map");
+    }
+    expect(TokenKind::kSemicolon, "after instantiation");
+    return inst;
+  }
+
+  // --- sequential statements ---------------------------------------------------
+
+  StmtPtr parse_statement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->location = peek().location;
+    if (at_word("wait")) {
+      stmt->node = parse_wait();
+      return stmt;
+    }
+    if (at_word("if")) {
+      stmt->node = parse_if();
+      return stmt;
+    }
+    if (at_word("null")) {
+      advance();
+      expect(TokenKind::kSemicolon, "after null statement");
+      stmt->node = NullStmt{};
+      return stmt;
+    }
+    if (at_word("return")) {
+      advance();
+      ReturnStmt ret;
+      ret.value = parse_expr();
+      expect(TokenKind::kSemicolon, "after return statement");
+      stmt->node = std::move(ret);
+      return stmt;
+    }
+    // Assignment: identifier (<= | :=) expr.
+    const std::string target = expect_identifier("assignment target");
+    if (at(TokenKind::kLessEqual)) {
+      advance();
+      SignalAssignStmt assign;
+      assign.target = target;
+      assign.value = parse_expr();
+      if (at_word("after")) {
+        advance();
+        assign.after = parse_expr();
+        if (at(TokenKind::kIdentifier)) {
+          advance();  // time unit (ns, fs, ...); value semantics is fs
+        }
+      }
+      expect(TokenKind::kSemicolon, "after signal assignment");
+      stmt->node = std::move(assign);
+      return stmt;
+    }
+    if (at(TokenKind::kAssign)) {
+      advance();
+      VariableAssignStmt assign;
+      assign.target = target;
+      assign.value = parse_expr();
+      expect(TokenKind::kSemicolon, "after variable assignment");
+      stmt->node = std::move(assign);
+      return stmt;
+    }
+    fail("expected '<=' or ':=' after '" + target + "'");
+  }
+
+  WaitStmt parse_wait() {
+    WaitStmt wait;
+    expect_word("wait");
+    if (at_word("on")) {
+      advance();
+      wait.on_signals.push_back(expect_identifier("signal name"));
+      while (at(TokenKind::kComma)) {
+        advance();
+        wait.on_signals.push_back(expect_identifier("signal name"));
+      }
+    }
+    if (at_word("until")) {
+      advance();
+      wait.until = parse_expr();
+    }
+    if (at_word("for")) {
+      advance();
+      wait.for_time = parse_expr();
+      if (at(TokenKind::kIdentifier)) {
+        advance();  // time unit
+      }
+    }
+    expect(TokenKind::kSemicolon, "after wait statement");
+    return wait;
+  }
+
+  IfStmt parse_if() {
+    IfStmt stmt;
+    expect_word("if");
+    for (;;) {
+      IfStmt::Arm arm;
+      arm.condition = parse_expr();
+      expect_word("then");
+      while (!at_word("elsif") && !at_word("else") && !at_word("end")) {
+        arm.body.push_back(parse_statement());
+      }
+      stmt.arms.push_back(std::move(arm));
+      if (at_word("elsif")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (at_word("else")) {
+      advance();
+      while (!at_word("end")) {
+        stmt.else_body.push_back(parse_statement());
+      }
+    }
+    expect_word("end");
+    expect_word("if");
+    expect(TokenKind::kSemicolon, "after if statement");
+    return stmt;
+  }
+
+  // --- expressions -------------------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at_word("or")) {
+      const common::SourceLocation loc = advance().location;
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs), parse_and(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_relation();
+    while (at_word("and")) {
+      const common::SourceLocation loc = advance().location;
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs), parse_relation(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_relation() {
+    ExprPtr lhs = parse_additive();
+    const auto rel_op = [&]() -> std::optional<BinaryOp> {
+      switch (peek().kind) {
+        case TokenKind::kEqual:
+          return BinaryOp::kEq;
+        case TokenKind::kNotEqual:
+          return BinaryOp::kNeq;
+        case TokenKind::kLess:
+          return BinaryOp::kLt;
+        case TokenKind::kLessEqual:
+          return BinaryOp::kLe;
+        case TokenKind::kGreater:
+          return BinaryOp::kGt;
+        case TokenKind::kGreaterEqual:
+          return BinaryOp::kGe;
+        default:
+          return std::nullopt;
+      }
+    }();
+    if (rel_op.has_value()) {
+      const common::SourceLocation loc = advance().location;
+      lhs = make_binary(*rel_op, std::move(lhs), parse_additive(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_term();
+    for (;;) {
+      if (at(TokenKind::kPlus)) {
+        const common::SourceLocation loc = advance().location;
+        lhs = make_binary(BinaryOp::kAdd, std::move(lhs), parse_term(), loc);
+      } else if (at(TokenKind::kMinus)) {
+        const common::SourceLocation loc = advance().location;
+        lhs = make_binary(BinaryOp::kSub, std::move(lhs), parse_term(), loc);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_factor();
+    for (;;) {
+      if (at(TokenKind::kStar)) {
+        const common::SourceLocation loc = advance().location;
+        lhs = make_binary(BinaryOp::kMul, std::move(lhs), parse_factor(), loc);
+      } else if (at(TokenKind::kSlash)) {
+        const common::SourceLocation loc = advance().location;
+        lhs = make_binary(BinaryOp::kDiv, std::move(lhs), parse_factor(), loc);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_factor() {
+    if (at(TokenKind::kMinus)) {
+      const common::SourceLocation loc = advance().location;
+      auto expr = std::make_unique<Expr>();
+      expr->location = loc;
+      expr->node = UnaryExpr{UnaryOp::kNeg, parse_factor()};
+      return expr;
+    }
+    if (at_word("not")) {
+      const common::SourceLocation loc = advance().location;
+      auto expr = std::make_unique<Expr>();
+      expr->location = loc;
+      expr->node = UnaryExpr{UnaryOp::kNot, parse_factor()};
+      return expr;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    auto expr = std::make_unique<Expr>();
+    expr->location = peek().location;
+    if (at(TokenKind::kInteger)) {
+      expr->node = IntLiteral{advance().value};
+      return expr;
+    }
+    if (at(TokenKind::kLParen)) {
+      advance();
+      ExprPtr inner = parse_expr();
+      expect(TokenKind::kRParen, "closing parenthesis");
+      return inner;
+    }
+    if (at(TokenKind::kIdentifier)) {
+      const std::string name = advance().text;
+      if (at(TokenKind::kLParen)) {
+        advance();
+        CallExpr call;
+        call.callee = name;
+        call.args.push_back(parse_expr());
+        while (at(TokenKind::kComma)) {
+          advance();
+          call.args.push_back(parse_expr());
+        }
+        expect(TokenKind::kRParen, "closing call argument list");
+        expr->node = std::move(call);
+        return expr;
+      }
+      if (at(TokenKind::kTick)) {
+        advance();
+        AttributeRef attr;
+        attr.prefix = name;
+        attr.attribute = expect_identifier("attribute name");
+        if (at(TokenKind::kLParen)) {
+          advance();
+          attr.argument = parse_expr();
+          expect(TokenKind::kRParen, "closing attribute argument");
+        }
+        expr->node = std::move(attr);
+        return expr;
+      }
+      expr->node = NameRef{name};
+      return expr;
+    }
+    fail("expected expression, found '" + peek().text + "'");
+  }
+
+  static ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                             common::SourceLocation loc) {
+    auto expr = std::make_unique<Expr>();
+    expr->location = loc;
+    expr->node = BinaryExpr{op, std::move(lhs), std::move(rhs)};
+    return expr;
+  }
+
+  /// Deep copy used when one default expression applies to several names.
+  static ExprPtr clone(const ExprPtr& expr) {
+    if (!expr) {
+      return nullptr;
+    }
+    auto copy = std::make_unique<Expr>();
+    copy->location = expr->location;
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, IntLiteral> || std::is_same_v<T, NameRef>) {
+            copy->node = node;
+          } else if constexpr (std::is_same_v<T, AttributeRef>) {
+            copy->node =
+                AttributeRef{node.prefix, node.attribute, clone(node.argument)};
+          } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+            copy->node = BinaryExpr{node.op, clone(node.lhs), clone(node.rhs)};
+          } else if constexpr (std::is_same_v<T, CallExpr>) {
+            CallExpr call;
+            call.callee = node.callee;
+            for (const ExprPtr& arg : node.args) {
+              call.args.push_back(clone(arg));
+            }
+            copy->node = std::move(call);
+          } else {
+            copy->node = UnaryExpr{node.op, clone(node.operand)};
+          }
+        },
+        expr->node);
+    return copy;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+DesignFile parse(std::string_view source) {
+  return Parser(lex(source)).parse_file();
+}
+
+}  // namespace ctrtl::vhdl

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "vhdl/ast.h"
+
+namespace ctrtl::vhdl {
+
+/// Raised on a syntax error; carries the offending location.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, common::SourceLocation location);
+  [[nodiscard]] common::SourceLocation location() const { return location_; }
+
+ private:
+  common::SourceLocation location_;
+};
+
+/// Parses a design file of the paper's subset: entity declarations and
+/// architecture bodies containing type/constant/signal declarations,
+/// processes (with sensitivity lists, variables, wait/assignment/if
+/// statements), and positional component instantiations.
+///
+/// Grammar notes:
+///  - `resolved <type>` marks the builtin resolution function (section 2.3).
+///  - Only positional generic/port maps are accepted (the paper's style).
+///  - Subset *semantic* restrictions (no `after`, no `wait for`, ...) are
+///    checked separately by `check_subset`, not here.
+[[nodiscard]] DesignFile parse(std::string_view source);
+
+}  // namespace ctrtl::vhdl

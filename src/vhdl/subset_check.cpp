@@ -1,0 +1,257 @@
+#include "vhdl/subset_check.h"
+
+#include <set>
+#include <string>
+
+namespace ctrtl::vhdl {
+
+namespace {
+
+const std::set<std::string> kBuiltinTypes = {"integer", "natural", "boolean"};
+
+bool looks_like_clock(const std::string& name) {
+  return name == "clk" || name == "clock" || name.starts_with("clk_") ||
+         name.ends_with("_clk") || name.starts_with("clock_") ||
+         name.ends_with("_clock");
+}
+
+class Checker {
+ public:
+  Checker(const DesignFile& file, common::DiagnosticBag& diags)
+      : file_(file), diags_(diags) {}
+
+  void run() {
+    // Collect enum type names from every architecture (the subset's
+    // implicit-package model: types are globally visible).
+    for (const Architecture& arch : file_.architectures) {
+      for (const TypeDecl& type : arch.types) {
+        enum_types_.insert(type.name);
+      }
+    }
+    enum_types_.insert("phase");  // builtin (implicit standard package)
+
+    for (const Entity& entity : file_.entities) {
+      check_entity(entity);
+    }
+    for (const Architecture& arch : file_.architectures) {
+      check_architecture(arch);
+    }
+  }
+
+ private:
+  void check_subtype(const SubtypeIndication& subtype, const std::string& context,
+                     common::SourceLocation loc) {
+    const bool builtin = kBuiltinTypes.contains(subtype.type_name);
+    const bool is_enum = enum_types_.contains(subtype.type_name);
+    if (!builtin && !is_enum) {
+      diags_.error(context + ": type '" + subtype.type_name +
+                       "' outside the subset (integer, natural, boolean, or a "
+                       "declared enumeration)",
+                   loc);
+    }
+    if (subtype.resolved &&
+        !(subtype.type_name == "integer" || subtype.type_name == "natural")) {
+      diags_.error(context + ": 'resolved' applies only to integer/natural", loc);
+    }
+  }
+
+  void check_clockish(const std::string& name, common::SourceLocation loc) {
+    if (looks_like_clock(name)) {
+      diags_.error("signal '" + name +
+                       "' looks like a clock; the subset models timing with "
+                       "control steps, not clock signals",
+                   loc);
+    }
+  }
+
+  void check_entity(const Entity& entity) {
+    for (const GenericDecl& generic : entity.generics) {
+      check_subtype(generic.subtype, "generic '" + generic.name + "'",
+                    generic.location);
+    }
+    for (const PortDecl& port : entity.ports) {
+      check_subtype(port.subtype, "port '" + port.name + "'", port.location);
+      check_clockish(port.name, port.location);
+    }
+  }
+
+  void check_architecture(const Architecture& arch) {
+    if (file_.find_entity(arch.entity) == nullptr) {
+      diags_.error("architecture '" + arch.name + "' of undeclared entity '" +
+                       arch.entity + "'",
+                   arch.location);
+    }
+    for (const ConstantDecl& constant : arch.constants) {
+      check_subtype(constant.subtype, "constant '" + constant.name + "'",
+                    constant.location);
+    }
+    for (const SignalDecl& decl : arch.signals) {
+      check_subtype(decl.subtype, "signal declaration", decl.location);
+      for (const std::string& name : decl.names) {
+        check_clockish(name, decl.location);
+      }
+    }
+    for (const FunctionDecl& function : arch.functions) {
+      check_function(function);
+    }
+    for (const ProcessStmt& process : arch.processes) {
+      check_process(process);
+    }
+    for (const ComponentInst& inst : arch.instances) {
+      check_instance(inst);
+    }
+  }
+
+  void check_function(const FunctionDecl& function) {
+    check_subtype(function.result, "function '" + function.name + "' result",
+                  function.location);
+    for (const FunctionDecl::Param& param : function.params) {
+      check_subtype(param.subtype, "parameter '" + param.name + "'",
+                    function.location);
+    }
+    for (const VariableDecl& variable : function.variables) {
+      check_subtype(variable.subtype, "variable declaration", variable.location);
+    }
+    // Functions are pure combinational helpers (paper 2.6): no waits, no
+    // signal assignments, and at least one return.
+    unsigned returns = 0;
+    check_function_statements(function.body, function.name, returns);
+    if (returns == 0) {
+      diags_.error("function '" + function.name + "' never returns",
+                   function.location);
+    }
+  }
+
+  void check_function_statements(const std::vector<StmtPtr>& stmts,
+                                 const std::string& name, unsigned& returns) {
+    for (const StmtPtr& stmt : stmts) {
+      std::visit(
+          [&](const auto& node) {
+            using T = std::decay_t<decltype(node)>;
+            if constexpr (std::is_same_v<T, WaitStmt>) {
+              diags_.error("function '" + name +
+                               "': wait statements are not allowed in "
+                               "combinational functions",
+                           stmt->location);
+            } else if constexpr (std::is_same_v<T, SignalAssignStmt>) {
+              diags_.error("function '" + name +
+                               "': signal assignment inside a function",
+                           stmt->location);
+            } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+              ++returns;
+            } else if constexpr (std::is_same_v<T, IfStmt>) {
+              for (const IfStmt::Arm& arm : node.arms) {
+                check_function_statements(arm.body, name, returns);
+              }
+              check_function_statements(node.else_body, name, returns);
+            }
+          },
+          stmt->node);
+    }
+  }
+
+  void check_process(const ProcessStmt& process) {
+    const std::string label =
+        process.label.empty() ? "<anonymous>" : process.label;
+    for (const VariableDecl& variable : process.variables) {
+      check_subtype(variable.subtype, "variable declaration", variable.location);
+    }
+    unsigned waits = 0;
+    check_statements(process.body, label, waits);
+    if (!process.sensitivity.empty() && waits > 0) {
+      diags_.error("process '" + label +
+                       "' has both a sensitivity list and wait statements",
+                   process.location);
+    }
+    if (process.sensitivity.empty() && waits == 0) {
+      diags_.error("process '" + label +
+                       "' can never suspend (no sensitivity list, no wait)",
+                   process.location);
+    }
+  }
+
+  void check_statements(const std::vector<StmtPtr>& stmts, const std::string& label,
+                        unsigned& waits) {
+    for (const StmtPtr& stmt : stmts) {
+      std::visit(
+          [&](const auto& node) {
+            using T = std::decay_t<decltype(node)>;
+            if constexpr (std::is_same_v<T, WaitStmt>) {
+              ++waits;
+              if (node.for_time) {
+                diags_.error("process '" + label +
+                                 "': 'wait for' uses physical time, which the "
+                                 "clock-free subset forbids",
+                             stmt->location);
+              }
+              if (!node.until && node.on_signals.empty() && !node.for_time) {
+                diags_.error("process '" + label + "': bare 'wait' suspends forever",
+                             stmt->location);
+              }
+            } else if constexpr (std::is_same_v<T, SignalAssignStmt>) {
+              if (node.after) {
+                diags_.error("process '" + label +
+                                 "': 'after' clause uses physical delay, which "
+                                 "the clock-free subset forbids (assignments "
+                                 "take delta delay)",
+                             stmt->location);
+              }
+            } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+              diags_.error("process '" + label +
+                               "': return statements belong in functions",
+                           stmt->location);
+            } else if constexpr (std::is_same_v<T, IfStmt>) {
+              for (const IfStmt::Arm& arm : node.arms) {
+                check_statements(arm.body, label, waits);
+              }
+              check_statements(node.else_body, label, waits);
+            }
+          },
+          stmt->node);
+    }
+  }
+
+  void check_instance(const ComponentInst& inst) {
+    const Entity* entity = file_.find_entity(inst.unit);
+    if (entity == nullptr) {
+      diags_.error("instantiation '" + inst.label + "' of undeclared entity '" +
+                       inst.unit + "'",
+                   inst.location);
+      return;
+    }
+    if (file_.find_architecture_of(inst.unit) == nullptr) {
+      diags_.error("entity '" + inst.unit + "' has no architecture", inst.location);
+    }
+    if (inst.generic_map.size() > entity->generics.size()) {
+      diags_.error("instantiation '" + inst.label + "': too many generic actuals",
+                   inst.location);
+    }
+    for (std::size_t i = inst.generic_map.size(); i < entity->generics.size(); ++i) {
+      if (!entity->generics[i].init) {
+        diags_.error("instantiation '" + inst.label + "': generic '" +
+                         entity->generics[i].name + "' has no actual and no default",
+                     inst.location);
+      }
+    }
+    if (inst.port_map.size() != entity->ports.size()) {
+      diags_.error("instantiation '" + inst.label + "': port map has " +
+                       std::to_string(inst.port_map.size()) + " actuals, entity '" +
+                       inst.unit + "' has " + std::to_string(entity->ports.size()) +
+                       " ports",
+                   inst.location);
+    }
+  }
+
+  const DesignFile& file_;
+  common::DiagnosticBag& diags_;
+  std::set<std::string> enum_types_;
+};
+
+}  // namespace
+
+bool check_subset(const DesignFile& file, common::DiagnosticBag& diags) {
+  Checker(file, diags).run();
+  return !diags.has_errors();
+}
+
+}  // namespace ctrtl::vhdl

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "common/diagnostics.h"
+#include "vhdl/ast.h"
+
+namespace ctrtl::vhdl {
+
+/// Checks that a design file stays inside the paper's clock-free subset:
+///
+///  - no physical time: no `after` clauses, no `wait for`;
+///  - no clock signals (any signal named like a clock is an error — the
+///    subset models timing purely with control-step phases);
+///  - types restricted to integer/natural/boolean and declared enumerations;
+///  - `resolved` only on integer/natural (the builtin section 2.3 resolver);
+///  - every process either has a sensitivity list or contains a wait
+///    statement (it must be able to suspend), but not both (VHDL rule);
+///  - component instantiations reference declared entities with matching
+///    generic/port map arity.
+///
+/// All violations are reported into `diags`; returns !has_errors.
+bool check_subset(const DesignFile& file, common::DiagnosticBag& diags);
+
+}  // namespace ctrtl::vhdl

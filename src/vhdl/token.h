@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/source_location.h"
+
+namespace ctrtl::vhdl {
+
+/// Token kinds of the VHDL subset lexer. VHDL is case-insensitive;
+/// identifiers are normalized to lower case, and keywords are classified by
+/// the parser (they are ordinary identifiers lexically).
+enum class TokenKind : std::uint8_t {
+  kIdentifier,
+  kInteger,
+  kLParen,      // (
+  kRParen,      // )
+  kSemicolon,   // ;
+  kColon,       // :
+  kComma,       // ,
+  kDot,         // .
+  kTick,        // '
+  kAssign,      // :=
+  kArrow,       // =>
+  kLessEqual,   // <= (signal assignment or relational; parser decides)
+  kGreaterEqual,// >=
+  kLess,        // <
+  kGreater,     // >
+  kEqual,       // =
+  kNotEqual,    // /=
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kAmp,         // &
+  kEndOfFile,
+};
+
+[[nodiscard]] std::string to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;          // normalized (lower-case) spelling for identifiers
+  std::int64_t value = 0;    // for kInteger
+  common::SourceLocation location;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  /// True for an identifier spelling `word` (already lower-cased).
+  [[nodiscard]] bool is_word(const std::string& word) const {
+    return kind == TokenKind::kIdentifier && text == word;
+  }
+};
+
+}  // namespace ctrtl::vhdl

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "clocked/model.h"
+#include "transfer/build.h"
+#include "verify/equivalence.h"
+#include "verify/random_design.h"
+
+namespace ctrtl::clocked {
+namespace {
+
+// The paper: "The choice of a specific control step implementation also
+// influences the implementation of registers and modules" — several clock
+// schemes realize one abstract model. Both shipped schemes must produce the
+// same observable behaviour as each other and as the clock-free model.
+
+class ClockSchemeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClockSchemeEquivalence, OneAndTwoCycleSchemesAgree) {
+  verify::RandomDesignOptions options;
+  options.seed = static_cast<std::uint32_t>(GetParam()) + 6000;
+  options.num_transfers = 4 + static_cast<unsigned>(GetParam() % 6);
+  options.use_alu = GetParam() % 2 == 0;
+  const transfer::Design design = verify::random_design(options);
+  const TranslationPlan plan = plan_translation(design);
+
+  auto abstract = transfer::build_model(design);
+  verify::RegisterWriteTrace abstract_trace(*abstract);
+  ASSERT_TRUE(abstract->run().conflict_free());
+
+  ClockedModel one_cycle(plan, 1'000'000, ClockScheme::kOneCyclePerStep);
+  const ClockedModel::Result one_result = one_cycle.run();
+  ClockedModel two_cycle(plan, 1'000'000, ClockScheme::kTwoCyclesPerStep);
+  const ClockedModel::Result two_result = two_cycle.run();
+
+  EXPECT_EQ(two_result.clock_cycles, 2 * one_result.clock_cycles)
+      << "the two-phase scheme pays twice the cycles";
+
+  EXPECT_TRUE(verify::compare_write_traces(abstract_trace.writes(),
+                                           one_cycle.writes(),
+                                           /*ignore_preload=*/true)
+                  .consistent());
+  EXPECT_TRUE(verify::compare_write_traces(one_cycle.writes(),
+                                           two_cycle.writes())
+                  .consistent())
+      << "seed " << GetParam();
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    EXPECT_EQ(one_cycle.register_value(reg.name),
+              two_cycle.register_value(reg.name))
+        << reg.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockSchemeEquivalence, ::testing::Range(1, 16));
+
+TEST(ClockScheme, TwoPhaseConsumesTwiceThePhysicalTime) {
+  verify::RandomDesignOptions options;
+  options.seed = 1;
+  const transfer::Design design = verify::random_design(options);
+  const TranslationPlan plan = plan_translation(design);
+  ClockedModel one_cycle(plan, 1'000'000, ClockScheme::kOneCyclePerStep);
+  ClockedModel two_cycle(plan, 1'000'000, ClockScheme::kTwoCyclesPerStep);
+  const auto r1 = one_cycle.run();
+  const auto r2 = two_cycle.run();
+  EXPECT_EQ(r2.elapsed_fs, 2 * r1.elapsed_fs);
+}
+
+}  // namespace
+}  // namespace ctrtl::clocked

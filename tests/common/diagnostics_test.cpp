@@ -1,0 +1,57 @@
+#include "common/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace ctrtl::common {
+namespace {
+
+TEST(SourceLocation, UnknownByDefault) {
+  const SourceLocation loc;
+  EXPECT_FALSE(loc.is_known());
+  EXPECT_EQ(to_string(loc), "<unknown>");
+}
+
+TEST(SourceLocation, FormatsLineColumn) {
+  EXPECT_EQ(to_string(SourceLocation{3, 7}), "3:7");
+}
+
+TEST(DiagnosticBag, StartsEmpty) {
+  const DiagnosticBag bag;
+  EXPECT_TRUE(bag.empty());
+  EXPECT_FALSE(bag.has_errors());
+  EXPECT_EQ(bag.error_count(), 0u);
+}
+
+TEST(DiagnosticBag, CountsOnlyErrors) {
+  DiagnosticBag bag;
+  bag.note("fyi");
+  bag.warning("careful");
+  EXPECT_FALSE(bag.has_errors());
+  bag.error("broken");
+  bag.error("also broken");
+  EXPECT_TRUE(bag.has_errors());
+  EXPECT_EQ(bag.error_count(), 2u);
+  EXPECT_EQ(bag.entries().size(), 4u);
+}
+
+TEST(DiagnosticBag, ToTextOnePerLine) {
+  DiagnosticBag bag;
+  bag.error("bad thing", SourceLocation{1, 2});
+  bag.warning("odd thing");
+  EXPECT_EQ(bag.to_text(), "error: bad thing at 1:2\nwarning: odd thing\n");
+}
+
+TEST(DiagnosticBag, ClearResets) {
+  DiagnosticBag bag;
+  bag.error("x");
+  bag.clear();
+  EXPECT_TRUE(bag.empty());
+  EXPECT_FALSE(bag.has_errors());
+}
+
+TEST(Diagnostic, ToStringWithoutLocation) {
+  EXPECT_EQ(to_string(Diagnostic{Severity::kNote, "hello", {}}), "note: hello");
+}
+
+}  // namespace
+}  // namespace ctrtl::common

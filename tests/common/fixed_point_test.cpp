@@ -1,0 +1,102 @@
+#include "common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ctrtl::common {
+namespace {
+
+TEST(FixedPoint, DefaultIsZero) {
+  EXPECT_EQ(Fixed{}.raw(), 0);
+  EXPECT_DOUBLE_EQ(Fixed{}.to_double(), 0.0);
+}
+
+TEST(FixedPoint, FromIntRoundTrips) {
+  EXPECT_EQ(Fixed::from_int(5).to_double(), 5.0);
+  EXPECT_EQ(Fixed::from_int(-3).to_double(), -3.0);
+  EXPECT_EQ(Fixed::from_int(0).raw(), 0);
+}
+
+TEST(FixedPoint, FromDoubleQuantizes) {
+  const Fixed half = Fixed::from_double(0.5);
+  EXPECT_EQ(half.raw(), Fixed::kOne / 2);
+  EXPECT_DOUBLE_EQ(half.to_double(), 0.5);
+}
+
+TEST(FixedPoint, AdditionAndSubtraction) {
+  const Fixed a = Fixed::from_double(1.25);
+  const Fixed b = Fixed::from_double(2.5);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((b - a).to_double(), 1.25);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.25);
+}
+
+TEST(FixedPoint, MultiplicationRounds) {
+  const Fixed a = Fixed::from_double(1.5);
+  const Fixed b = Fixed::from_double(2.0);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 3.0);
+  // Small values still multiply with <= 1 LSB error.
+  const Fixed c = Fixed::from_double(0.001);
+  const Fixed d = Fixed::from_double(0.002);
+  EXPECT_NEAR((c * d).to_double(), 0.000002, 1.0 / Fixed::kOne);
+}
+
+TEST(FixedPoint, MultiplicationNegativeOperands) {
+  const Fixed a = Fixed::from_double(-1.5);
+  const Fixed b = Fixed::from_double(2.0);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -3.0);
+  EXPECT_DOUBLE_EQ((a * a).to_double(), 2.25);
+}
+
+TEST(FixedPoint, Division) {
+  const Fixed a = Fixed::from_double(3.0);
+  const Fixed b = Fixed::from_double(2.0);
+  EXPECT_DOUBLE_EQ((a / b).to_double(), 1.5);
+}
+
+TEST(FixedPoint, DivisionByZeroThrows) {
+  EXPECT_THROW(Fixed::from_int(1) / Fixed{}, std::domain_error);
+}
+
+TEST(FixedPoint, ArithmeticShiftRight) {
+  EXPECT_DOUBLE_EQ(Fixed::from_int(8).asr(2).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(Fixed::from_int(-8).asr(2).to_double(), -2.0);
+}
+
+TEST(FixedPoint, Comparison) {
+  EXPECT_LT(Fixed::from_int(1), Fixed::from_int(2));
+  EXPECT_EQ(Fixed::from_double(0.5), Fixed::from_raw(Fixed::kOne / 2));
+}
+
+TEST(FixedPoint, ToStringFormatsFourDigits) {
+  EXPECT_EQ(to_string(Fixed::from_double(-1.25)), "-1.2500");
+  EXPECT_EQ(to_string(Fixed::from_int(3)), "3.0000");
+}
+
+TEST(FixedPoint, AbsErrorLsb) {
+  EXPECT_EQ(abs_error_lsb(Fixed::from_raw(10), Fixed::from_raw(7)), 3);
+  EXPECT_EQ(abs_error_lsb(Fixed::from_raw(-10), Fixed::from_raw(7)), 17);
+}
+
+class FixedMulPropertyTest : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(FixedMulPropertyTest, MatchesDoubleWithinTolerance) {
+  const auto [x, y] = GetParam();
+  const Fixed fx = Fixed::from_double(x);
+  const Fixed fy = Fixed::from_double(y);
+  // Error budget: input quantization of each operand scales with the other
+  // operand's magnitude, plus one LSB for the product rounding itself.
+  const double tolerance = (std::abs(x) + std::abs(y) + 2.0) / Fixed::kOne;
+  EXPECT_NEAR((fx * fy).to_double(), x * y, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, FixedMulPropertyTest,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{1.0, 1.0},
+                      std::pair{-1.0, 1.0}, std::pair{0.125, 8.0},
+                      std::pair{3.14159, 2.71828}, std::pair{-0.5, -0.25},
+                      std::pair{100.0, 0.01}, std::pair{-7.5, 3.25}));
+
+}  // namespace
+}  // namespace ctrtl::common

@@ -1,0 +1,104 @@
+#include "hls/dfg.h"
+
+#include <gtest/gtest.h>
+
+namespace ctrtl::hls {
+namespace {
+
+Dfg sample_dfg() {
+  // out = (a + b) * (a - 3)
+  Dfg dfg;
+  dfg.add_input("a");
+  dfg.add_input("b");
+  const std::size_t sum = dfg.add_node(
+      OpKind::kAdd, {ValueRef::of_input("a"), ValueRef::of_input("b")});
+  const std::size_t diff = dfg.add_node(
+      OpKind::kSub, {ValueRef::of_input("a"), ValueRef::of_constant(3)});
+  const std::size_t product = dfg.add_node(
+      OpKind::kMul, {ValueRef::of_node(sum), ValueRef::of_node(diff)});
+  dfg.mark_output("out", ValueRef::of_node(product));
+  return dfg;
+}
+
+TEST(Dfg, BuildAndInspect) {
+  const Dfg dfg = sample_dfg();
+  EXPECT_EQ(dfg.inputs().size(), 2u);
+  EXPECT_EQ(dfg.nodes().size(), 3u);
+  EXPECT_EQ(dfg.outputs().size(), 1u);
+  common::DiagnosticBag diags;
+  EXPECT_TRUE(dfg.validate(diags));
+}
+
+TEST(Dfg, EvaluateReference) {
+  const auto outputs = evaluate(sample_dfg(), {{"a", 10}, {"b", 2}});
+  EXPECT_EQ(outputs.at("out"), (10 + 2) * (10 - 3));
+}
+
+TEST(Dfg, EvaluateAllOps) {
+  Dfg dfg;
+  dfg.add_input("x");
+  const auto x = ValueRef::of_input("x");
+  dfg.mark_output("add", ValueRef::of_node(dfg.add_node(OpKind::kAdd, {x, ValueRef::of_constant(1)})));
+  dfg.mark_output("sub", ValueRef::of_node(dfg.add_node(OpKind::kSub, {x, ValueRef::of_constant(1)})));
+  dfg.mark_output("mul", ValueRef::of_node(dfg.add_node(OpKind::kMul, {x, ValueRef::of_constant(3)})));
+  dfg.mark_output("min", ValueRef::of_node(dfg.add_node(OpKind::kMin, {x, ValueRef::of_constant(5)})));
+  dfg.mark_output("max", ValueRef::of_node(dfg.add_node(OpKind::kMax, {x, ValueRef::of_constant(5)})));
+  dfg.mark_output("neg", ValueRef::of_node(dfg.add_node(OpKind::kNeg, {x})));
+  dfg.mark_output("copy", ValueRef::of_node(dfg.add_node(OpKind::kCopy, {x})));
+  const auto out = evaluate(dfg, {{"x", 7}});
+  EXPECT_EQ(out.at("add"), 8);
+  EXPECT_EQ(out.at("sub"), 6);
+  EXPECT_EQ(out.at("mul"), 21);
+  EXPECT_EQ(out.at("min"), 5);
+  EXPECT_EQ(out.at("max"), 7);
+  EXPECT_EQ(out.at("neg"), -7);
+  EXPECT_EQ(out.at("copy"), 7);
+}
+
+TEST(Dfg, ArityChecked) {
+  Dfg dfg;
+  dfg.add_input("x");
+  EXPECT_THROW(dfg.add_node(OpKind::kAdd, {ValueRef::of_input("x")}),
+               std::invalid_argument);
+  EXPECT_THROW(dfg.add_node(OpKind::kNeg, {ValueRef::of_input("x"),
+                                           ValueRef::of_input("x")}),
+               std::invalid_argument);
+}
+
+TEST(Dfg, ForwardReferencesRejected) {
+  Dfg dfg;
+  dfg.add_input("x");
+  EXPECT_THROW(
+      dfg.add_node(OpKind::kNeg, {ValueRef::of_node(5)}), std::invalid_argument);
+  EXPECT_THROW(dfg.mark_output("o", ValueRef::of_node(5)), std::invalid_argument);
+  EXPECT_THROW(dfg.add_node(OpKind::kNeg, {ValueRef::of_input("nope")}),
+               std::invalid_argument);
+}
+
+TEST(Dfg, DuplicateInputRejected) {
+  Dfg dfg;
+  dfg.add_input("x");
+  EXPECT_THROW(dfg.add_input("x"), std::invalid_argument);
+}
+
+TEST(Dfg, ValidateRejectsEmpty) {
+  Dfg dfg;
+  common::DiagnosticBag diags;
+  EXPECT_FALSE(dfg.validate(diags));
+}
+
+TEST(Dfg, EvaluateMissingInputThrows) {
+  EXPECT_THROW(evaluate(sample_dfg(), {{"a", 1}}), std::invalid_argument);
+}
+
+TEST(Dfg, OpKindNamesAndArity) {
+  EXPECT_EQ(to_string(OpKind::kMul), "mul");
+  EXPECT_EQ(arity(OpKind::kNeg), 1u);
+  EXPECT_EQ(arity(OpKind::kMax), 2u);
+  EXPECT_EQ(to_string(ValueRef::of_input("a")), "$a");
+  EXPECT_EQ(to_string(ValueRef::of_constant(-4)), "-4");
+  EXPECT_EQ(to_string(ValueRef::of_node(2)), "n2");
+}
+
+}  // namespace
+}  // namespace ctrtl::hls

@@ -1,0 +1,101 @@
+#include "iks/golden.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iks/resources.h"
+
+namespace ctrtl::iks {
+namespace {
+
+constexpr double kOne = static_cast<double>(std::int64_t{1} << kFracBits);
+
+std::int64_t fix(double v) {
+  return static_cast<std::int64_t>(std::llround(v * kOne));
+}
+double unfix(std::int64_t v) {
+  return static_cast<double>(v) / kOne;
+}
+
+IksInputs reachable_target() {
+  IksInputs inputs;
+  inputs.theta1 = fix(0.3);
+  inputs.theta2 = fix(0.9);
+  inputs.l1 = fix(1.0);
+  inputs.l2 = fix(0.8);
+  // Target = fk(0.7, 0.5): reachable by construction.
+  inputs.px = fix(1.0 * std::cos(0.7) + 0.8 * std::cos(1.2));
+  inputs.py = fix(1.0 * std::sin(0.7) + 0.8 * std::sin(1.2));
+  return inputs;
+}
+
+TEST(Golden, TrigMatchesLibm) {
+  const IksInputs inputs = reachable_target();
+  const GoldenTrace trace = golden_iteration(inputs);
+  EXPECT_NEAR(unfix(trace.c1), std::cos(0.3), 1e-3);
+  EXPECT_NEAR(unfix(trace.s1), std::sin(0.3), 1e-3);
+  EXPECT_NEAR(unfix(trace.c12), std::cos(1.2), 1e-3);
+  EXPECT_NEAR(unfix(trace.s12), std::sin(1.2), 1e-3);
+}
+
+TEST(Golden, ForwardKinematicsMatchesDoubleMath) {
+  const IksInputs inputs = reachable_target();
+  const GoldenTrace trace = golden_iteration(inputs);
+  EXPECT_NEAR(unfix(trace.x), 1.0 * std::cos(0.3) + 0.8 * std::cos(1.2), 1e-3);
+  EXPECT_NEAR(unfix(trace.y), 1.0 * std::sin(0.3) + 0.8 * std::sin(1.2), 1e-3);
+}
+
+TEST(Golden, UpdateMovesTowardTarget) {
+  const IksInputs inputs = reachable_target();
+  const GoldenTrace trace = golden_iteration(inputs);
+  const double before = position_error(inputs, inputs.theta1, inputs.theta2);
+  const double after = position_error(inputs, trace.theta1_next, trace.theta2_next);
+  EXPECT_LT(after, before) << "one Jacobian-transpose step reduces the error";
+}
+
+TEST(Golden, IterationConverges) {
+  // The whole point of the IKS: iterating drives the end effector onto the
+  // target. 150 iterations with gain 2^-2 must get within ~1.5% workspace
+  // units.
+  const IksInputs inputs = reachable_target();
+  const auto traces = golden_iterate(inputs, 150);
+  const GoldenTrace& last = traces.back();
+  const double err =
+      position_error(inputs, last.theta1_next, last.theta2_next);
+  EXPECT_LT(err, 0.015) << "final error " << err;
+  // And monotone-ish: the last error is far below the first.
+  const double first =
+      position_error(inputs, traces.front().theta1_next, traces.front().theta2_next);
+  EXPECT_LT(err, first / 5);
+}
+
+TEST(Golden, ZeroErrorGivesZeroUpdate) {
+  IksInputs inputs = reachable_target();
+  // Put the arm exactly on target angles and aim at its own position.
+  inputs.theta1 = fix(0.7);
+  inputs.theta2 = fix(0.5);
+  const GoldenTrace probe = golden_iteration(inputs);
+  IksInputs aligned = inputs;
+  aligned.px = probe.x;
+  aligned.py = probe.y;
+  const GoldenTrace trace = golden_iteration(aligned);
+  EXPECT_EQ(trace.ex, 0);
+  EXPECT_EQ(trace.ey, 0);
+  EXPECT_EQ(trace.dt1, 0);
+  EXPECT_EQ(trace.dt2, 0);
+  EXPECT_EQ(trace.theta1_next, aligned.theta1);
+}
+
+TEST(Golden, PositionErrorIsEuclidean) {
+  IksInputs inputs;
+  inputs.l1 = fix(1.0);
+  inputs.l2 = fix(1.0);
+  inputs.px = fix(5.0);
+  inputs.py = fix(0.0);
+  // theta = 0: arm stretched to (2, 0); error = 3.
+  EXPECT_NEAR(position_error(inputs, 0, 0), 3.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace ctrtl::iks

@@ -1,0 +1,148 @@
+#include "iks/microcode.h"
+
+#include <gtest/gtest.h>
+
+#include "iks/program.h"
+#include "iks/resources.h"
+#include "rtl/modules.h"
+#include "transfer/conflict.h"
+
+namespace ctrtl::iks {
+namespace {
+
+TEST(IksResources, DeclaresPaperResourceSet) {
+  const transfer::Design design = iks_resources(10);
+  // Register files.
+  for (unsigned i = 0; i < 7; ++i) {
+    EXPECT_NE(design.find_register(j_reg(i)), nullptr) << "J" << i;
+  }
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_NE(design.find_register(r_reg(i)), nullptr) << "R" << i;
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_NE(design.find_register(m_reg(i)), nullptr) << "M" << i;
+  }
+  // Dedicated registers.
+  for (const char* name : {"P", "X", "Y", "Z", "zang", "x2", "y2", "F"}) {
+    EXPECT_NE(design.find_register(name), nullptr) << name;
+  }
+  // Buses, including the direct-link extras.
+  for (const char* bus : {"BusA", "BusB", "LA", "LB"}) {
+    EXPECT_TRUE(design.has_bus(bus)) << bus;
+  }
+  // Functional units per fig. 3 (+ copy modules for direct links).
+  EXPECT_EQ(design.find_module("MULT")->latency, 2u)
+      << "the multiplier is a 2-stage pipelined unit";
+  EXPECT_EQ(design.find_module("ZADD")->latency, 0u)
+      << "the adders are not pipelined";
+  EXPECT_NE(design.find_module("MACC"), nullptr);
+  EXPECT_NE(design.find_module("CORDIC"), nullptr);
+  EXPECT_NE(design.find_module("CPZ"), nullptr);
+}
+
+TEST(CodeMaps, ContainPaperExampleCodes) {
+  const CodeMaps& maps = iks_code_maps();
+  EXPECT_TRUE(maps.opc1.contains(20));
+  EXPECT_TRUE(maps.opc2.contains(2));
+}
+
+TEST(Translator, PaperExampleRowDecodes) {
+  // The paper (section 3): store address 7, opc1=20, opc2=2 yields the
+  // transfers (J[6],BusA,y2,1) and (Y,direct,x2,1).
+  const transfer::Design resources = iks_resources(10);
+  const MicroInstruction row = iks_paper_example_row();
+  const auto transfers =
+      translate_microcode(std::vector<MicroInstruction>{row}, iks_code_maps(),
+                          resources);
+
+  // J[6] travels over BusA into the y2 move path (CPY), and Y over the
+  // direct link (LA + CPX) into x2.
+  bool j6_via_busa_to_y2 = false;
+  bool y_direct_to_x2 = false;
+  for (const transfer::RegisterTransfer& t : transfers) {
+    if (t.module == "CPY" && t.operand_a.has_value() &&
+        t.operand_a->source == transfer::Endpoint::register_out("J6") &&
+        t.operand_a->bus == "BusA" && t.destination == "y2") {
+      j6_via_busa_to_y2 = true;
+      EXPECT_EQ(*t.read_step, 7u) << "executes in control step = store address";
+      EXPECT_EQ(*t.write_step, 7u) << "copy modules are zero-latency";
+    }
+    if (t.module == "CPX" && t.operand_a.has_value() &&
+        t.operand_a->source == transfer::Endpoint::register_out("Y") &&
+        t.operand_a->bus == "LA" && t.destination == "x2") {
+      y_direct_to_x2 = true;
+    }
+  }
+  EXPECT_TRUE(j6_via_busa_to_y2);
+  EXPECT_TRUE(y_direct_to_x2);
+}
+
+TEST(Translator, MaccWriteUsesLatency) {
+  const transfer::Design resources = iks_resources(10);
+  const std::vector<MicroInstruction> program = {{3, 5, 8, 4, 5, 2}};
+  const auto transfers =
+      translate_microcode(program, iks_code_maps(), resources);
+  ASSERT_EQ(transfers.size(), 1u);
+  const transfer::RegisterTransfer& t = transfers[0];
+  EXPECT_EQ(t.module, "MACC");
+  EXPECT_EQ(*t.read_step, 3u);
+  EXPECT_EQ(*t.write_step, 4u) << "MACC latency 1";
+  EXPECT_EQ(*t.destination, "R4") << "m field indexes the write";
+  EXPECT_EQ(t.op, rtl::MaccModule::kOpMac);
+  EXPECT_EQ(t.operand_a->source, transfer::Endpoint::register_out("J5"));
+  EXPECT_EQ(t.operand_b->source, transfer::Endpoint::register_out("R2"));
+}
+
+TEST(Translator, MultWriteTwoStepsLater) {
+  const transfer::Design resources = iks_resources(10);
+  const std::vector<MicroInstruction> program = {{5, 7, 10, 7, 0, 4}};
+  const auto transfers =
+      translate_microcode(program, iks_code_maps(), resources);
+  ASSERT_EQ(transfers.size(), 1u);
+  EXPECT_EQ(*transfers[0].write_step, 7u) << "MULT is 2-stage pipelined";
+  EXPECT_EQ(*transfers[0].destination, "P");
+  EXPECT_FALSE(transfers[0].op.has_value()) << "MULT has no operation port";
+}
+
+TEST(Translator, UnknownOpcodesRejected) {
+  const transfer::Design resources = iks_resources(10);
+  EXPECT_THROW(translate_microcode(std::vector<MicroInstruction>{{1, 99, 0, 0, 0, 0}},
+                                   iks_code_maps(), resources),
+               std::invalid_argument);
+  EXPECT_THROW(translate_microcode(std::vector<MicroInstruction>{{1, 0, 99, 0, 0, 0}},
+                                   iks_code_maps(), resources),
+               std::invalid_argument);
+  EXPECT_THROW(translate_microcode(std::vector<MicroInstruction>{{0, 1, 1, 0, 0, 0}},
+                                   iks_code_maps(), resources),
+               std::invalid_argument);
+}
+
+TEST(Translator, FullProgramValidatesAndIsConflictFree) {
+  const IksInputs inputs{};  // values do not matter for structure
+  const transfer::Design design = iks_design(inputs);
+  common::DiagnosticBag diags;
+  EXPECT_TRUE(transfer::validate(design, diags)) << diags.to_text();
+  const transfer::AnalysisReport report = transfer::analyze(design);
+  EXPECT_TRUE(report.clean()) << [&] {
+    std::string text;
+    for (const auto& c : report.drive_conflicts) {
+      text += to_string(c) + "\n";
+    }
+    for (const auto& v : report.discipline_violations) {
+      text += to_string(v) + "\n";
+    }
+    return text;
+  }();
+}
+
+TEST(Translator, ProgramCoversThirtySteps) {
+  EXPECT_EQ(iks_program().size(), 30u);
+  EXPECT_EQ(iks_program_steps(), 30u);
+  for (const MicroInstruction& instr : iks_program()) {
+    EXPECT_GE(instr.addr, 1u);
+    EXPECT_LE(instr.addr, 30u);
+  }
+}
+
+}  // namespace
+}  // namespace ctrtl::iks

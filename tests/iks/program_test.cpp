@@ -1,0 +1,111 @@
+#include "iks/program.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iks/golden.h"
+#include "iks/resources.h"
+#include "verify/semantics.h"
+
+namespace ctrtl::iks {
+namespace {
+
+constexpr double kOne = static_cast<double>(std::int64_t{1} << kFracBits);
+
+std::int64_t fix(double v) {
+  return static_cast<std::int64_t>(std::llround(v * kOne));
+}
+
+IksInputs sample_inputs(double t1 = 0.3, double t2 = 0.9) {
+  IksInputs inputs;
+  inputs.theta1 = fix(t1);
+  inputs.theta2 = fix(t2);
+  inputs.l1 = fix(1.0);
+  inputs.l2 = fix(0.8);
+  inputs.px = fix(1.0 * std::cos(0.7) + 0.8 * std::cos(1.2));
+  inputs.py = fix(1.0 * std::sin(0.7) + 0.8 * std::sin(1.2));
+  return inputs;
+}
+
+TEST(IksProgram, SimulationMatchesGoldenBitExactly) {
+  // The paper's bottom-up verification: the register-transfer model
+  // (microcode -> tuples -> TRANS processes -> delta-cycle simulation)
+  // against the algorithmic-level description. Fixed-point kernels are
+  // shared, so equality is exact.
+  const IksInputs inputs = sample_inputs();
+  const GoldenTrace golden = golden_iteration(inputs);
+
+  auto model = build_iks_model(inputs);
+  const rtl::RunResult result = model->run();
+  EXPECT_TRUE(result.conflict_free());
+
+  const IksOutputs outputs = read_outputs(*model);
+  EXPECT_EQ(outputs.theta1_next, golden.theta1_next);
+  EXPECT_EQ(outputs.theta2_next, golden.theta2_next);
+  EXPECT_EQ(outputs.err_x, golden.ex);
+  EXPECT_EQ(outputs.err_y, golden.ey);
+  EXPECT_EQ(outputs.ee_x, golden.x);
+  EXPECT_EQ(outputs.ee_y, golden.y);
+  EXPECT_EQ(outputs.flag, std::int64_t{1} << kFracBits) << "F := 1 (setf)";
+}
+
+TEST(IksProgram, TakesExactlyCsMaxTimesSixDeltas) {
+  auto model = build_iks_model(sample_inputs());
+  const rtl::RunResult result = model->run();
+  // 30 control steps * 6 phases (+1 trailing register-output update delta).
+  EXPECT_GE(result.stats.delta_cycles, 180u);
+  EXPECT_LE(result.stats.delta_cycles, 181u);
+  EXPECT_EQ(model->scheduler().now().fs, 0u) << "pure delta time";
+}
+
+TEST(IksProgram, ReferenceSemanticsAgrees) {
+  const IksInputs inputs = sample_inputs();
+  const transfer::Design design = iks_design(inputs);
+  const verify::EvalResult reference = verify::evaluate(design);
+  EXPECT_TRUE(reference.conflicts.empty());
+
+  const GoldenTrace golden = golden_iteration(inputs);
+  EXPECT_EQ(reference.registers.at(r_reg(4)), rtl::RtValue::of(golden.theta1_next));
+  EXPECT_EQ(reference.registers.at(r_reg(5)), rtl::RtValue::of(golden.theta2_next));
+}
+
+class IksAngleSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(IksAngleSweep, MatchesGoldenAcrossStartingPoses) {
+  const auto [t1, t2] = GetParam();
+  const IksInputs inputs = sample_inputs(t1, t2);
+  const GoldenTrace golden = golden_iteration(inputs);
+  auto model = build_iks_model(inputs);
+  ASSERT_TRUE(model->run().conflict_free());
+  const IksOutputs outputs = read_outputs(*model);
+  EXPECT_EQ(outputs.theta1_next, golden.theta1_next);
+  EXPECT_EQ(outputs.theta2_next, golden.theta2_next);
+}
+
+INSTANTIATE_TEST_SUITE_P(Poses, IksAngleSweep,
+                         ::testing::Values(std::pair{0.0, 0.0},
+                                           std::pair{0.5, -0.5},
+                                           std::pair{-0.8, 1.2},
+                                           std::pair{1.5, 0.1},
+                                           std::pair{-1.0, -1.0},
+                                           std::pair{2.5, 0.7}));
+
+TEST(IksProgram, IteratedModelConverges) {
+  // Chain model runs: feed each iteration's angles back in. The RT-level
+  // implementation must converge exactly like the golden model.
+  IksInputs inputs = sample_inputs();
+  double final_error = 1e9;
+  for (int i = 0; i < 100; ++i) {
+    auto model = build_iks_model(inputs);
+    ASSERT_TRUE(model->run().conflict_free());
+    const IksOutputs outputs = read_outputs(*model);
+    inputs.theta1 = outputs.theta1_next;
+    inputs.theta2 = outputs.theta2_next;
+    final_error = position_error(inputs, inputs.theta1, inputs.theta2);
+  }
+  EXPECT_LT(final_error, 0.03) << "the RT model solves the IK problem";
+}
+
+}  // namespace
+}  // namespace ctrtl::iks

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "transfer/build.h"
+#include "verify/equivalence.h"
+#include "verify/random_design.h"
+#include "verify/trace.h"
+
+namespace ctrtl {
+namespace {
+
+// The dispatcher execution mode (rtl::TransferMode::kDispatch) must be
+// observationally identical to the paper-faithful process-per-transfer
+// mode: same register values, same conflicts at the same (step, phase),
+// same delta-cycle count, same register-write trace.
+
+class DispatchEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DispatchEquivalence, CleanDesignsMatch) {
+  verify::RandomDesignOptions options;
+  options.seed = static_cast<std::uint32_t>(GetParam()) + 4000;
+  options.num_transfers = 4 + static_cast<unsigned>(GetParam() % 9);
+  options.use_alu = GetParam() % 2 == 0;
+  const transfer::Design design = verify::random_design(options);
+
+  auto faithful =
+      transfer::build_model(design, rtl::TransferMode::kProcessPerTransfer);
+  verify::RegisterWriteTrace faithful_trace(*faithful);
+  const rtl::RunResult faithful_result = faithful->run();
+
+  auto dispatched = transfer::build_model(design, rtl::TransferMode::kDispatch);
+  verify::RegisterWriteTrace dispatched_trace(*dispatched);
+  const rtl::RunResult dispatched_result = dispatched->run();
+
+  EXPECT_EQ(faithful_result.stats.delta_cycles,
+            dispatched_result.stats.delta_cycles);
+  EXPECT_EQ(faithful_result.conflicts, dispatched_result.conflicts);
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    EXPECT_EQ(faithful->find_register(reg.name)->value(),
+              dispatched->find_register(reg.name)->value())
+        << "register " << reg.name << " (seed " << GetParam() << ")";
+  }
+  EXPECT_TRUE(verify::compare_write_traces(faithful_trace.writes(),
+                                           dispatched_trace.writes())
+                  .consistent());
+}
+
+TEST_P(DispatchEquivalence, ConflictingDesignsMatch) {
+  verify::RandomDesignOptions options;
+  options.seed = static_cast<std::uint32_t>(GetParam()) + 5000;
+  options.num_transfers = 4 + static_cast<unsigned>(GetParam() % 6);
+  options.inject_conflicts = true;
+  const transfer::Design design = verify::random_design(options);
+
+  auto faithful =
+      transfer::build_model(design, rtl::TransferMode::kProcessPerTransfer);
+  const rtl::RunResult faithful_result = faithful->run();
+  auto dispatched = transfer::build_model(design, rtl::TransferMode::kDispatch);
+  const rtl::RunResult dispatched_result = dispatched->run();
+
+  ASSERT_FALSE(faithful_result.conflicts.empty());
+  EXPECT_EQ(faithful_result.conflicts, dispatched_result.conflicts)
+      << "conflicts must be located identically (seed " << GetParam() << ")";
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    EXPECT_EQ(faithful->find_register(reg.name)->value(),
+              dispatched->find_register(reg.name)->value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispatchEquivalence, ::testing::Range(1, 21));
+
+TEST(DispatchMode, TransferCountTracked) {
+  verify::RandomDesignOptions options;
+  options.seed = 1;
+  options.num_transfers = 5;
+  const transfer::Design design = verify::random_design(options);
+  auto faithful =
+      transfer::build_model(design, rtl::TransferMode::kProcessPerTransfer);
+  auto dispatched = transfer::build_model(design, rtl::TransferMode::kDispatch);
+  EXPECT_EQ(faithful->transfer_count(), dispatched->transfer_count());
+  EXPECT_EQ(faithful->transfers().size(), faithful->transfer_count());
+  EXPECT_TRUE(dispatched->transfers().empty()) << "no TRANS processes in dispatch mode";
+  EXPECT_EQ(dispatched->transfer_mode(), rtl::TransferMode::kDispatch);
+}
+
+}  // namespace
+}  // namespace ctrtl

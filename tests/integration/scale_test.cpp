@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "rtl/modules.h"
+#include "transfer/build.h"
+#include "verify/random_design.h"
+#include "verify/semantics.h"
+
+namespace ctrtl {
+namespace {
+
+// Soak tests: larger-than-usual models through both execution modes and the
+// reference semantics, verifying the invariants hold at scale (sizes are
+// kept moderate so ctest stays fast; the benches cover bigger sweeps).
+
+TEST(Scale, ThousandTransferDispatchModel) {
+  verify::RandomDesignOptions options;
+  options.seed = 424242;
+  options.num_transfers = 1000;
+  options.num_registers = 24;
+  options.num_buses = 8;
+  const transfer::Design design = verify::random_design(options);
+
+  auto model = transfer::build_model(design, rtl::TransferMode::kDispatch);
+  const rtl::RunResult result = model->run();
+  EXPECT_TRUE(result.conflict_free());
+  // The delta-cycle budget holds at any size (one trailing delta allowed
+  // for the final register-output update).
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(design.cs_max) * rtl::kPhasesPerStep;
+  EXPECT_GE(result.stats.delta_cycles, expected);
+  EXPECT_LE(result.stats.delta_cycles, expected + 1);
+
+  // And the reference semantics still agrees on every register.
+  const verify::EvalResult reference = verify::evaluate(design);
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    EXPECT_EQ(model->find_register(reg.name)->value(),
+              reference.registers.at(reg.name))
+        << reg.name;
+  }
+}
+
+TEST(Scale, LongRunControllerExactness) {
+  kernel::Scheduler sched;
+  rtl::Controller controller(sched, 50000);
+  sched.run();
+  EXPECT_EQ(sched.stats().delta_cycles, 300000u);
+  EXPECT_EQ(controller.cs().read(), 50000u);
+}
+
+TEST(Scale, ManyRegistersManyModules) {
+  rtl::RtModel model(20);
+  std::vector<rtl::Register*> regs;
+  for (int i = 0; i < 64; ++i) {
+    regs.push_back(&model.add_register("R" + std::to_string(i),
+                                       rtl::RtValue::of(i)));
+  }
+  std::vector<rtl::Module*> adders;
+  for (int i = 0; i < 16; ++i) {
+    adders.push_back(&model.add_module<rtl::FixedFunctionModule>(
+        "ADD" + std::to_string(i), 2u, 1u,
+        [](std::span<const std::int64_t> v) { return v[0] + v[1]; }));
+  }
+  // Step s: adder i sums R(2i) + R(2i+1) -> R(32+i), all 16 in parallel —
+  // the phase wheel parallelism the handshake model cannot express.
+  for (int i = 0; i < 16; ++i) {
+    auto& ba = model.add_bus("BA" + std::to_string(i));
+    auto& bb = model.add_bus("BB" + std::to_string(i));
+    auto& bw = model.add_bus("BW" + std::to_string(i));
+    model.add_transfer(1, rtl::Phase::kRa, regs[2 * i]->out(), ba);
+    model.add_transfer(1, rtl::Phase::kRb, ba, adders[i]->input(0));
+    model.add_transfer(1, rtl::Phase::kRa, regs[2 * i + 1]->out(), bb);
+    model.add_transfer(1, rtl::Phase::kRb, bb, adders[i]->input(1));
+    model.add_transfer(2, rtl::Phase::kWa, adders[i]->out(), bw);
+    model.add_transfer(2, rtl::Phase::kWb, bw, regs[32 + i]->in());
+  }
+  const rtl::RunResult result = model.run();
+  EXPECT_TRUE(result.conflict_free());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(regs[32 + i]->value(), rtl::RtValue::of(4 * i + 1))
+        << "adder " << i;
+  }
+  // 16 parallel transfers, still 6 deltas per step.
+  EXPECT_GE(result.stats.delta_cycles, 120u);
+  EXPECT_LE(result.stats.delta_cycles, 121u);
+}
+
+}  // namespace
+}  // namespace ctrtl

@@ -1,0 +1,263 @@
+#include "kernel/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ctrtl::kernel {
+namespace {
+
+// A process factory: ping-pong between two signals for `rounds` rounds.
+Process ping_pong(Scheduler& sched, Signal<int>& in, Signal<int>& out,
+                  DriverId driver, int rounds) {
+  const std::vector<SignalBase*> sens = {&in};
+  for (int i = 0; i < rounds; ++i) {
+    co_await wait_on(sens);
+    out.drive(driver, in.read() + 1);
+  }
+}
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), (SimTime{0, 0}));
+  EXPECT_TRUE(sched.quiescent());
+}
+
+TEST(Scheduler, RunOnEmptyModelDoesNothing) {
+  Scheduler sched;
+  EXPECT_EQ(sched.run(), 0u);
+  EXPECT_EQ(sched.stats().delta_cycles, 0u);
+}
+
+TEST(Scheduler, InitializationRunsEveryProcessOnce) {
+  Scheduler sched;
+  int runs = 0;
+  auto proc = [&]() -> Process {
+    ++runs;
+    co_return;
+  };
+  sched.spawn("a", proc());
+  sched.spawn("b", proc());
+  EXPECT_EQ(runs, 0) << "processes must not run before initialization";
+  sched.initialize();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(sched.stats().resumptions, 2u);
+}
+
+TEST(Scheduler, InitializeIsIdempotent) {
+  Scheduler sched;
+  int runs = 0;
+  auto proc = [&]() -> Process {
+    ++runs;
+    co_return;
+  };
+  sched.spawn("a", proc());
+  sched.initialize();
+  sched.initialize();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Scheduler, DeltaCyclesCountedPerStep) {
+  Scheduler sched;
+  auto& a = sched.make_signal<int>("a", 0);
+  auto& b = sched.make_signal<int>("b", 0);
+  const DriverId da = a.add_driver(0);
+  const DriverId db = b.add_driver(0);
+  // a -> b -> a ... 3 rounds each = 6 deltas after the kick-off.
+  sched.spawn("p1", ping_pong(sched, a, b, db, 3));
+  sched.spawn("p2", ping_pong(sched, b, a, da, 3));
+  sched.initialize();
+  a.drive(da, 1);  // kick off
+  sched.run();
+  // Hops: a=1, b=2, a=3, b=4, a=5, b=6, a=7 — each hop is one delta cycle.
+  EXPECT_EQ(sched.stats().delta_cycles, 7u);
+  EXPECT_EQ(a.read(), 7);
+  EXPECT_EQ(b.read(), 6);
+}
+
+TEST(Scheduler, WaitUntilChecksPredicateOnEachEvent) {
+  Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 0);
+  const DriverId d = s.add_driver(0);
+  bool fired = false;
+  auto waiter = [&]() -> Process {
+    const std::vector<SignalBase*> sens = {&s};
+    co_await wait_until(sens, [&] { return s.read() >= 3; });
+    fired = true;
+  };
+  sched.spawn("w", waiter());
+  sched.initialize();
+  s.drive(d, 1);
+  sched.step();
+  EXPECT_FALSE(fired);
+  s.drive(d, 2);
+  sched.step();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.stats().condition_rejects, 2u);
+  s.drive(d, 3);
+  sched.step();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, WaitUntilSuspendsEvenIfConditionAlreadyTrue) {
+  // VHDL `wait until` semantics: the process suspends and only re-evaluates
+  // on the next event, even when the condition currently holds.
+  Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 10);
+  const DriverId d = s.add_driver(10);
+  bool resumed = false;
+  auto waiter = [&]() -> Process {
+    const std::vector<SignalBase*> sens = {&s};
+    co_await wait_until(sens, [&] { return s.read() >= 5; });
+    resumed = true;
+  };
+  sched.spawn("w", waiter());
+  sched.run();
+  EXPECT_FALSE(resumed) << "no event on s, so the process must stay suspended";
+  s.drive(d, 11);
+  sched.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Scheduler, MultipleEventsTriggerProcessOncePerCycle) {
+  Scheduler sched;
+  auto& a = sched.make_signal<int>("a", 0);
+  auto& b = sched.make_signal<int>("b", 0);
+  const DriverId da = a.add_driver(0);
+  const DriverId db = b.add_driver(0);
+  int resumes = 0;
+  auto waiter = [&]() -> Process {
+    const std::vector<SignalBase*> sens = {&a, &b};
+    for (;;) {
+      co_await wait_on(sens);
+      ++resumes;
+    }
+  };
+  sched.spawn("w", waiter());
+  sched.initialize();
+  a.drive(da, 1);
+  b.drive(db, 1);
+  sched.step();
+  EXPECT_EQ(resumes, 1) << "one resumption even when both signals fired";
+}
+
+TEST(Scheduler, WaitForAdvancesPhysicalTime) {
+  Scheduler sched;
+  std::vector<std::uint64_t> wake_times;
+  auto timer = [&]() -> Process {
+    for (int i = 0; i < 3; ++i) {
+      co_await wait_for_fs(100);
+      wake_times.push_back(sched.now().fs);
+    }
+  };
+  sched.spawn("t", timer());
+  sched.run();
+  EXPECT_EQ(wake_times, (std::vector<std::uint64_t>{100, 200, 300}));
+  EXPECT_EQ(sched.stats().timed_cycles, 3u);
+}
+
+TEST(Scheduler, TimedEventsInterleaveDeterministically) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto proc = [&](int id, std::uint64_t delay) -> Process {
+    co_await wait_for_fs(delay);
+    order.push_back(id);
+  };
+  sched.spawn("late", proc(2, 200));
+  sched.spawn("early", proc(1, 100));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, ProcessExceptionPropagatesFromRun) {
+  Scheduler sched;
+  auto bad = [&]() -> Process {
+    co_await wait_for_fs(10);
+    throw std::runtime_error("boom");
+  };
+  sched.spawn("bad", bad());
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+TEST(Scheduler, ProcessExceptionDuringInitializationPropagates) {
+  Scheduler sched;
+  auto bad = []() -> Process {
+    throw std::runtime_error("early boom");
+    co_return;  // unreachable; makes this a coroutine
+  };
+  sched.spawn("bad", bad());
+  EXPECT_THROW(sched.initialize(), std::runtime_error);
+}
+
+TEST(Scheduler, MaxCyclesBoundsRun) {
+  Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 0);
+  const DriverId d = s.add_driver(0);
+  auto forever = [&]() -> Process {
+    const std::vector<SignalBase*> sens = {&s};
+    for (;;) {
+      co_await wait_on(sens);
+      s.drive(d, s.read() + 1);
+    }
+  };
+  sched.spawn("f", forever());
+  sched.initialize();
+  s.drive(d, 1);
+  EXPECT_EQ(sched.run(50), 50u);
+  EXPECT_FALSE(sched.quiescent());
+}
+
+TEST(Scheduler, EventObserverSeesEveryEvent) {
+  Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 0);
+  const DriverId d = s.add_driver(0);
+  std::vector<std::string> seen;
+  const std::size_t id = sched.add_event_observer([&](const SignalBase& sig, SimTime) {
+    seen.push_back(sig.name() + "=" + sig.debug_value());
+  });
+  sched.initialize();
+  s.drive(d, 1);
+  sched.step();
+  s.drive(d, 2);
+  sched.step();
+  EXPECT_EQ(seen, (std::vector<std::string>{"s=1", "s=2"}));
+  sched.remove_event_observer(id);
+  s.drive(d, 3);
+  sched.step();
+  EXPECT_EQ(seen.size(), 2u) << "removed observers must not fire";
+}
+
+TEST(Scheduler, StatsSubtraction) {
+  KernelStats a;
+  a.delta_cycles = 10;
+  a.events = 5;
+  KernelStats b;
+  b.delta_cycles = 4;
+  b.events = 2;
+  const KernelStats diff = a - b;
+  EXPECT_EQ(diff.delta_cycles, 6u);
+  EXPECT_EQ(diff.events, 3u);
+}
+
+TEST(Scheduler, ShutdownDestroysSuspendedProcesses) {
+  Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 0);
+  auto waiter = [&]() -> Process {
+    const std::vector<SignalBase*> sens = {&s};
+    co_await wait_on(sens);
+  };
+  sched.spawn("w", waiter());
+  sched.initialize();
+  sched.shutdown();  // must not leak or crash; destructor also calls this
+  SUCCEED();
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT((SimTime{0, 1}), (SimTime{0, 2}));
+  EXPECT_LT((SimTime{0, 99}), (SimTime{1, 0}));
+  EXPECT_EQ(to_string(SimTime{5, 2}), "5 fs +2d");
+}
+
+}  // namespace
+}  // namespace ctrtl::kernel

@@ -1,0 +1,119 @@
+#include "kernel/task.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "kernel/scheduler.h"
+
+namespace ctrtl::kernel {
+namespace {
+
+// Helpers: nested task structures driven by a scheduler, mirroring how the
+// VHDL interpreter uses Task (statement executors awaiting wait statements
+// at arbitrary nesting depth).
+
+Task leaf_wait(Signal<int>& s, int threshold) {
+  const std::vector<SignalBase*> sens = {&s};
+  co_await wait_until(sens, [&s, threshold] { return s.read() >= threshold; });
+}
+
+Task middle(Signal<int>& s, std::vector<int>& log) {
+  log.push_back(1);
+  co_await leaf_wait(s, 1);
+  log.push_back(2);
+  co_await leaf_wait(s, 2);
+  log.push_back(3);
+}
+
+Process outer(Signal<int>& s, std::vector<int>& log) {
+  log.push_back(0);
+  co_await middle(s, log);
+  log.push_back(4);
+}
+
+TEST(Task, NestedSuspensionResumesThroughTheStack) {
+  Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 0);
+  const DriverId d = s.add_driver(0);
+  std::vector<int> log;
+  sched.spawn("p", outer(s, log));
+  sched.initialize();
+  EXPECT_EQ(log, (std::vector<int>{0, 1})) << "suspended inside the leaf";
+  s.drive(d, 1);
+  sched.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2})) << "first leaf wait satisfied";
+  s.drive(d, 2);
+  sched.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}))
+      << "completion propagates back up through middle to the process";
+}
+
+Task throwing_leaf() {
+  throw std::runtime_error("leaf boom");
+  co_return;  // unreachable; makes this a coroutine
+}
+
+Process catching_process(bool& caught, bool& after) {
+  try {
+    co_await throwing_leaf();
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  after = true;
+}
+
+TEST(Task, ExceptionsPropagateToAwaiter) {
+  Scheduler sched;
+  bool caught = false;
+  bool after = false;
+  sched.spawn("p", catching_process(caught, after));
+  sched.run();
+  EXPECT_TRUE(caught);
+  EXPECT_TRUE(after);
+}
+
+Process rethrowing_process() {
+  co_await throwing_leaf();
+}
+
+TEST(Task, UncaughtTaskExceptionReachesScheduler) {
+  Scheduler sched;
+  sched.spawn("p", rethrowing_process());
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+Task counting_task(int& counter) {
+  ++counter;
+  co_return;
+}
+
+Process sequential_tasks(int& counter) {
+  for (int i = 0; i < 5; ++i) {
+    co_await counting_task(counter);
+  }
+}
+
+TEST(Task, SequentialTasksWithoutSuspension) {
+  Scheduler sched;
+  int counter = 0;
+  sched.spawn("p", sequential_tasks(counter));
+  sched.run();
+  EXPECT_EQ(counter, 5);
+}
+
+TEST(Task, DestroyedMidSuspensionDoesNotLeak) {
+  // A process suspended deep inside nested tasks is shut down; frame
+  // destruction must unwind the whole chain (checked by ASan-less smoke:
+  // no crash, no UB under valgrind-style runs).
+  Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 0);
+  std::vector<int> log;
+  sched.spawn("p", outer(s, log));
+  sched.initialize();
+  sched.shutdown();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ctrtl::kernel

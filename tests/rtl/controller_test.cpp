@@ -1,0 +1,105 @@
+#include "rtl/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ctrtl::rtl {
+namespace {
+
+TEST(Controller, InitialState) {
+  kernel::Scheduler sched;
+  Controller ctl(sched, 3);
+  EXPECT_EQ(ctl.cs().read(), 0u);       // CS: inout Natural := 0
+  EXPECT_EQ(ctl.ph().read(), kPhaseHigh);  // PH: inout Phase := Phase'High
+  EXPECT_EQ(ctl.cs_max(), 3u);
+}
+
+TEST(Controller, RunTakesExactlySixDeltasPerStep) {
+  // Paper section 2.2: "The complete simulation takes CS_MAX * 6 delta
+  // simulation cycles."
+  for (const unsigned cs_max : {1u, 2u, 3u, 7u, 10u, 100u}) {
+    kernel::Scheduler sched;
+    Controller ctl(sched, cs_max);
+    sched.run();
+    EXPECT_EQ(sched.stats().delta_cycles, std::uint64_t{cs_max} * 6)
+        << "cs_max = " << cs_max;
+    EXPECT_EQ(sched.now().fs, 0u) << "no physical time may pass";
+    EXPECT_TRUE(sched.quiescent());
+  }
+}
+
+TEST(Controller, PhaseSequencePerDelta) {
+  kernel::Scheduler sched;
+  Controller ctl(sched, 2);
+  std::vector<std::pair<unsigned, Phase>> trace;
+  sched.initialize();
+  while (sched.step()) {
+    trace.emplace_back(ctl.cs().read(), ctl.ph().read());
+  }
+  const std::vector<std::pair<unsigned, Phase>> expected = {
+      {1, Phase::kRa}, {1, Phase::kRb}, {1, Phase::kCm},
+      {1, Phase::kWa}, {1, Phase::kWb}, {1, Phase::kCr},
+      {2, Phase::kRa}, {2, Phase::kRb}, {2, Phase::kCm},
+      {2, Phase::kWa}, {2, Phase::kWb}, {2, Phase::kCr},
+  };
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(Controller, StopsAtCsMax) {
+  kernel::Scheduler sched;
+  Controller ctl(sched, 4);
+  sched.run();
+  EXPECT_EQ(ctl.cs().read(), 4u);
+  EXPECT_EQ(ctl.ph().read(), Phase::kCr);
+}
+
+TEST(Controller, ExpectedDeltaCyclesHelper) {
+  kernel::Scheduler sched;
+  Controller ctl(sched, 9);
+  EXPECT_EQ(ctl.expected_delta_cycles(), 54u);
+}
+
+TEST(Controller, LocateMapsDeltasToStepAndPhase) {
+  EXPECT_EQ(Controller::locate(1), (std::pair<unsigned, Phase>{1, Phase::kRa}));
+  EXPECT_EQ(Controller::locate(2), (std::pair<unsigned, Phase>{1, Phase::kRb}));
+  EXPECT_EQ(Controller::locate(6), (std::pair<unsigned, Phase>{1, Phase::kCr}));
+  EXPECT_EQ(Controller::locate(7), (std::pair<unsigned, Phase>{2, Phase::kRa}));
+  EXPECT_EQ(Controller::locate(42), (std::pair<unsigned, Phase>{7, Phase::kCr}));
+}
+
+TEST(Controller, LocateRejectsInitializationOrdinal) {
+  EXPECT_THROW(Controller::locate(0), std::out_of_range);
+}
+
+// Property: locate() inverts the live (cs, ph) observed at each delta.
+class ControllerLocateProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ControllerLocateProperty, LocateAgreesWithLiveSignals) {
+  kernel::Scheduler sched;
+  Controller ctl(sched, GetParam());
+  sched.initialize();
+  std::uint64_t delta = 0;
+  while (sched.step()) {
+    ++delta;
+    EXPECT_EQ(sched.now().delta, delta);
+    const auto [step, phase] = Controller::locate(delta);
+    EXPECT_EQ(ctl.cs().read(), step);
+    EXPECT_EQ(ctl.ph().read(), phase);
+  }
+  EXPECT_EQ(delta, ctl.expected_delta_cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(CsMaxSweep, ControllerLocateProperty,
+                         ::testing::Values(1u, 2u, 5u, 13u, 64u));
+
+TEST(Controller, CsMaxZeroNeverLeavesInitialState) {
+  kernel::Scheduler sched;
+  Controller ctl(sched, 0);
+  sched.run();
+  EXPECT_EQ(sched.stats().delta_cycles, 0u);
+  EXPECT_EQ(ctl.cs().read(), 0u);
+}
+
+}  // namespace
+}  // namespace ctrtl::rtl

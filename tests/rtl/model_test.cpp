@@ -1,0 +1,243 @@
+#include "rtl/model.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/modules.h"
+
+namespace ctrtl::rtl {
+namespace {
+
+std::int64_t add_fn(std::span<const std::int64_t> v) { return v[0] + v[1]; }
+
+/// Builds the paper's figure 1 example: (R1,B1,R2,B2,5,ADD,6,B1,R1),
+/// CS_MAX = 7, R1 preloaded with `a`, R2 with `b`.
+struct Fig1 {
+  RtModel model;
+  Register& r1;
+  Register& r2;
+  RtSignal& b1;
+  RtSignal& b2;
+  Module& add;
+
+  Fig1(std::int64_t a, std::int64_t b)
+      : model(7),
+        r1(model.add_register("R1", RtValue::of(a))),
+        r2(model.add_register("R2", RtValue::of(b))),
+        b1(model.add_bus("B1")),
+        b2(model.add_bus("B2")),
+        add(model.add_module<FixedFunctionModule>("ADD", 2u, 1u, add_fn)) {
+    model.add_transfer(5, Phase::kRa, r1.out(), b1);
+    model.add_transfer(5, Phase::kRb, b1, add.input(0));
+    model.add_transfer(5, Phase::kRa, r2.out(), b2);
+    model.add_transfer(5, Phase::kRb, b2, add.input(1));
+    model.add_transfer(6, Phase::kWa, add.out(), b1);
+    model.add_transfer(6, Phase::kWb, b1, r1.in());
+  }
+};
+
+TEST(RtModel, Figure1ComputesR1PlusR2) {
+  Fig1 fig(30, 12);
+  const RunResult result = fig.model.run();
+  EXPECT_EQ(fig.r1.value(), RtValue::of(42));
+  EXPECT_EQ(fig.r2.value(), RtValue::of(12));
+  EXPECT_TRUE(result.conflict_free());
+}
+
+TEST(RtModel, Figure1TakesExactly42DeltaCycles) {
+  Fig1 fig(1, 2);
+  const RunResult result = fig.model.run();
+  EXPECT_EQ(result.stats.delta_cycles, 42u);  // CS_MAX * 6 = 7 * 6
+  EXPECT_EQ(fig.model.scheduler().now().fs, 0u) << "delta time only, no physical time";
+}
+
+TEST(RtModel, Figure1NegativePayloads) {
+  Fig1 fig(-30, 12);
+  fig.model.run();
+  EXPECT_EQ(fig.r1.value(), RtValue::of(-18));
+}
+
+TEST(RtModel, ConflictDetectedAtExactStepAndPhase) {
+  // Schedule R1 and R2 onto bus B1 in the same (5, ra): the resolution
+  // function must yield ILLEGAL on B1, visible at (5, rb).
+  RtModel model(7);
+  Register& r1 = model.add_register("R1", RtValue::of(1));
+  Register& r2 = model.add_register("R2", RtValue::of(2));
+  RtSignal& b1 = model.add_bus("B1");
+  model.add_transfer(5, Phase::kRa, r1.out(), b1);
+  model.add_transfer(5, Phase::kRa, r2.out(), b1);
+  const RunResult result = model.run();
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(result.conflicts[0], (Conflict{"B1", 5, Phase::kRb}));
+  EXPECT_EQ(to_string(result.conflicts[0]),
+            "conflict on B1 at step 5, phase rb (driven at ra)");
+}
+
+TEST(RtModel, NoConflictWhenStepsDiffer) {
+  RtModel model(7);
+  Register& r1 = model.add_register("R1", RtValue::of(1));
+  Register& r2 = model.add_register("R2", RtValue::of(2));
+  RtSignal& b1 = model.add_bus("B1");
+  model.add_transfer(4, Phase::kRa, r1.out(), b1);
+  model.add_transfer(5, Phase::kRa, r2.out(), b1);
+  const RunResult result = model.run();
+  EXPECT_TRUE(result.conflict_free());
+}
+
+TEST(RtModel, ConflictOnModuleInputPort) {
+  RtModel model(3);
+  Register& r1 = model.add_register("R1", RtValue::of(1));
+  Register& r2 = model.add_register("R2", RtValue::of(2));
+  RtSignal& b1 = model.add_bus("B1");
+  RtSignal& b2 = model.add_bus("B2");
+  Module& add = model.add_module<FixedFunctionModule>("ADD", 2u, 1u, add_fn);
+  model.add_transfer(1, Phase::kRa, r1.out(), b1);
+  model.add_transfer(1, Phase::kRa, r2.out(), b2);
+  // Both buses feed the same input port at (1, rb).
+  model.add_transfer(1, Phase::kRb, b1, add.input(0));
+  model.add_transfer(1, Phase::kRb, b2, add.input(0));
+  const RunResult result = model.run();
+  ASSERT_FALSE(result.conflicts.empty());
+  EXPECT_EQ(result.conflicts[0], (Conflict{"ADD.in1", 1, Phase::kCm}));
+}
+
+TEST(RtModel, DiscSourcesDoNotConflict) {
+  // Two transfers of DISC-valued sources onto one bus: resolution sees no
+  // non-DISC contribution, so no conflict (the sink just stays DISC).
+  RtModel model(2);
+  Register& r1 = model.add_register("R1");  // never loaded -> DISC
+  Register& r2 = model.add_register("R2");
+  RtSignal& b1 = model.add_bus("B1");
+  model.add_transfer(1, Phase::kRa, r1.out(), b1);
+  model.add_transfer(1, Phase::kRa, r2.out(), b1);
+  const RunResult result = model.run();
+  EXPECT_TRUE(result.conflict_free());
+}
+
+TEST(RtModel, ConstantsAreReadOnlySources) {
+  RtModel model(3);
+  RtSignal& zero = model.add_constant("zero", 0);
+  Register& r = model.add_register("R");
+  RtSignal& b = model.add_bus("B");
+  Module& copy = model.add_module<CopyModule>("CP");
+  model.add_transfer(1, Phase::kRa, zero, b);
+  model.add_transfer(1, Phase::kRb, b, copy.input(0));
+  RtSignal& b2 = model.add_bus("B2");
+  model.add_transfer(1, Phase::kWa, copy.out(), b2);
+  model.add_transfer(1, Phase::kWb, b2, r.in());
+  model.run();
+  EXPECT_EQ(r.value(), RtValue::of(0));
+}
+
+TEST(RtModel, InputsSettableBeforeRun) {
+  RtModel model(2);
+  RtSignal& x = model.add_input("x_in");
+  Register& r = model.add_register("R");
+  RtSignal& b = model.add_bus("B");
+  Module& copy = model.add_module<CopyModule>("CP");
+  model.add_transfer(1, Phase::kRa, x, b);
+  model.add_transfer(1, Phase::kRb, b, copy.input(0));
+  RtSignal& b2 = model.add_bus("B2");
+  model.add_transfer(1, Phase::kWa, copy.out(), b2);
+  model.add_transfer(1, Phase::kWb, b2, r.in());
+  model.set_input("x_in", RtValue::of(77));
+  model.run();
+  EXPECT_EQ(r.value(), RtValue::of(77));
+}
+
+TEST(RtModel, DuplicateNamesRejected) {
+  RtModel model(1);
+  model.add_bus("B");
+  EXPECT_THROW(model.add_bus("B"), std::invalid_argument);
+  model.add_register("R");
+  EXPECT_THROW(model.add_register("R"), std::invalid_argument);
+  model.add_constant("c", 1);
+  EXPECT_THROW(model.add_constant("c", 2), std::invalid_argument);
+  model.add_input("i");
+  EXPECT_THROW(model.add_input("i"), std::invalid_argument);
+}
+
+TEST(RtModel, TransferStepValidation) {
+  RtModel model(3);
+  Register& r = model.add_register("R");
+  RtSignal& b = model.add_bus("B");
+  EXPECT_THROW(model.add_transfer(0, Phase::kRa, r.out(), b), std::out_of_range);
+  EXPECT_THROW(model.add_transfer(4, Phase::kRa, r.out(), b), std::out_of_range);
+  EXPECT_NO_THROW(model.add_transfer(3, Phase::kRa, r.out(), b));
+}
+
+TEST(RtModel, LookupByName) {
+  RtModel model(1);
+  model.add_register("R");
+  model.add_bus("B");
+  model.add_module<CopyModule>("CP");
+  model.add_constant("c", 3);
+  model.add_input("i");
+  EXPECT_NE(model.find_register("R"), nullptr);
+  EXPECT_NE(model.find_bus("B"), nullptr);
+  EXPECT_NE(model.find_module("CP"), nullptr);
+  EXPECT_NE(model.find_constant("c"), nullptr);
+  EXPECT_NE(model.find_input("i"), nullptr);
+  EXPECT_EQ(model.find_register("X"), nullptr);
+  EXPECT_EQ(model.find_bus("X"), nullptr);
+  EXPECT_EQ(model.find_module("X"), nullptr);
+  EXPECT_EQ(model.find_constant("X"), nullptr);
+  EXPECT_EQ(model.find_input("X"), nullptr);
+}
+
+TEST(RtModel, SetUnknownInputThrows) {
+  RtModel model(1);
+  EXPECT_THROW(model.set_input("nope", RtValue::of(1)), std::invalid_argument);
+}
+
+TEST(RtModel, AutoGeneratedTransferNames) {
+  RtModel model(2);
+  Register& r = model.add_register("R");
+  RtSignal& b = model.add_bus("B");
+  const TransferProcess* t = model.add_transfer(1, Phase::kRa, r.out(), b);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->name(), "R.out_B_1_ra");
+}
+
+TEST(RtModel, RunStatsCoverOnlyThisRun) {
+  Fig1 fig(1, 1);
+  const RunResult first = fig.model.run();
+  const RunResult second = fig.model.run();  // quiescent: nothing more happens
+  EXPECT_EQ(first.stats.delta_cycles, 42u);
+  EXPECT_EQ(second.stats.delta_cycles, 0u);
+}
+
+// A value marching through a chain of registers, one hop per control step,
+// using the paper's direct-link recipe: two buses plus a COPY module. The
+// buses and the COPY are *shared* across all steps — legal because each
+// step uses them exactly once.
+class PipelineMarchTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PipelineMarchTest, ValueMarchesThroughRegisters) {
+  const unsigned n = GetParam();
+  RtModel model(n);
+  std::vector<Register*> regs;
+  regs.push_back(&model.add_register("R0", RtValue::of(123)));
+  for (unsigned i = 1; i <= n; ++i) {
+    regs.push_back(&model.add_register("R" + std::to_string(i)));
+  }
+  RtSignal& ba = model.add_bus("BA");
+  RtSignal& bb = model.add_bus("BB");
+  Module& copy = model.add_module<CopyModule>("CP");
+  for (unsigned i = 0; i < n; ++i) {
+    model.add_transfer(i + 1, Phase::kRa, regs[i]->out(), ba);
+    model.add_transfer(i + 1, Phase::kRb, ba, copy.input(0));
+    model.add_transfer(i + 1, Phase::kWa, copy.out(), bb);
+    model.add_transfer(i + 1, Phase::kWb, bb, regs[i + 1]->in());
+  }
+  const RunResult result = model.run();
+  EXPECT_TRUE(result.conflict_free());
+  EXPECT_EQ(regs[n]->value(), RtValue::of(123));
+  for (unsigned i = 0; i < n; ++i) {
+    EXPECT_EQ(regs[i]->value(), RtValue::of(123)) << "copies, not moves";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PipelineMarchTest, ::testing::Values(1u, 2u, 5u, 20u));
+
+}  // namespace
+}  // namespace ctrtl::rtl

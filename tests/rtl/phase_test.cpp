@@ -1,0 +1,71 @@
+#include "rtl/phase.h"
+
+#include <gtest/gtest.h>
+
+namespace ctrtl::rtl {
+namespace {
+
+TEST(Phase, OrderMatchesPaperFigure2) {
+  // type Phase is (ra, rb, cm, wa, wb, cr);
+  EXPECT_EQ(phase_index(Phase::kRa), 0);
+  EXPECT_EQ(phase_index(Phase::kRb), 1);
+  EXPECT_EQ(phase_index(Phase::kCm), 2);
+  EXPECT_EQ(phase_index(Phase::kWa), 3);
+  EXPECT_EQ(phase_index(Phase::kWb), 4);
+  EXPECT_EQ(phase_index(Phase::kCr), 5);
+  EXPECT_EQ(kPhasesPerStep, 6);
+}
+
+TEST(Phase, LowAndHighAttributes) {
+  EXPECT_EQ(kPhaseLow, Phase::kRa);   // Phase'Low = ra
+  EXPECT_EQ(kPhaseHigh, Phase::kCr);  // Phase'High = cr
+}
+
+TEST(Phase, SuccWalksTheCycle) {
+  EXPECT_EQ(succ(Phase::kRa), Phase::kRb);
+  EXPECT_EQ(succ(Phase::kRb), Phase::kCm);
+  EXPECT_EQ(succ(Phase::kCm), Phase::kWa);  // Phase'Succ(cM) = wa (paper comment)
+  EXPECT_EQ(succ(Phase::kWa), Phase::kWb);
+  EXPECT_EQ(succ(Phase::kWb), Phase::kCr);
+}
+
+TEST(Phase, SuccOfHighThrows) {
+  EXPECT_THROW(succ(Phase::kCr), std::out_of_range);
+}
+
+TEST(Phase, PredInvertsSucc) {
+  for (int i = 0; i < kPhasesPerStep - 1; ++i) {
+    const Phase p = phase_from_index(i);
+    EXPECT_EQ(pred(succ(p)), p);
+  }
+  EXPECT_THROW(pred(Phase::kRa), std::out_of_range);
+}
+
+TEST(Phase, Names) {
+  EXPECT_EQ(phase_name(Phase::kRa), "ra");
+  EXPECT_EQ(phase_name(Phase::kRb), "rb");
+  EXPECT_EQ(phase_name(Phase::kCm), "cm");
+  EXPECT_EQ(phase_name(Phase::kWa), "wa");
+  EXPECT_EQ(phase_name(Phase::kWb), "wb");
+  EXPECT_EQ(phase_name(Phase::kCr), "cr");
+}
+
+TEST(Phase, NameRoundTrip) {
+  for (int i = 0; i < kPhasesPerStep; ++i) {
+    const Phase p = phase_from_index(i);
+    EXPECT_EQ(phase_from_name(phase_name(p)), p);
+  }
+}
+
+TEST(Phase, FromNameRejectsUnknown) {
+  EXPECT_THROW(phase_from_name("xx"), std::invalid_argument);
+  EXPECT_THROW(phase_from_name(""), std::invalid_argument);
+}
+
+TEST(Phase, FromIndexRejectsOutOfRange) {
+  EXPECT_THROW(phase_from_index(-1), std::out_of_range);
+  EXPECT_THROW(phase_from_index(6), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ctrtl::rtl

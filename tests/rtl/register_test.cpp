@@ -1,0 +1,102 @@
+#include "rtl/register.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/controller.h"
+#include "rtl/transfer_process.h"
+
+namespace ctrtl::rtl {
+namespace {
+
+struct Fixture {
+  kernel::Scheduler sched;
+  Controller ctl;
+
+  explicit Fixture(unsigned cs_max) : ctl(sched, cs_max) {}
+};
+
+TEST(Register, StartsDisc) {
+  Fixture f(1);
+  Register reg(f.sched, f.ctl, "R");
+  EXPECT_TRUE(reg.value().is_disc());
+  EXPECT_EQ(reg.name(), "R");
+}
+
+TEST(Register, PreloadVisibleFromStepOne) {
+  Fixture f(1);
+  Register reg(f.sched, f.ctl, "R", RtValue::of(5));
+  f.sched.initialize();
+  f.sched.step();  // delta 1 = (1, ra)
+  EXPECT_EQ(reg.value(), RtValue::of(5));
+}
+
+TEST(Register, KeepsValueWhenInputDisc) {
+  Fixture f(5);
+  Register reg(f.sched, f.ctl, "R", RtValue::of(5));
+  f.sched.run();
+  EXPECT_EQ(reg.value(), RtValue::of(5)) << "no transfer ever wrote; value kept";
+}
+
+TEST(Register, LatchesAtCrOnly) {
+  Fixture f(2);
+  Register reg(f.sched, f.ctl, "R");
+  RtSignal& src = f.sched.make_signal<RtValue>("SRC", RtValue::of(9));
+  // A wb transfer in step 1 puts the value on the register input; the
+  // register must latch it at cr and expose it from the next delta on.
+  TransferProcess t(f.sched, f.ctl, 1, Phase::kWb, src, reg.in(), "t");
+  f.sched.initialize();
+  std::vector<std::string> values;
+  while (f.sched.step()) {
+    values.push_back(to_string(reg.value()));
+  }
+  const std::vector<std::string> expected = {
+      "DISC", "DISC", "DISC", "DISC", "DISC", "DISC",  // step 1: input arrives at cr
+      "9",    "9",    "9",    "9",    "9",    "9",     // step 2: latched value visible
+  };
+  EXPECT_EQ(values, expected);
+}
+
+TEST(Register, OverwritesOnSecondWrite) {
+  Fixture f(3);
+  Register reg(f.sched, f.ctl, "R", RtValue::of(1));
+  RtSignal& src2 = f.sched.make_signal<RtValue>("S2", RtValue::of(2));
+  RtSignal& src3 = f.sched.make_signal<RtValue>("S3", RtValue::of(3));
+  TransferProcess t1(f.sched, f.ctl, 1, Phase::kWb, src2, reg.in(), "t1");
+  TransferProcess t2(f.sched, f.ctl, 3, Phase::kWb, src3, reg.in(), "t2");
+  f.sched.run();
+  EXPECT_EQ(reg.value(), RtValue::of(3));
+}
+
+TEST(Register, LatchesIllegalInput) {
+  // Paper: `if R_in /= DISC then R_out <= R_in;` — ILLEGAL is /= DISC and
+  // therefore latched, keeping conflicts visible.
+  Fixture f(2);
+  Register reg(f.sched, f.ctl, "R", RtValue::of(7));
+  RtSignal& a = f.sched.make_signal<RtValue>("A", RtValue::of(1));
+  RtSignal& b = f.sched.make_signal<RtValue>("B", RtValue::of(2));
+  TransferProcess t1(f.sched, f.ctl, 1, Phase::kWb, a, reg.in(), "t1");
+  TransferProcess t2(f.sched, f.ctl, 1, Phase::kWb, b, reg.in(), "t2");
+  f.sched.run();
+  EXPECT_TRUE(reg.value().is_illegal());
+}
+
+TEST(Register, InputPortIsResolved) {
+  Fixture f(1);
+  Register reg(f.sched, f.ctl, "R");
+  EXPECT_TRUE(reg.in().resolved());
+  EXPECT_FALSE(reg.out().resolved());
+}
+
+TEST(Register, RegisterToRegisterViaWbTransfer) {
+  // Chained step: R1 -> (wb) -> R2 in step 1; R2 readable in step 2.
+  Fixture f(2);
+  Register r1(f.sched, f.ctl, "R1", RtValue::of(11));
+  Register r2(f.sched, f.ctl, "R2");
+  TransferProcess t(f.sched, f.ctl, 1, Phase::kWb, r1.out(), r2.in(), "t");
+  f.sched.run();
+  EXPECT_EQ(r2.value(), RtValue::of(11));
+  EXPECT_EQ(r1.value(), RtValue::of(11)) << "source unchanged";
+}
+
+}  // namespace
+}  // namespace ctrtl::rtl

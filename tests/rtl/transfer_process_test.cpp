@@ -1,0 +1,161 @@
+#include "rtl/transfer_process.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtl/controller.h"
+
+namespace ctrtl::rtl {
+namespace {
+
+RtValue resolver(std::span<const RtValue> v) { return resolve_rt(v); }
+
+struct Fixture {
+  kernel::Scheduler sched;
+  Controller ctl;
+  RtSignal& source;
+  RtSignal& sink;
+
+  explicit Fixture(unsigned cs_max)
+      : ctl(sched, cs_max),
+        source(sched.make_signal<RtValue>("SRC", RtValue::of(42))),
+        sink(sched.make_signal<RtValue>("SINK", RtValue::disc(), resolver)) {}
+};
+
+TEST(TransferProcess, DrivesValueDuringItsWindowOnly) {
+  Fixture f(3);
+  TransferProcess trans(f.sched, f.ctl, 2, Phase::kRa, f.source, f.sink, "t");
+  f.sched.initialize();
+  std::vector<std::string> window;  // sink value per (step, phase)
+  while (f.sched.step()) {
+    if (f.ctl.cs().read() == 2) {
+      window.push_back(to_string(f.sink.read()));
+    }
+  }
+  // Activated at (2, ra): value visible one delta later (rb), released at
+  // rb: DISC visible again from cm on.
+  const std::vector<std::string> expected = {"DISC", "42", "DISC",
+                                             "DISC", "DISC", "DISC"};
+  EXPECT_EQ(window, expected);
+}
+
+TEST(TransferProcess, WindowForEachActivationPhase) {
+  for (const Phase phase : {Phase::kRa, Phase::kRb, Phase::kCm, Phase::kWa, Phase::kWb}) {
+    Fixture f(2);
+    TransferProcess trans(f.sched, f.ctl, 1, phase, f.source, f.sink, "t");
+    f.sched.initialize();
+    std::vector<bool> live;  // sink carries the value?
+    while (f.sched.step()) {
+      if (f.ctl.cs().read() == 1) {
+        live.push_back(f.sink.read() == RtValue::of(42));
+      }
+    }
+    ASSERT_EQ(live.size(), 6u);
+    for (int i = 0; i < 6; ++i) {
+      const bool expected_live = i == phase_index(phase) + 1;
+      EXPECT_EQ(live[i], expected_live)
+          << "phase " << phase_name(phase) << ", delta index " << i;
+    }
+  }
+}
+
+TEST(TransferProcess, PhaseCrRejected) {
+  Fixture f(2);
+  EXPECT_THROW(
+      TransferProcess(f.sched, f.ctl, 1, Phase::kCr, f.source, f.sink, "t"),
+      std::invalid_argument);
+}
+
+TEST(TransferProcess, NeverFiresOutsideItsStep) {
+  Fixture f(4);
+  TransferProcess trans(f.sched, f.ctl, 2, Phase::kRa, f.source, f.sink, "t");
+  f.sched.initialize();
+  while (f.sched.step()) {
+    if (f.ctl.cs().read() != 2) {
+      EXPECT_TRUE(f.sink.read().is_disc())
+          << "at step " << f.ctl.cs().read() << " phase "
+          << phase_name(f.ctl.ph().read());
+    }
+  }
+}
+
+TEST(TransferProcess, TransfersDiscWhenSourceIsDisc) {
+  Fixture f(2);
+  RtSignal& empty_src = f.sched.make_signal<RtValue>("EMPTY", RtValue::disc());
+  TransferProcess trans(f.sched, f.ctl, 1, Phase::kRa, empty_src, f.sink, "t");
+  auto result = [&] {
+    f.sched.run();
+    return f.sink.read();
+  }();
+  EXPECT_TRUE(result.is_disc());
+}
+
+TEST(TransferProcess, TwoTransfersSamePhaseConflict) {
+  Fixture f(2);
+  RtSignal& src2 = f.sched.make_signal<RtValue>("SRC2", RtValue::of(7));
+  TransferProcess t1(f.sched, f.ctl, 1, Phase::kRa, f.source, f.sink, "t1");
+  TransferProcess t2(f.sched, f.ctl, 1, Phase::kRa, src2, f.sink, "t2");
+  f.sched.initialize();
+  bool saw_illegal = false;
+  while (f.sched.step()) {
+    if (f.sink.read().is_illegal()) {
+      saw_illegal = true;
+      // Visible exactly at (1, rb): the delta after both drove.
+      EXPECT_EQ(f.ctl.cs().read(), 1u);
+      EXPECT_EQ(f.ctl.ph().read(), Phase::kRb);
+    }
+  }
+  EXPECT_TRUE(saw_illegal);
+}
+
+TEST(TransferProcess, TwoTransfersDifferentPhasesShareSink) {
+  // t1 holds the sink during rb; t2 during cm — the windows do not overlap,
+  // so no conflict arises.
+  Fixture f(2);
+  RtSignal& src2 = f.sched.make_signal<RtValue>("SRC2", RtValue::of(7));
+  TransferProcess t1(f.sched, f.ctl, 1, Phase::kRa, f.source, f.sink, "t1");
+  TransferProcess t2(f.sched, f.ctl, 1, Phase::kRb, src2, f.sink, "t2");
+  f.sched.initialize();
+  std::vector<std::string> values;
+  while (f.sched.step()) {
+    if (f.ctl.cs().read() == 1) {
+      values.push_back(to_string(f.sink.read()));
+    }
+  }
+  const std::vector<std::string> expected = {"DISC", "42", "7",
+                                             "DISC", "DISC", "DISC"};
+  EXPECT_EQ(values, expected);
+}
+
+TEST(TransferProcess, AccessorsReflectConstruction) {
+  Fixture f(3);
+  TransferProcess trans(f.sched, f.ctl, 2, Phase::kWa, f.source, f.sink, "myname");
+  EXPECT_EQ(trans.step(), 2u);
+  EXPECT_EQ(trans.phase(), Phase::kWa);
+  EXPECT_EQ(trans.name(), "myname");
+  EXPECT_EQ(&trans.source(), &f.source);
+  EXPECT_EQ(&trans.sink(), &f.sink);
+}
+
+TEST(TransferProcess, SinkSeesSourceValueAtActivationInstant) {
+  // The TRANS process samples the source when it fires; later source
+  // changes must not retroactively alter the transferred value.
+  Fixture f(3);
+  RtSignal& reg_like = f.sched.make_signal<RtValue>("R", RtValue::of(1));
+  const kernel::DriverId d = reg_like.add_driver(RtValue::of(1));
+  TransferProcess trans(f.sched, f.ctl, 1, Phase::kRa, reg_like, f.sink, "t");
+  f.sched.initialize();
+  std::vector<std::string> at_rb;
+  while (f.sched.step()) {
+    if (f.ctl.cs().read() == 1 && f.ctl.ph().read() == Phase::kRb) {
+      at_rb.push_back(to_string(f.sink.read()));
+      reg_like.drive(d, RtValue::of(99));  // change source after the sample
+    }
+  }
+  EXPECT_EQ(at_rb, std::vector<std::string>{"1"});
+  EXPECT_TRUE(f.sink.read().is_disc());
+}
+
+}  // namespace
+}  // namespace ctrtl::rtl

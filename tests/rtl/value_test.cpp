@@ -1,0 +1,164 @@
+#include "rtl/value.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace ctrtl::rtl {
+namespace {
+
+TEST(RtValue, DefaultIsDisc) {
+  const RtValue v;
+  EXPECT_TRUE(v.is_disc());
+  EXPECT_FALSE(v.is_illegal());
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(RtValue, Constructors) {
+  EXPECT_TRUE(RtValue::disc().is_disc());
+  EXPECT_TRUE(RtValue::illegal().is_illegal());
+  EXPECT_TRUE(RtValue::of(5).has_value());
+  EXPECT_EQ(RtValue::of(5).payload(), 5);
+  EXPECT_EQ(RtValue::of(-7).payload(), -7) << "payloads may be negative (fixed-point)";
+}
+
+TEST(RtValue, PayloadOnNonValueThrows) {
+  EXPECT_THROW(RtValue::disc().payload(), std::logic_error);
+  EXPECT_THROW(RtValue::illegal().payload(), std::logic_error);
+}
+
+TEST(RtValue, InbandEncodingMatchesPaper) {
+  // constant DISC: Integer := -1;  constant ILLEGAL: Integer := -2;
+  EXPECT_EQ(RtValue::disc().to_inband(), -1);
+  EXPECT_EQ(RtValue::illegal().to_inband(), -2);
+  EXPECT_EQ(RtValue::of(42).to_inband(), 42);
+}
+
+TEST(RtValue, InbandRoundTrip) {
+  for (const std::int64_t encoded : {-2LL, -1LL, 0LL, 1LL, 12345LL}) {
+    EXPECT_EQ(RtValue::from_inband(encoded).to_inband(), encoded);
+  }
+}
+
+TEST(RtValue, InbandRejectsNegativePayload) {
+  EXPECT_THROW(RtValue::of(-3).to_inband(), std::domain_error);
+}
+
+TEST(RtValue, EqualityIgnoresNothing) {
+  EXPECT_EQ(RtValue::of(1), RtValue::of(1));
+  EXPECT_NE(RtValue::of(1), RtValue::of(2));
+  EXPECT_NE(RtValue::of(1), RtValue::disc());
+  EXPECT_EQ(RtValue::disc(), RtValue());
+  EXPECT_NE(RtValue::disc(), RtValue::illegal());
+}
+
+TEST(RtValue, ToString) {
+  EXPECT_EQ(to_string(RtValue::disc()), "DISC");
+  EXPECT_EQ(to_string(RtValue::illegal()), "ILLEGAL");
+  EXPECT_EQ(to_string(RtValue::of(7)), "7");
+}
+
+// --- resolution function (paper section 2.3) --------------------------------
+
+RtValue resolve(std::initializer_list<RtValue> values) {
+  const std::vector<RtValue> v(values);
+  return resolve_rt(v);
+}
+
+TEST(ResolveRt, EmptyListIsDisc) {
+  EXPECT_TRUE(resolve({}).is_disc());
+}
+
+TEST(ResolveRt, AllDiscIsDisc) {
+  EXPECT_TRUE(resolve({RtValue::disc(), RtValue::disc(), RtValue::disc()}).is_disc());
+}
+
+TEST(ResolveRt, SingleValueWins) {
+  EXPECT_EQ(resolve({RtValue::disc(), RtValue::of(9), RtValue::disc()}), RtValue::of(9));
+}
+
+TEST(ResolveRt, TwoValuesAreIllegal) {
+  EXPECT_TRUE(resolve({RtValue::of(1), RtValue::of(2)}).is_illegal());
+  EXPECT_TRUE(resolve({RtValue::of(1), RtValue::of(1)}).is_illegal())
+      << "even equal values conflict: 'at least two integers are not DISC'";
+}
+
+TEST(ResolveRt, AnyIllegalIsIllegal) {
+  EXPECT_TRUE(resolve({RtValue::illegal()}).is_illegal());
+  EXPECT_TRUE(resolve({RtValue::disc(), RtValue::illegal()}).is_illegal());
+  EXPECT_TRUE(resolve({RtValue::of(4), RtValue::illegal()}).is_illegal());
+}
+
+// Property: resolution is order-independent (commutative as a fold).
+class ResolvePermutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResolvePermutationTest, OrderIndependent) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::vector<RtValue> values;
+  const int n = 1 + GetParam() % 6;
+  for (int i = 0; i < n; ++i) {
+    switch (kind(rng)) {
+      case 0:
+        values.push_back(RtValue::disc());
+        break;
+      case 1:
+        values.push_back(RtValue::illegal());
+        break;
+      default:
+        values.push_back(RtValue::of(kind(rng)));
+        break;
+    }
+  }
+  const RtValue reference = resolve_rt(values);
+  std::sort(values.begin(), values.end(),
+            [](const RtValue& a, const RtValue& b) {
+              if (a.kind() != b.kind()) {
+                return a.kind() < b.kind();
+              }
+              return a.has_value() && b.has_value() && a.payload() < b.payload();
+            });
+  do {
+    EXPECT_EQ(resolve_rt(values), reference);
+  } while (std::next_permutation(
+      values.begin(), values.end(), [](const RtValue& a, const RtValue& b) {
+        if (a.kind() != b.kind()) {
+          return a.kind() < b.kind();
+        }
+        return a.has_value() && b.has_value() && a.payload() < b.payload();
+      }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResolvePermutationTest, ::testing::Range(1, 25));
+
+// Property: resolution is associative when applied hierarchically — the
+// paper relies on this implicitly when ports and buses cascade.
+class ResolveAssociativityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResolveAssociativityTest, SplitResolutionMatchesFlat) {
+  std::mt19937 rng(GetParam() * 7919);
+  std::uniform_int_distribution<int> kind(0, 4);
+  std::vector<RtValue> values;
+  const int n = 2 + GetParam() % 5;
+  for (int i = 0; i < n; ++i) {
+    const int k = kind(rng);
+    values.push_back(k == 0   ? RtValue::disc()
+                     : k == 1 ? RtValue::illegal()
+                              : RtValue::of(k));
+  }
+  const RtValue flat = resolve_rt(values);
+  for (std::size_t split = 1; split < values.size(); ++split) {
+    const std::vector<RtValue> left(values.begin(), values.begin() + split);
+    const std::vector<RtValue> right(values.begin() + split, values.end());
+    const std::vector<RtValue> combined = {resolve_rt(left), resolve_rt(right)};
+    EXPECT_EQ(resolve_rt(combined), flat)
+        << "hierarchical resolution must agree with flat resolution";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResolveAssociativityTest, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace ctrtl::rtl

@@ -1,0 +1,187 @@
+#include "transfer/build.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/modules.h"
+
+namespace ctrtl::transfer {
+namespace {
+
+Design fig1_design(std::int64_t a = 30, std::int64_t b = 12) {
+  Design d;
+  d.name = "fig1";
+  d.cs_max = 7;
+  d.registers = {{"R1", a}, {"R2", b}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}};
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1")};
+  return d;
+}
+
+TEST(BuildModel, Fig1EndToEnd) {
+  const auto model = build_model(fig1_design());
+  const rtl::RunResult result = model->run();
+  EXPECT_TRUE(result.conflict_free());
+  EXPECT_EQ(model->find_register("R1")->value(), rtl::RtValue::of(42));
+  EXPECT_EQ(result.stats.delta_cycles, 42u);
+}
+
+TEST(BuildModel, InvalidDesignThrowsWithDiagnostics) {
+  Design d = fig1_design();
+  d.transfers[0].module = "NOPE";
+  try {
+    build_model(d);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("NOPE"), std::string::npos);
+  }
+}
+
+TEST(BuildModel, ResourceCountsMatchDesign) {
+  const auto model = build_model(fig1_design());
+  EXPECT_EQ(model->registers().size(), 2u);
+  EXPECT_EQ(model->buses().size(), 2u);
+  EXPECT_EQ(model->modules().size(), 1u);
+  EXPECT_EQ(model->transfers().size(), 6u) << "one TRANS per tuple fragment";
+}
+
+TEST(BuildModel, EveryModuleKindElaborates) {
+  Design d;
+  d.cs_max = 4;
+  d.registers = {{"R", 4}, {"S", 2}};
+  d.buses = {{"B1"}, {"B2"}, {"B3"}};
+  d.modules = {
+      {"ADD", ModuleKind::kAdd, 1},     {"SUB", ModuleKind::kSub, 1},
+      {"MUL", ModuleKind::kMul, 2, 0},  {"ALU", ModuleKind::kAlu, 1},
+      {"CP", ModuleKind::kCopy, 0},     {"MACC", ModuleKind::kMacc, 1, 16},
+      {"CORD", ModuleKind::kCordic, 1, 16, 24},
+  };
+  const auto model = build_model(d);
+  for (const char* name : {"ADD", "SUB", "MUL", "ALU", "CP", "MACC", "CORD"}) {
+    EXPECT_NE(model->find_module(name), nullptr) << name;
+  }
+}
+
+TEST(BuildModel, AluOpTravelsViaOpConstant) {
+  Design d;
+  d.cs_max = 3;
+  d.registers = {{"A", 9}, {"B", 4}, {"OUT", std::nullopt}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"ALU", ModuleKind::kAlu, 1}};
+  d.transfers = {RegisterTransfer::full("A", "B1", "B", "B2", 1, "ALU", 2, "B1",
+                                        "OUT", rtl::alu_ops::kSub)};
+  const auto model = build_model(d);
+  EXPECT_NE(model->find_constant("op1"), nullptr)
+      << "op code 1 (sub) must have an implicit constant source";
+  const rtl::RunResult result = model->run();
+  EXPECT_TRUE(result.conflict_free());
+  EXPECT_EQ(model->find_register("OUT")->value(), rtl::RtValue::of(5));
+}
+
+TEST(BuildModel, MulUsesFracBits) {
+  Design d;
+  d.cs_max = 4;
+  const std::int64_t one = 1 << 16;
+  d.registers = {{"A", one / 2}, {"B", one * 3}, {"OUT", std::nullopt}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"MUL", ModuleKind::kMul, 2, 16}};
+  d.transfers = {
+      RegisterTransfer::full("A", "B1", "B", "B2", 1, "MUL", 3, "B1", "OUT")};
+  const auto model = build_model(d);
+  model->run();
+  EXPECT_EQ(model->find_register("OUT")->value(), rtl::RtValue::of(one * 3 / 2));
+}
+
+TEST(BuildModel, ConstantOperand) {
+  Design d;
+  d.cs_max = 3;
+  d.registers = {{"A", 40}, {"OUT", std::nullopt}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.constants = {{"two", 2}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}};
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::register_out("A"), "B1"};
+  t.operand_b = OperandPath{Endpoint::constant("two"), "B2"};
+  t.read_step = 1;
+  t.module = "ADD";
+  t.write_step = 2;
+  t.write_bus = "B1";
+  t.destination = "OUT";
+  d.transfers = {t};
+  const auto model = build_model(d);
+  model->run();
+  EXPECT_EQ(model->find_register("OUT")->value(), rtl::RtValue::of(42));
+}
+
+TEST(BuildModel, InputOperand) {
+  Design d;
+  d.cs_max = 3;
+  d.registers = {{"A", 1}, {"OUT", std::nullopt}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.inputs = {{"x_in"}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}};
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::register_out("A"), "B1"};
+  t.operand_b = OperandPath{Endpoint::input("x_in"), "B2"};
+  t.read_step = 1;
+  t.module = "ADD";
+  t.write_step = 2;
+  t.write_bus = "B1";
+  t.destination = "OUT";
+  d.transfers = {t};
+  const auto model = build_model(d);
+  model->set_input("x_in", rtl::RtValue::of(10));
+  model->run();
+  EXPECT_EQ(model->find_register("OUT")->value(), rtl::RtValue::of(11));
+}
+
+TEST(EndpointSignal, ResolvesEveryKind) {
+  const auto model = build_model(fig1_design());
+  EXPECT_EQ(&endpoint_signal(*model, Endpoint::register_out("R1")),
+            &model->find_register("R1")->out());
+  EXPECT_EQ(&endpoint_signal(*model, Endpoint::register_in("R1")),
+            &model->find_register("R1")->in());
+  EXPECT_EQ(&endpoint_signal(*model, Endpoint::module_out("ADD")),
+            &model->find_module("ADD")->out());
+  EXPECT_EQ(&endpoint_signal(*model, Endpoint::module_in("ADD", 0)),
+            &model->find_module("ADD")->input(0));
+  EXPECT_EQ(&endpoint_signal(*model, Endpoint::bus("B1")), model->find_bus("B1"));
+}
+
+TEST(EndpointSignal, UnknownEndpointThrows) {
+  const auto model = build_model(fig1_design());
+  EXPECT_THROW(endpoint_signal(*model, Endpoint::register_out("X")),
+               std::invalid_argument);
+  EXPECT_THROW(endpoint_signal(*model, Endpoint::bus("X")), std::invalid_argument);
+  EXPECT_THROW(endpoint_signal(*model, Endpoint::constant("X")),
+               std::invalid_argument);
+}
+
+TEST(LatencyMap, ReflectsModuleDecls) {
+  Design d = fig1_design();
+  d.modules.push_back({"MUL", ModuleKind::kMul, 2, 16});
+  const auto latencies = latency_map(d);
+  EXPECT_EQ(latencies.at("ADD"), 1u);
+  EXPECT_EQ(latencies.at("MUL"), 2u);
+}
+
+TEST(BuildModel, ChainedComputationAcrossSteps) {
+  // OUT = (A + B) + C over two ADD uses of the same module.
+  Design d;
+  d.cs_max = 5;
+  d.registers = {{"A", 10}, {"B", 20}, {"C", 12}, {"T", std::nullopt}, {"OUT", std::nullopt}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}};
+  d.transfers = {
+      RegisterTransfer::full("A", "B1", "B", "B2", 1, "ADD", 2, "B1", "T"),
+      RegisterTransfer::full("T", "B1", "C", "B2", 3, "ADD", 4, "B1", "OUT"),
+  };
+  const auto model = build_model(d);
+  const rtl::RunResult result = model->run();
+  EXPECT_TRUE(result.conflict_free());
+  EXPECT_EQ(model->find_register("OUT")->value(), rtl::RtValue::of(42));
+}
+
+}  // namespace
+}  // namespace ctrtl::transfer

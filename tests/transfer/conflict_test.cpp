@@ -1,0 +1,215 @@
+#include "transfer/conflict.h"
+
+#include "rtl/modules.h"
+
+#include <gtest/gtest.h>
+
+#include "transfer/build.h"
+
+namespace ctrtl::transfer {
+namespace {
+
+using rtl::Phase;
+
+Design base_design(unsigned cs_max = 8) {
+  Design d;
+  d.name = "t";
+  d.cs_max = cs_max;
+  d.registers = {{"R1", 1}, {"R2", 2}, {"R3", 3}};
+  d.buses = {{"B1"}, {"B2"}, {"B3"}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}, {"SUB", ModuleKind::kSub, 1}};
+  return d;
+}
+
+TEST(Analyze, CleanDesignReportsNothing) {
+  Design d = base_design();
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 1, "ADD", 2, "B1", "R3"),
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 3, "SUB", 4, "B1", "R3"),
+  };
+  const AnalysisReport report = analyze(d);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Analyze, BusDoubleDriveDetected) {
+  Design d = base_design();
+  // Both operands routed over B1 in the same step.
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B1", 1, "ADD", 2, "B2", "R3")};
+  const AnalysisReport report = analyze(d);
+  ASSERT_EQ(report.drive_conflicts.size(), 1u);
+  const DriveConflict& c = report.drive_conflicts[0];
+  EXPECT_EQ(c.sink, "B1");
+  EXPECT_EQ(c.step, 1u);
+  EXPECT_EQ(c.drive_phase, Phase::kRa);
+  EXPECT_EQ(c.visible_phase, Phase::kRb);
+  EXPECT_EQ(c.driver_count, 2u);
+}
+
+TEST(Analyze, CrossTupleBusConflictDetected) {
+  Design d = base_design();
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 1, "ADD", 2, "B1", "R3"),
+      RegisterTransfer::full("R3", "B1", "R2", "B3", 1, "SUB", 2, "B2", "R1"),
+  };
+  const AnalysisReport report = analyze(d);
+  ASSERT_FALSE(report.drive_conflicts.empty());
+  EXPECT_EQ(report.drive_conflicts[0].sink, "B1");
+}
+
+TEST(Analyze, WritePhaseConflictDetected) {
+  Design d = base_design();
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 1, "ADD", 2, "B3", "R3"),
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 1, "SUB", 2, "B3", "R1"),
+  };
+  const AnalysisReport report = analyze(d);
+  bool found_wa_conflict = false;
+  for (const DriveConflict& c : report.drive_conflicts) {
+    if (c.sink == "B3" && c.drive_phase == Phase::kWa) {
+      found_wa_conflict = true;
+      EXPECT_EQ(c.visible_phase, Phase::kWb);
+      EXPECT_EQ(c.step, 2u);
+    }
+  }
+  EXPECT_TRUE(found_wa_conflict);
+  // B1 at (1, ra) is also double-driven (both tuples read R1 over B1),
+  // as is B2.
+  EXPECT_GE(report.drive_conflicts.size(), 3u);
+}
+
+TEST(Analyze, RegisterInputConflictDetected) {
+  Design d = base_design();
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 1, "ADD", 2, "B1", "R3"),
+      RegisterTransfer::full("R1", "B2", "R2", "B3", 1, "SUB", 2, "B2", "R3"),
+  };
+  // Two different buses feed R3.in at (2, wb) — a conflict on the register
+  // input port itself rather than on a bus.
+  const AnalysisReport report = analyze(d);
+  bool found = false;
+  for (const DriveConflict& c : report.drive_conflicts) {
+    if (c.sink == "R3.in") {
+      found = true;
+      EXPECT_EQ(c.step, 2u);
+      EXPECT_EQ(c.drive_phase, Phase::kWb);
+      EXPECT_EQ(c.visible_phase, Phase::kCr);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Analyze, DisciplineViolationSingleOperand) {
+  Design d = base_design();
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::register_out("R1"), "B1"};
+  t.read_step = 1;
+  t.module = "ADD";
+  d.transfers = {t};
+  const AnalysisReport report = analyze(d);
+  ASSERT_EQ(report.discipline_violations.size(), 1u);
+  EXPECT_EQ(report.discipline_violations[0].module, "ADD");
+  EXPECT_EQ(report.discipline_violations[0].ports_driven, 1u);
+  EXPECT_EQ(report.discipline_violations[0].ports_required, 2u);
+}
+
+TEST(Analyze, DisciplineSatisfiedAcrossTuples) {
+  // Two partial tuples together supply both operands in the same step.
+  Design d = base_design();
+  RegisterTransfer a;
+  a.operand_a = OperandPath{Endpoint::register_out("R1"), "B1"};
+  a.read_step = 1;
+  a.module = "ADD";
+  RegisterTransfer b;
+  b.operand_b = OperandPath{Endpoint::register_out("R2"), "B2"};
+  b.read_step = 1;
+  b.module = "ADD";
+  d.transfers = {a, b};
+  const AnalysisReport report = analyze(d);
+  EXPECT_TRUE(report.discipline_violations.empty());
+}
+
+TEST(Analyze, AluArityFollowsOpCode) {
+  Design d = base_design();
+  d.modules.push_back({"ALU", ModuleKind::kAlu, 1});
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::register_out("R1"), "B1"};
+  t.read_step = 1;
+  t.module = "ALU";
+  t.op = rtl::alu_ops::kPassA;  // unary: one operand is correct
+  d.transfers = {t};
+  EXPECT_TRUE(analyze(d).clean());
+
+  d.transfers[0].op = rtl::alu_ops::kAdd;  // binary: one operand violates
+  EXPECT_EQ(analyze(d).discipline_violations.size(), 1u);
+}
+
+TEST(Analyze, MaccClearNeedsNoOperands) {
+  Design d = base_design();
+  d.modules.push_back({"MACC", ModuleKind::kMacc, 1, 16});
+  RegisterTransfer t;
+  t.read_step = 1;
+  t.module = "MACC";
+  t.op = rtl::MaccModule::kOpClear;
+  d.transfers = {t};
+  EXPECT_TRUE(analyze(d).clean());
+}
+
+TEST(Analyze, OperandWithoutOpOnOpModuleViolates) {
+  Design d = base_design();
+  d.modules.push_back({"ALU", ModuleKind::kAlu, 1});
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::register_out("R1"), "B1"};
+  t.read_step = 1;
+  t.module = "ALU";
+  d.transfers = {t};
+  EXPECT_EQ(analyze(d).discipline_violations.size(), 1u);
+}
+
+TEST(Analyze, ToStringRenderings) {
+  const DriveConflict c{"B1", 5, Phase::kRa, Phase::kRb, 2};
+  EXPECT_EQ(to_string(c),
+            "2 transfers drive B1 at step 5, phase ra (ILLEGAL visible at rb)");
+  const DisciplineViolation v{"ADD", 3, 1, 2};
+  EXPECT_EQ(to_string(v), "module ADD at step 3 receives 1 of 2 required operands");
+}
+
+// --- Agreement with dynamic simulation ----------------------------------------
+
+TEST(Analyze, StaticDriveConflictsAppearDynamically) {
+  Design d = base_design();
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B1", 1, "ADD", 2, "B2", "R3")};
+  const AnalysisReport report = analyze(d);
+  ASSERT_EQ(report.drive_conflicts.size(), 1u);
+
+  const auto model = build_model(d);
+  const rtl::RunResult result = model->run();
+  ASSERT_FALSE(result.conflicts.empty());
+  const DriveConflict& predicted = report.drive_conflicts[0];
+  bool matched = false;
+  for (const rtl::Conflict& dynamic : result.conflicts) {
+    if (dynamic.signal == predicted.sink && dynamic.step == predicted.step &&
+        dynamic.phase == predicted.visible_phase) {
+      matched = true;
+    }
+  }
+  EXPECT_TRUE(matched) << "prediction " << to_string(predicted)
+                       << " not observed dynamically";
+}
+
+TEST(Analyze, CleanReportMeansConflictFreeSimulation) {
+  Design d = base_design();
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 1, "ADD", 2, "B1", "R3"),
+      RegisterTransfer::full("R3", "B2", "R1", "B3", 3, "SUB", 4, "B2", "R2"),
+      RegisterTransfer::full("R2", "B1", "R3", "B2", 5, "ADD", 6, "B3", "R1"),
+  };
+  ASSERT_TRUE(analyze(d).clean());
+  const auto model = build_model(d);
+  const rtl::RunResult result = model->run();
+  EXPECT_TRUE(result.conflict_free());
+}
+
+}  // namespace
+}  // namespace ctrtl::transfer

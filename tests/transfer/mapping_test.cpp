@@ -1,0 +1,220 @@
+#include "transfer/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace ctrtl::transfer {
+namespace {
+
+using rtl::Phase;
+
+RegisterTransfer paper_tuple() {
+  return RegisterTransfer::full("R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1");
+}
+
+TEST(ForwardMapping, PaperExampleExpandsToSixInstances) {
+  // Section 2.7's worked derivation.
+  const auto instances = to_instances(paper_tuple());
+  ASSERT_EQ(instances.size(), 6u);
+  EXPECT_EQ(instances[0], (TransInstance{5, Phase::kRa, Endpoint::register_out("R1"),
+                                         Endpoint::bus("B1")}));
+  EXPECT_EQ(instances[1], (TransInstance{5, Phase::kRb, Endpoint::bus("B1"),
+                                         Endpoint::module_in("ADD", 0)}));
+  EXPECT_EQ(instances[2], (TransInstance{5, Phase::kRa, Endpoint::register_out("R2"),
+                                         Endpoint::bus("B2")}));
+  EXPECT_EQ(instances[3], (TransInstance{5, Phase::kRb, Endpoint::bus("B2"),
+                                         Endpoint::module_in("ADD", 1)}));
+  EXPECT_EQ(instances[4], (TransInstance{6, Phase::kWa, Endpoint::module_out("ADD"),
+                                         Endpoint::bus("B1")}));
+  EXPECT_EQ(instances[5], (TransInstance{6, Phase::kWb, Endpoint::bus("B1"),
+                                         Endpoint::register_in("R1")}));
+}
+
+TEST(ForwardMapping, InstanceNamesMatchPaper) {
+  const auto instances = to_instances(paper_tuple());
+  EXPECT_EQ(instances[0].name(), "R1_out_B1_5");
+  EXPECT_EQ(instances[1].name(), "B1_ADD_in1_5");
+  EXPECT_EQ(instances[4].name(), "ADD_mout_B1_6");
+  EXPECT_EQ(instances[5].name(), "B1_R1_in_6");
+}
+
+TEST(ForwardMapping, ReadOnlyPartialYieldsOperandInstances) {
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::register_out("R1"), "B1"};
+  t.read_step = 5;
+  t.module = "ADD";
+  const auto instances = to_instances(t);
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].phase, Phase::kRa);
+  EXPECT_EQ(instances[1].phase, Phase::kRb);
+}
+
+TEST(ForwardMapping, WriteOnlyPartialYieldsResultInstances) {
+  RegisterTransfer t;
+  t.module = "ADD";
+  t.write_step = 6;
+  t.write_bus = "B1";
+  t.destination = "R1";
+  const auto instances = to_instances(t);
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].phase, Phase::kWa);
+  EXPECT_EQ(instances[1].phase, Phase::kWb);
+}
+
+TEST(ForwardMapping, OpExtensionAddsOpInstance) {
+  RegisterTransfer t = paper_tuple();
+  t.op = 3;
+  const auto instances = to_instances(t);
+  ASSERT_EQ(instances.size(), 7u);
+  const auto op_instance =
+      std::find_if(instances.begin(), instances.end(), [](const TransInstance& i) {
+        return i.sink.kind == Endpoint::Kind::kModuleOp;
+      });
+  ASSERT_NE(op_instance, instances.end());
+  EXPECT_EQ(op_instance->step, 5u);
+  EXPECT_EQ(op_instance->phase, Phase::kRb);
+  EXPECT_EQ(op_instance->source, Endpoint::constant("op3"));
+}
+
+TEST(OpConstantName, RoundTrip) {
+  std::int64_t code = -1;
+  EXPECT_TRUE(parse_op_constant_name(op_constant_name(17), code));
+  EXPECT_EQ(code, 17);
+  EXPECT_FALSE(parse_op_constant_name("xx", code));
+  EXPECT_FALSE(parse_op_constant_name("op", code));
+  EXPECT_FALSE(parse_op_constant_name("op1x", code));
+}
+
+TEST(ReverseMapping, PaperExamplePairsIntoPartials) {
+  // Section 2.7: the six instances pair back into three partial tuples.
+  const auto instances = to_instances(paper_tuple());
+  std::vector<TransInstance> orphans;
+  const auto partials = to_partial_tuples(instances, &orphans);
+  EXPECT_TRUE(orphans.empty());
+  ASSERT_EQ(partials.size(), 3u);
+  EXPECT_EQ(to_string(partials[0]), "(R1,B1,-,-,5,ADD,-,-,-)");
+  EXPECT_EQ(to_string(partials[1]), "(-,-,R2,B2,5,ADD,-,-,-)");
+  EXPECT_EQ(to_string(partials[2]), "(-,-,-,-,-,ADD,6,B1,R1)");
+}
+
+TEST(ReverseMapping, DanglingInstanceReportedAsOrphan) {
+  std::vector<TransInstance> instances = {
+      {5, Phase::kRa, Endpoint::register_out("R1"), Endpoint::bus("B1")},
+      // no rb counterpart
+  };
+  std::vector<TransInstance> orphans;
+  const auto partials = to_partial_tuples(instances, &orphans);
+  EXPECT_TRUE(partials.empty());
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], instances[0]);
+}
+
+TEST(ReverseMapping, MismatchedStepsDoNotPair) {
+  const std::vector<TransInstance> instances = {
+      {5, Phase::kRa, Endpoint::register_out("R1"), Endpoint::bus("B1")},
+      {6, Phase::kRb, Endpoint::bus("B1"), Endpoint::module_in("ADD", 0)},
+  };
+  std::vector<TransInstance> orphans;
+  const auto partials = to_partial_tuples(instances, &orphans);
+  EXPECT_TRUE(partials.empty());
+  EXPECT_EQ(orphans.size(), 2u);
+}
+
+TEST(MergePartials, FusesPaperExampleBack) {
+  const auto instances = to_instances(paper_tuple());
+  auto partials = to_partial_tuples(instances);
+  const auto merged = merge_partials(std::move(partials), {{"ADD", 1}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], paper_tuple());
+}
+
+TEST(MergePartials, KeepsUnfusablePartials) {
+  RegisterTransfer write;
+  write.module = "ADD";
+  write.write_step = 6;
+  write.write_bus = "B1";
+  write.destination = "R1";
+  const auto merged = merge_partials({write}, {{"ADD", 1}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], write);
+}
+
+TEST(MergePartials, AmbiguousFusionStaysPartial) {
+  // Two identical read steps for the same module: fusing a write to either
+  // would be a guess, so nothing fuses.
+  RegisterTransfer read1;
+  read1.operand_a = OperandPath{Endpoint::register_out("R1"), "B1"};
+  read1.read_step = 5;
+  read1.module = "ADD";
+  RegisterTransfer read2;
+  read2.operand_a = OperandPath{Endpoint::register_out("R2"), "B2"};
+  read2.read_step = 5;
+  read2.module = "ADD";
+  RegisterTransfer write;
+  write.module = "ADD";
+  write.write_step = 6;
+  write.write_bus = "B1";
+  write.destination = "R1";
+  // read1/read2 collide on operand_a so they do not merge with each other,
+  // and the write sees two candidates.
+  const auto merged = merge_partials({read1, read2, write}, {{"ADD", 1}});
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+// --- Round-trip property over randomized tuples -------------------------------
+
+class TupleRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TupleRoundTripTest, ForwardThenReverseThenMergeIsIdentity) {
+  std::mt19937 rng(GetParam() * 31337);
+  std::uniform_int_distribution<int> pick(0, 3);
+  std::uniform_int_distribution<int> step_dist(1, 20);
+  std::uniform_int_distribution<int> latency_dist(0, 3);
+
+  const unsigned latency = static_cast<unsigned>(latency_dist(rng));
+  const unsigned read_step = static_cast<unsigned>(step_dist(rng));
+  const std::string module = "M" + std::to_string(pick(rng));
+  RegisterTransfer t = RegisterTransfer::full(
+      "Ra" + std::to_string(pick(rng)), "BA" + std::to_string(pick(rng)),
+      "Rb" + std::to_string(pick(rng)), "BB" + std::to_string(pick(rng)), read_step,
+      module, read_step + latency, "BW" + std::to_string(pick(rng)),
+      "Rd" + std::to_string(pick(rng)));
+  if (pick(rng) == 0) {
+    t.op = pick(rng);
+  }
+
+  const auto instances = to_instances(t);
+  std::vector<TransInstance> orphans;
+  auto partials = to_partial_tuples(instances, &orphans);
+  EXPECT_TRUE(orphans.empty());
+  const auto merged = merge_partials(std::move(partials), {{module, latency}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], t) << "round trip must reproduce " << to_string(t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TupleRoundTripTest, ::testing::Range(1, 50));
+
+// Round trip over a *set* of tuples sharing resources but not colliding.
+TEST(TupleRoundTripTest, MultipleTuplesDistinctSteps) {
+  std::vector<RegisterTransfer> tuples;
+  for (unsigned s = 1; s <= 5; ++s) {
+    tuples.push_back(RegisterTransfer::full("R1", "B1", "R2", "B2", 2 * s, "ADD",
+                                            2 * s + 1, "B1", "R1"));
+  }
+  const auto instances = to_instances(tuples);
+  std::vector<TransInstance> orphans;
+  auto partials = to_partial_tuples(instances, &orphans);
+  EXPECT_TRUE(orphans.empty());
+  auto merged = merge_partials(std::move(partials), {{"ADD", 1}});
+  ASSERT_EQ(merged.size(), tuples.size());
+  std::sort(merged.begin(), merged.end(),
+            [](const RegisterTransfer& a, const RegisterTransfer& b) {
+              return a.read_step < b.read_step;
+            });
+  EXPECT_EQ(merged, tuples);
+}
+
+}  // namespace
+}  // namespace ctrtl::transfer

@@ -1,0 +1,112 @@
+#include "transfer/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace ctrtl::transfer {
+namespace {
+
+TEST(Endpoint, Factories) {
+  EXPECT_EQ(Endpoint::register_out("R").kind, Endpoint::Kind::kRegisterOut);
+  EXPECT_EQ(Endpoint::module_in("M", 1).port, 1u);
+  EXPECT_EQ(Endpoint::bus("B").resource, "B");
+}
+
+TEST(Endpoint, ToStringForms) {
+  EXPECT_EQ(to_string(Endpoint::register_out("R1")), "R1.out");
+  EXPECT_EQ(to_string(Endpoint::register_in("R1")), "R1.in");
+  EXPECT_EQ(to_string(Endpoint::module_out("ADD")), "ADD.mout");
+  EXPECT_EQ(to_string(Endpoint::module_in("ADD", 0)), "ADD.in1");
+  EXPECT_EQ(to_string(Endpoint::module_in("ADD", 1)), "ADD.in2");
+  EXPECT_EQ(to_string(Endpoint::module_op("ALU")), "ALU.op");
+  EXPECT_EQ(to_string(Endpoint::bus("B1")), "B1");
+  EXPECT_EQ(to_string(Endpoint::constant("zero")), "#zero");
+  EXPECT_EQ(to_string(Endpoint::input("x_in")), "$x_in");
+}
+
+class EndpointRoundTrip : public ::testing::TestWithParam<Endpoint> {};
+
+TEST_P(EndpointRoundTrip, ParseInvertsToString) {
+  const Endpoint& e = GetParam();
+  EXPECT_EQ(parse_endpoint(to_string(e)), e);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, EndpointRoundTrip,
+    ::testing::Values(Endpoint::register_out("R1"), Endpoint::register_in("P"),
+                      Endpoint::module_out("Z_ADD"), Endpoint::module_in("M", 0),
+                      Endpoint::module_in("M", 7), Endpoint::module_op("ALU"),
+                      Endpoint::bus("BusA"), Endpoint::constant("zero"),
+                      Endpoint::input("x_in")));
+
+TEST(Endpoint, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_endpoint(""), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("R."), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint(".out"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("M.in0"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("M.bogus"), std::invalid_argument);
+}
+
+TEST(RegisterTransfer, FullBuilderIsComplete) {
+  const RegisterTransfer t =
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1");
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.operand_a->source, Endpoint::register_out("R1"));
+  EXPECT_EQ(t.operand_b->bus, "B2");
+  EXPECT_EQ(*t.read_step, 5u);
+  EXPECT_EQ(*t.write_step, 6u);
+  EXPECT_EQ(*t.destination, "R1");
+  EXPECT_FALSE(t.op.has_value());
+}
+
+TEST(RegisterTransfer, ToStringMatchesPaperNotation) {
+  const RegisterTransfer t =
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1");
+  EXPECT_EQ(to_string(t), "(R1,B1,R2,B2,5,ADD,6,B1,R1)");
+}
+
+TEST(RegisterTransfer, PartialToStringUsesDashes) {
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::register_out("R1"), "B1"};
+  t.read_step = 5;
+  t.module = "ADD";
+  EXPECT_EQ(to_string(t), "(R1,B1,-,-,5,ADD,-,-,-)");
+  EXPECT_FALSE(t.complete());
+}
+
+TEST(RegisterTransfer, WritePartialToString) {
+  RegisterTransfer t;
+  t.module = "ADD";
+  t.write_step = 6;
+  t.write_bus = "B1";
+  t.destination = "R1";
+  EXPECT_EQ(to_string(t), "(-,-,-,-,-,ADD,6,B1,R1)");
+}
+
+TEST(RegisterTransfer, OpExtensionPrinted) {
+  RegisterTransfer t =
+      RegisterTransfer::full("A", "B1", "B", "B2", 1, "ALU", 2, "B1", "A", 1);
+  EXPECT_EQ(to_string(t), "(A,B1,B,B2,1,ALU,2,B1,A)|op=1");
+}
+
+TEST(RegisterTransfer, ConstantOperandPrintsWithSigil) {
+  RegisterTransfer t;
+  t.operand_a = OperandPath{Endpoint::constant("zero"), "B1"};
+  t.read_step = 1;
+  t.module = "X_ADD";
+  EXPECT_EQ(to_string(t), "(#zero,B1,-,-,1,X_ADD,-,-,-)");
+}
+
+TEST(TransInstance, NameMatchesPaperScheme) {
+  const TransInstance instance{5, rtl::Phase::kRa, Endpoint::register_out("R1"),
+                               Endpoint::bus("B1")};
+  EXPECT_EQ(instance.name(), "R1_out_B1_5");
+}
+
+TEST(TransInstance, ToString) {
+  const TransInstance instance{5, rtl::Phase::kRb, Endpoint::bus("B1"),
+                               Endpoint::module_in("ADD", 0)};
+  EXPECT_EQ(to_string(instance), "TRANS(5,rb) B1 -> ADD.in1");
+}
+
+}  // namespace
+}  // namespace ctrtl::transfer

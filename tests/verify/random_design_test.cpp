@@ -1,0 +1,88 @@
+#include "verify/random_design.h"
+
+#include <gtest/gtest.h>
+
+#include "transfer/build.h"
+#include "transfer/conflict.h"
+
+namespace ctrtl::verify {
+namespace {
+
+TEST(RandomDesign, ValidatesByConstruction) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    RandomDesignOptions options;
+    options.seed = seed;
+    options.num_transfers = 6;
+    options.use_alu = seed % 2 == 0;
+    const transfer::Design design = random_design(options);
+    common::DiagnosticBag diags;
+    EXPECT_TRUE(validate(design, diags)) << "seed " << seed << ":\n"
+                                         << diags.to_text();
+  }
+}
+
+TEST(RandomDesign, CleanByDefault) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    RandomDesignOptions options;
+    options.seed = seed;
+    const transfer::Design design = random_design(options);
+    EXPECT_TRUE(transfer::analyze(design).clean()) << "seed " << seed;
+  }
+}
+
+TEST(RandomDesign, InjectConflictsProducesDriveConflicts) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    RandomDesignOptions options;
+    options.seed = seed;
+    options.inject_conflicts = true;
+    const transfer::Design design = random_design(options);
+    EXPECT_FALSE(transfer::analyze(design).drive_conflicts.empty())
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomDesign, Deterministic) {
+  RandomDesignOptions options;
+  options.seed = 99;
+  const transfer::Design a = random_design(options);
+  const transfer::Design b = random_design(options);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.cs_max, b.cs_max);
+}
+
+TEST(RandomDesign, NaturalsOnlyKeepsPayloadsNonNegative) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    RandomDesignOptions options;
+    options.seed = seed;
+    options.naturals_only = true;
+    options.num_transfers = 8;
+    const transfer::Design design = random_design(options);
+    auto model = transfer::build_model(design);
+    model->run();
+    for (const transfer::RegisterDecl& reg : design.registers) {
+      const rtl::RtValue value = model->find_register(reg.name)->value();
+      if (value.has_value()) {
+        EXPECT_GE(value.payload(), 0) << reg.name << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(RandomDesign, RejectsTooFewResources) {
+  RandomDesignOptions options;
+  options.num_registers = 2;
+  EXPECT_THROW(random_design(options), std::invalid_argument);
+}
+
+TEST(RandomDesign, TransferCountHonored) {
+  RandomDesignOptions options;
+  options.num_transfers = 17;
+  const transfer::Design design = random_design(options);
+  EXPECT_EQ(design.transfers.size(), 17u);
+  options.inject_conflicts = true;
+  EXPECT_EQ(random_design(options).transfers.size(), 18u)
+      << "one extra conflicting partial tuple";
+}
+
+}  // namespace
+}  // namespace ctrtl::verify

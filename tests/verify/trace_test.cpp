@@ -1,0 +1,95 @@
+#include "verify/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/modules.h"
+
+namespace ctrtl::verify {
+namespace {
+
+TEST(TraceRecorder, RecordsSignalEvents) {
+  kernel::Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 0);
+  const kernel::DriverId d = s.add_driver(0);
+  TraceRecorder recorder(sched);
+  sched.initialize();
+  s.drive(d, 5);
+  sched.step();
+  s.drive(d, 6);
+  sched.step();
+  ASSERT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.events()[0].signal, "s");
+  EXPECT_EQ(recorder.events()[0].value, "5");
+  EXPECT_EQ(recorder.events()[1].value, "6");
+  EXPECT_EQ(recorder.events()[1].time.delta, 2u);
+}
+
+TEST(TraceRecorder, FilterBySignal) {
+  kernel::Scheduler sched;
+  auto& a = sched.make_signal<int>("a", 0);
+  auto& b = sched.make_signal<int>("b", 0);
+  const kernel::DriverId da = a.add_driver(0);
+  const kernel::DriverId db = b.add_driver(0);
+  TraceRecorder recorder(sched);
+  sched.initialize();
+  a.drive(da, 1);
+  b.drive(db, 2);
+  sched.step();
+  EXPECT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.events_for("a").size(), 1u);
+  EXPECT_EQ(recorder.events_for("b").size(), 1u);
+  EXPECT_TRUE(recorder.events_for("c").empty());
+}
+
+TEST(TraceRecorder, ToTextFormat) {
+  kernel::Scheduler sched;
+  auto& s = sched.make_signal<int>("sig", 0);
+  const kernel::DriverId d = s.add_driver(0);
+  TraceRecorder recorder(sched);
+  sched.initialize();
+  s.drive(d, 9);
+  sched.step();
+  EXPECT_EQ(recorder.to_text(), "0 fs +1d  sig = 9\n");
+}
+
+TEST(TraceRecorder, DetachesOnDestruction) {
+  kernel::Scheduler sched;
+  auto& s = sched.make_signal<int>("s", 0);
+  const kernel::DriverId d = s.add_driver(0);
+  {
+    TraceRecorder recorder(sched);
+    sched.initialize();
+  }
+  s.drive(d, 1);
+  sched.step();  // must not touch the destroyed recorder
+  SUCCEED();
+}
+
+TEST(RegisterWriteTrace, CapturesLatchSteps) {
+  rtl::RtModel model(4);
+  auto& r1 = model.add_register("R1", rtl::RtValue::of(10));
+  auto& r2 = model.add_register("R2");
+  auto& ba = model.add_bus("BA");
+  auto& bb = model.add_bus("BB");
+  auto& copy = model.add_module<rtl::CopyModule>("CP");
+  // Step 2: R1 -> R2 via copy.
+  model.add_transfer(2, rtl::Phase::kRa, r1.out(), ba);
+  model.add_transfer(2, rtl::Phase::kRb, ba, copy.input(0));
+  model.add_transfer(2, rtl::Phase::kWa, copy.out(), bb);
+  model.add_transfer(2, rtl::Phase::kWb, bb, r2.in());
+
+  RegisterWriteTrace trace(model);
+  model.run();
+  ASSERT_EQ(trace.writes().size(), 2u);
+  EXPECT_EQ(trace.writes()[0], (RegisterWrite{0, "R1", rtl::RtValue::of(10)}))
+      << "preload recorded as step 0";
+  EXPECT_EQ(trace.writes()[1], (RegisterWrite{2, "R2", rtl::RtValue::of(10)}));
+}
+
+TEST(RegisterWrite, ToString) {
+  EXPECT_EQ(to_string(RegisterWrite{3, "R1", rtl::RtValue::of(7)}),
+            "step 3: R1 := 7");
+}
+
+}  // namespace
+}  // namespace ctrtl::verify

@@ -1,0 +1,80 @@
+#include "verify/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include "transfer/build.h"
+
+namespace ctrtl::verify {
+namespace {
+
+std::vector<TraceEvent> sample_events() {
+  return {
+      {{0, 1}, "CS", "1"},
+      {{0, 1}, "PH", "ra"},
+      {{0, 2}, "B1", "42"},
+      {{0, 3}, "B1", "DISC"},
+      {{0, 4}, "B2", "ILLEGAL"},
+  };
+}
+
+TEST(Vcd, HeaderDeclaresAllSignals) {
+  const std::string vcd = to_vcd(sample_events());
+  EXPECT_NE(vcd.find("$timescale 1 ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 64 ! CS $end"), std::string::npos);
+  EXPECT_NE(vcd.find("PH"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+}
+
+TEST(Vcd, ValueEncodings) {
+  const std::string vcd = to_vcd(sample_events());
+  // Integer as 64-bit binary vector.
+  EXPECT_NE(vcd.find("b0000000000000000000000000000000000000000000000000000000000101010"),
+            std::string::npos)
+      << "42 in binary";
+  // DISC -> high impedance, ILLEGAL -> unknown.
+  EXPECT_NE(vcd.find("bz "), std::string::npos);
+  EXPECT_NE(vcd.find("bx "), std::string::npos);
+  // Enum values as string changes.
+  EXPECT_NE(vcd.find("sra "), std::string::npos);
+}
+
+TEST(Vcd, TimestampsGroupEvents) {
+  const std::string vcd = to_vcd(sample_events());
+  const std::size_t t1 = vcd.find("#1\n");
+  const std::size_t t2 = vcd.find("#2\n");
+  const std::size_t t3 = vcd.find("#3\n");
+  ASSERT_NE(t1, std::string::npos);
+  ASSERT_NE(t2, std::string::npos);
+  ASSERT_NE(t3, std::string::npos);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  // Exactly one '#1' even though two events share it.
+  EXPECT_EQ(vcd.find("#1\n", t1 + 1), std::string::npos);
+}
+
+TEST(Vcd, FullModelTraceExports) {
+  transfer::Design d;
+  d.name = "fig1";
+  d.cs_max = 7;
+  d.registers = {{"R1", 30}, {"R2", 12}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"ADD", transfer::ModuleKind::kAdd, 1}};
+  d.transfers = {transfer::RegisterTransfer::full("R1", "B1", "R2", "B2", 5,
+                                                  "ADD", 6, "B1", "R1")};
+  auto model = transfer::build_model(d);
+  TraceRecorder recorder(model->scheduler());
+  model->run();
+  const std::string vcd = to_vcd(recorder.events());
+  EXPECT_NE(vcd.find("B1"), std::string::npos);
+  EXPECT_NE(vcd.find("ADD_in1"), std::string::npos) << "dots flattened";
+  EXPECT_NE(vcd.find("#42"), std::string::npos) << "the final delta cycle";
+  EXPECT_GT(recorder.events().size(), 60u);
+}
+
+TEST(Vcd, EmptyTraceStillValid) {
+  const std::string vcd = to_vcd({});
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctrtl::verify

@@ -1,0 +1,350 @@
+#include "vhdl/elaborator.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/value.h"
+#include "vhdl/emitter.h"
+#include "vhdl/parser.h"
+#include "vhdl/subset_check.h"
+
+namespace ctrtl::vhdl {
+namespace {
+
+std::unique_ptr<ElaboratedModel> load(const std::string& source,
+                                      const std::string& top) {
+  common::DiagnosticBag diags;
+  auto model = load_model(source, top, diags);
+  EXPECT_NE(model, nullptr) << diags.to_text();
+  return model;
+}
+
+TEST(Elaborator, ControllerRunsCsMaxTimesSixDeltas) {
+  // The paper's controller, executed from its own source text.
+  const std::string source = standard_cells() + R"(
+entity tb is end tb;
+architecture transfer of tb is
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+begin
+  control: controller generic map (7) port map (cs, ph);
+end transfer;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  EXPECT_EQ(model->scheduler().stats().delta_cycles, 42u);
+  EXPECT_EQ(model->read("cs"), 7);
+  EXPECT_EQ(model->render("ph"), "cr");
+  EXPECT_EQ(model->scheduler().now().fs, 0u) << "delta time only";
+}
+
+TEST(Elaborator, TransMovesValueDuringWindow) {
+  const std::string source = standard_cells() + R"(
+entity tb is end tb;
+architecture transfer of tb is
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+  signal src: integer := 42;
+  signal b1: resolved integer;
+begin
+  t1: trans generic map (1, ra) port map (cs, ph, src, b1);
+  control: controller generic map (2) port map (cs, ph);
+end transfer;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  auto& sched = model->scheduler();
+  sched.initialize();
+  std::vector<std::string> window;
+  while (sched.step()) {
+    window.push_back(model->render("b1"));
+  }
+  // Value visible exactly at (1, rb) — one delta after activation.
+  const std::vector<std::string> expected = {"DISC", "42",   "DISC", "DISC",
+                                             "DISC", "DISC", "DISC", "DISC",
+                                             "DISC", "DISC", "DISC", "DISC"};
+  EXPECT_EQ(window, expected);
+}
+
+TEST(Elaborator, RegLatchesAtCr) {
+  const std::string source = standard_cells() + R"(
+entity tb is end tb;
+architecture transfer of tb is
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+  signal src: integer := 9;
+  signal r_in: resolved integer;
+  signal r_out: integer;
+begin
+  t1: trans generic map (1, wb) port map (cs, ph, src, r_in);
+  r: reg port map (ph, r_in, r_out);
+  control: controller generic map (2) port map (cs, ph);
+end transfer;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  EXPECT_EQ(model->read("r_out"), 9);
+}
+
+TEST(Elaborator, RegInitGenericPreloads) {
+  const std::string source = standard_cells() + R"(
+entity tb is end tb;
+architecture transfer of tb is
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+  signal r_in: resolved integer;
+  signal r_out: integer;
+begin
+  r: reg generic map (33) port map (ph, r_in, r_out);
+  control: controller generic map (3) port map (cs, ph);
+end transfer;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  EXPECT_EQ(model->read("r_out"), 33);
+}
+
+TEST(Elaborator, PaperFigure1FullModel) {
+  // The paper's section 2.7 example, rebuilt from the cell library:
+  // (R1,B1,R2,B2,5,ADD,6,B1,R1) with CS_MAX = 7, R1 = 30, R2 = 12.
+  const std::string source = standard_cells() + R"(
+entity example is end example;
+architecture transfer of example is
+  -- timing signals
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+  -- module ports
+  signal add_in1, add_in2: resolved integer;
+  signal add_out: integer;
+  -- register ports
+  signal r1_in, r2_in: resolved integer;
+  signal r1_out, r2_out: integer;
+  -- buses
+  signal b1: resolved integer;
+  signal b2: resolved integer;
+begin
+  -- modules
+  add_proc: add port map (ph, add_in1, add_in2, add_out);
+  -- registers
+  r1_proc: reg generic map (30) port map (ph, r1_in, r1_out);
+  r2_proc: reg generic map (12) port map (ph, r2_in, r2_out);
+  -- transfers
+  r1_out_b1_5:  trans generic map (5, ra) port map (cs, ph, r1_out, b1);
+  b1_add_in1_5: trans generic map (5, rb) port map (cs, ph, b1, add_in1);
+  r2_out_b2_5:  trans generic map (5, ra) port map (cs, ph, r2_out, b2);
+  b2_add_in2_5: trans generic map (5, rb) port map (cs, ph, b2, add_in2);
+  add_out_b1_6: trans generic map (6, wa) port map (cs, ph, add_out, b1);
+  b1_r1_in_6:   trans generic map (6, wb) port map (cs, ph, b1, r1_in);
+  -- controller
+  control: controller generic map (7) port map (cs, ph);
+end transfer;
+)";
+  auto model = load(source, "example");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  EXPECT_EQ(model->read("r1_out"), 42) << "R1 := R1 + R2";
+  EXPECT_EQ(model->read("r2_out"), 12);
+  EXPECT_EQ(model->scheduler().stats().delta_cycles, 42u) << "CS_MAX * 6";
+}
+
+TEST(Elaborator, ConflictYieldsIllegalOnBus) {
+  // Two TRANS drive the same bus at (1, ra): the resolution function makes
+  // the bus ILLEGAL exactly during (1, rb).
+  const std::string source = standard_cells() + R"(
+entity tb is end tb;
+architecture transfer of tb is
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+  signal s1: integer := 1;
+  signal s2: integer := 2;
+  signal b1: resolved integer;
+begin
+  t1: trans generic map (1, ra) port map (cs, ph, s1, b1);
+  t2: trans generic map (1, ra) port map (cs, ph, s2, b1);
+  control: controller generic map (2) port map (cs, ph);
+end transfer;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  auto& sched = model->scheduler();
+  sched.initialize();
+  std::vector<std::string> b1_values;
+  while (sched.step()) {
+    b1_values.push_back(model->render("b1"));
+  }
+  ASSERT_GE(b1_values.size(), 2u);
+  EXPECT_EQ(b1_values[1], "ILLEGAL") << "visible at (1, rb)";
+  EXPECT_EQ(b1_values[0], "DISC");
+  EXPECT_EQ(b1_values[2], "DISC") << "released at cm";
+}
+
+TEST(Elaborator, ConflictLatchedIntoRegister) {
+  // Two TRANS drive the register input at (1, wb): the register latches
+  // ILLEGAL at cr (it is /= DISC), keeping the conflict visible.
+  const std::string source = standard_cells() + R"(
+entity tb is end tb;
+architecture transfer of tb is
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+  signal s1: integer := 1;
+  signal s2: integer := 2;
+  signal r_in: resolved integer;
+  signal r_out: integer;
+begin
+  t1: trans generic map (1, wb) port map (cs, ph, s1, r_in);
+  t2: trans generic map (1, wb) port map (cs, ph, s2, r_in);
+  r: reg port map (ph, r_in, r_out);
+  control: controller generic map (2) port map (cs, ph);
+end transfer;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  EXPECT_EQ(model->read("r_out"), rtl::RtValue::kIllegalEncoding);
+  EXPECT_EQ(model->render("r_out"), "ILLEGAL");
+}
+
+TEST(Elaborator, HierarchicalSignalNames) {
+  const std::string source = R"(
+entity child is
+  port (o: out integer := 5);
+end child;
+architecture c of child is
+  signal internal: integer := 7;
+begin
+  process (internal) begin
+    o <= internal;
+  end process;
+end c;
+entity tb is end tb;
+architecture a of tb is
+  signal x: integer;
+begin
+  u1: child port map (x);
+end a;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  EXPECT_NE(model->find_signal("x"), nullptr);
+  EXPECT_NE(model->find_signal("u1.internal"), nullptr);
+  EXPECT_EQ(model->read("u1.internal"), 7);
+}
+
+TEST(Elaborator, GenericDefaultsApply) {
+  const std::string source = R"(
+entity child is
+  generic (g: natural := 11);
+  port (o: out integer := 0);
+end child;
+architecture c of child is
+  signal tick: integer := 0;
+begin
+  process (tick) begin
+    o <= g;
+  end process;
+end c;
+entity tb is end tb;
+architecture a of tb is
+  signal x: integer;
+begin
+  u1: child port map (x);
+end a;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  EXPECT_EQ(model->read("x"), 11);
+}
+
+TEST(Elaborator, SetValueDrivesTopLevelSignal) {
+  const std::string source = R"(
+entity tb is end tb;
+architecture a of tb is
+  signal x: integer := 0;
+  signal y: integer := 0;
+begin
+  process (x) begin
+    y <= x + 1;
+  end process;
+end a;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  model->set_value("x", 41);
+  model->run();
+  EXPECT_EQ(model->read("y"), 42);
+}
+
+TEST(Elaborator, UnknownTopEntityReported) {
+  common::DiagnosticBag diags;
+  auto model = load_model("entity e is end e;", "ghost", diags);
+  EXPECT_EQ(model, nullptr);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Elaborator, ParseErrorReportedAsDiagnostic) {
+  common::DiagnosticBag diags;
+  auto model = load_model("entity 42;", "e", diags);
+  EXPECT_EQ(model, nullptr);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Elaborator, ReadUnknownSignalThrows) {
+  auto model = load("entity tb is end tb;\narchitecture a of tb is begin end a;", "tb");
+  ASSERT_NE(model, nullptr);
+  EXPECT_THROW(model->read("nope"), std::invalid_argument);
+  EXPECT_THROW(model->set_value("nope", 1), std::invalid_argument);
+}
+
+TEST(Elaborator, EnumRenderOutOfRange) {
+  const std::string source = R"(
+entity tb is end tb;
+architecture a of tb is
+  signal p: phase := cr;
+begin
+end a;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->render("p"), "cr");
+}
+
+TEST(Elaborator, SuccPastHighThrowsAtRuntime) {
+  const std::string source = R"(
+entity tb is end tb;
+architecture a of tb is
+  signal p: phase := cr;
+  signal kick: integer := 0;
+begin
+  process (kick) begin
+    p <= phase'succ(p);
+  end process;
+end a;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  EXPECT_THROW(model->run(), ElaborationError);
+}
+
+TEST(Elaborator, ProcessCountsAndSignalRegistry) {
+  const std::string source = standard_cells() + R"(
+entity tb is end tb;
+architecture transfer of tb is
+  signal cs: natural := 0;
+  signal ph: phase := cr;
+begin
+  control: controller generic map (1) port map (cs, ph);
+end transfer;
+)";
+  auto model = load(source, "tb");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->process_count(), 1u);
+  EXPECT_TRUE(model->signals().contains("cs"));
+  EXPECT_TRUE(model->signals().contains("ph"));
+}
+
+}  // namespace
+}  // namespace ctrtl::vhdl

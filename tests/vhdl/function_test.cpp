@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "vhdl/elaborator.h"
+#include "vhdl/parser.h"
+#include "vhdl/subset_check.h"
+
+namespace ctrtl::vhdl {
+namespace {
+
+// Paper section 2.6: "If we want to introduce several combinational levels
+// then procedures, functions, and blocks can be used to group variable
+// assignments associated with specific combinational parts."
+
+std::unique_ptr<ElaboratedModel> load(const std::string& source,
+                                      const std::string& top) {
+  common::DiagnosticBag diags;
+  auto model = load_model(source, top, diags);
+  EXPECT_NE(model, nullptr) << diags.to_text();
+  return model;
+}
+
+TEST(VhdlFunction, ParsesDeclaration) {
+  const DesignFile file = parse(R"(
+entity e is end e;
+architecture a of e is
+  function max2 (a, b: integer) return integer is
+  begin
+    if a > b then
+      return a;
+    end if;
+    return b;
+  end max2;
+begin
+end a;
+)");
+  ASSERT_EQ(file.architectures[0].functions.size(), 1u);
+  const FunctionDecl& fn = file.architectures[0].functions[0];
+  EXPECT_EQ(fn.name, "max2");
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[0].name, "a");
+  EXPECT_EQ(fn.result.type_name, "integer");
+  EXPECT_EQ(fn.body.size(), 2u);
+}
+
+TEST(VhdlFunction, EvaluatesInProcess) {
+  auto model = load(R"(
+entity tb is end tb;
+architecture a of tb is
+  signal x: integer := 0;
+  signal y: integer := 0;
+  function clamp (v, lo, hi: integer) return integer is
+  begin
+    if v < lo then
+      return lo;
+    elsif v > hi then
+      return hi;
+    end if;
+    return v;
+  end clamp;
+begin
+  process (x) begin
+    y <= clamp(x, 0, 100);
+  end process;
+end a;
+)",
+                    "tb");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  model->set_value("x", 250);
+  model->run();
+  EXPECT_EQ(model->read("y"), 100);
+  model->set_value("x", -3);
+  model->run();
+  EXPECT_EQ(model->read("y"), 0);
+  model->set_value("x", 42);
+  model->run();
+  EXPECT_EQ(model->read("y"), 42);
+}
+
+TEST(VhdlFunction, LocalVariablesAndNestedCalls) {
+  // Combinational cascade grouped into functions, as section 2.6 suggests:
+  // a saturating multiply-accumulate built from two helpers.
+  auto model = load(R"(
+entity tb is end tb;
+architecture a of tb is
+  signal acc: integer := 0;
+  signal kick: integer := 0;
+  function sat (v: integer) return integer is
+  begin
+    if v > 1000 then
+      return 1000;
+    end if;
+    return v;
+  end sat;
+  function mac (a, b, c: integer) return integer is
+    variable p: integer := 0;
+  begin
+    p := b * c;
+    return sat(a + p);
+  end mac;
+begin
+  process (kick) begin
+    acc <= mac(acc, kick, 10);
+  end process;
+end a;
+)",
+                    "tb");
+  ASSERT_NE(model, nullptr);
+  model->run();
+  model->set_value("kick", 7);
+  model->run();
+  EXPECT_EQ(model->read("acc"), 70);
+  model->set_value("kick", 400);
+  model->run();
+  EXPECT_EQ(model->read("acc"), 1000) << "saturated through the helper";
+}
+
+TEST(VhdlFunction, UsableInConstantInitializers) {
+  auto model = load(R"(
+entity tb is end tb;
+architecture a of tb is
+  function twice (v: integer) return integer is
+  begin
+    return v + v;
+  end twice;
+  constant k: integer := twice(21);
+  signal s: integer := k;
+begin
+end a;
+)",
+                    "tb");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->read("s"), 42);
+}
+
+TEST(VhdlFunction, SubsetRejectsWaitInside) {
+  common::DiagnosticBag diags;
+  EXPECT_FALSE(check_subset(parse(R"(
+entity e is end e;
+architecture a of e is
+  signal s: integer;
+  function bad (v: integer) return integer is
+  begin
+    wait until s = 1;
+    return v;
+  end bad;
+begin
+end a;
+)"),
+                            diags));
+  EXPECT_NE(diags.to_text().find("wait statements are not allowed"),
+            std::string::npos);
+}
+
+TEST(VhdlFunction, SubsetRejectsSignalAssignmentInside) {
+  common::DiagnosticBag diags;
+  EXPECT_FALSE(check_subset(parse(R"(
+entity e is end e;
+architecture a of e is
+  signal s: integer;
+  function bad (v: integer) return integer is
+  begin
+    s <= v;
+    return v;
+  end bad;
+begin
+end a;
+)"),
+                            diags));
+  EXPECT_NE(diags.to_text().find("signal assignment inside"), std::string::npos);
+}
+
+TEST(VhdlFunction, SubsetRequiresReturn) {
+  common::DiagnosticBag diags;
+  EXPECT_FALSE(check_subset(parse(R"(
+entity e is end e;
+architecture a of e is
+  function bad (v: integer) return integer is
+  begin
+    null;
+  end bad;
+begin
+end a;
+)"),
+                            diags));
+  EXPECT_NE(diags.to_text().find("never returns"), std::string::npos);
+}
+
+TEST(VhdlFunction, ReturnOutsideFunctionRejected) {
+  common::DiagnosticBag diags;
+  EXPECT_FALSE(check_subset(parse(R"(
+entity e is end e;
+architecture a of e is
+  signal s: integer;
+begin
+  process (s) begin
+    return 1;
+  end process;
+end a;
+)"),
+                            diags));
+  EXPECT_NE(diags.to_text().find("belong in functions"), std::string::npos);
+}
+
+TEST(VhdlFunction, WrongArityFailsAtRuntime) {
+  auto model = load(R"(
+entity tb is end tb;
+architecture a of tb is
+  signal s: integer := 0;
+  signal kick: integer := 0;
+  function one (v: integer) return integer is
+  begin
+    return v;
+  end one;
+begin
+  process (kick) begin
+    s <= one(1, 2);
+  end process;
+end a;
+)",
+                    "tb");
+  ASSERT_NE(model, nullptr);
+  model->set_value("kick", 5);
+  EXPECT_THROW(model->run(), ElaborationError);
+}
+
+TEST(VhdlFunction, RunawayRecursionCaught) {
+  auto model = load(R"(
+entity tb is end tb;
+architecture a of tb is
+  signal s: integer := 0;
+  signal kick: integer := 0;
+  function loopy (v: integer) return integer is
+  begin
+    return loopy(v + 1);
+  end loopy;
+begin
+  process (kick) begin
+    s <= loopy(0);
+  end process;
+end a;
+)",
+                    "tb");
+  ASSERT_NE(model, nullptr);
+  model->set_value("kick", 1);
+  EXPECT_THROW(model->run(), ElaborationError);
+}
+
+TEST(VhdlFunction, BoundedRecursionWorks) {
+  auto model = load(R"(
+entity tb is end tb;
+architecture a of tb is
+  signal s: integer := 0;
+  signal kick: integer := 0;
+  function fib (n: integer) return integer is
+  begin
+    if n < 2 then
+      return n;
+    end if;
+    return fib(n - 1) + fib(n - 2);
+  end fib;
+begin
+  process (kick) begin
+    s <= fib(10);
+  end process;
+end a;
+)",
+                    "tb");
+  ASSERT_NE(model, nullptr);
+  model->set_value("kick", 1);
+  model->run();
+  EXPECT_EQ(model->read("s"), 55);
+}
+
+}  // namespace
+}  // namespace ctrtl::vhdl

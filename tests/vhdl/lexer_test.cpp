@@ -1,0 +1,85 @@
+#include "vhdl/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace ctrtl::vhdl {
+namespace {
+
+std::vector<TokenKind> kinds(const std::string& source) {
+  std::vector<TokenKind> out;
+  for (const Token& token : lex(source)) {
+    out.push_back(token.kind);
+  }
+  return out;
+}
+
+TEST(Lexer, EmptySourceYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndOfFile);
+}
+
+TEST(Lexer, IdentifiersAreLowercased) {
+  const auto tokens = lex("Entity CONTROLLER eNd");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "entity");
+  EXPECT_EQ(tokens[1].text, "controller");
+  EXPECT_EQ(tokens[2].text, "end");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto tokens = lex("42 0 1_000");
+  EXPECT_EQ(tokens[0].value, 42);
+  EXPECT_EQ(tokens[1].value, 0);
+  EXPECT_EQ(tokens[2].value, 1000) << "underscore separators";
+}
+
+TEST(Lexer, CompoundOperators) {
+  EXPECT_EQ(kinds("<= := => /= >= < > ="),
+            (std::vector<TokenKind>{
+                TokenKind::kLessEqual, TokenKind::kAssign, TokenKind::kArrow,
+                TokenKind::kNotEqual, TokenKind::kGreaterEqual, TokenKind::kLess,
+                TokenKind::kGreater, TokenKind::kEqual, TokenKind::kEndOfFile}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto tokens = lex("a -- this is a comment <= :=\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, MinusVersusComment) {
+  const auto tokens = lex("a - b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kMinus);
+}
+
+TEST(Lexer, TickForAttributes) {
+  const auto tokens = lex("phase'high");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "phase");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kTick);
+  EXPECT_EQ(tokens[2].text, "high");
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].location, (common::SourceLocation{1, 1}));
+  EXPECT_EQ(tokens[1].location, (common::SourceLocation{2, 3}));
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  EXPECT_THROW(lex("a @ b"), LexError);
+}
+
+TEST(Lexer, PunctuationSet) {
+  EXPECT_EQ(kinds("( ) ; : , . &"),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kSemicolon,
+                TokenKind::kColon, TokenKind::kComma, TokenKind::kDot,
+                TokenKind::kAmp, TokenKind::kEndOfFile}));
+}
+
+}  // namespace
+}  // namespace ctrtl::vhdl

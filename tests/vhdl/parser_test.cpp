@@ -1,0 +1,257 @@
+#include "vhdl/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ctrtl::vhdl {
+namespace {
+
+// The paper's CONTROLLER entity, verbatim modulo layout.
+constexpr const char* kControllerSource = R"(
+entity CONTROLLER is
+  generic (CS_MAX: Natural);
+  port (CS: inout Natural := 0;
+        PH: inout Phase := Phase'High); -- Phase'High = cr
+end CONTROLLER;
+
+architecture transfer of CONTROLLER is
+begin
+  process (PH)
+  begin
+    if (PH = Phase'High) then
+      if (CS < CS_MAX) then
+        CS <= CS+1;
+        PH <= Phase'Low; -- Phase'Low = ra
+      end if;
+    else
+      PH <= Phase'Succ(PH);
+    end if;
+  end process;
+end transfer;
+)";
+
+TEST(Parser, ControllerEntityShape) {
+  const DesignFile file = parse(kControllerSource);
+  ASSERT_EQ(file.entities.size(), 1u);
+  const Entity& entity = file.entities[0];
+  EXPECT_EQ(entity.name, "controller");
+  ASSERT_EQ(entity.generics.size(), 1u);
+  EXPECT_EQ(entity.generics[0].name, "cs_max");
+  EXPECT_EQ(entity.generics[0].subtype.type_name, "natural");
+  ASSERT_EQ(entity.ports.size(), 2u);
+  EXPECT_EQ(entity.ports[0].name, "cs");
+  EXPECT_EQ(entity.ports[0].mode, PortMode::kInout);
+  ASSERT_NE(entity.ports[0].init, nullptr);
+  EXPECT_EQ(entity.ports[1].name, "ph");
+  EXPECT_EQ(entity.ports[1].subtype.type_name, "phase");
+  ASSERT_NE(entity.ports[1].init, nullptr);
+  EXPECT_TRUE(std::holds_alternative<AttributeRef>(entity.ports[1].init->node));
+}
+
+TEST(Parser, ControllerArchitectureShape) {
+  const DesignFile file = parse(kControllerSource);
+  ASSERT_EQ(file.architectures.size(), 1u);
+  const Architecture& arch = file.architectures[0];
+  EXPECT_EQ(arch.name, "transfer");
+  EXPECT_EQ(arch.entity, "controller");
+  ASSERT_EQ(arch.processes.size(), 1u);
+  const ProcessStmt& process = arch.processes[0];
+  EXPECT_EQ(process.sensitivity, std::vector<std::string>{"ph"});
+  ASSERT_EQ(process.body.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<IfStmt>(process.body[0]->node));
+  const IfStmt& ifstmt = std::get<IfStmt>(process.body[0]->node);
+  ASSERT_EQ(ifstmt.arms.size(), 1u);
+  ASSERT_EQ(ifstmt.else_body.size(), 1u);
+}
+
+// The paper's TRANS entity.
+constexpr const char* kTransSource = R"(
+entity TRANS is
+  generic (S: Natural; P: Phase);
+  port (CS: in Natural; PH: in Phase;
+        InS: in Integer; OutS: out Integer := DISC);
+end TRANS;
+
+architecture transfer of TRANS is
+begin
+  process
+  begin
+    wait until CS=S and PH=P;
+    OutS <= InS;
+    wait until CS=S and PH=Phase'Succ(P);
+    OutS <= DISC;
+  end process;
+end transfer;
+)";
+
+TEST(Parser, TransProcessWaits) {
+  const DesignFile file = parse(kTransSource);
+  const ProcessStmt& process = file.architectures[0].processes[0];
+  EXPECT_TRUE(process.sensitivity.empty());
+  ASSERT_EQ(process.body.size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<WaitStmt>(process.body[0]->node));
+  EXPECT_TRUE(std::holds_alternative<SignalAssignStmt>(process.body[1]->node));
+  const WaitStmt& wait = std::get<WaitStmt>(process.body[0]->node);
+  ASSERT_NE(wait.until, nullptr);
+  EXPECT_TRUE(wait.on_signals.empty());
+  const BinaryExpr& cond = std::get<BinaryExpr>(wait.until->node);
+  EXPECT_EQ(cond.op, BinaryOp::kAnd);
+}
+
+TEST(Parser, SignalDeclarations) {
+  const DesignFile file = parse(R"(
+entity e is end e;
+architecture a of e is
+  signal ADD_in1, ADD_in2: resolved Integer;
+  signal ADD_out: Integer;
+  signal CS: Natural;
+begin
+end a;
+)");
+  const Architecture& arch = file.architectures[0];
+  ASSERT_EQ(arch.signals.size(), 3u);
+  EXPECT_EQ(arch.signals[0].names,
+            (std::vector<std::string>{"add_in1", "add_in2"}));
+  EXPECT_TRUE(arch.signals[0].subtype.resolved);
+  EXPECT_FALSE(arch.signals[1].subtype.resolved);
+}
+
+TEST(Parser, ComponentInstances) {
+  const DesignFile file = parse(R"(
+entity e is end e;
+architecture a of e is
+begin
+  R1_out_B1_5: TRANS generic map (5, ra) port map (CS, PH, R1_out, B1);
+  CONTROL: CONTROLLER generic map (7) port map (CS, PH);
+  ADD_proc: ADD port map (PH, ADD_in1, ADD_in2, ADD_out);
+end a;
+)");
+  const Architecture& arch = file.architectures[0];
+  ASSERT_EQ(arch.instances.size(), 3u);
+  EXPECT_EQ(arch.instances[0].label, "r1_out_b1_5");
+  EXPECT_EQ(arch.instances[0].unit, "trans");
+  EXPECT_EQ(arch.instances[0].generic_map.size(), 2u);
+  EXPECT_EQ(arch.instances[0].port_map,
+            (std::vector<std::string>{"cs", "ph", "r1_out", "b1"}));
+  EXPECT_TRUE(arch.instances[2].generic_map.empty());
+}
+
+TEST(Parser, TypeAndConstantDeclarations) {
+  const DesignFile file = parse(R"(
+entity e is end e;
+architecture a of e is
+  type Phase is (ra, rb, cm, wa, wb, cr);
+  constant DISC: Integer := -1;
+  constant ILLEGAL: Integer := -2;
+begin
+end a;
+)");
+  const Architecture& arch = file.architectures[0];
+  ASSERT_EQ(arch.types.size(), 1u);
+  EXPECT_EQ(arch.types[0].name, "phase");
+  EXPECT_EQ(arch.types[0].literals.size(), 6u);
+  ASSERT_EQ(arch.constants.size(), 2u);
+  EXPECT_EQ(arch.constants[0].name, "disc");
+}
+
+TEST(Parser, VariablesInProcess) {
+  const DesignFile file = parse(R"(
+entity e is end e;
+architecture a of e is
+begin
+  process
+    variable M: Integer := DISC;
+  begin
+    wait until PH = cm;
+    M := M + 1;
+  end process;
+end a;
+)");
+  const ProcessStmt& process = file.architectures[0].processes[0];
+  ASSERT_EQ(process.variables.size(), 1u);
+  EXPECT_EQ(process.variables[0].names[0], "m");
+  EXPECT_TRUE(std::holds_alternative<VariableAssignStmt>(process.body[1]->node));
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // a + b * c = d and e < f  parses as ((a + (b*c)) = d) and (e < f)
+  const DesignFile file = parse(R"(
+entity e is end e;
+architecture x of e is
+begin
+  process begin
+    wait until a + b * c = d and e < f;
+  end process;
+end x;
+)");
+  const WaitStmt& wait =
+      std::get<WaitStmt>(file.architectures[0].processes[0].body[0]->node);
+  const BinaryExpr& root = std::get<BinaryExpr>(wait.until->node);
+  EXPECT_EQ(root.op, BinaryOp::kAnd);
+  const BinaryExpr& eq = std::get<BinaryExpr>(root.lhs->node);
+  EXPECT_EQ(eq.op, BinaryOp::kEq);
+  const BinaryExpr& sum = std::get<BinaryExpr>(eq.lhs->node);
+  EXPECT_EQ(sum.op, BinaryOp::kAdd);
+  const BinaryExpr& product = std::get<BinaryExpr>(sum.rhs->node);
+  EXPECT_EQ(product.op, BinaryOp::kMul);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  try {
+    parse("entity is end;");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_TRUE(error.location().is_known());
+    EXPECT_NE(std::string(error.what()).find("entity name"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsKeywordAsName) {
+  EXPECT_THROW(parse("entity process is end;"), ParseError);
+}
+
+TEST(Parser, RejectsUnlabeledInstance) {
+  EXPECT_THROW(parse(R"(
+entity e is end e;
+architecture a of e is
+begin
+  TRANS port map (CS);
+end a;
+)"),
+               ParseError);
+}
+
+TEST(Parser, NullStatement) {
+  const DesignFile file = parse(R"(
+entity e is end e;
+architecture a of e is
+begin
+  process (x) begin
+    null;
+  end process;
+end a;
+)");
+  EXPECT_TRUE(std::holds_alternative<NullStmt>(
+      file.architectures[0].processes[0].body[0]->node));
+}
+
+TEST(Parser, AfterClauseAndWaitForParsed) {
+  // Parsed (so the subset checker can reject them with a good message).
+  const DesignFile file = parse(R"(
+entity e is end e;
+architecture a of e is
+begin
+  process begin
+    s <= 1 after 10 ns;
+    wait for 5 ns;
+  end process;
+end a;
+)");
+  const auto& body = file.architectures[0].processes[0].body;
+  const SignalAssignStmt& assign = std::get<SignalAssignStmt>(body[0]->node);
+  ASSERT_NE(assign.after, nullptr);
+  const WaitStmt& wait = std::get<WaitStmt>(body[1]->node);
+  ASSERT_NE(wait.for_time, nullptr);
+}
+
+}  // namespace
+}  // namespace ctrtl::vhdl

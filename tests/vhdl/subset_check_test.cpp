@@ -1,0 +1,225 @@
+#include "vhdl/subset_check.h"
+
+#include <gtest/gtest.h>
+
+#include "vhdl/emitter.h"
+#include "vhdl/parser.h"
+
+namespace ctrtl::vhdl {
+namespace {
+
+bool check(const std::string& source, std::string* text = nullptr) {
+  common::DiagnosticBag diags;
+  const bool ok = check_subset(parse(source), diags);
+  if (text != nullptr) {
+    *text = diags.to_text();
+  }
+  return ok;
+}
+
+TEST(SubsetCheck, StandardCellsConform) {
+  std::string text;
+  EXPECT_TRUE(check(standard_cells(), &text)) << text;
+}
+
+TEST(SubsetCheck, RejectsAfterClause) {
+  std::string text;
+  EXPECT_FALSE(check(R"(
+entity e is end e;
+architecture a of e is
+  signal s: integer;
+begin
+  process (s) begin
+    s <= 1 after 10 ns;
+  end process;
+end a;
+)",
+                     &text));
+  EXPECT_NE(text.find("physical delay"), std::string::npos);
+}
+
+TEST(SubsetCheck, RejectsWaitFor) {
+  std::string text;
+  EXPECT_FALSE(check(R"(
+entity e is end e;
+architecture a of e is
+begin
+  process begin
+    wait for 10 ns;
+  end process;
+end a;
+)",
+                     &text));
+  EXPECT_NE(text.find("physical time"), std::string::npos);
+}
+
+TEST(SubsetCheck, RejectsClockSignals) {
+  std::string text;
+  EXPECT_FALSE(check(R"(
+entity e is end e;
+architecture a of e is
+  signal clk: integer;
+begin
+end a;
+)",
+                     &text));
+  EXPECT_NE(text.find("clock"), std::string::npos);
+}
+
+TEST(SubsetCheck, RejectsClockPorts) {
+  EXPECT_FALSE(check(R"(
+entity e is
+  port (sys_clk: in integer);
+end e;
+)"));
+}
+
+TEST(SubsetCheck, RejectsUnknownType) {
+  std::string text;
+  EXPECT_FALSE(check(R"(
+entity e is
+  port (v: in std_logic);
+end e;
+)",
+                     &text));
+  EXPECT_NE(text.find("outside the subset"), std::string::npos);
+}
+
+TEST(SubsetCheck, AcceptsDeclaredEnumTypes) {
+  EXPECT_TRUE(check(R"(
+entity e is end e;
+architecture a of e is
+  type state is (idle, busy);
+  signal s: state;
+begin
+end a;
+)"));
+}
+
+TEST(SubsetCheck, RejectsResolvedEnum) {
+  EXPECT_FALSE(check(R"(
+entity e is end e;
+architecture a of e is
+  signal p: resolved phase;
+begin
+end a;
+)"));
+}
+
+TEST(SubsetCheck, RejectsProcessWithSensitivityAndWait) {
+  EXPECT_FALSE(check(R"(
+entity e is end e;
+architecture a of e is
+  signal s: integer;
+begin
+  process (s) begin
+    wait until s = 1;
+  end process;
+end a;
+)"));
+}
+
+TEST(SubsetCheck, RejectsProcessThatNeverSuspends) {
+  std::string text;
+  EXPECT_FALSE(check(R"(
+entity e is end e;
+architecture a of e is
+  signal s: integer;
+begin
+  process begin
+    s <= 1;
+  end process;
+end a;
+)",
+                     &text));
+  EXPECT_NE(text.find("never suspend"), std::string::npos);
+}
+
+TEST(SubsetCheck, RejectsBareWait) {
+  EXPECT_FALSE(check(R"(
+entity e is end e;
+architecture a of e is
+begin
+  process begin
+    wait;
+  end process;
+end a;
+)"));
+}
+
+TEST(SubsetCheck, RejectsArchitectureOfUnknownEntity) {
+  EXPECT_FALSE(check(R"(
+architecture a of ghost is
+begin
+end a;
+)"));
+}
+
+TEST(SubsetCheck, RejectsInstanceOfUnknownEntity) {
+  EXPECT_FALSE(check(R"(
+entity e is end e;
+architecture a of e is
+begin
+  u1: ghost port map (x);
+end a;
+)"));
+}
+
+TEST(SubsetCheck, RejectsPortArityMismatch) {
+  std::string text;
+  EXPECT_FALSE(check(R"(
+entity child is
+  port (a: in integer; b: in integer);
+end child;
+architecture c of child is
+begin
+  process (a) begin
+    null;
+  end process;
+end c;
+entity e is end e;
+architecture a of e is
+  signal x: integer;
+begin
+  u1: child port map (x);
+end a;
+)",
+                     &text));
+  EXPECT_NE(text.find("port map"), std::string::npos);
+}
+
+TEST(SubsetCheck, RejectsMissingGenericActual) {
+  EXPECT_FALSE(check(R"(
+entity child is
+  generic (g: natural);
+end child;
+architecture c of child is
+begin
+end c;
+entity e is end e;
+architecture a of e is
+begin
+  u1: child;
+end a;
+)"));
+}
+
+TEST(SubsetCheck, WaitInsideIfCounts) {
+  EXPECT_TRUE(check(R"(
+entity e is end e;
+architecture a of e is
+  signal s: integer;
+begin
+  process begin
+    if s = 0 then
+      wait until s = 1;
+    else
+      wait until s = 0;
+    end if;
+  end process;
+end a;
+)"));
+}
+
+}  // namespace
+}  // namespace ctrtl::vhdl

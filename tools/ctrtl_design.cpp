@@ -1,0 +1,186 @@
+// ctrtl_design — work with register-transfer design files (.rtd).
+//
+// Usage:
+//   ctrtl_design <file.rtd> [--analyze] [--simulate] [--dataflow]
+//                [--emit-vhdl <out.vhd>] [--set input=value ...]
+//                [--dispatch] [--vcd <out.vcd>]
+//
+// Validates the design, then (per flags) runs static conflict analysis,
+// symbolic dataflow extraction, simulation (with final register values and
+// conflict reports), VHDL emission, and VCD dumping.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "transfer/build.h"
+#include "transfer/conflict.h"
+#include "transfer/text_format.h"
+#include "verify/dataflow.h"
+#include "verify/trace.h"
+#include "verify/vcd.h"
+#include "vhdl/emitter.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ctrtl_design <file.rtd> [--analyze] [--simulate] "
+               "[--dataflow] [--emit-vhdl <out.vhd>] [--set input=value ...] "
+               "[--dispatch] [--vcd <out.vcd>]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool analyze = false;
+  bool simulate = false;
+  bool dataflow = false;
+  bool dispatch = false;
+  std::string vhdl_out;
+  std::string vcd_out;
+  std::map<std::string, std::int64_t> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--analyze") {
+      analyze = true;
+    } else if (arg == "--simulate") {
+      simulate = true;
+    } else if (arg == "--dataflow") {
+      dataflow = true;
+    } else if (arg == "--dispatch") {
+      dispatch = true;
+    } else if (arg == "--emit-vhdl" && i + 1 < argc) {
+      vhdl_out = argv[++i];
+    } else if (arg == "--vcd" && i + 1 < argc) {
+      vcd_out = argv[++i];
+    } else if (arg == "--set" && i + 1 < argc) {
+      const std::string assignment = argv[++i];
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set expects input=value, got '%s'\n",
+                     assignment.c_str());
+        return 1;
+      }
+      inputs[assignment.substr(0, eq)] =
+          std::strtoll(assignment.c_str() + eq + 1, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  ctrtl::common::DiagnosticBag diags;
+  const ctrtl::transfer::Design design =
+      ctrtl::transfer::parse_design(buffer.str(), diags);
+  if (diags.has_errors() || !ctrtl::transfer::validate(design, diags)) {
+    std::fprintf(stderr, "%s", diags.to_text().c_str());
+    return 1;
+  }
+  std::printf("design '%s': %u control steps, %zu registers, %zu buses, "
+              "%zu modules, %zu transfers\n",
+              design.name.c_str(), design.cs_max, design.registers.size(),
+              design.buses.size(), design.modules.size(),
+              design.transfers.size());
+
+  if (analyze) {
+    const ctrtl::transfer::AnalysisReport report = ctrtl::transfer::analyze(design);
+    if (report.clean()) {
+      std::printf("static analysis: clean (no conflicts, discipline holds)\n");
+    } else {
+      for (const auto& conflict : report.drive_conflicts) {
+        std::printf("static analysis: %s\n", to_string(conflict).c_str());
+      }
+      for (const auto& violation : report.discipline_violations) {
+        std::printf("static analysis: %s\n", to_string(violation).c_str());
+      }
+    }
+  }
+
+  if (dataflow) {
+    const ctrtl::verify::DataflowResult result =
+        ctrtl::verify::extract_dataflow(design);
+    std::printf("symbolic dataflow%s:\n",
+                result.saw_illegal ? " (conflicts occurred!)" : "");
+    for (const auto& [reg, expr] : result.registers) {
+      std::printf("  %-12s = %s\n", reg.c_str(),
+                  ctrtl::verify::canonical(expr).c_str());
+    }
+  }
+
+  if (!vhdl_out.empty()) {
+    std::ofstream out(vhdl_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", vhdl_out.c_str());
+      return 1;
+    }
+    try {
+      out << ctrtl::vhdl::emit_vhdl(design);
+      std::printf("wrote VHDL to %s (top entity '%s')\n", vhdl_out.c_str(),
+                  ctrtl::vhdl::vhdl_name(design.name).c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "VHDL emission failed: %s\n", error.what());
+      return 1;
+    }
+  }
+
+  if (simulate || !vcd_out.empty()) {
+    auto model = ctrtl::transfer::build_model(
+        design, dispatch ? ctrtl::rtl::TransferMode::kDispatch
+                         : ctrtl::rtl::TransferMode::kProcessPerTransfer);
+    for (const auto& [name, value] : inputs) {
+      model->set_input(name, ctrtl::rtl::RtValue::of(value));
+    }
+    std::unique_ptr<ctrtl::verify::TraceRecorder> recorder;
+    if (!vcd_out.empty()) {
+      recorder =
+          std::make_unique<ctrtl::verify::TraceRecorder>(model->scheduler());
+    }
+    const ctrtl::rtl::RunResult result = model->run();
+    std::printf("simulated: %llu delta cycles, %llu events, %s mode\n",
+                static_cast<unsigned long long>(result.stats.delta_cycles),
+                static_cast<unsigned long long>(result.stats.events),
+                dispatch ? "dispatch" : "process-per-transfer");
+    for (const auto& conflict : result.conflicts) {
+      std::printf("  %s\n", to_string(conflict).c_str());
+    }
+    std::printf("final register values:\n");
+    for (const auto& reg : design.registers) {
+      std::printf("  %-12s %s\n", reg.name.c_str(),
+                  to_string(model->find_register(reg.name)->value()).c_str());
+    }
+    if (recorder) {
+      std::ofstream vcd(vcd_out);
+      if (!vcd) {
+        std::fprintf(stderr, "cannot write '%s'\n", vcd_out.c_str());
+        return 1;
+      }
+      ctrtl::verify::write_vcd(vcd, recorder->events());
+      std::printf("wrote %zu events to %s\n", recorder->events().size(),
+                  vcd_out.c_str());
+    }
+    return result.conflict_free() ? 0 : 3;
+  }
+  return 0;
+}

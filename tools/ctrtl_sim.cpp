@@ -1,0 +1,129 @@
+// ctrtl_sim — command-line simulator for the clock-free VHDL subset.
+//
+// Usage:
+//   ctrtl_sim <file.vhd> --top <entity> [--trace] [--max-cycles N] [--signals]
+//             [--vcd <out.vcd>]
+//
+// Parses the file, checks subset conformance, elaborates the top entity on
+// the simulation kernel, runs to quiescence, and prints the final value of
+// every signal (or a full event trace with --trace). Exit status: 0 on a
+// clean run, 1 on front-end errors, 2 on runtime errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "verify/trace.h"
+#include "verify/vcd.h"
+#include "vhdl/elaborator.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ctrtl_sim <file.vhd> --top <entity> [--trace] "
+               "[--max-cycles N] [--signals] [--vcd <out.vcd>]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string top;
+  bool trace = false;
+  bool signals = false;
+  std::string vcd_path;
+  std::uint64_t max_cycles = ctrtl::kernel::Scheduler::kNoLimit;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top = argv[++i];
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--signals") {
+      signals = true;
+    } else if (arg == "--vcd" && i + 1 < argc) {
+      vcd_path = argv[++i];
+    } else if (arg == "--max-cycles" && i + 1 < argc) {
+      max_cycles = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (path.empty() || top.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  ctrtl::common::DiagnosticBag diags;
+  auto model = ctrtl::vhdl::load_model(buffer.str(), top, diags);
+  if (!model) {
+    std::fprintf(stderr, "%s", diags.to_text().c_str());
+    return 1;
+  }
+  if (!diags.empty()) {
+    std::fprintf(stderr, "%s", diags.to_text().c_str());  // warnings
+  }
+
+  std::printf("elaborated '%s': %zu signals, %zu processes\n", top.c_str(),
+              model->signals().size(), model->process_count());
+
+  std::unique_ptr<ctrtl::verify::TraceRecorder> recorder;
+  if (trace || !vcd_path.empty()) {
+    recorder = std::make_unique<ctrtl::verify::TraceRecorder>(model->scheduler());
+  }
+
+  try {
+    const std::uint64_t cycles = model->run(max_cycles);
+    const auto& stats = model->scheduler().stats();
+    std::printf("ran %llu cycles: %llu delta cycles, %llu events, "
+                "%llu resumptions, %llu fs physical time\n",
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(stats.delta_cycles),
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(stats.resumptions),
+                static_cast<unsigned long long>(model->scheduler().now().fs));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "runtime error: %s\n", error.what());
+    return 2;
+  }
+
+  if (trace && recorder) {
+    std::printf("--- event trace ---\n%s", recorder->to_text().c_str());
+  }
+  if (!vcd_path.empty() && recorder) {
+    std::ofstream vcd(vcd_path);
+    if (!vcd) {
+      std::fprintf(stderr, "cannot write '%s'\n", vcd_path.c_str());
+      return 1;
+    }
+    ctrtl::verify::write_vcd(vcd, recorder->events());
+    std::printf("wrote %zu events to %s\n", recorder->events().size(),
+                vcd_path.c_str());
+  }
+  if (signals || !trace) {
+    std::printf("--- final signal values ---\n");
+    for (const auto& [name, signal] : model->signals()) {
+      std::printf("  %-32s %s\n", name.c_str(), model->render(name).c_str());
+    }
+  }
+  return 0;
+}
