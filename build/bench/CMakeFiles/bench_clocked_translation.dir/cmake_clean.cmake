@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clocked_translation.dir/bench_clocked_translation.cpp.o"
+  "CMakeFiles/bench_clocked_translation.dir/bench_clocked_translation.cpp.o.d"
+  "bench_clocked_translation"
+  "bench_clocked_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clocked_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

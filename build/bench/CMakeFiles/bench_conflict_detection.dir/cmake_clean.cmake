@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conflict_detection.dir/bench_conflict_detection.cpp.o"
+  "CMakeFiles/bench_conflict_detection.dir/bench_conflict_detection.cpp.o.d"
+  "bench_conflict_detection"
+  "bench_conflict_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

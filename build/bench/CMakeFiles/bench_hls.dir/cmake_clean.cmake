@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hls.dir/bench_hls.cpp.o"
+  "CMakeFiles/bench_hls.dir/bench_hls.cpp.o.d"
+  "bench_hls"
+  "bench_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

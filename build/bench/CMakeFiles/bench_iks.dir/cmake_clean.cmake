@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iks.dir/bench_iks.cpp.o"
+  "CMakeFiles/bench_iks.dir/bench_iks.cpp.o.d"
+  "bench_iks"
+  "bench_iks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

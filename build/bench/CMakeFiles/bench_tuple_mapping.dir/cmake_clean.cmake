@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tuple_mapping.dir/bench_tuple_mapping.cpp.o"
+  "CMakeFiles/bench_tuple_mapping.dir/bench_tuple_mapping.cpp.o.d"
+  "bench_tuple_mapping"
+  "bench_tuple_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tuple_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vhdl_frontend.dir/bench_vhdl_frontend.cpp.o"
+  "CMakeFiles/bench_vhdl_frontend.dir/bench_vhdl_frontend.cpp.o.d"
+  "bench_vhdl_frontend"
+  "bench_vhdl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vhdl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

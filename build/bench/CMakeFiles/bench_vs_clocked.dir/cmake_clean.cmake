@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_clocked.dir/bench_vs_clocked.cpp.o"
+  "CMakeFiles/bench_vs_clocked.dir/bench_vs_clocked.cpp.o.d"
+  "bench_vs_clocked"
+  "bench_vs_clocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_clocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

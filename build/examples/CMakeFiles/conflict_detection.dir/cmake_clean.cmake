@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_detection.dir/conflict_detection.cpp.o"
+  "CMakeFiles/conflict_detection.dir/conflict_detection.cpp.o.d"
+  "conflict_detection"
+  "conflict_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

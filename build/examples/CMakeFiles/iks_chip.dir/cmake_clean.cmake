@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iks_chip.dir/iks_chip.cpp.o"
+  "CMakeFiles/iks_chip.dir/iks_chip.cpp.o.d"
+  "iks_chip"
+  "iks_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iks_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_sim.dir/vhdl_sim.cpp.o"
+  "CMakeFiles/vhdl_sim.dir/vhdl_sim.cpp.o.d"
+  "vhdl_sim"
+  "vhdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;7;ctrtl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_iks_chip "/root/repo/build/examples/iks_chip")
+set_tests_properties(example_iks_chip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;8;ctrtl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hls_flow "/root/repo/build/examples/hls_flow")
+set_tests_properties(example_hls_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;9;ctrtl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vhdl_sim "/root/repo/build/examples/vhdl_sim")
+set_tests_properties(example_vhdl_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;10;ctrtl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_conflict_detection "/root/repo/build/examples/conflict_detection")
+set_tests_properties(example_conflict_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;11;ctrtl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fir_filter "/root/repo/build/examples/fir_filter")
+set_tests_properties(example_fir_filter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;12;ctrtl_example;/root/repo/examples/CMakeLists.txt;0;")

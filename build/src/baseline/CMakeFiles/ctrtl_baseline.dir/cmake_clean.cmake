@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_baseline.dir/clocked_rtl.cpp.o"
+  "CMakeFiles/ctrtl_baseline.dir/clocked_rtl.cpp.o.d"
+  "CMakeFiles/ctrtl_baseline.dir/handshake.cpp.o"
+  "CMakeFiles/ctrtl_baseline.dir/handshake.cpp.o.d"
+  "libctrtl_baseline.a"
+  "libctrtl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

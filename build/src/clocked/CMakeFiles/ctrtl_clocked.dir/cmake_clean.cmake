@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_clocked.dir/model.cpp.o"
+  "CMakeFiles/ctrtl_clocked.dir/model.cpp.o.d"
+  "CMakeFiles/ctrtl_clocked.dir/translate.cpp.o"
+  "CMakeFiles/ctrtl_clocked.dir/translate.cpp.o.d"
+  "libctrtl_clocked.a"
+  "libctrtl_clocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_clocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ctrtl_clocked.
+# This may be replaced when dependencies are built.

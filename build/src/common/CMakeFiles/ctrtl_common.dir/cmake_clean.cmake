@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_common.dir/diagnostics.cpp.o"
+  "CMakeFiles/ctrtl_common.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/ctrtl_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/ctrtl_common.dir/fixed_point.cpp.o.d"
+  "libctrtl_common.a"
+  "libctrtl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_hls.dir/allocate.cpp.o"
+  "CMakeFiles/ctrtl_hls.dir/allocate.cpp.o.d"
+  "CMakeFiles/ctrtl_hls.dir/dfg.cpp.o"
+  "CMakeFiles/ctrtl_hls.dir/dfg.cpp.o.d"
+  "CMakeFiles/ctrtl_hls.dir/emit.cpp.o"
+  "CMakeFiles/ctrtl_hls.dir/emit.cpp.o.d"
+  "CMakeFiles/ctrtl_hls.dir/schedule.cpp.o"
+  "CMakeFiles/ctrtl_hls.dir/schedule.cpp.o.d"
+  "libctrtl_hls.a"
+  "libctrtl_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

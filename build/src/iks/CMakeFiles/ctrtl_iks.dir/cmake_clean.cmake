@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_iks.dir/golden.cpp.o"
+  "CMakeFiles/ctrtl_iks.dir/golden.cpp.o.d"
+  "CMakeFiles/ctrtl_iks.dir/microcode.cpp.o"
+  "CMakeFiles/ctrtl_iks.dir/microcode.cpp.o.d"
+  "CMakeFiles/ctrtl_iks.dir/program.cpp.o"
+  "CMakeFiles/ctrtl_iks.dir/program.cpp.o.d"
+  "CMakeFiles/ctrtl_iks.dir/resources.cpp.o"
+  "CMakeFiles/ctrtl_iks.dir/resources.cpp.o.d"
+  "libctrtl_iks.a"
+  "libctrtl_iks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_iks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

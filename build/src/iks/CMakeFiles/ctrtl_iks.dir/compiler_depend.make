@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ctrtl_iks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/process.cpp" "src/kernel/CMakeFiles/ctrtl_kernel.dir/process.cpp.o" "gcc" "src/kernel/CMakeFiles/ctrtl_kernel.dir/process.cpp.o.d"
+  "/root/repo/src/kernel/scheduler.cpp" "src/kernel/CMakeFiles/ctrtl_kernel.dir/scheduler.cpp.o" "gcc" "src/kernel/CMakeFiles/ctrtl_kernel.dir/scheduler.cpp.o.d"
+  "/root/repo/src/kernel/signal.cpp" "src/kernel/CMakeFiles/ctrtl_kernel.dir/signal.cpp.o" "gcc" "src/kernel/CMakeFiles/ctrtl_kernel.dir/signal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctrtl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_kernel.dir/process.cpp.o"
+  "CMakeFiles/ctrtl_kernel.dir/process.cpp.o.d"
+  "CMakeFiles/ctrtl_kernel.dir/scheduler.cpp.o"
+  "CMakeFiles/ctrtl_kernel.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ctrtl_kernel.dir/signal.cpp.o"
+  "CMakeFiles/ctrtl_kernel.dir/signal.cpp.o.d"
+  "libctrtl_kernel.a"
+  "libctrtl_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/controller.cpp" "src/rtl/CMakeFiles/ctrtl_rtl.dir/controller.cpp.o" "gcc" "src/rtl/CMakeFiles/ctrtl_rtl.dir/controller.cpp.o.d"
+  "/root/repo/src/rtl/model.cpp" "src/rtl/CMakeFiles/ctrtl_rtl.dir/model.cpp.o" "gcc" "src/rtl/CMakeFiles/ctrtl_rtl.dir/model.cpp.o.d"
+  "/root/repo/src/rtl/module.cpp" "src/rtl/CMakeFiles/ctrtl_rtl.dir/module.cpp.o" "gcc" "src/rtl/CMakeFiles/ctrtl_rtl.dir/module.cpp.o.d"
+  "/root/repo/src/rtl/modules.cpp" "src/rtl/CMakeFiles/ctrtl_rtl.dir/modules.cpp.o" "gcc" "src/rtl/CMakeFiles/ctrtl_rtl.dir/modules.cpp.o.d"
+  "/root/repo/src/rtl/phase.cpp" "src/rtl/CMakeFiles/ctrtl_rtl.dir/phase.cpp.o" "gcc" "src/rtl/CMakeFiles/ctrtl_rtl.dir/phase.cpp.o.d"
+  "/root/repo/src/rtl/register.cpp" "src/rtl/CMakeFiles/ctrtl_rtl.dir/register.cpp.o" "gcc" "src/rtl/CMakeFiles/ctrtl_rtl.dir/register.cpp.o.d"
+  "/root/repo/src/rtl/transfer_process.cpp" "src/rtl/CMakeFiles/ctrtl_rtl.dir/transfer_process.cpp.o" "gcc" "src/rtl/CMakeFiles/ctrtl_rtl.dir/transfer_process.cpp.o.d"
+  "/root/repo/src/rtl/value.cpp" "src/rtl/CMakeFiles/ctrtl_rtl.dir/value.cpp.o" "gcc" "src/rtl/CMakeFiles/ctrtl_rtl.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/ctrtl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctrtl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

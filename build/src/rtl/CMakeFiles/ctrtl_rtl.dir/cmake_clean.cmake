@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_rtl.dir/controller.cpp.o"
+  "CMakeFiles/ctrtl_rtl.dir/controller.cpp.o.d"
+  "CMakeFiles/ctrtl_rtl.dir/model.cpp.o"
+  "CMakeFiles/ctrtl_rtl.dir/model.cpp.o.d"
+  "CMakeFiles/ctrtl_rtl.dir/module.cpp.o"
+  "CMakeFiles/ctrtl_rtl.dir/module.cpp.o.d"
+  "CMakeFiles/ctrtl_rtl.dir/modules.cpp.o"
+  "CMakeFiles/ctrtl_rtl.dir/modules.cpp.o.d"
+  "CMakeFiles/ctrtl_rtl.dir/phase.cpp.o"
+  "CMakeFiles/ctrtl_rtl.dir/phase.cpp.o.d"
+  "CMakeFiles/ctrtl_rtl.dir/register.cpp.o"
+  "CMakeFiles/ctrtl_rtl.dir/register.cpp.o.d"
+  "CMakeFiles/ctrtl_rtl.dir/transfer_process.cpp.o"
+  "CMakeFiles/ctrtl_rtl.dir/transfer_process.cpp.o.d"
+  "CMakeFiles/ctrtl_rtl.dir/value.cpp.o"
+  "CMakeFiles/ctrtl_rtl.dir/value.cpp.o.d"
+  "libctrtl_rtl.a"
+  "libctrtl_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/build.cpp" "src/transfer/CMakeFiles/ctrtl_transfer.dir/build.cpp.o" "gcc" "src/transfer/CMakeFiles/ctrtl_transfer.dir/build.cpp.o.d"
+  "/root/repo/src/transfer/conflict.cpp" "src/transfer/CMakeFiles/ctrtl_transfer.dir/conflict.cpp.o" "gcc" "src/transfer/CMakeFiles/ctrtl_transfer.dir/conflict.cpp.o.d"
+  "/root/repo/src/transfer/design.cpp" "src/transfer/CMakeFiles/ctrtl_transfer.dir/design.cpp.o" "gcc" "src/transfer/CMakeFiles/ctrtl_transfer.dir/design.cpp.o.d"
+  "/root/repo/src/transfer/mapping.cpp" "src/transfer/CMakeFiles/ctrtl_transfer.dir/mapping.cpp.o" "gcc" "src/transfer/CMakeFiles/ctrtl_transfer.dir/mapping.cpp.o.d"
+  "/root/repo/src/transfer/module_sim.cpp" "src/transfer/CMakeFiles/ctrtl_transfer.dir/module_sim.cpp.o" "gcc" "src/transfer/CMakeFiles/ctrtl_transfer.dir/module_sim.cpp.o.d"
+  "/root/repo/src/transfer/text_format.cpp" "src/transfer/CMakeFiles/ctrtl_transfer.dir/text_format.cpp.o" "gcc" "src/transfer/CMakeFiles/ctrtl_transfer.dir/text_format.cpp.o.d"
+  "/root/repo/src/transfer/tuple.cpp" "src/transfer/CMakeFiles/ctrtl_transfer.dir/tuple.cpp.o" "gcc" "src/transfer/CMakeFiles/ctrtl_transfer.dir/tuple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/ctrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctrtl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ctrtl_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_transfer.dir/build.cpp.o"
+  "CMakeFiles/ctrtl_transfer.dir/build.cpp.o.d"
+  "CMakeFiles/ctrtl_transfer.dir/conflict.cpp.o"
+  "CMakeFiles/ctrtl_transfer.dir/conflict.cpp.o.d"
+  "CMakeFiles/ctrtl_transfer.dir/design.cpp.o"
+  "CMakeFiles/ctrtl_transfer.dir/design.cpp.o.d"
+  "CMakeFiles/ctrtl_transfer.dir/mapping.cpp.o"
+  "CMakeFiles/ctrtl_transfer.dir/mapping.cpp.o.d"
+  "CMakeFiles/ctrtl_transfer.dir/module_sim.cpp.o"
+  "CMakeFiles/ctrtl_transfer.dir/module_sim.cpp.o.d"
+  "CMakeFiles/ctrtl_transfer.dir/text_format.cpp.o"
+  "CMakeFiles/ctrtl_transfer.dir/text_format.cpp.o.d"
+  "CMakeFiles/ctrtl_transfer.dir/tuple.cpp.o"
+  "CMakeFiles/ctrtl_transfer.dir/tuple.cpp.o.d"
+  "libctrtl_transfer.a"
+  "libctrtl_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

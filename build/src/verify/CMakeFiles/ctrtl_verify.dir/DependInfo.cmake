@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/dataflow.cpp" "src/verify/CMakeFiles/ctrtl_verify.dir/dataflow.cpp.o" "gcc" "src/verify/CMakeFiles/ctrtl_verify.dir/dataflow.cpp.o.d"
+  "/root/repo/src/verify/equivalence.cpp" "src/verify/CMakeFiles/ctrtl_verify.dir/equivalence.cpp.o" "gcc" "src/verify/CMakeFiles/ctrtl_verify.dir/equivalence.cpp.o.d"
+  "/root/repo/src/verify/random_design.cpp" "src/verify/CMakeFiles/ctrtl_verify.dir/random_design.cpp.o" "gcc" "src/verify/CMakeFiles/ctrtl_verify.dir/random_design.cpp.o.d"
+  "/root/repo/src/verify/semantics.cpp" "src/verify/CMakeFiles/ctrtl_verify.dir/semantics.cpp.o" "gcc" "src/verify/CMakeFiles/ctrtl_verify.dir/semantics.cpp.o.d"
+  "/root/repo/src/verify/trace.cpp" "src/verify/CMakeFiles/ctrtl_verify.dir/trace.cpp.o" "gcc" "src/verify/CMakeFiles/ctrtl_verify.dir/trace.cpp.o.d"
+  "/root/repo/src/verify/vcd.cpp" "src/verify/CMakeFiles/ctrtl_verify.dir/vcd.cpp.o" "gcc" "src/verify/CMakeFiles/ctrtl_verify.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/ctrtl_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/ctrtl_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ctrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctrtl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ctrtl_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

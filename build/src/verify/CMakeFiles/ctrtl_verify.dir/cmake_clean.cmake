@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_verify.dir/dataflow.cpp.o"
+  "CMakeFiles/ctrtl_verify.dir/dataflow.cpp.o.d"
+  "CMakeFiles/ctrtl_verify.dir/equivalence.cpp.o"
+  "CMakeFiles/ctrtl_verify.dir/equivalence.cpp.o.d"
+  "CMakeFiles/ctrtl_verify.dir/random_design.cpp.o"
+  "CMakeFiles/ctrtl_verify.dir/random_design.cpp.o.d"
+  "CMakeFiles/ctrtl_verify.dir/semantics.cpp.o"
+  "CMakeFiles/ctrtl_verify.dir/semantics.cpp.o.d"
+  "CMakeFiles/ctrtl_verify.dir/trace.cpp.o"
+  "CMakeFiles/ctrtl_verify.dir/trace.cpp.o.d"
+  "CMakeFiles/ctrtl_verify.dir/vcd.cpp.o"
+  "CMakeFiles/ctrtl_verify.dir/vcd.cpp.o.d"
+  "libctrtl_verify.a"
+  "libctrtl_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vhdl/ast.cpp" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/ast.cpp.o" "gcc" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/ast.cpp.o.d"
+  "/root/repo/src/vhdl/elaborator.cpp" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/elaborator.cpp.o" "gcc" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/elaborator.cpp.o.d"
+  "/root/repo/src/vhdl/emitter.cpp" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/emitter.cpp.o" "gcc" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/emitter.cpp.o.d"
+  "/root/repo/src/vhdl/lexer.cpp" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/lexer.cpp.o" "gcc" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/lexer.cpp.o.d"
+  "/root/repo/src/vhdl/parser.cpp" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/parser.cpp.o" "gcc" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/parser.cpp.o.d"
+  "/root/repo/src/vhdl/subset_check.cpp" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/subset_check.cpp.o" "gcc" "src/vhdl/CMakeFiles/ctrtl_vhdl.dir/subset_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transfer/CMakeFiles/ctrtl_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ctrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ctrtl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctrtl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

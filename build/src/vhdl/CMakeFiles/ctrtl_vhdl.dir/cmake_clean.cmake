@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_vhdl.dir/ast.cpp.o"
+  "CMakeFiles/ctrtl_vhdl.dir/ast.cpp.o.d"
+  "CMakeFiles/ctrtl_vhdl.dir/elaborator.cpp.o"
+  "CMakeFiles/ctrtl_vhdl.dir/elaborator.cpp.o.d"
+  "CMakeFiles/ctrtl_vhdl.dir/emitter.cpp.o"
+  "CMakeFiles/ctrtl_vhdl.dir/emitter.cpp.o.d"
+  "CMakeFiles/ctrtl_vhdl.dir/lexer.cpp.o"
+  "CMakeFiles/ctrtl_vhdl.dir/lexer.cpp.o.d"
+  "CMakeFiles/ctrtl_vhdl.dir/parser.cpp.o"
+  "CMakeFiles/ctrtl_vhdl.dir/parser.cpp.o.d"
+  "CMakeFiles/ctrtl_vhdl.dir/subset_check.cpp.o"
+  "CMakeFiles/ctrtl_vhdl.dir/subset_check.cpp.o.d"
+  "libctrtl_vhdl.a"
+  "libctrtl_vhdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

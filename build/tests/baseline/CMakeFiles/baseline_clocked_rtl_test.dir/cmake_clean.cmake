@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_clocked_rtl_test.dir/clocked_rtl_test.cpp.o"
+  "CMakeFiles/baseline_clocked_rtl_test.dir/clocked_rtl_test.cpp.o.d"
+  "baseline_clocked_rtl_test"
+  "baseline_clocked_rtl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_clocked_rtl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

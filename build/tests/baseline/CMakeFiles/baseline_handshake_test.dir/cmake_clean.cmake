@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_handshake_test.dir/handshake_test.cpp.o"
+  "CMakeFiles/baseline_handshake_test.dir/handshake_test.cpp.o.d"
+  "baseline_handshake_test"
+  "baseline_handshake_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_handshake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

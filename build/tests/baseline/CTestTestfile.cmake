@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/baseline
+# Build directory: /root/repo/build/tests/baseline
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(baseline_handshake_test "/root/repo/build/tests/baseline/baseline_handshake_test")
+set_tests_properties(baseline_handshake_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/baseline/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/baseline/CMakeLists.txt;0;")
+add_test(baseline_clocked_rtl_test "/root/repo/build/tests/baseline/baseline_clocked_rtl_test")
+set_tests_properties(baseline_clocked_rtl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/baseline/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/baseline/CMakeLists.txt;0;")

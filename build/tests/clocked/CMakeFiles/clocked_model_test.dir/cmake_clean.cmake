@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocked_model_test.dir/model_test.cpp.o"
+  "CMakeFiles/clocked_model_test.dir/model_test.cpp.o.d"
+  "clocked_model_test"
+  "clocked_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocked_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

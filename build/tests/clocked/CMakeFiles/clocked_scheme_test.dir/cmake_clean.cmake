@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocked_scheme_test.dir/scheme_test.cpp.o"
+  "CMakeFiles/clocked_scheme_test.dir/scheme_test.cpp.o.d"
+  "clocked_scheme_test"
+  "clocked_scheme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocked_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocked_translate_test.dir/translate_test.cpp.o"
+  "CMakeFiles/clocked_translate_test.dir/translate_test.cpp.o.d"
+  "clocked_translate_test"
+  "clocked_translate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocked_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

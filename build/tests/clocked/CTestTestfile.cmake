@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/clocked
+# Build directory: /root/repo/build/tests/clocked
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(clocked_translate_test "/root/repo/build/tests/clocked/clocked_translate_test")
+set_tests_properties(clocked_translate_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/clocked/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/clocked/CMakeLists.txt;0;")
+add_test(clocked_model_test "/root/repo/build/tests/clocked/clocked_model_test")
+set_tests_properties(clocked_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/clocked/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/clocked/CMakeLists.txt;0;")
+add_test(clocked_scheme_test "/root/repo/build/tests/clocked/clocked_scheme_test")
+set_tests_properties(clocked_scheme_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/clocked/CMakeLists.txt;3;ctrtl_test;/root/repo/tests/clocked/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_diagnostics_test.dir/diagnostics_test.cpp.o"
+  "CMakeFiles/common_diagnostics_test.dir/diagnostics_test.cpp.o.d"
+  "common_diagnostics_test"
+  "common_diagnostics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

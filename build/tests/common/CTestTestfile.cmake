@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/common
+# Build directory: /root/repo/build/tests/common
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_fixed_point_test "/root/repo/build/tests/common/common_fixed_point_test")
+set_tests_properties(common_fixed_point_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/common/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/common/CMakeLists.txt;0;")
+add_test(common_diagnostics_test "/root/repo/build/tests/common/common_diagnostics_test")
+set_tests_properties(common_diagnostics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/common/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/common/CMakeLists.txt;0;")

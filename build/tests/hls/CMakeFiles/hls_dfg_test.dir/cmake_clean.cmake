@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_dfg_test.dir/dfg_test.cpp.o"
+  "CMakeFiles/hls_dfg_test.dir/dfg_test.cpp.o.d"
+  "hls_dfg_test"
+  "hls_dfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_dfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_flow_test.dir/flow_test.cpp.o"
+  "CMakeFiles/hls_flow_test.dir/flow_test.cpp.o.d"
+  "hls_flow_test"
+  "hls_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hls
+# Build directory: /root/repo/build/tests/hls
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(hls_dfg_test "/root/repo/build/tests/hls/hls_dfg_test")
+set_tests_properties(hls_dfg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/hls/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/hls/CMakeLists.txt;0;")
+add_test(hls_flow_test "/root/repo/build/tests/hls/hls_flow_test")
+set_tests_properties(hls_flow_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/hls/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/hls/CMakeLists.txt;0;")

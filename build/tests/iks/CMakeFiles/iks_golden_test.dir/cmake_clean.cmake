@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iks_golden_test.dir/golden_test.cpp.o"
+  "CMakeFiles/iks_golden_test.dir/golden_test.cpp.o.d"
+  "iks_golden_test"
+  "iks_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iks_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

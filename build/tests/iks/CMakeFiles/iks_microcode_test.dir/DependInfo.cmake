@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/iks/microcode_test.cpp" "tests/iks/CMakeFiles/iks_microcode_test.dir/microcode_test.cpp.o" "gcc" "tests/iks/CMakeFiles/iks_microcode_test.dir/microcode_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iks/CMakeFiles/ctrtl_iks.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/ctrtl_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ctrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ctrtl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctrtl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iks_microcode_test.dir/microcode_test.cpp.o"
+  "CMakeFiles/iks_microcode_test.dir/microcode_test.cpp.o.d"
+  "iks_microcode_test"
+  "iks_microcode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iks_microcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

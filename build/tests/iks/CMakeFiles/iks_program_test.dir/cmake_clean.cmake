@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iks_program_test.dir/program_test.cpp.o"
+  "CMakeFiles/iks_program_test.dir/program_test.cpp.o.d"
+  "iks_program_test"
+  "iks_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iks_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/iks
+# Build directory: /root/repo/build/tests/iks
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(iks_microcode_test "/root/repo/build/tests/iks/iks_microcode_test")
+set_tests_properties(iks_microcode_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/iks/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/iks/CMakeLists.txt;0;")
+add_test(iks_golden_test "/root/repo/build/tests/iks/iks_golden_test")
+set_tests_properties(iks_golden_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/iks/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/iks/CMakeLists.txt;0;")
+add_test(iks_program_test "/root/repo/build/tests/iks/iks_program_test")
+set_tests_properties(iks_program_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/iks/CMakeLists.txt;3;ctrtl_test;/root/repo/tests/iks/CMakeLists.txt;0;")
+add_test(iks_paper_example_test "/root/repo/build/tests/iks/iks_paper_example_test")
+set_tests_properties(iks_paper_example_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/iks/CMakeLists.txt;4;ctrtl_test;/root/repo/tests/iks/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_dispatch_mode_test.dir/dispatch_mode_test.cpp.o"
+  "CMakeFiles/integration_dispatch_mode_test.dir/dispatch_mode_test.cpp.o.d"
+  "integration_dispatch_mode_test"
+  "integration_dispatch_mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_dispatch_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_lifetime_test.dir/lifetime_test.cpp.o"
+  "CMakeFiles/integration_lifetime_test.dir/lifetime_test.cpp.o.d"
+  "integration_lifetime_test"
+  "integration_lifetime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_lifetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

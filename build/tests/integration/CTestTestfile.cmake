@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(integration_dispatch_mode_test "/root/repo/build/tests/integration/integration_dispatch_mode_test")
+set_tests_properties(integration_dispatch_mode_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_full_chain_test "/root/repo/build/tests/integration/integration_full_chain_test")
+set_tests_properties(integration_full_chain_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_scale_test "/root/repo/build/tests/integration/integration_scale_test")
+set_tests_properties(integration_scale_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;3;ctrtl_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_determinism_test "/root/repo/build/tests/integration/integration_determinism_test")
+set_tests_properties(integration_determinism_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;4;ctrtl_test;/root/repo/tests/integration/CMakeLists.txt;0;")
+add_test(integration_lifetime_test "/root/repo/build/tests/integration/integration_lifetime_test")
+set_tests_properties(integration_lifetime_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/integration/CMakeLists.txt;5;ctrtl_test;/root/repo/tests/integration/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_scheduler_test.dir/scheduler_test.cpp.o"
+  "CMakeFiles/kernel_scheduler_test.dir/scheduler_test.cpp.o.d"
+  "kernel_scheduler_test"
+  "kernel_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

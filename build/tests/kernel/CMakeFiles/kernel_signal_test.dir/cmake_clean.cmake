@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_signal_test.dir/signal_test.cpp.o"
+  "CMakeFiles/kernel_signal_test.dir/signal_test.cpp.o.d"
+  "kernel_signal_test"
+  "kernel_signal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_task_test.dir/task_test.cpp.o"
+  "CMakeFiles/kernel_task_test.dir/task_test.cpp.o.d"
+  "kernel_task_test"
+  "kernel_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/kernel
+# Build directory: /root/repo/build/tests/kernel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(kernel_signal_test "/root/repo/build/tests/kernel/kernel_signal_test")
+set_tests_properties(kernel_signal_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/kernel/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/kernel/CMakeLists.txt;0;")
+add_test(kernel_scheduler_test "/root/repo/build/tests/kernel/kernel_scheduler_test")
+set_tests_properties(kernel_scheduler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/kernel/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/kernel/CMakeLists.txt;0;")
+add_test(kernel_task_test "/root/repo/build/tests/kernel/kernel_task_test")
+set_tests_properties(kernel_task_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/kernel/CMakeLists.txt;3;ctrtl_test;/root/repo/tests/kernel/CMakeLists.txt;0;")

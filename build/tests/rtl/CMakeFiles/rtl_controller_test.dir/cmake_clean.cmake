@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_controller_test.dir/controller_test.cpp.o"
+  "CMakeFiles/rtl_controller_test.dir/controller_test.cpp.o.d"
+  "rtl_controller_test"
+  "rtl_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

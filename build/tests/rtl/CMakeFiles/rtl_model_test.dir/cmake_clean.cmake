@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_model_test.dir/model_test.cpp.o"
+  "CMakeFiles/rtl_model_test.dir/model_test.cpp.o.d"
+  "rtl_model_test"
+  "rtl_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

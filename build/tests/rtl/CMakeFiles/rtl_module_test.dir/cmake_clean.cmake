@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_module_test.dir/module_test.cpp.o"
+  "CMakeFiles/rtl_module_test.dir/module_test.cpp.o.d"
+  "rtl_module_test"
+  "rtl_module_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

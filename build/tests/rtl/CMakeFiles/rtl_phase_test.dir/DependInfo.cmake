@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtl/phase_test.cpp" "tests/rtl/CMakeFiles/rtl_phase_test.dir/phase_test.cpp.o" "gcc" "tests/rtl/CMakeFiles/rtl_phase_test.dir/phase_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/ctrtl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ctrtl_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctrtl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_phase_test.dir/phase_test.cpp.o"
+  "CMakeFiles/rtl_phase_test.dir/phase_test.cpp.o.d"
+  "rtl_phase_test"
+  "rtl_phase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

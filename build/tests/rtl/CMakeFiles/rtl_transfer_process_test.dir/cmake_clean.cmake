@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_transfer_process_test.dir/transfer_process_test.cpp.o"
+  "CMakeFiles/rtl_transfer_process_test.dir/transfer_process_test.cpp.o.d"
+  "rtl_transfer_process_test"
+  "rtl_transfer_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_transfer_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

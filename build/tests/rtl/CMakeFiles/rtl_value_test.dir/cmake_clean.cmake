@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_value_test.dir/value_test.cpp.o"
+  "CMakeFiles/rtl_value_test.dir/value_test.cpp.o.d"
+  "rtl_value_test"
+  "rtl_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rtl
+# Build directory: /root/repo/build/tests/rtl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rtl_value_test "/root/repo/build/tests/rtl/rtl_value_test")
+set_tests_properties(rtl_value_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rtl/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/rtl/CMakeLists.txt;0;")
+add_test(rtl_phase_test "/root/repo/build/tests/rtl/rtl_phase_test")
+set_tests_properties(rtl_phase_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rtl/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/rtl/CMakeLists.txt;0;")
+add_test(rtl_controller_test "/root/repo/build/tests/rtl/rtl_controller_test")
+set_tests_properties(rtl_controller_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rtl/CMakeLists.txt;3;ctrtl_test;/root/repo/tests/rtl/CMakeLists.txt;0;")
+add_test(rtl_transfer_process_test "/root/repo/build/tests/rtl/rtl_transfer_process_test")
+set_tests_properties(rtl_transfer_process_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rtl/CMakeLists.txt;4;ctrtl_test;/root/repo/tests/rtl/CMakeLists.txt;0;")
+add_test(rtl_register_test "/root/repo/build/tests/rtl/rtl_register_test")
+set_tests_properties(rtl_register_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rtl/CMakeLists.txt;5;ctrtl_test;/root/repo/tests/rtl/CMakeLists.txt;0;")
+add_test(rtl_module_test "/root/repo/build/tests/rtl/rtl_module_test")
+set_tests_properties(rtl_module_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rtl/CMakeLists.txt;6;ctrtl_test;/root/repo/tests/rtl/CMakeLists.txt;0;")
+add_test(rtl_model_test "/root/repo/build/tests/rtl/rtl_model_test")
+set_tests_properties(rtl_model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/rtl/CMakeLists.txt;7;ctrtl_test;/root/repo/tests/rtl/CMakeLists.txt;0;")

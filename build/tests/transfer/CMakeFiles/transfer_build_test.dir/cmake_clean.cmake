@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_build_test.dir/build_test.cpp.o"
+  "CMakeFiles/transfer_build_test.dir/build_test.cpp.o.d"
+  "transfer_build_test"
+  "transfer_build_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_conflict_test.dir/conflict_test.cpp.o"
+  "CMakeFiles/transfer_conflict_test.dir/conflict_test.cpp.o.d"
+  "transfer_conflict_test"
+  "transfer_conflict_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_conflict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_design_test.dir/design_test.cpp.o"
+  "CMakeFiles/transfer_design_test.dir/design_test.cpp.o.d"
+  "transfer_design_test"
+  "transfer_design_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

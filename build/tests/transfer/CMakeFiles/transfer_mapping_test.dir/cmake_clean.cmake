@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_mapping_test.dir/mapping_test.cpp.o"
+  "CMakeFiles/transfer_mapping_test.dir/mapping_test.cpp.o.d"
+  "transfer_mapping_test"
+  "transfer_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_module_sim_test.dir/module_sim_test.cpp.o"
+  "CMakeFiles/transfer_module_sim_test.dir/module_sim_test.cpp.o.d"
+  "transfer_module_sim_test"
+  "transfer_module_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_module_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

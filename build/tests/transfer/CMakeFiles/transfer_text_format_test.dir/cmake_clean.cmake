@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_text_format_test.dir/text_format_test.cpp.o"
+  "CMakeFiles/transfer_text_format_test.dir/text_format_test.cpp.o.d"
+  "transfer_text_format_test"
+  "transfer_text_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_text_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

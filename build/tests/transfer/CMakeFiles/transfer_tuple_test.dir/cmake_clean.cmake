@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_tuple_test.dir/tuple_test.cpp.o"
+  "CMakeFiles/transfer_tuple_test.dir/tuple_test.cpp.o.d"
+  "transfer_tuple_test"
+  "transfer_tuple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

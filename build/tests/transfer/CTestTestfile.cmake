@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/transfer
+# Build directory: /root/repo/build/tests/transfer
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(transfer_tuple_test "/root/repo/build/tests/transfer/transfer_tuple_test")
+set_tests_properties(transfer_tuple_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/transfer/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/transfer/CMakeLists.txt;0;")
+add_test(transfer_mapping_test "/root/repo/build/tests/transfer/transfer_mapping_test")
+set_tests_properties(transfer_mapping_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/transfer/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/transfer/CMakeLists.txt;0;")
+add_test(transfer_design_test "/root/repo/build/tests/transfer/transfer_design_test")
+set_tests_properties(transfer_design_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/transfer/CMakeLists.txt;3;ctrtl_test;/root/repo/tests/transfer/CMakeLists.txt;0;")
+add_test(transfer_conflict_test "/root/repo/build/tests/transfer/transfer_conflict_test")
+set_tests_properties(transfer_conflict_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/transfer/CMakeLists.txt;4;ctrtl_test;/root/repo/tests/transfer/CMakeLists.txt;0;")
+add_test(transfer_build_test "/root/repo/build/tests/transfer/transfer_build_test")
+set_tests_properties(transfer_build_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/transfer/CMakeLists.txt;5;ctrtl_test;/root/repo/tests/transfer/CMakeLists.txt;0;")
+add_test(transfer_module_sim_test "/root/repo/build/tests/transfer/transfer_module_sim_test")
+set_tests_properties(transfer_module_sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/transfer/CMakeLists.txt;6;ctrtl_test;/root/repo/tests/transfer/CMakeLists.txt;0;")
+add_test(transfer_text_format_test "/root/repo/build/tests/transfer/transfer_text_format_test")
+set_tests_properties(transfer_text_format_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/transfer/CMakeLists.txt;7;ctrtl_test;/root/repo/tests/transfer/CMakeLists.txt;0;")

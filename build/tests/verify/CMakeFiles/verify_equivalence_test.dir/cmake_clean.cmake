@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_equivalence_test.dir/equivalence_test.cpp.o"
+  "CMakeFiles/verify_equivalence_test.dir/equivalence_test.cpp.o.d"
+  "verify_equivalence_test"
+  "verify_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

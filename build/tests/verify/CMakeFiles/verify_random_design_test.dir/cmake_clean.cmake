@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_random_design_test.dir/random_design_test.cpp.o"
+  "CMakeFiles/verify_random_design_test.dir/random_design_test.cpp.o.d"
+  "verify_random_design_test"
+  "verify_random_design_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_random_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_semantics_test.dir/semantics_test.cpp.o"
+  "CMakeFiles/verify_semantics_test.dir/semantics_test.cpp.o.d"
+  "verify_semantics_test"
+  "verify_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

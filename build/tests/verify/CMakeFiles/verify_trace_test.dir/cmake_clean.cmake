@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_trace_test.dir/trace_test.cpp.o"
+  "CMakeFiles/verify_trace_test.dir/trace_test.cpp.o.d"
+  "verify_trace_test"
+  "verify_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_vcd_test.dir/vcd_test.cpp.o"
+  "CMakeFiles/verify_vcd_test.dir/vcd_test.cpp.o.d"
+  "verify_vcd_test"
+  "verify_vcd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_vcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/verify
+# Build directory: /root/repo/build/tests/verify
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(verify_semantics_test "/root/repo/build/tests/verify/verify_semantics_test")
+set_tests_properties(verify_semantics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/verify/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/verify/CMakeLists.txt;0;")
+add_test(verify_equivalence_test "/root/repo/build/tests/verify/verify_equivalence_test")
+set_tests_properties(verify_equivalence_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/verify/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/verify/CMakeLists.txt;0;")
+add_test(verify_trace_test "/root/repo/build/tests/verify/verify_trace_test")
+set_tests_properties(verify_trace_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/verify/CMakeLists.txt;3;ctrtl_test;/root/repo/tests/verify/CMakeLists.txt;0;")
+add_test(verify_random_design_test "/root/repo/build/tests/verify/verify_random_design_test")
+set_tests_properties(verify_random_design_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/verify/CMakeLists.txt;4;ctrtl_test;/root/repo/tests/verify/CMakeLists.txt;0;")
+add_test(verify_dataflow_test "/root/repo/build/tests/verify/verify_dataflow_test")
+set_tests_properties(verify_dataflow_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/verify/CMakeLists.txt;5;ctrtl_test;/root/repo/tests/verify/CMakeLists.txt;0;")
+add_test(verify_vcd_test "/root/repo/build/tests/verify/verify_vcd_test")
+set_tests_properties(verify_vcd_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/verify/CMakeLists.txt;6;ctrtl_test;/root/repo/tests/verify/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_clocked_vhdl_test.dir/clocked_vhdl_test.cpp.o"
+  "CMakeFiles/vhdl_clocked_vhdl_test.dir/clocked_vhdl_test.cpp.o.d"
+  "vhdl_clocked_vhdl_test"
+  "vhdl_clocked_vhdl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_clocked_vhdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

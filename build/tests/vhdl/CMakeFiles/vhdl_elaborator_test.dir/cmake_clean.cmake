@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_elaborator_test.dir/elaborator_test.cpp.o"
+  "CMakeFiles/vhdl_elaborator_test.dir/elaborator_test.cpp.o.d"
+  "vhdl_elaborator_test"
+  "vhdl_elaborator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_elaborator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

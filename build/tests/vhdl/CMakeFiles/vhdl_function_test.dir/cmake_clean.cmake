@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_function_test.dir/function_test.cpp.o"
+  "CMakeFiles/vhdl_function_test.dir/function_test.cpp.o.d"
+  "vhdl_function_test"
+  "vhdl_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_lexer_test.dir/lexer_test.cpp.o"
+  "CMakeFiles/vhdl_lexer_test.dir/lexer_test.cpp.o.d"
+  "vhdl_lexer_test"
+  "vhdl_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_parser_test.dir/parser_test.cpp.o"
+  "CMakeFiles/vhdl_parser_test.dir/parser_test.cpp.o.d"
+  "vhdl_parser_test"
+  "vhdl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

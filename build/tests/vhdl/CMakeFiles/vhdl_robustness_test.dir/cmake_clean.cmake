@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_robustness_test.dir/robustness_test.cpp.o"
+  "CMakeFiles/vhdl_robustness_test.dir/robustness_test.cpp.o.d"
+  "vhdl_robustness_test"
+  "vhdl_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

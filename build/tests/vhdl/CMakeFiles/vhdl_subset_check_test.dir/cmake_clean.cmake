@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_subset_check_test.dir/subset_check_test.cpp.o"
+  "CMakeFiles/vhdl_subset_check_test.dir/subset_check_test.cpp.o.d"
+  "vhdl_subset_check_test"
+  "vhdl_subset_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_subset_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/vhdl
+# Build directory: /root/repo/build/tests/vhdl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vhdl_lexer_test "/root/repo/build/tests/vhdl/vhdl_lexer_test")
+set_tests_properties(vhdl_lexer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/vhdl/CMakeLists.txt;1;ctrtl_test;/root/repo/tests/vhdl/CMakeLists.txt;0;")
+add_test(vhdl_parser_test "/root/repo/build/tests/vhdl/vhdl_parser_test")
+set_tests_properties(vhdl_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/vhdl/CMakeLists.txt;2;ctrtl_test;/root/repo/tests/vhdl/CMakeLists.txt;0;")
+add_test(vhdl_subset_check_test "/root/repo/build/tests/vhdl/vhdl_subset_check_test")
+set_tests_properties(vhdl_subset_check_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/vhdl/CMakeLists.txt;3;ctrtl_test;/root/repo/tests/vhdl/CMakeLists.txt;0;")
+add_test(vhdl_elaborator_test "/root/repo/build/tests/vhdl/vhdl_elaborator_test")
+set_tests_properties(vhdl_elaborator_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/vhdl/CMakeLists.txt;4;ctrtl_test;/root/repo/tests/vhdl/CMakeLists.txt;0;")
+add_test(vhdl_emitter_test "/root/repo/build/tests/vhdl/vhdl_emitter_test")
+set_tests_properties(vhdl_emitter_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/vhdl/CMakeLists.txt;5;ctrtl_test;/root/repo/tests/vhdl/CMakeLists.txt;0;")
+add_test(vhdl_clocked_vhdl_test "/root/repo/build/tests/vhdl/vhdl_clocked_vhdl_test")
+set_tests_properties(vhdl_clocked_vhdl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/vhdl/CMakeLists.txt;6;ctrtl_test;/root/repo/tests/vhdl/CMakeLists.txt;0;")
+add_test(vhdl_function_test "/root/repo/build/tests/vhdl/vhdl_function_test")
+set_tests_properties(vhdl_function_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/vhdl/CMakeLists.txt;7;ctrtl_test;/root/repo/tests/vhdl/CMakeLists.txt;0;")
+add_test(vhdl_robustness_test "/root/repo/build/tests/vhdl/vhdl_robustness_test")
+set_tests_properties(vhdl_robustness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/vhdl/CMakeLists.txt;8;ctrtl_test;/root/repo/tests/vhdl/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_design.dir/ctrtl_design.cpp.o"
+  "CMakeFiles/ctrtl_design.dir/ctrtl_design.cpp.o.d"
+  "ctrtl_design"
+  "ctrtl_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

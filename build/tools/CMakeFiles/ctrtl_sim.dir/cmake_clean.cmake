@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrtl_sim.dir/ctrtl_sim.cpp.o"
+  "CMakeFiles/ctrtl_sim.dir/ctrtl_sim.cpp.o.d"
+  "ctrtl_sim"
+  "ctrtl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrtl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

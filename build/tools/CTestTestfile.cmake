@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_ctrtl_sim_example "/root/repo/build/tools/ctrtl_sim" "/root/repo/examples/vhdl/example.vhd" "--top" "example")
+set_tests_properties(tool_ctrtl_sim_example PROPERTIES  PASS_REGULAR_EXPRESSION "42 delta cycles" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ctrtl_design_fig1 "/root/repo/build/tools/ctrtl_design" "/root/repo/examples/rtd/fig1.rtd" "--analyze" "--dataflow" "--simulate")
+set_tests_properties(tool_ctrtl_design_fig1 PROPERTIES  PASS_REGULAR_EXPRESSION "R1           42" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
