@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI smoke for the kernel benchmark harness: runs bench_to_json --quick and
+# validates the emitted JSON against the ctrtl-bench/1 schema (shape, required
+# entries, positive numbers). Fails loudly if the harness or its output drifts.
+#
+# Usage: scripts/bench_smoke.sh [build-dir] [out.json]
+set -euo pipefail
+BUILD="${1:-build}"
+OUT="${2:-${BUILD}/bench_smoke.json}"
+
+TOOL="${BUILD}/tools/bench_to_json"
+if [ ! -x "$TOOL" ]; then
+  echo "bench_smoke: $TOOL not built (run cmake --build $BUILD first)" >&2
+  exit 1
+fi
+
+"$TOOL" --quick --label smoke --out "$OUT"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc.get("schema") == "ctrtl-bench/1", f"bad schema: {doc.get('schema')}"
+assert doc["host"]["hardware_concurrency"] >= 1
+entries = doc["entries"]
+assert entries, "entries must be non-empty"
+
+names = [e["name"] for e in entries]
+assert "single_instance" in names, "missing single_instance entry"
+batch_workers = {e["workers"] for e in entries if e["name"] == "batch"}
+assert {1, 2, 4} <= batch_workers, f"missing batch worker configs: {batch_workers}"
+assert "clockfree_process_per_transfer" in names and "clocked_rtl" in names, \
+    "missing E6 clocked-vs-clock-free entries"
+
+for e in entries:
+    for key in ("name", "unit", "workers", "instances", "repetitions",
+                "wall_ms", "steps", "throughput_steps_per_s"):
+        assert key in e, f"entry {e.get('name')} missing {key}"
+    assert e["wall_ms"] > 0, f"{e['name']}: wall_ms must be positive"
+    assert e["steps"] > 0, f"{e['name']}: steps must be positive"
+    assert e["throughput_steps_per_s"] > 0, f"{e['name']}: throughput must be positive"
+
+print(f"bench_smoke: OK ({len(entries)} entries)")
+EOF
+else
+  # Minimal fallback validation without python3.
+  grep -q '"schema": "ctrtl-bench/1"' "$OUT"
+  grep -q '"name": "single_instance"' "$OUT"
+  grep -q '"name": "batch"' "$OUT"
+  grep -q '"name": "clocked_rtl"' "$OUT"
+  echo "bench_smoke: OK (grep fallback)"
+fi

@@ -25,3 +25,6 @@ for b in "$BUILD"/bench/*; do
     "$b"
   fi
 done 2>&1 | tee bench_output.txt
+
+echo "=== bench smoke (JSON harness) ==="
+"$(dirname "$0")/bench_smoke.sh" "$BUILD"

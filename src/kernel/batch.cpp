@@ -1,0 +1,111 @@
+#include "kernel/batch.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ctrtl::kernel {
+
+namespace {
+
+std::size_t resolve_worker_count(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(BatchOptions options) {
+  const std::size_t workers = resolve_worker_count(options.workers);
+  helpers_.reserve(workers - 1);
+  for (std::size_t i = 0; i + 1 < workers; ++i) {
+    helpers_.emplace_back([this] { helper_loop(); });
+  }
+}
+
+BatchEngine::~BatchEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& helper : helpers_) {
+    helper.join();
+  }
+}
+
+void BatchEngine::drain() {
+  for (;;) {
+    std::size_t index;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (next_job_ >= job_count_) {
+        return;
+      }
+      index = next_job_++;
+    }
+    try {
+      (*job_)(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      errors_.emplace_back(index, std::current_exception());
+    }
+  }
+}
+
+void BatchEngine::helper_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) {
+        return;
+      }
+      seen_generation = generation_;
+    }
+    drain();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --helpers_running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void BatchEngine::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_job_ = 0;
+    errors_.clear();
+    helpers_running_ = helpers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain();  // the calling thread is a worker too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return helpers_running_ == 0; });
+    job_ = nullptr;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  last_dispatch_.jobs = count;
+  last_dispatch_.workers = worker_count();
+  last_dispatch_.wall_time_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  if (!errors_.empty()) {
+    const auto first = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+}  // namespace ctrtl::kernel

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ctrtl::kernel {
+
+/// Configuration of a `BatchEngine` worker pool.
+struct BatchOptions {
+  /// Number of workers; 0 means one worker per available hardware thread
+  /// (`std::thread::hardware_concurrency`, itself never below 1).
+  std::size_t workers = 0;
+};
+
+/// Timing record of the most recent `BatchEngine` dispatch.
+struct BatchDispatchStats {
+  std::size_t jobs = 0;
+  std::size_t workers = 0;
+  std::uint64_t wall_time_ns = 0;
+};
+
+/// A fixed pool of worker threads executing index-addressed jobs.
+///
+/// The engine exists because a `Scheduler` is strictly single-threaded:
+/// parallelism in this codebase comes from running *independent simulations*
+/// concurrently (one scheduler per worker thread — the kernel's
+/// current-process pointer is `thread_local`, so schedulers on different
+/// threads never interfere). `run_indexed(n, fn)` invokes `fn(0..n-1)`
+/// exactly once each, spread over the workers; `map` additionally collects
+/// return values **by job index**, so the result vector is identical no
+/// matter how the jobs interleave at runtime.
+///
+/// The calling thread participates as a worker, so `workers == 1` executes
+/// every job inline with zero synchronization traffic — that configuration
+/// is the sequential baseline the batch benchmarks compare against.
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchOptions options = {});
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Total workers, the calling thread included.
+  [[nodiscard]] std::size_t worker_count() const { return helpers_.size() + 1; }
+
+  /// Runs `fn(i)` for every `i` in `[0, count)` and blocks until all jobs
+  /// finished. Jobs are claimed dynamically (an atomic cursor), so workers
+  /// stay busy under uneven job durations. If any job throws, the remaining
+  /// jobs still run and the exception thrown by the **lowest job index** is
+  /// rethrown here — again deterministic regardless of interleaving.
+  ///
+  /// Not reentrant: a job must not call back into its own engine.
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// `run_indexed` collecting results: slot `i` of the returned vector holds
+  /// `fn(i)`. `R` must be default-constructible and move-assignable.
+  template <typename R, typename F>
+  std::vector<R> map(std::size_t count, F&& fn) {
+    std::vector<R> results(count);
+    run_indexed(count, [&](std::size_t index) { results[index] = fn(index); });
+    return results;
+  }
+
+  /// Jobs/workers/wall-time of the most recent `run_indexed` call.
+  [[nodiscard]] const BatchDispatchStats& last_dispatch() const {
+    return last_dispatch_;
+  }
+
+ private:
+  void helper_loop();
+  void drain();
+
+  std::vector<std::thread> helpers_;  // worker_count() - 1 threads
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // helpers wait here between dispatches
+  std::condition_variable done_cv_;   // run_indexed waits for helpers here
+  std::uint64_t generation_ = 0;      // bumped per dispatch to wake helpers
+  bool stopping_ = false;
+
+  // Current dispatch (valid while helpers_running_ > 0 or the caller drains).
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t next_job_ = 0;  // guarded by mutex_
+  std::size_t helpers_running_ = 0;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+
+  BatchDispatchStats last_dispatch_;
+};
+
+}  // namespace ctrtl::kernel

@@ -1,5 +1,6 @@
 #include "kernel/scheduler.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace ctrtl::kernel {
@@ -32,7 +33,13 @@ ProcessState& Scheduler::spawn(std::string name, Process process) {
 void Scheduler::note_activation(SignalBase* signal) {
   if (!signal->pending_active_) {
     signal->pending_active_ = true;
-    active_.push_back(signal);
+    signal->next_pending_ = nullptr;
+    if (pending_tail_ != nullptr) {
+      pending_tail_->next_pending_ = signal;
+    } else {
+      pending_head_ = signal;
+    }
+    pending_tail_ = signal;
   }
 }
 
@@ -45,7 +52,7 @@ void Scheduler::schedule_timed_wakeup(std::uint64_t fs_delay, ProcessState* proc
 }
 
 bool Scheduler::quiescent() const {
-  return active_.empty() && timed_.empty();
+  return pending_head_ == nullptr && timed_.empty();
 }
 
 void Scheduler::resume(ProcessState* process) {
@@ -109,9 +116,10 @@ bool Scheduler::step() {
     return true;
   }
 
-  std::vector<ProcessState*> runnable;
+  runnable_scratch_.clear();
+  triggered_scratch_.clear();
 
-  if (!active_.empty()) {
+  if (pending_head_ != nullptr) {
     // Delta cycle: physical time does not advance.
     ++now_.delta;
     ++stats_.delta_cycles;
@@ -127,7 +135,7 @@ bool Scheduler::step() {
         entry.apply();  // marks the signal active for this cycle's update
       }
       if (entry.wake != nullptr) {
-        runnable.push_back(entry.wake);
+        runnable_scratch_.push_back(entry.wake);
       }
     }
   } else {
@@ -135,39 +143,49 @@ bool Scheduler::step() {
   }
 
   // --- Update phase --------------------------------------------------------
+  // Detach the whole pending list up front: anything activated from here on
+  // (observers, and later the execution phase) lands on a fresh list for the
+  // *next* cycle.
   ++epoch_;
-  std::vector<SignalBase*> updating;
-  updating.swap(active_);
-  std::vector<ProcessState*> triggered;
-  for (SignalBase* signal : updating) {
+  SignalBase* updating = pending_head_;
+  pending_head_ = nullptr;
+  pending_tail_ = nullptr;
+  while (updating != nullptr) {
+    SignalBase* const signal = updating;
+    updating = signal->next_pending_;
+    signal->next_pending_ = nullptr;
     signal->pending_active_ = false;
     ++stats_.updates;
     if (!signal->apply_update()) {
       continue;
     }
     ++stats_.events;
-    for (const auto& [id, observer] : observers_) {
-      observer(*signal, now_);
+    if (!observers_.empty()) {
+      stats_.observer_calls += observers_.size();
+      for (const auto& [id, observer] : observers_) {
+        observer(*signal, now_);
+      }
     }
+    stats_.waiter_visits += signal->waiters_.size();
     for (ProcessState* waiter : signal->waiters_) {
       if (waiter->trigger_epoch != epoch_) {
         waiter->trigger_epoch = epoch_;
-        triggered.push_back(waiter);
+        triggered_scratch_.push_back(waiter);
       }
     }
   }
 
   // --- Wait-condition evaluation -------------------------------------------
-  for (ProcessState* process : triggered) {
+  for (ProcessState* process : triggered_scratch_) {
     if (process->predicate && !process->predicate()) {
       ++stats_.condition_rejects;
       continue;
     }
-    runnable.push_back(process);
+    runnable_scratch_.push_back(process);
   }
 
   // --- Execution phase ------------------------------------------------------
-  for (ProcessState* process : runnable) {
+  for (ProcessState* process : runnable_scratch_) {
     if (process->handle && !process->terminated) {
       resume(process);
     }
@@ -177,11 +195,16 @@ bool Scheduler::step() {
 }
 
 std::uint64_t Scheduler::run(std::uint64_t max_cycles) {
+  const auto start = std::chrono::steady_clock::now();
   initialize();
   std::uint64_t cycles = 0;
   while (cycles < max_cycles && step()) {
     ++cycles;
   }
+  stats_.wall_time_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   return cycles;
 }
 

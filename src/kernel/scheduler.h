@@ -113,9 +113,19 @@ class Scheduler {
 
   std::vector<std::unique_ptr<SignalBase>> signals_;
   std::vector<std::unique_ptr<ProcessState>> processes_;
-  std::vector<SignalBase*> active_;
+  /// Intrusive singly-linked list of signals activated for the next update
+  /// phase (chained through SignalBase::next_pending_): O(1) append on
+  /// activation, O(1) detach of the whole list at cycle start, and no
+  /// allocation in steady state.
+  SignalBase* pending_head_ = nullptr;
+  SignalBase* pending_tail_ = nullptr;
   std::priority_queue<TimedEntry, std::vector<TimedEntry>, TimedLater> timed_;
   std::uint64_t timed_seq_ = 0;
+
+  /// Per-cycle work lists, reused across cycles so a steady-state delta
+  /// cycle performs no allocations.
+  std::vector<ProcessState*> triggered_scratch_;
+  std::vector<ProcessState*> runnable_scratch_;
 
   SimTime now_;
   KernelStats stats_;

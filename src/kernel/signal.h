@@ -67,6 +67,10 @@ class SignalBase {
   std::string name_;
   std::size_t id_ = 0;
   bool pending_active_ = false;
+  /// Intrusive link in the scheduler's pending-update list: activating a
+  /// signal for the next delta cycle is a pointer append, with no
+  /// allocation no matter how many signals fire per cycle.
+  SignalBase* next_pending_ = nullptr;
   std::vector<ProcessState*> waiters_;
 };
 
@@ -97,12 +101,22 @@ template <typename T>
 class Signal final : public SignalBase {
  public:
   using Resolver = std::function<T(std::span<const T>)>;
+  using ResolverFn = T (*)(std::span<const T>);
 
   Signal(Scheduler& scheduler, std::string name, T initial, Resolver resolver = {})
       : SignalBase(scheduler, std::move(name)),
         initial_(initial),
         effective_(std::move(initial)),
-        resolver_(std::move(resolver)) {}
+        resolver_(std::move(resolver)) {
+    // Raw-dispatch fast path: when the resolver is a plain function (every
+    // RtValue bus/port resolves with `resolve_rt`), call it directly in the
+    // update phase instead of through std::function.
+    if (resolver_) {
+      if (const ResolverFn* fn = resolver_.template target<ResolverFn>()) {
+        raw_resolver_ = *fn;
+      }
+    }
+  }
 
   /// Current effective (resolved) value.
   [[nodiscard]] const T& read() const { return effective_; }
@@ -183,7 +197,7 @@ class Signal final : public SignalBase {
     T next = effective_;
     if (resolver_) {
       // Plain array scratch buffer: std::vector<T> would break for T=bool
-      // (not contiguous), and resolvers take a span.
+      // (not contiguous), and resolvers take a span. Reused across updates.
       if (scratch_capacity_ < drivers_.size()) {
         scratch_ = std::make_unique<T[]>(drivers_.size());
         scratch_capacity_ = drivers_.size();
@@ -191,7 +205,9 @@ class Signal final : public SignalBase {
       for (std::size_t i = 0; i < drivers_.size(); ++i) {
         scratch_[i] = drivers_[i].current;
       }
-      next = resolver_(std::span<const T>(scratch_.get(), drivers_.size()));
+      const std::span<const T> contributions(scratch_.get(), drivers_.size());
+      next = raw_resolver_ ? raw_resolver_(contributions)
+                           : resolver_(contributions);
     } else if (!drivers_.empty()) {
       next = drivers_.front().current;
     }
@@ -208,6 +224,7 @@ class Signal final : public SignalBase {
   std::unique_ptr<T[]> scratch_;
   std::size_t scratch_capacity_ = 0;
   Resolver resolver_;
+  ResolverFn raw_resolver_ = nullptr;  // set iff resolver_ wraps a plain fn
 };
 
 }  // namespace ctrtl::kernel

@@ -26,6 +26,15 @@ struct KernelStats {
   std::uint64_t condition_rejects = 0;
   /// Driver transactions scheduled by processes.
   std::uint64_t transactions = 0;
+  /// Waiter-list entries visited while fanning events out to suspended
+  /// processes (the update-phase sensitivity scan).
+  std::uint64_t waiter_visits = 0;
+  /// Event-observer invocations (conflict monitor, trace/VCD recorders).
+  std::uint64_t observer_calls = 0;
+  /// Wall-clock nanoseconds spent inside `Scheduler::run`, accumulated
+  /// across calls. Timing-dependent — excluded from determinism
+  /// comparisons (see rtl::InstanceResult::operator==).
+  std::uint64_t wall_time_ns = 0;
 
   friend KernelStats operator-(KernelStats a, const KernelStats& b) {
     a.delta_cycles -= b.delta_cycles;
@@ -35,6 +44,24 @@ struct KernelStats {
     a.resumptions -= b.resumptions;
     a.condition_rejects -= b.condition_rejects;
     a.transactions -= b.transactions;
+    a.waiter_visits -= b.waiter_visits;
+    a.observer_calls -= b.observer_calls;
+    a.wall_time_ns -= b.wall_time_ns;
+    return a;
+  }
+
+  /// Aggregation across runs (the batch engine sums per-instance stats).
+  friend KernelStats operator+(KernelStats a, const KernelStats& b) {
+    a.delta_cycles += b.delta_cycles;
+    a.timed_cycles += b.timed_cycles;
+    a.events += b.events;
+    a.updates += b.updates;
+    a.resumptions += b.resumptions;
+    a.condition_rejects += b.condition_rejects;
+    a.transactions += b.transactions;
+    a.waiter_visits += b.waiter_visits;
+    a.observer_calls += b.observer_calls;
+    a.wall_time_ns += b.wall_time_ns;
     return a;
   }
 };

@@ -1,0 +1,50 @@
+#include "rtl/batch_runner.h"
+
+#include <stdexcept>
+
+namespace ctrtl::rtl {
+
+InstanceResult run_instance(RtModel& model, std::uint64_t max_cycles) {
+  InstanceResult result;
+  RunResult run = model.run(max_cycles);
+  result.cycles = run.cycles;
+  result.stats = run.stats;
+  result.conflicts = std::move(run.conflicts);
+  result.registers.reserve(model.registers().size());
+  for (const auto& reg : model.registers()) {
+    result.registers.emplace_back(reg->name(), reg->value());
+  }
+  return result;
+}
+
+BatchRunner::BatchRunner(ModelFactory factory, BatchRunOptions options)
+    : factory_(std::move(factory)),
+      options_(options),
+      engine_(kernel::BatchOptions{options.workers}) {
+  if (!factory_) {
+    throw std::invalid_argument("BatchRunner requires a model factory");
+  }
+}
+
+InstanceResult BatchRunner::run_one(std::size_t instance) const {
+  const std::unique_ptr<RtModel> model = factory_(instance);
+  if (!model) {
+    throw std::invalid_argument("model factory returned null for instance " +
+                                std::to_string(instance));
+  }
+  return run_instance(*model, options_.max_cycles);
+}
+
+BatchRunResult BatchRunner::run(std::size_t count) {
+  BatchRunResult result;
+  result.instances = engine_.map<InstanceResult>(
+      count, [this](std::size_t instance) { return run_one(instance); });
+  result.wall_time_ns = engine_.last_dispatch().wall_time_ns;
+  result.workers = engine_.worker_count();
+  for (const InstanceResult& instance : result.instances) {
+    result.total = result.total + instance.stats;
+  }
+  return result;
+}
+
+}  // namespace ctrtl::rtl

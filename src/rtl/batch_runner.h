@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kernel/batch.h"
+#include "rtl/model.h"
+
+namespace ctrtl::rtl {
+
+/// Options for a `BatchRunner`.
+struct BatchRunOptions {
+  /// Worker threads; 0 = one per available hardware thread.
+  std::size_t workers = 0;
+  /// Cycle limit applied to every instance (`RtModel::run` semantics).
+  std::uint64_t max_cycles = kernel::Scheduler::kNoLimit;
+};
+
+/// Everything observable about one simulated instance: the run outcome
+/// (kernel statistics, cycle count, conflicts) plus the final value of every
+/// register in elaboration order. Two instances are behaviourally identical
+/// iff their `InstanceResult`s compare equal.
+struct InstanceResult {
+  std::uint64_t cycles = 0;
+  kernel::KernelStats stats;
+  std::vector<Conflict> conflicts;
+  /// (register name, final value), in elaboration order.
+  std::vector<std::pair<std::string, RtValue>> registers;
+
+  friend bool operator==(const InstanceResult& a, const InstanceResult& b) {
+    // Stats are timing-dependent only in wall_time_ns; compare behaviour.
+    return a.cycles == b.cycles && a.conflicts == b.conflicts &&
+           a.registers == b.registers &&
+           a.stats.delta_cycles == b.stats.delta_cycles &&
+           a.stats.events == b.stats.events &&
+           a.stats.updates == b.stats.updates &&
+           a.stats.transactions == b.stats.transactions;
+  }
+};
+
+/// Result of one batch dispatch: per-instance results indexed by instance
+/// number (deterministic — independent of worker interleaving), aggregated
+/// kernel statistics, and the batch wall time.
+struct BatchRunResult {
+  std::vector<InstanceResult> instances;
+  kernel::KernelStats total;
+  std::uint64_t wall_time_ns = 0;
+  std::size_t workers = 0;
+
+  [[nodiscard]] std::size_t conflict_count() const {
+    std::size_t count = 0;
+    for (const InstanceResult& instance : instances) {
+      count += instance.conflicts.size();
+    }
+    return count;
+  }
+};
+
+/// Runs N independent instances of a clock-free design across a worker pool.
+///
+/// Each instance is produced by the factory (typically wrapping
+/// `transfer::build_model` with per-instance inputs, seeds, or microcode)
+/// and simulated to quiescence on its own `Scheduler`, one simulation per
+/// worker thread at a time. This is the throughput shape for serving many
+/// concurrent workloads: simulations never share mutable state, so the only
+/// cross-thread traffic is job dispatch.
+///
+/// Determinism guarantee: `run(n)` returns the same `BatchRunResult`
+/// (ignoring wall time) as n sequential `run_one` calls on the same factory
+/// outputs, for any worker count. The factory must be thread-safe — it is
+/// invoked concurrently with distinct instance indices.
+class BatchRunner {
+ public:
+  using ModelFactory = std::function<std::unique_ptr<RtModel>(std::size_t instance)>;
+
+  explicit BatchRunner(ModelFactory factory, BatchRunOptions options = {});
+
+  /// Simulates instances `0..count-1`.
+  [[nodiscard]] BatchRunResult run(std::size_t count);
+
+  /// Builds and simulates one instance on the calling thread — the
+  /// sequential reference path used by the determinism tests.
+  [[nodiscard]] InstanceResult run_one(std::size_t instance) const;
+
+  [[nodiscard]] std::size_t worker_count() const { return engine_.worker_count(); }
+
+ private:
+  ModelFactory factory_;
+  BatchRunOptions options_;
+  kernel::BatchEngine engine_;
+};
+
+/// Simulates an already-built model and snapshots its observable state.
+[[nodiscard]] InstanceResult run_instance(
+    RtModel& model, std::uint64_t max_cycles = kernel::Scheduler::kNoLimit);
+
+}  // namespace ctrtl::rtl

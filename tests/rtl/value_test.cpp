@@ -91,6 +91,47 @@ TEST(ResolveRt, AnyIllegalIsIllegal) {
   EXPECT_TRUE(resolve({RtValue::of(4), RtValue::illegal()}).is_illegal());
 }
 
+// The paper's resolution table (section 2.3), pinned case by case. Each row
+// is (contributions -> resolved value); together the rows cover the four
+// branches the text enumerates: all DISC, any ILLEGAL, >= 2 non-DISC,
+// exactly one non-DISC.
+TEST(ResolveRt, PaperResolutionTablePinned) {
+  const struct {
+    std::vector<RtValue> contributions;
+    RtValue resolved;
+    const char* row;
+  } kTable[] = {
+      {{}, RtValue::disc(), "no drivers: bus stays disconnected"},
+      {{RtValue::disc()}, RtValue::disc(), "one DISC"},
+      {{RtValue::disc(), RtValue::disc(), RtValue::disc(), RtValue::disc()},
+       RtValue::disc(),
+       "all DISC -> DISC"},
+      {{RtValue::illegal()}, RtValue::illegal(), "single ILLEGAL contributor"},
+      {{RtValue::disc(), RtValue::illegal(), RtValue::disc()},
+       RtValue::illegal(),
+       "ILLEGAL among DISC -> ILLEGAL"},
+      {{RtValue::of(3), RtValue::illegal()},
+       RtValue::illegal(),
+       "ILLEGAL dominates a value"},
+      {{RtValue::of(1), RtValue::of(2)}, RtValue::illegal(), "two values conflict"},
+      {{RtValue::of(5), RtValue::of(5)},
+       RtValue::illegal(),
+       "two equal values still conflict"},
+      {{RtValue::of(1), RtValue::of(2), RtValue::of(3)},
+       RtValue::illegal(),
+       "three values conflict"},
+      {{RtValue::of(0), RtValue::disc()},
+       RtValue::of(0),
+       "zero is a value, not DISC"},
+      {{RtValue::disc(), RtValue::of(9), RtValue::disc()},
+       RtValue::of(9),
+       "exactly one non-DISC wins"},
+  };
+  for (const auto& row : kTable) {
+    EXPECT_EQ(resolve_rt(row.contributions), row.resolved) << row.row;
+  }
+}
+
 // Property: resolution is order-independent (commutative as a fold).
 class ResolvePermutationTest : public ::testing::TestWithParam<int> {};
 

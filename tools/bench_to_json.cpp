@@ -1,0 +1,240 @@
+// Reproducible kernel-throughput harness: runs the batched-simulation
+// workload (and the E6 clocked-vs-clock-free comparison) with wall-clock
+// timing and emits machine-readable JSON, one entry per configuration.
+// BENCH_kernel.json at the repo root is produced by this tool; every PR
+// that touches the kernel hot path regenerates it so the performance
+// trajectory stays comparable across revisions.
+//
+// Usage: bench_to_json [--quick] [--label <variant>] [--out <path>]
+//   --quick   smaller workload (CI smoke; seconds instead of minutes)
+//   --label   stamped into every entry as "variant" (e.g. a git revision)
+//   --out     write JSON to a file instead of stdout
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/clocked_rtl.h"
+#include "clocked/translate.h"
+#include "rtl/batch_runner.h"
+#include "transfer/build.h"
+#include "verify/random_design.h"
+
+namespace {
+
+using namespace ctrtl;
+
+struct Entry {
+  std::string name;
+  std::string unit = "control_steps";  // what "steps" counts
+  std::size_t workers = 1;
+  std::size_t instances = 1;
+  int repetitions = 1;
+  double wall_ms = 0.0;  // best-of-repetitions for one execution
+  double steps = 0.0;    // work items per execution
+  [[nodiscard]] double throughput() const {
+    return wall_ms > 0.0 ? steps / (wall_ms / 1000.0) : 0.0;
+  }
+};
+
+struct Config {
+  bool quick = false;
+  std::string label;
+  std::string out_path;
+  unsigned transfers = 48;
+  std::size_t batch_instances = 64;
+  int repetitions = 3;
+};
+
+transfer::Design instance_design(std::size_t instance, unsigned transfers) {
+  verify::RandomDesignOptions options;
+  options.seed = static_cast<std::uint32_t>(1000 + instance);
+  options.num_transfers = transfers;
+  return verify::random_design(options);
+}
+
+/// Best-of-N wall time of `body`, in milliseconds.
+template <typename F>
+double time_best_ms(int repetitions, F&& body) {
+  double best = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (rep == 0 || elapsed.count() < best) {
+      best = elapsed.count();
+    }
+  }
+  return best;
+}
+
+Entry measure_single_instance(const Config& config) {
+  Entry entry;
+  entry.name = "single_instance";
+  entry.repetitions = config.repetitions + 2;  // cheap; repeat a bit more
+  rtl::BatchRunner runner(
+      [&](std::size_t instance) {
+        return transfer::build_model(instance_design(instance, config.transfers));
+      },
+      rtl::BatchRunOptions{.workers = 1});
+  std::uint64_t deltas = 0;
+  entry.wall_ms = time_best_ms(entry.repetitions, [&] {
+    const rtl::InstanceResult result = runner.run_one(0);
+    deltas = result.stats.delta_cycles;
+  });
+  entry.steps = static_cast<double>(deltas) / rtl::kPhasesPerStep;
+  return entry;
+}
+
+Entry measure_batch(const Config& config, std::size_t workers) {
+  Entry entry;
+  entry.name = "batch";
+  entry.workers = workers;
+  entry.instances = config.batch_instances;
+  entry.repetitions = config.repetitions;
+  rtl::BatchRunner runner(
+      [&](std::size_t instance) {
+        return transfer::build_model(instance_design(instance, config.transfers));
+      },
+      rtl::BatchRunOptions{.workers = workers});
+  std::uint64_t deltas = 0;
+  entry.wall_ms = time_best_ms(entry.repetitions, [&] {
+    const rtl::BatchRunResult result = runner.run(config.batch_instances);
+    deltas = result.total.delta_cycles;
+  });
+  entry.steps = static_cast<double>(deltas) / rtl::kPhasesPerStep;
+  return entry;
+}
+
+/// E6: one design simulated clock-free (both execution modes) and as the
+/// translated clocked RTL. Steps are control steps for the clock-free
+/// entries and clock cycles for the clocked one.
+std::vector<Entry> measure_vs_clocked(const Config& config) {
+  const transfer::Design design = instance_design(0, config.transfers);
+  std::vector<Entry> entries;
+
+  for (const auto& [name, mode] :
+       {std::pair{"clockfree_process_per_transfer",
+                  rtl::TransferMode::kProcessPerTransfer},
+        std::pair{"clockfree_dispatch", rtl::TransferMode::kDispatch}}) {
+    Entry entry;
+    entry.name = name;
+    entry.repetitions = config.repetitions;
+    std::uint64_t deltas = 0;
+    entry.wall_ms = time_best_ms(entry.repetitions, [&] {
+      auto model = transfer::build_model(design, mode);
+      deltas = model->run().stats.delta_cycles;
+    });
+    entry.steps = static_cast<double>(deltas) / rtl::kPhasesPerStep;
+    entries.push_back(entry);
+  }
+
+  Entry clocked_entry;
+  clocked_entry.name = "clocked_rtl";
+  clocked_entry.unit = "clock_cycles";
+  clocked_entry.repetitions = config.repetitions;
+  const clocked::TranslationPlan plan = clocked::plan_translation(design);
+  unsigned cycles = 0;
+  clocked_entry.wall_ms = time_best_ms(clocked_entry.repetitions, [&] {
+    baseline::ClockedRtlSim sim(plan);
+    cycles = sim.run().clock_cycles;
+  });
+  clocked_entry.steps = static_cast<double>(cycles);
+  entries.push_back(clocked_entry);
+  return entries;
+}
+
+void emit_json(std::ostream& os, const Config& config,
+               const std::vector<Entry>& entries) {
+  const auto find_batch_w1 = std::find_if(
+      entries.begin(), entries.end(),
+      [](const Entry& e) { return e.name == "batch" && e.workers == 1; });
+  os << "{\n"
+     << "  \"schema\": \"ctrtl-bench/1\",\n"
+     << "  \"suite\": \"bench_batch\",\n"
+     << "  \"quick\": " << (config.quick ? "true" : "false") << ",\n"
+     << "  \"host\": {\"hardware_concurrency\": "
+     << std::max(1u, std::thread::hardware_concurrency()) << "},\n"
+     << "  \"workload\": {\"transfers_per_instance\": " << config.transfers
+     << ", \"batch_instances\": " << config.batch_instances << "},\n"
+     << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    os << "    {\"name\": \"" << e.name << "\"";
+    if (!config.label.empty()) {
+      os << ", \"variant\": \"" << config.label << "\"";
+    }
+    os << ", \"unit\": \"" << e.unit << "\""
+       << ", \"workers\": " << e.workers << ", \"instances\": " << e.instances
+       << ", \"repetitions\": " << e.repetitions << ", \"wall_ms\": " << e.wall_ms
+       << ", \"steps\": " << e.steps
+       << ", \"throughput_steps_per_s\": " << e.throughput();
+    if (e.name == "batch" && find_batch_w1 != entries.end() &&
+        find_batch_w1->throughput() > 0.0) {
+      os << ", \"speedup_vs_1worker\": "
+         << e.throughput() / find_batch_w1->throughput();
+    }
+    os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      config.quick = true;
+    } else if (arg == "--label" && i + 1 < argc) {
+      config.label = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_to_json [--quick] [--label <variant>] "
+                   "[--out <path>]\n";
+      return 2;
+    }
+  }
+  if (config.quick) {
+    config.transfers = 16;
+    config.batch_instances = 8;
+    config.repetitions = 2;
+  }
+
+  std::vector<Entry> entries;
+  entries.push_back(measure_single_instance(config));
+  std::vector<std::size_t> worker_counts = {1, 2, 4};
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw > 4) {
+    worker_counts.push_back(hw);
+  }
+  for (const std::size_t workers : worker_counts) {
+    entries.push_back(measure_batch(config, workers));
+  }
+  for (Entry& entry : measure_vs_clocked(config)) {
+    entries.push_back(entry);
+  }
+
+  if (config.out_path.empty()) {
+    emit_json(std::cout, config, entries);
+  } else {
+    std::ofstream out(config.out_path);
+    if (!out) {
+      std::cerr << "cannot write " << config.out_path << "\n";
+      return 1;
+    }
+    emit_json(out, config, entries);
+    std::cout << "wrote " << config.out_path << "\n";
+  }
+  return 0;
+}
