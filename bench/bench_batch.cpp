@@ -28,14 +28,15 @@ transfer::Design instance_design(std::size_t instance) {
   return verify::random_design(options);
 }
 
-rtl::BatchRunner::ModelFactory factory() {
-  return [](std::size_t instance) {
-    return transfer::build_model(instance_design(instance));
+rtl::BatchRunner::ModelFactory factory(
+    rtl::TransferMode mode = rtl::TransferMode::kProcessPerTransfer) {
+  return [mode](std::size_t instance) {
+    return transfer::build_model(instance_design(instance), mode);
   };
 }
 
-void BM_SingleInstance(benchmark::State& state) {
-  rtl::BatchRunner runner(factory(), rtl::BatchRunOptions{.workers = 1});
+void run_single_instance(benchmark::State& state, rtl::TransferMode mode) {
+  rtl::BatchRunner runner(factory(mode), rtl::BatchRunOptions{.workers = 1});
   std::uint64_t steps = 0;
   for (auto _ : state) {
     const rtl::InstanceResult result = runner.run_one(0);
@@ -45,12 +46,23 @@ void BM_SingleInstance(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(steps));
   state.counters["control_steps"] = static_cast<double>(steps);
 }
+
+void BM_SingleInstance(benchmark::State& state) {
+  run_single_instance(state, rtl::TransferMode::kProcessPerTransfer);
+}
 BENCHMARK(BM_SingleInstance);
 
-void BM_Batch(benchmark::State& state) {
+// The PR 3 fast path: the same workload on the compiled static-schedule
+// engine (rtl::CompiledEngine) — identical results, no event machinery.
+void BM_SingleInstanceCompiled(benchmark::State& state) {
+  run_single_instance(state, rtl::TransferMode::kCompiled);
+}
+BENCHMARK(BM_SingleInstanceCompiled);
+
+void run_batch(benchmark::State& state, rtl::TransferMode mode) {
   const auto instances = static_cast<std::size_t>(state.range(0));
   const auto workers = static_cast<std::size_t>(state.range(1));
-  rtl::BatchRunner runner(factory(), rtl::BatchRunOptions{.workers = workers});
+  rtl::BatchRunner runner(factory(mode), rtl::BatchRunOptions{.workers = workers});
   std::uint64_t steps = 0;
   for (auto _ : state) {
     const rtl::BatchRunResult result = runner.run(instances);
@@ -61,7 +73,18 @@ void BM_Batch(benchmark::State& state) {
   state.counters["instances"] = static_cast<double>(instances);
   state.counters["workers"] = static_cast<double>(workers);
 }
+
+void BM_Batch(benchmark::State& state) {
+  run_batch(state, rtl::TransferMode::kProcessPerTransfer);
+}
 BENCHMARK(BM_Batch)
+    ->ArgsProduct({{16, 64}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchCompiled(benchmark::State& state) {
+  run_batch(state, rtl::TransferMode::kCompiled);
+}
+BENCHMARK(BM_BatchCompiled)
     ->ArgsProduct({{16, 64}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 

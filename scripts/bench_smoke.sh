@@ -3,10 +3,29 @@
 # validates the emitted JSON against the ctrtl-bench/1 schema (shape, required
 # entries, positive numbers). Fails loudly if the harness or its output drifts.
 #
-# Usage: scripts/bench_smoke.sh [build-dir] [out.json]
+# Usage: scripts/bench_smoke.sh [--quick] [build-dir] [out.json]
+#   --quick  explicit alias for the default behaviour (the smoke always runs
+#            the harness's --quick workload); accepted so CI invocations read
+#            naturally and stay stable if a full mode is ever added.
 set -euo pipefail
-BUILD="${1:-build}"
-OUT="${2:-${BUILD}/bench_smoke.json}"
+
+POSITIONAL=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) ;;  # the smoke is always quick; accept the flag explicitly
+    --help|-h)
+      echo "usage: scripts/bench_smoke.sh [--quick] [build-dir] [out.json]" >&2
+      exit 0
+      ;;
+    -*)
+      echo "bench_smoke: unknown option '$arg'" >&2
+      exit 2
+      ;;
+    *) POSITIONAL+=("$arg") ;;
+  esac
+done
+BUILD="${POSITIONAL[0]:-build}"
+OUT="${POSITIONAL[1]:-${BUILD}/bench_smoke.json}"
 
 TOOL="${BUILD}/tools/bench_to_json"
 if [ ! -x "$TOOL" ]; then
@@ -31,18 +50,34 @@ assert entries, "entries must be non-empty"
 
 names = [e["name"] for e in entries]
 assert "single_instance" in names, "missing single_instance entry"
+assert "single_instance_compiled" in names, \
+    "missing single_instance_compiled entry (compiled-engine fast path)"
 batch_workers = {e["workers"] for e in entries if e["name"] == "batch"}
 assert {1, 2, 4} <= batch_workers, f"missing batch worker configs: {batch_workers}"
+compiled_workers = {e["workers"] for e in entries if e["name"] == "batch_compiled"}
+assert {1, 2, 4} <= compiled_workers, \
+    f"missing batch_compiled worker configs: {compiled_workers}"
 assert "clockfree_process_per_transfer" in names and "clocked_rtl" in names, \
     "missing E6 clocked-vs-clock-free entries"
+assert "clockfree_compiled" in names, "missing clockfree_compiled entry"
 
 for e in entries:
     for key in ("name", "unit", "workers", "instances", "repetitions",
                 "wall_ms", "steps", "throughput_steps_per_s"):
         assert key in e, f"entry {e.get('name')} missing {key}"
+    assert e["variant"] == "smoke", f"{e['name']}: variant field missing/wrong"
     assert e["wall_ms"] > 0, f"{e['name']}: wall_ms must be positive"
     assert e["steps"] > 0, f"{e['name']}: steps must be positive"
     assert e["throughput_steps_per_s"] > 0, f"{e['name']}: throughput must be positive"
+
+# Both engines simulate the same seeded workload, so their step counts must
+# agree exactly — a cheap cross-engine consistency check in CI.
+by_name = {}
+for e in entries:
+    by_name.setdefault(e["name"], []).append(e)
+ev = by_name["single_instance"][0]["steps"]
+cp = by_name["single_instance_compiled"][0]["steps"]
+assert ev == cp, f"engines disagree on steps: event {ev}, compiled {cp}"
 
 print(f"bench_smoke: OK ({len(entries)} entries)")
 EOF
@@ -50,7 +85,10 @@ else
   # Minimal fallback validation without python3.
   grep -q '"schema": "ctrtl-bench/1"' "$OUT"
   grep -q '"name": "single_instance"' "$OUT"
+  grep -q '"name": "single_instance_compiled"' "$OUT"
   grep -q '"name": "batch"' "$OUT"
+  grep -q '"name": "batch_compiled"' "$OUT"
+  grep -q '"name": "clockfree_compiled"' "$OUT"
   grep -q '"name": "clocked_rtl"' "$OUT"
   echo "bench_smoke: OK (grep fallback)"
 fi

@@ -42,11 +42,13 @@ ProcessState* require_current() {
 }
 
 void register_waiter(ProcessState* state, std::coroutine_handle<> resume_handle,
-                     std::vector<SignalBase*> signals,
+                     std::span<SignalBase* const> signals,
                      std::function<bool()> predicate) {
   state->resume_handle = resume_handle;
   state->predicate = std::move(predicate);
-  state->sensitivity = std::move(signals);
+  // assign() reuses the vector's capacity: a process that re-waits on the
+  // same-sized sensitivity set performs no allocation after its first wait.
+  state->sensitivity.assign(signals.begin(), signals.end());
   for (SignalBase* signal : state->sensitivity) {
     signal->add_waiter(state);
   }
@@ -55,12 +57,11 @@ void register_waiter(ProcessState* state, std::coroutine_handle<> resume_handle,
 }  // namespace
 
 void WaitOn::await_suspend(std::coroutine_handle<> handle) {
-  register_waiter(require_current(), handle, std::move(signals_), {});
+  register_waiter(require_current(), handle, signals_, {});
 }
 
 void WaitUntil::await_suspend(std::coroutine_handle<> handle) {
-  register_waiter(require_current(), handle, std::move(signals_),
-                  std::move(predicate_));
+  register_waiter(require_current(), handle, signals_, std::move(predicate_));
 }
 
 void WaitFor::await_suspend(std::coroutine_handle<> handle) {
@@ -69,8 +70,17 @@ void WaitFor::await_suspend(std::coroutine_handle<> handle) {
   state->scheduler->schedule_timed_wakeup(fs_delay_, state);
 }
 
+WaitOn wait_on(std::span<SignalBase* const> signals) {
+  return WaitOn(signals);
+}
+
 WaitOn wait_on(std::vector<SignalBase*> signals) {
   return WaitOn(std::move(signals));
+}
+
+WaitUntil wait_until(std::span<SignalBase* const> signals,
+                     std::function<bool()> predicate) {
+  return WaitUntil(signals, std::move(predicate));
 }
 
 WaitUntil wait_until(std::vector<SignalBase*> signals, std::function<bool()> predicate) {

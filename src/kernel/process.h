@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -110,35 +111,49 @@ struct ProcessPromise {
   }
 };
 
-/// `co_await wait_on({&sig, ...})` — VHDL `wait on sig, ...;`
+/// `co_await wait_on(sensitivity)` — VHDL `wait on sig, ...;`
 /// Suspends until an event occurs on any listed signal.
+///
+/// The span overload borrows the caller's signal array, which must stay
+/// alive across the suspension (a process-local or component-owned
+/// sensitivity list does). Re-waiting on a borrowed span performs no
+/// allocation, so processes that suspend once per delta cycle keep the
+/// hot path allocation-free; the vector overload remains for one-off
+/// waits on ad-hoc signal sets.
 class WaitOn {
  public:
-  explicit WaitOn(std::vector<SignalBase*> signals) : signals_(std::move(signals)) {}
+  explicit WaitOn(std::span<SignalBase* const> signals) : signals_(signals) {}
+  explicit WaitOn(std::vector<SignalBase*> signals)
+      : owned_(std::move(signals)), signals_(owned_) {}
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> handle);
   void await_resume() const noexcept {}
 
  private:
-  std::vector<SignalBase*> signals_;
+  std::vector<SignalBase*> owned_;  // backing store for the vector overload
+  std::span<SignalBase* const> signals_;
 };
 
-/// `co_await wait_until({&sig, ...}, pred)` — VHDL `wait until <cond>;`
+/// `co_await wait_until(sensitivity, pred)` — VHDL `wait until <cond>;`
 /// Suspends; on each event on the sensitivity set the predicate is
 /// evaluated and the process resumes only when it holds. Like VHDL, the
 /// process *always* suspends first even if the predicate is already true.
+/// The span overload has the same lifetime/allocation contract as WaitOn.
 class WaitUntil {
  public:
+  WaitUntil(std::span<SignalBase* const> signals, std::function<bool()> predicate)
+      : signals_(signals), predicate_(std::move(predicate)) {}
   WaitUntil(std::vector<SignalBase*> signals, std::function<bool()> predicate)
-      : signals_(std::move(signals)), predicate_(std::move(predicate)) {}
+      : owned_(std::move(signals)), signals_(owned_), predicate_(std::move(predicate)) {}
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> handle);
   void await_resume() const noexcept {}
 
  private:
-  std::vector<SignalBase*> signals_;
+  std::vector<SignalBase*> owned_;  // backing store for the vector overload
+  std::span<SignalBase* const> signals_;
   std::function<bool()> predicate_;
 };
 
@@ -157,7 +172,10 @@ class WaitFor {
   std::uint64_t fs_delay_;
 };
 
+[[nodiscard]] WaitOn wait_on(std::span<SignalBase* const> signals);
 [[nodiscard]] WaitOn wait_on(std::vector<SignalBase*> signals);
+[[nodiscard]] WaitUntil wait_until(std::span<SignalBase* const> signals,
+                                   std::function<bool()> predicate);
 [[nodiscard]] WaitUntil wait_until(std::vector<SignalBase*> signals,
                                    std::function<bool()> predicate);
 [[nodiscard]] WaitFor wait_for_fs(std::uint64_t fs_delay);

@@ -218,6 +218,13 @@ void Scheduler::remove_event_observer(std::size_t id) {
   std::erase_if(observers_, [id](const auto& entry) { return entry.first == id; });
 }
 
+void Scheduler::dispatch_event_observers(const SignalBase& signal, SimTime time) {
+  stats_.observer_calls += observers_.size();
+  for (const auto& [id, observer] : observers_) {
+    observer(signal, time);
+  }
+}
+
 void Scheduler::shutdown() {
   for (auto& process : processes_) {
     if (process->handle) {

@@ -169,6 +169,20 @@ class Signal final : public SignalBase {
     return const_cast<Signal*>(this)->slot_at(driver).current;
   }
 
+  /// External-engine interface: replaces the effective value directly,
+  /// bypassing drivers and the update phase. Compiled engines
+  /// (rtl::CompiledEngine) perform their own incremental resolution and
+  /// publish the result here; the event-driven path never calls this.
+  /// Returns true when the value changed — i.e. when the write is a VHDL
+  /// *event* the caller must account for (stats, observers).
+  bool set_effective(T value) {
+    if (value == effective_) {
+      return false;
+    }
+    effective_ = std::move(value);
+    return true;
+  }
+
   [[nodiscard]] std::string debug_value() const override {
     return detail::value_to_string(effective_);
   }

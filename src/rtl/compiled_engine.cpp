@@ -1,0 +1,376 @@
+#include "rtl/compiled_engine.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ctrtl::rtl {
+
+CompiledEngine::CompiledEngine(kernel::Scheduler& scheduler, Controller& controller,
+                               std::span<const CompiledTransfer> transfers,
+                               std::span<const std::unique_ptr<Register>> registers,
+                               std::span<const std::unique_ptr<Module>> modules,
+                               std::span<RtSignal* const> touched_inputs)
+    : scheduler_(scheduler),
+      controller_(controller),
+      cs_(&controller.cs()),
+      ph_(&controller.ph()) {
+  const unsigned cs_max = controller.cs_max();
+  wheel_cycles_ = static_cast<std::uint64_t>(cs_max) * kPhasesPerStep;
+  plan_.resize(wheel_cycles_ + 2);  // [0] unused; [wheel_cycles_+1] trailing
+
+  for (const std::unique_ptr<Module>& module : modules) {
+    ModuleSlot slot;
+    slot.module = module.get();
+    for (unsigned i = 0; i < module->config().num_inputs; ++i) {
+      slot.inputs.push_back(&module->input(i));
+    }
+    slot.op = module->config().has_op_port ? &module->op_port() : nullptr;
+    slot.out = &module->out();
+    slot.operand_scratch.resize(module->config().num_inputs);
+    module_slots_.push_back(std::move(slot));
+  }
+  for (const std::unique_ptr<Register>& reg : registers) {
+    if (reg->initial().has_value()) {
+      preloaded_registers_.push_back(
+          static_cast<std::uint32_t>(register_slots_.size()));
+    }
+    register_slots_.push_back(
+        RegisterSlot{reg.get(), &reg->in(), &reg->out(), RtValue::disc(), false});
+  }
+
+  // --- transfer lowering: one contribution (driver) per transfer, fire at
+  // the transfer's delta ordinal, release at the next one -------------------
+  std::unordered_map<const RtSignal*, std::uint32_t> slot_of;
+  for (const CompiledTransfer& transfer : transfers) {
+    const auto [it, inserted] =
+        slot_of.try_emplace(transfer.sink, static_cast<std::uint32_t>(slots_.size()));
+    if (inserted) {
+      SinkSlot slot;
+      slot.signal = transfer.sink;
+      // Every resolved signal the model can hand out as a sink (bus,
+      // register input, module input, op port) is conflict-monitored by
+      // RtModel; unresolved sinks (e.g. a constant) are not.
+      slot.monitored = transfer.sink->resolved();
+      slots_.push_back(std::move(slot));
+    }
+    SinkSlot& slot = slots_[it->second];
+    const auto driver = static_cast<std::uint32_t>(slot.contributions.size());
+    slot.contributions.push_back(RtValue::disc());
+    const std::uint64_t fire_ordinal =
+        (static_cast<std::uint64_t>(transfer.step) - 1) * kPhasesPerStep +
+        static_cast<std::uint64_t>(phase_index(transfer.phase)) + 1;
+    plan_[fire_ordinal].fires.push_back(
+        FireAction{it->second, driver, transfer.source});
+    plan_[fire_ordinal + 1].releases.push_back(ReleaseAction{it->second, driver});
+  }
+  for (const SinkSlot& slot : slots_) {
+    // The same situation the event path rejects in Signal::add_driver.
+    if (!slot.signal->resolved() &&
+        slot.signal->driver_count() + slot.contributions.size() > 1) {
+      throw std::logic_error("signal '" + slot.signal->name() +
+                             "': multiple drivers on an unresolved signal");
+    }
+  }
+
+  // --- per-cycle execution metadata ----------------------------------------
+  for (std::uint64_t d = 1; d <= wheel_cycles_ + 1; ++d) {
+    const auto [step, phase] = Controller::locate(d);
+    plan_[d].step = step;
+    plan_[d].phase = phase;
+    if (d <= wheel_cycles_) {
+      plan_[d].eval_modules = phase == Phase::kCm && !module_slots_.empty();
+      plan_[d].latch_registers = phase == Phase::kCr && !register_slots_.empty();
+      // The controller drives CS and PH when cr opens the next step, nothing
+      // at the final cr, and PH alone everywhere else.
+      plan_[d].controller_transactions =
+          phase == kPhaseHigh ? (step < cs_max ? 2u : 0u) : 1u;
+    }
+  }
+
+  // --- update lists: the event kernel's pending order, statically derived --
+  // Cycle 1 applies the pre-run drives: externally set inputs (touch order),
+  // then the controller's initialization CS/PH assignments, then register
+  // preloads (elaboration order).
+  {
+    std::vector<UpdateEntry>& updates = plan_[1].updates;
+    for (std::uint32_t i = 0; i < touched_inputs.size(); ++i) {
+      updates.push_back(UpdateEntry{UpdateEntry::Kind::kInput, i});
+    }
+    if (cs_max > 0) {
+      updates.push_back(UpdateEntry{UpdateEntry::Kind::kCs, 0});
+      updates.push_back(UpdateEntry{UpdateEntry::Kind::kPh, 0});
+    }
+    for (const std::uint32_t reg : preloaded_registers_) {
+      updates.push_back(UpdateEntry{UpdateEntry::Kind::kRegisterOut, reg});
+    }
+  }
+  // Every later cycle updates exactly what the previous cycle's execution
+  // phase drove, in the order the event kernel's processes would have
+  // driven it: module outputs (after cm), fire sinks (never-resumed TRANS
+  // processes run before re-appended waiters), register outputs (after cr),
+  // release sinks, then the controller's CS/PH. A sink hit by several
+  // actions in one cycle is pending once, at its first drive.
+  std::vector<std::uint64_t> sink_stamp(slots_.size(), 0);
+  for (std::uint64_t d = 2; d <= wheel_cycles_ + 1; ++d) {
+    const CyclePlan& prev = plan_[d - 1];
+    std::vector<UpdateEntry>& updates = plan_[d].updates;
+    const auto add_sink = [&](std::uint32_t slot) {
+      if (sink_stamp[slot] != d) {
+        sink_stamp[slot] = d;
+        updates.push_back(UpdateEntry{UpdateEntry::Kind::kSink, slot});
+      }
+    };
+    if (prev.eval_modules) {
+      for (std::uint32_t m = 0; m < module_slots_.size(); ++m) {
+        updates.push_back(UpdateEntry{UpdateEntry::Kind::kModuleOut, m});
+      }
+    }
+    for (const FireAction& fire : prev.fires) {
+      add_sink(fire.slot);
+    }
+    if (prev.latch_registers) {
+      for (std::uint32_t r = 0; r < register_slots_.size(); ++r) {
+        updates.push_back(UpdateEntry{UpdateEntry::Kind::kRegisterOut, r});
+      }
+    }
+    for (const ReleaseAction& release : prev.releases) {
+      add_sink(release.slot);
+    }
+    if (prev.phase == kPhaseHigh) {
+      if (prev.step < cs_max) {
+        updates.push_back(UpdateEntry{UpdateEntry::Kind::kCs, 0});
+        updates.push_back(UpdateEntry{UpdateEntry::Kind::kPh, 0});
+      }
+    } else {
+      updates.push_back(UpdateEntry{UpdateEntry::Kind::kPh, 0});
+    }
+  }
+  for (const UpdateEntry& entry : plan_[wheel_cycles_ + 1].updates) {
+    if (entry.kind == UpdateEntry::Kind::kSink ||
+        entry.kind == UpdateEntry::Kind::kInput) {
+      trailing_has_static_updates_ = true;
+      break;
+    }
+  }
+
+  init_transactions_ = (cs_max > 0 ? 2u : 0u) + preloaded_registers_.size();
+}
+
+void CompiledEngine::write_contribution(SinkSlot& slot, std::uint32_t driver,
+                                        const RtValue& value) {
+  RtValue& contribution = slot.contributions[driver];
+  if (!contribution.is_disc()) {
+    --slot.non_disc;
+  }
+  if (contribution.is_illegal()) {
+    --slot.illegal;
+  }
+  contribution = value;
+  if (!value.is_disc()) {
+    ++slot.non_disc;
+    slot.last_value_driver = driver;
+  }
+  if (value.is_illegal()) {
+    ++slot.illegal;
+  }
+}
+
+RtValue CompiledEngine::resolve_slot(const SinkSlot& slot) const {
+  // resolve_rt over the contribution array, from the counters: any ILLEGAL
+  // or two non-DISC contributions -> ILLEGAL; none -> DISC; one -> it.
+  if (slot.illegal > 0 || slot.non_disc > 1) {
+    return RtValue::illegal();
+  }
+  if (slot.non_disc == 0) {
+    return RtValue::disc();
+  }
+  const RtValue& cached = slot.contributions[slot.last_value_driver];
+  if (!cached.is_disc()) {
+    return cached;
+  }
+  for (const RtValue& contribution : slot.contributions) {
+    if (!contribution.is_disc()) {
+      return contribution;
+    }
+  }
+  return RtValue::disc();  // unreachable: non_disc == 1
+}
+
+bool CompiledEngine::trailing_cycle_needed() const {
+  if (trailing_has_static_updates_) {
+    return true;
+  }
+  for (const RegisterSlot& reg : register_slots_) {
+    if (reg.dirty) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CompiledEngine::execute_cycle(std::uint64_t ordinal, RunResult& result,
+                                   bool observers) {
+  kernel::KernelStats& stats = scheduler_.external_stats();
+  const CyclePlan& plan = plan_[ordinal];
+  const kernel::SimTime time{0, ordinal};
+  ++stats.delta_cycles;
+
+  // --- update phase --------------------------------------------------------
+  for (const UpdateEntry& entry : plan.updates) {
+    switch (entry.kind) {
+      case UpdateEntry::Kind::kInput:
+        // The value itself was published at set_input time (before the
+        // stats window opened), matching the event kernel where the input's
+        // transaction is applied during initialization: an update with no
+        // event on the first cycle.
+        ++stats.updates;
+        break;
+      case UpdateEntry::Kind::kCs:
+        ++stats.updates;
+        if (cs_->set_effective(plan.step)) {
+          ++stats.events;
+          if (observers) {
+            scheduler_.dispatch_event_observers(*cs_, time);
+          }
+        }
+        break;
+      case UpdateEntry::Kind::kPh:
+        ++stats.updates;
+        if (ph_->set_effective(plan.phase)) {
+          ++stats.events;
+          if (observers) {
+            scheduler_.dispatch_event_observers(*ph_, time);
+          }
+        }
+        break;
+      case UpdateEntry::Kind::kSink: {
+        SinkSlot& slot = slots_[entry.index];
+        ++stats.updates;
+        RtValue value = resolve_slot(slot);
+        const bool illegal = value.is_illegal();
+        if (slot.signal->set_effective(std::move(value))) {
+          ++stats.events;
+          if (illegal && slot.monitored) {
+            result.conflicts.push_back(
+                Conflict{slot.signal->name(), plan.step, plan.phase});
+          }
+          if (observers) {
+            scheduler_.dispatch_event_observers(*slot.signal, time);
+          }
+        }
+        break;
+      }
+      case UpdateEntry::Kind::kModuleOut: {
+        ModuleSlot& slot = module_slots_[entry.index];
+        ++stats.updates;
+        if (slot.out->set_effective(slot.pending)) {
+          ++stats.events;
+          if (observers) {
+            scheduler_.dispatch_event_observers(*slot.out, time);
+          }
+        }
+        break;
+      }
+      case UpdateEntry::Kind::kRegisterOut: {
+        RegisterSlot& slot = register_slots_[entry.index];
+        if (!slot.dirty) {
+          break;  // no latch this step: the signal was never pending
+        }
+        slot.dirty = false;
+        ++stats.updates;
+        if (slot.out->set_effective(slot.pending)) {
+          ++stats.events;
+          if (observers) {
+            scheduler_.dispatch_event_observers(*slot.out, time);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // --- execution phase (the trailing cycle only applies updates) -----------
+  if (ordinal > wheel_cycles_) {
+    return;
+  }
+  for (const FireAction& fire : plan.fires) {
+    write_contribution(slots_[fire.slot], fire.driver, fire.source->read());
+    ++stats.transactions;
+  }
+  if (plan.eval_modules) {
+    for (ModuleSlot& slot : module_slots_) {
+      for (std::size_t i = 0; i < slot.inputs.size(); ++i) {
+        slot.operand_scratch[i] = slot.inputs[i]->read();
+      }
+      const RtValue op = slot.op != nullptr ? slot.op->read() : RtValue::disc();
+      slot.pending = slot.module->advance(slot.operand_scratch, op);
+      ++stats.transactions;
+    }
+  }
+  if (plan.latch_registers) {
+    for (RegisterSlot& slot : register_slots_) {
+      const RtValue& value = slot.in->read();
+      if (!value.is_disc()) {
+        slot.pending = value;
+        slot.dirty = true;
+        ++stats.transactions;
+      }
+    }
+  }
+  for (const ReleaseAction& release : plan.releases) {
+    write_contribution(slots_[release.slot], release.driver, RtValue::disc());
+    ++stats.transactions;
+  }
+  stats.transactions += plan.controller_transactions;
+}
+
+RunResult CompiledEngine::run(std::uint64_t max_cycles) {
+  const auto start = std::chrono::steady_clock::now();
+  kernel::KernelStats& stats = scheduler_.external_stats();
+  const kernel::KernelStats before = stats;
+  RunResult result;
+  if (!initialized_) {
+    // The event kernel's initialization phase: the controller's first CS/PH
+    // assignments and the register preloads are transactions scheduled
+    // before the first delta cycle.
+    initialized_ = true;
+    stats.transactions += init_transactions_;
+    for (const std::uint32_t reg : preloaded_registers_) {
+      register_slots_[reg].pending = *register_slots_[reg].reg->initial();
+      register_slots_[reg].dirty = true;
+    }
+  }
+  const bool observers = scheduler_.has_event_observers();
+  const std::uint64_t last = wheel_cycles_ + 1;
+  std::uint64_t executed = 0;
+  while (executed < max_cycles && cursor_ <= last) {
+    if (cursor_ == last && !trailing_cycle_needed()) {
+      break;  // quiescent: the final cr latched nothing and released nothing
+    }
+    execute_cycle(cursor_, result, observers);
+    ++cursor_;
+    ++executed;
+  }
+  result.cycles = executed;
+  stats.wall_time_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  result.stats = stats - before;
+  return result;
+}
+
+CompiledEngine::TableStats CompiledEngine::table_stats() const {
+  TableStats stats;
+  stats.cycles = plan_.size() - 1;
+  stats.resolved_sinks = slots_.size();
+  for (const CyclePlan& plan : plan_) {
+    stats.fire_actions += plan.fires.size();
+    stats.release_actions += plan.releases.size();
+    stats.update_entries += plan.updates.size();
+  }
+  return stats;
+}
+
+}  // namespace ctrtl::rtl

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kernel/scheduler.h"
+#include "rtl/controller.h"
+#include "rtl/model.h"
+#include "rtl/module.h"
+#include "rtl/register.h"
+
+namespace ctrtl::rtl {
+
+/// Levelized compiled-code execution of an `RtModel` (TransferMode::kCompiled).
+///
+/// The paper's six-phase control steps are fully static: every TRANS fires at
+/// a syntactically known `(step, phase)` slot, modules evaluate at `cm`, and
+/// registers latch at `cr`. At elaboration this engine lowers the model into
+/// one plan per delta-cycle ordinal, each holding
+///
+///   - an *update list*: which signals recompute their effective value this
+///     cycle, in exactly the order the event kernel's pending list would hold
+///     them (fires from the previous cycle, module outputs after `cm`,
+///     register outputs after `cr`, releases, then CS/PH), and
+///   - an *action list*: the fires (drive source→sink contribution), module
+///     evaluations, register latches, and releases (drive DISC) the phase
+///     performs.
+///
+/// Execution runs straight-line over these tables — no event queue, no waiter
+/// scans, no coroutine resumption, no `wait until` predicate re-evaluation.
+/// Resolved sinks keep per-driver contribution arrays with non-DISC/ILLEGAL
+/// counters, so re-resolution after a fire or release is O(1) instead of a
+/// scan (DISC/ILLEGAL semantics of `resolve_rt` preserved exactly).
+///
+/// Delta-cycle parity: the engine reports the same delta_cycles, updates,
+/// events, and transactions into the scheduler's KernelStats as an
+/// event-driven run of the same model, dispatches the scheduler's event
+/// observers for every value change with the same `SimTime` (so TraceRecorder
+/// and VCD output are byte-identical), and records conflicts with the same
+/// `(step, phase)` pinning. The event order within a cycle is derived from
+/// the kernel's waiter-list dynamics and is exact for the canonical transfer
+/// phases (fires at ra/rb/wa/wb); `cm`-phase fires keep identical values and
+/// conflicts but may order module-output events before fire-sink events where
+/// the event kernel would not in control step 1.
+class CompiledEngine {
+ public:
+  /// Lowers the recorded model structure into the per-cycle tables. Spans
+  /// must outlive the engine (RtModel owns all of them).
+  CompiledEngine(kernel::Scheduler& scheduler, Controller& controller,
+                 std::span<const CompiledTransfer> transfers,
+                 std::span<const std::unique_ptr<Register>> registers,
+                 std::span<const std::unique_ptr<Module>> modules,
+                 std::span<RtSignal* const> touched_inputs);
+
+  CompiledEngine(const CompiledEngine&) = delete;
+  CompiledEngine& operator=(const CompiledEngine&) = delete;
+
+  /// Executes up to `max_cycles` delta cycles (all of them by default),
+  /// continuing where a previous partial run stopped. Equivalent to
+  /// `Scheduler::run` plus the conflict recorder of the event-driven
+  /// `RtModel::run`.
+  RunResult run(std::uint64_t max_cycles = kernel::Scheduler::kNoLimit);
+
+  /// Sizes of the precomputed tables (diagnostics, tests, tools).
+  struct TableStats {
+    std::size_t cycles = 0;          ///< planned delta cycles incl. trailing
+    std::size_t resolved_sinks = 0;  ///< distinct transfer sink signals
+    std::size_t fire_actions = 0;
+    std::size_t release_actions = 0;
+    std::size_t update_entries = 0;
+  };
+  [[nodiscard]] TableStats table_stats() const;
+
+ private:
+  /// One transfer sink with its static drivers: contributions mirror the
+  /// kernel's driver array, plus counters making resolution O(1).
+  struct SinkSlot {
+    RtSignal* signal = nullptr;
+    bool monitored = false;  ///< conflicts recorded (resolved signals only)
+    std::vector<RtValue> contributions;
+    std::uint32_t non_disc = 0;
+    std::uint32_t illegal = 0;
+    /// Driver of the most recent non-DISC write: the common single-source
+    /// resolution hits this cache instead of scanning contributions.
+    std::uint32_t last_value_driver = 0;
+  };
+
+  struct FireAction {
+    std::uint32_t slot = 0;
+    std::uint32_t driver = 0;
+    const RtSignal* source = nullptr;
+  };
+
+  struct ReleaseAction {
+    std::uint32_t slot = 0;
+    std::uint32_t driver = 0;
+  };
+
+  struct UpdateEntry {
+    enum class Kind : std::uint8_t {
+      kInput,        ///< externally set input: counted, never an event here
+      kCs,           ///< control-step signal takes this cycle's step
+      kPh,           ///< phase signal takes this cycle's phase
+      kSink,         ///< re-resolve slot `index`
+      kModuleOut,    ///< module `index` output takes its pending value
+      kRegisterOut,  ///< register `index` output takes its latch, if dirty
+    };
+    Kind kind = Kind::kSink;
+    std::uint32_t index = 0;
+  };
+
+  /// Everything one delta cycle does, precomputed.
+  struct CyclePlan {
+    std::vector<UpdateEntry> updates;
+    std::vector<FireAction> fires;
+    std::vector<ReleaseAction> releases;
+    bool eval_modules = false;
+    bool latch_registers = false;
+    /// CS/PH drives the controller process would schedule this cycle.
+    std::uint32_t controller_transactions = 0;
+    unsigned step = 0;
+    Phase phase = Phase::kRa;
+  };
+
+  struct ModuleSlot {
+    Module* module = nullptr;
+    std::vector<RtSignal*> inputs;
+    RtSignal* op = nullptr;
+    RtSignal* out = nullptr;
+    RtValue pending;
+    std::vector<RtValue> operand_scratch;
+  };
+
+  struct RegisterSlot {
+    Register* reg = nullptr;
+    RtSignal* in = nullptr;
+    RtSignal* out = nullptr;
+    RtValue pending;
+    bool dirty = false;
+  };
+
+  void write_contribution(SinkSlot& slot, std::uint32_t driver, const RtValue& value);
+  [[nodiscard]] RtValue resolve_slot(const SinkSlot& slot) const;
+  void execute_cycle(std::uint64_t ordinal, RunResult& result, bool observers);
+  [[nodiscard]] bool trailing_cycle_needed() const;
+
+  kernel::Scheduler& scheduler_;
+  Controller& controller_;
+  Controller::StepSignal* cs_ = nullptr;
+  Controller::PhaseSignal* ph_ = nullptr;
+
+  std::vector<SinkSlot> slots_;
+  std::vector<ModuleSlot> module_slots_;
+  std::vector<RegisterSlot> register_slots_;
+  std::vector<std::uint32_t> preloaded_registers_;
+
+  /// plan_[d] is delta-cycle ordinal d (1-based; plan_[0] unused). The last
+  /// entry is the trailing cycle that applies the final `cr` latches.
+  std::vector<CyclePlan> plan_;
+  std::uint64_t wheel_cycles_ = 0;  ///< cs_max * kPhasesPerStep
+  bool trailing_has_static_updates_ = false;
+
+  std::uint64_t cursor_ = 1;  ///< next delta-cycle ordinal to execute
+  bool initialized_ = false;
+  std::size_t init_transactions_ = 0;
+};
+
+}  // namespace ctrtl::rtl

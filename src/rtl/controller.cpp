@@ -2,14 +2,19 @@
 
 namespace ctrtl::rtl {
 
-Controller::Controller(kernel::Scheduler& scheduler, unsigned cs_max, std::string name)
+Controller::Controller(kernel::Scheduler& scheduler, unsigned cs_max, std::string name,
+                       bool spawn_process)
     : scheduler_(scheduler),
       cs_max_(cs_max),
       cs_(scheduler.make_signal<unsigned>(name + ".CS", 0u)),
       ph_(scheduler.make_signal<Phase>(name + ".PH", kPhaseHigh)),
       cs_driver_(cs_.add_driver(0u)),
-      ph_driver_(ph_.add_driver(kPhaseHigh)) {
-  scheduler_.spawn(std::move(name), run());
+      ph_driver_(ph_.add_driver(kPhaseHigh)),
+      ph_sensitivity_{&ph_},
+      cs_ph_sensitivity_{&cs_, &ph_} {
+  if (spawn_process) {
+    scheduler_.spawn(std::move(name), run());
+  }
 }
 
 std::pair<unsigned, Phase> Controller::locate(std::uint64_t delta_ordinal) {
@@ -34,9 +39,9 @@ kernel::Process Controller::run() {
   //   end process;
   // A sensitivity-list process runs its body once at time zero and then
   // waits on PH after each execution.
-  // Note: sensitivity vectors are built outside the co_await expression to
+  // Note: the sensitivity span is named outside the co_await expression to
   // sidestep a GCC 12 coroutine bug with braced initializer lists.
-  const std::vector<kernel::SignalBase*> sensitivity = {&ph_};
+  const std::span<kernel::SignalBase* const> sensitivity = ph_sensitivity();
   for (;;) {
     if (ph_.read() == kPhaseHigh) {
       if (cs_.read() < cs_max_) {

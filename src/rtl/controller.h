@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <span>
 #include <string>
 
 #include "kernel/scheduler.h"
@@ -19,8 +21,11 @@ class Controller {
   using StepSignal = kernel::Signal<unsigned>;
   using PhaseSignal = kernel::Signal<Phase>;
 
+  /// `spawn_process == false` creates the CS/PH signals without the driving
+  /// process — used by the compiled engine, which advances the phase wheel
+  /// itself (rtl::CompiledEngine).
   Controller(kernel::Scheduler& scheduler, unsigned cs_max,
-             std::string name = "CONTROL");
+             std::string name = "CONTROL", bool spawn_process = true);
 
   Controller(const Controller&) = delete;
   Controller& operator=(const Controller&) = delete;
@@ -42,6 +47,17 @@ class Controller {
   /// relies on for locating design errors.
   [[nodiscard]] static std::pair<unsigned, Phase> locate(std::uint64_t delta_ordinal);
 
+  /// Shared sensitivity lists for component processes: every register and
+  /// module waits on {PH}, every TRANS on {CS, PH}. Borrowing these spans
+  /// (kernel::wait_on span overload) means no per-process sensitivity
+  /// storage and no allocation when a process re-suspends.
+  [[nodiscard]] std::span<kernel::SignalBase* const> ph_sensitivity() const {
+    return {ph_sensitivity_.data(), ph_sensitivity_.size()};
+  }
+  [[nodiscard]] std::span<kernel::SignalBase* const> cs_ph_sensitivity() const {
+    return {cs_ph_sensitivity_.data(), cs_ph_sensitivity_.size()};
+  }
+
  private:
   kernel::Process run();
 
@@ -51,6 +67,8 @@ class Controller {
   PhaseSignal& ph_;
   kernel::DriverId cs_driver_;
   kernel::DriverId ph_driver_;
+  std::array<kernel::SignalBase*, 1> ph_sensitivity_;
+  std::array<kernel::SignalBase*, 2> cs_ph_sensitivity_;
 };
 
 }  // namespace ctrtl::rtl

@@ -1,7 +1,10 @@
 #include "rtl/model.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+
+#include "rtl/compiled_engine.h"
 
 namespace ctrtl::rtl {
 
@@ -26,7 +29,9 @@ std::string to_string(const Conflict& conflict) {
 RtModel::RtModel(unsigned cs_max, TransferMode mode)
     : mode_(mode),
       scheduler_(std::make_unique<kernel::Scheduler>()),
-      controller_(std::make_unique<Controller>(*scheduler_, cs_max)) {
+      controller_(std::make_unique<Controller>(
+          *scheduler_, cs_max, "CONTROL",
+          /*spawn_process=*/mode != TransferMode::kCompiled)) {
   if (mode_ == TransferMode::kDispatch) {
     // One action slot per delta ordinal (1..cs_max*6), plus one for the
     // release of wb-fired transfers at the final cr.
@@ -57,7 +62,9 @@ Register& RtModel::add_register(const std::string& name,
   if (registers_by_name_.contains(name)) {
     throw std::invalid_argument("duplicate register name '" + name + "'");
   }
-  auto reg = std::make_unique<Register>(*scheduler_, *controller_, name, initial);
+  auto reg = std::make_unique<Register>(
+      *scheduler_, *controller_, name, initial,
+      /*spawn_process=*/mode_ != TransferMode::kCompiled);
   Register& ref = *reg;
   registers_.push_back(std::move(reg));
   registers_by_name_[name] = &ref;
@@ -89,6 +96,21 @@ void RtModel::set_input(const std::string& name, RtValue value) {
   if (it == inputs_.end()) {
     throw std::invalid_argument("no input named '" + name + "'");
   }
+  if (mode_ == TransferMode::kCompiled) {
+    if (compiled_engine_ != nullptr) {
+      throw std::logic_error("compiled mode: set_input after the first run");
+    }
+    // No event loop will apply this driver's transaction; publish the value
+    // directly. The engine's first delta cycle counts the update, like the
+    // event kernel counts the pre-initialization drive.
+    RtSignal* signal = it->second.first;
+    it->second.first->set_effective(std::move(value));
+    if (std::ranges::find(compiled_inputs_touched_, signal) ==
+        compiled_inputs_touched_.end()) {
+      compiled_inputs_touched_.push_back(signal);
+    }
+    return;
+  }
   it->second.first->drive(it->second.second, value);
 }
 
@@ -114,6 +136,16 @@ TransferProcess* RtModel::add_transfer(unsigned step, Phase phase, RtSignal& sou
                             " outside 1.." + std::to_string(controller_->cs_max()));
   }
   ++transfer_count_;
+  if (mode_ == TransferMode::kCompiled) {
+    if (phase == kPhaseHigh) {
+      throw std::invalid_argument("transfer at phase cr has no release phase");
+    }
+    if (compiled_engine_ != nullptr) {
+      throw std::logic_error("compiled mode: add_transfer after the first run");
+    }
+    compiled_transfers_.push_back(CompiledTransfer{step, phase, &source, &sink});
+    return nullptr;
+  }
   if (mode_ == TransferMode::kDispatch) {
     if (phase == kPhaseHigh) {
       throw std::invalid_argument("transfer at phase cr has no release phase");
@@ -190,6 +222,17 @@ void RtModel::monitor(RtSignal& signal) {
 }
 
 RunResult RtModel::run(std::uint64_t max_cycles) {
+  if (mode_ == TransferMode::kCompiled) {
+    if (compiled_engine_ == nullptr) {
+      compiled_engine_ = std::make_unique<CompiledEngine>(
+          *scheduler_, *controller_, compiled_transfers_, registers_, modules_,
+          compiled_inputs_touched_);
+    }
+    // The engine records conflicts itself (it knows which update entries hit
+    // monitored signals), so the event-observer-based recorder below is not
+    // attached; trace/VCD observers still fire through the scheduler.
+    return compiled_engine_->run(max_cycles);
+  }
   RunResult result;
   const std::size_t observer = scheduler_->add_event_observer(
       [this, &result](const kernel::SignalBase& signal, kernel::SimTime time) {

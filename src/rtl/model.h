@@ -54,7 +54,24 @@ enum class TransferMode : std::uint8_t {
   /// per delta. This is the indexing a production simulator would apply to
   /// the subset's stylized wait conditions; see bench_vs_handshake.
   kDispatch,
+  /// No processes at all: elaboration lowers the model to per-delta-ordinal
+  /// action and update tables executed straight-line by rtl::CompiledEngine
+  /// (classic levelized compiled-code simulation). Delta-cycle-exact with
+  /// the event-driven modes — same values, events, conflicts, and trace
+  /// order — for the canonical transfer phases (ra/rb/wa/wb fires).
+  kCompiled,
 };
+
+/// One recorded transfer in compiled mode: fire (source -> sink) at
+/// (step, phase), release (DISC) at the succeeding phase.
+struct CompiledTransfer {
+  unsigned step = 0;
+  Phase phase = Phase::kRa;
+  RtSignal* source = nullptr;
+  RtSignal* sink = nullptr;
+};
+
+class CompiledEngine;
 
 /// A concrete register transfer model (paper section 2.7): one controller,
 /// registers, modules, buses, constants, and transfer processes, all built
@@ -98,15 +115,17 @@ class RtModel {
     auto module = std::make_unique<M>(*scheduler_, *controller_, name,
                                       std::forward<Args>(args)...);
     M& ref = *module;
-    ref.start(*scheduler_);
+    if (mode_ != TransferMode::kCompiled) {
+      ref.start(*scheduler_);
+    }
     register_module(std::move(module));
     return ref;
   }
 
   /// Schedules a transfer for (step, phase, source -> sink). In
   /// kProcessPerTransfer mode this instantiates a TRANS process (returned
-  /// pointer non-null); in kDispatch mode it adds table entries and returns
-  /// nullptr.
+  /// pointer non-null); in kDispatch and kCompiled modes it adds table
+  /// entries and returns nullptr.
   TransferProcess* add_transfer(unsigned step, Phase phase, RtSignal& source,
                                 RtSignal& sink, std::string name = "");
 
@@ -136,6 +155,12 @@ class RtModel {
   /// observed conflicts.
   RunResult run(std::uint64_t max_cycles = kernel::Scheduler::kNoLimit);
 
+  /// The transfers recorded for the compiled engine (kCompiled mode only;
+  /// empty otherwise).
+  [[nodiscard]] const std::vector<CompiledTransfer>& compiled_transfers() const {
+    return compiled_transfers_;
+  }
+
  private:
   void register_module(std::unique_ptr<Module> module);
   void monitor(RtSignal& signal);
@@ -151,11 +176,20 @@ class RtModel {
   std::size_t transfer_count_ = 0;
   /// Actions per delta ordinal (1-based); index 0 unused.
   std::vector<std::vector<DispatchAction>> dispatch_table_;
+  /// Transfers recorded for lowering (kCompiled mode), in add order — the
+  /// order the equivalent TRANS processes would have been spawned in, which
+  /// the engine's tables must preserve for event-order parity.
+  std::vector<CompiledTransfer> compiled_transfers_;
+  /// Inputs touched by set_input (kCompiled mode), in first-touch order.
+  std::vector<RtSignal*> compiled_inputs_touched_;
   std::unique_ptr<kernel::Scheduler> scheduler_;
   std::unique_ptr<Controller> controller_;
   std::vector<std::unique_ptr<Register>> registers_;
   std::vector<std::unique_ptr<Module>> modules_;
   std::vector<std::unique_ptr<TransferProcess>> transfers_;
+  /// Built lazily at first run in kCompiled mode (declared after the
+  /// scheduler and components so it is destroyed before them).
+  std::unique_ptr<CompiledEngine> compiled_engine_;
   std::vector<RtSignal*> buses_;
   std::map<std::string, RtSignal*> buses_by_name_;
   std::map<std::string, Register*> registers_by_name_;

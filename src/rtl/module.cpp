@@ -118,7 +118,8 @@ kernel::Process Module::run() {
   //   end process;
   auto& ph = controller_.ph();
   std::vector<RtValue> operands(inputs_.size());
-  const std::vector<kernel::SignalBase*> sensitivity = {&ph};
+  const std::span<kernel::SignalBase* const> sensitivity =
+      controller_.ph_sensitivity();
   for (;;) {
     co_await kernel::wait_until(sensitivity,
                                 [&] { return ph.read() == Phase::kCm; });
@@ -126,25 +127,29 @@ kernel::Process Module::run() {
       operands[i] = inputs_[i]->read();
     }
     const RtValue op = op_ != nullptr ? op_->read() : RtValue::disc();
-    if (config_.latency == 0) {
-      out_->drive(out_driver_, evaluate(operands, op));
-      continue;
-    }
-    out_->drive(out_driver_, pipeline_.back());
-    // The paper's `if M /= ILLEGAL` guard: once poisoned, the evaluation
-    // stage only ever produces ILLEGAL again. In-flight pipeline stages
-    // still drain so a multi-stage unit emits its pending valid results
-    // before the ILLEGAL reaches the output (for latency 1 this reduces to
-    // the paper's behaviour exactly).
-    const RtValue next = poisoned_ ? RtValue::illegal() : evaluate(operands, op);
-    for (std::size_t i = pipeline_.size(); i-- > 1;) {
-      pipeline_[i] = pipeline_[i - 1];
-    }
-    pipeline_[0] = next;
-    if (next.is_illegal()) {
-      poisoned_ = true;
-    }
+    out_->drive(out_driver_, advance(operands, op));
   }
+}
+
+RtValue Module::advance(std::span<const RtValue> operands, const RtValue& op) {
+  if (config_.latency == 0) {
+    return evaluate(operands, op);
+  }
+  const RtValue out = pipeline_.back();
+  // The paper's `if M /= ILLEGAL` guard: once poisoned, the evaluation
+  // stage only ever produces ILLEGAL again. In-flight pipeline stages
+  // still drain so a multi-stage unit emits its pending valid results
+  // before the ILLEGAL reaches the output (for latency 1 this reduces to
+  // the paper's behaviour exactly).
+  const RtValue next = poisoned_ ? RtValue::illegal() : evaluate(operands, op);
+  for (std::size_t i = pipeline_.size(); i-- > 1;) {
+    pipeline_[i] = pipeline_[i - 1];
+  }
+  pipeline_[0] = next;
+  if (next.is_illegal()) {
+    poisoned_ = true;
+  }
+  return out;
 }
 
 }  // namespace ctrtl::rtl

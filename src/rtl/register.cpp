@@ -11,7 +11,8 @@ RtValue resolve_adapter(std::span<const RtValue> contributions) {
 }  // namespace
 
 Register::Register(kernel::Scheduler& scheduler, Controller& controller,
-                   std::string name, std::optional<RtValue> initial)
+                   std::string name, std::optional<RtValue> initial,
+                   bool spawn_process)
     : controller_(controller),
       name_(std::move(name)),
       initial_(initial),
@@ -19,7 +20,9 @@ Register::Register(kernel::Scheduler& scheduler, Controller& controller,
                                          resolve_adapter)),
       out_(scheduler.make_signal<RtValue>(name_ + ".out", RtValue::disc())),
       out_driver_(out_.add_driver(RtValue::disc())) {
-  scheduler.spawn(name_, run());
+  if (spawn_process) {
+    scheduler.spawn(name_, run());
+  }
 }
 
 kernel::Process Register::run() {
@@ -35,7 +38,8 @@ kernel::Process Register::run() {
     out_.drive(out_driver_, *initial_);
   }
   auto& ph = controller_.ph();
-  const std::vector<kernel::SignalBase*> sensitivity = {&ph};
+  const std::span<kernel::SignalBase* const> sensitivity =
+      controller_.ph_sensitivity();
   for (;;) {
     co_await kernel::wait_until(sensitivity,
                                 [&] { return ph.read() == Phase::kCr; });

@@ -22,8 +22,10 @@ namespace ctrtl::rtl {
 /// step 1, e.g. the IKS joint-position inputs).
 class Register {
  public:
+  /// `spawn_process == false` creates the ports without the latch process —
+  /// the compiled engine latches registers from its action table instead.
   Register(kernel::Scheduler& scheduler, Controller& controller, std::string name,
-           std::optional<RtValue> initial = std::nullopt);
+           std::optional<RtValue> initial = std::nullopt, bool spawn_process = true);
 
   Register(const Register&) = delete;
   Register& operator=(const Register&) = delete;
@@ -36,6 +38,9 @@ class Register {
 
   /// Current stored value (the effective value of the output port).
   [[nodiscard]] RtValue value() const { return out_.read(); }
+
+  /// The preload, if any (exposed for the compiled engine's init table).
+  [[nodiscard]] const std::optional<RtValue>& initial() const { return initial_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
 

@@ -29,16 +29,21 @@ kernel::Process TransferProcess::run() {
   // After the second assignment the VHDL process loops back to the first
   // wait; since CS only increases, the condition never holds again and the
   // process stays suspended forever. The loop below reproduces that.
-  auto& cs = controller_.cs();
-  auto& ph = controller_.ph();
-  const Phase release_phase = succ(phase_);
-  const std::vector<kernel::SignalBase*> sensitivity = {&cs, &ph};
+  // Shared sensitivity span ({CS, PH} lives on the controller, one copy for
+  // all TRANS processes) and `this`-only predicate captures (small enough
+  // for std::function's inline storage): re-suspending allocates nothing —
+  // the old per-process sensitivity vector was rebuilt on every wait.
+  const std::span<kernel::SignalBase* const> sensitivity =
+      controller_.cs_ph_sensitivity();
   for (;;) {
-    co_await kernel::wait_until(
-        sensitivity, [&] { return cs.read() == step_ && ph.read() == phase_; });
+    co_await kernel::wait_until(sensitivity, [this] {
+      return controller_.cs().read() == step_ && controller_.ph().read() == phase_;
+    });
     sink_.drive(sink_driver_, source_.read());
-    co_await kernel::wait_until(
-        sensitivity, [&] { return cs.read() == step_ && ph.read() == release_phase; });
+    co_await kernel::wait_until(sensitivity, [this] {
+      return controller_.cs().read() == step_ &&
+             controller_.ph().read() == succ(phase_);
+    });
     sink_.drive(sink_driver_, RtValue::disc());
   }
 }

@@ -1,10 +1,12 @@
 #include "transfer/build.h"
 
+#include <optional>
 #include <set>
 #include <stdexcept>
 
 #include "rtl/modules.h"
 #include "transfer/mapping.h"
+#include "transfer/schedule.h"
 
 namespace ctrtl::transfer {
 
@@ -100,10 +102,21 @@ std::map<std::string, unsigned> latency_map(const Design& design) {
 
 std::unique_ptr<rtl::RtModel> build_model(const Design& design,
                                           rtl::TransferMode mode) {
-  common::DiagnosticBag diags;
-  if (!validate(design, diags)) {
-    throw std::invalid_argument("design '" + design.name +
-                                "' does not validate:\n" + diags.to_text());
+  // Compiled mode elaborates from the statically lowered schedule:
+  // `lower_schedule` validates the design (including the no-cr-fires
+  // restriction) and groups the TRANS instances per (step, phase) level —
+  // the symbolic form of the engine's action tables. Instance declaration
+  // order is preserved within each level, which is all the compiled engine
+  // needs for event-order parity with the process-based modes.
+  std::optional<StaticSchedule> schedule;
+  if (mode == rtl::TransferMode::kCompiled) {
+    schedule = lower_schedule(design);
+  } else {
+    common::DiagnosticBag diags;
+    if (!validate(design, diags)) {
+      throw std::invalid_argument("design '" + design.name +
+                                  "' does not validate:\n" + diags.to_text());
+    }
   }
 
   auto model = std::make_unique<rtl::RtModel>(design.cs_max, mode);
@@ -139,6 +152,17 @@ std::unique_ptr<rtl::RtModel> build_model(const Design& design,
     }
   }
 
+  if (schedule) {
+    for (const ScheduleLevel& level : schedule->levels) {
+      for (const TransInstance& instance : level.fires) {
+        model->add_transfer(instance.step, instance.phase,
+                            endpoint_signal(*model, instance.source),
+                            endpoint_signal(*model, instance.sink),
+                            instance.name());
+      }
+    }
+    return model;
+  }
   for (const TransInstance& instance : to_instances(design.transfers)) {
     model->add_transfer(instance.step, instance.phase,
                         endpoint_signal(*model, instance.source),

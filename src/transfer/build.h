@@ -13,8 +13,10 @@ namespace ctrtl::transfer {
 /// implicit constant sources feeding module operation ports.
 ///
 /// Throws `std::invalid_argument` (with the full diagnostic text) when the
-/// design does not validate. `mode` selects the transfer execution scheme
-/// (paper-faithful TRANS processes vs the indexed dispatcher ablation).
+/// design does not validate. `mode` selects the transfer execution scheme:
+/// paper-faithful TRANS processes, the indexed dispatcher ablation, or the
+/// compiled static-schedule engine (`rtl::TransferMode::kCompiled`, lowered
+/// through `transfer::lower_schedule` — see transfer/schedule.h).
 [[nodiscard]] std::unique_ptr<rtl::RtModel> build_model(
     const Design& design,
     rtl::TransferMode mode = rtl::TransferMode::kProcessPerTransfer);

@@ -1,7 +1,9 @@
 #include "verify/equivalence.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+#include <tuple>
 
 #include "transfer/build.h"
 
@@ -77,6 +79,96 @@ CheckReport check_consistency(const transfer::Design& design,
       out << " [" << rtl::to_string(c) << "]";
     }
     out << " }";
+    report.mismatches.push_back(out.str());
+  }
+  return report;
+}
+
+CheckReport check_engine_equivalence(
+    const transfer::Design& design,
+    const std::map<std::string, std::int64_t>& inputs) {
+  CheckReport report;
+
+  const auto run_with = [&](rtl::TransferMode mode) {
+    auto model = transfer::build_model(design, mode);
+    for (const auto& [name, value] : inputs) {
+      model->set_input(name, rtl::RtValue::of(value));
+    }
+    auto trace = std::make_unique<TraceRecorder>(model->scheduler());
+    rtl::RunResult result = model->run();
+    return std::tuple(std::move(model), std::move(trace), std::move(result));
+  };
+  const auto [event_model, event_trace, event_result] =
+      run_with(rtl::TransferMode::kProcessPerTransfer);
+  const auto [compiled_model, compiled_trace, compiled_result] =
+      run_with(rtl::TransferMode::kCompiled);
+
+  for (const transfer::RegisterDecl& decl : design.registers) {
+    const rtl::Register* event_reg = event_model->find_register(decl.name);
+    const rtl::Register* compiled_reg = compiled_model->find_register(decl.name);
+    if (event_reg->value() != compiled_reg->value()) {
+      report.mismatches.push_back(
+          "register " + decl.name + ": event engine " +
+          rtl::to_string(event_reg->value()) + ", compiled engine " +
+          rtl::to_string(compiled_reg->value()));
+    }
+  }
+
+  // Conflicts must agree *in order*: both engines record a conflict the
+  // delta cycle the ILLEGAL value becomes visible.
+  if (event_result.conflicts != compiled_result.conflicts) {
+    std::ostringstream out;
+    out << "conflict records differ; event {";
+    for (const rtl::Conflict& c : event_result.conflicts) {
+      out << " [" << rtl::to_string(c) << "]";
+    }
+    out << " } compiled {";
+    for (const rtl::Conflict& c : compiled_result.conflicts) {
+      out << " [" << rtl::to_string(c) << "]";
+    }
+    out << " }";
+    report.mismatches.push_back(out.str());
+  }
+
+  if (event_result.cycles != compiled_result.cycles) {
+    report.mismatches.push_back(
+        "cycles differ: event " + std::to_string(event_result.cycles) +
+        ", compiled " + std::to_string(compiled_result.cycles));
+  }
+  const auto compare_counter = [&](const char* name, std::uint64_t event_count,
+                                   std::uint64_t compiled_count) {
+    if (event_count != compiled_count) {
+      report.mismatches.push_back(std::string(name) + " differ: event " +
+                                  std::to_string(event_count) + ", compiled " +
+                                  std::to_string(compiled_count));
+    }
+  };
+  compare_counter("delta_cycles", event_result.stats.delta_cycles,
+                  compiled_result.stats.delta_cycles);
+  compare_counter("events", event_result.stats.events,
+                  compiled_result.stats.events);
+  compare_counter("updates", event_result.stats.updates,
+                  compiled_result.stats.updates);
+  compare_counter("transactions", event_result.stats.transactions,
+                  compiled_result.stats.transactions);
+
+  if (event_trace->events() != compiled_trace->events()) {
+    const auto& lhs = event_trace->events();
+    const auto& rhs = compiled_trace->events();
+    std::ostringstream out;
+    out << "event traces differ (event " << lhs.size() << " events, compiled "
+        << rhs.size() << ")";
+    const std::size_t common = std::min(lhs.size(), rhs.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (lhs[i] != rhs[i]) {
+        out << "; first divergence at index " << i << ": event ["
+            << kernel::to_string(lhs[i].time) << " " << lhs[i].signal << " = "
+            << lhs[i].value << "], compiled ["
+            << kernel::to_string(rhs[i].time) << " " << rhs[i].signal << " = "
+            << rhs[i].value << "]";
+        break;
+      }
+    }
     report.mismatches.push_back(out.str());
   }
   return report;

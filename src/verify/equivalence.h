@@ -31,6 +31,20 @@ struct CheckReport {
     const transfer::Design& design,
     const std::map<std::string, std::int64_t>& inputs = {});
 
+/// Differential check of the two execution engines: elaborates `design`
+/// once with paper-faithful TRANS processes (event kernel) and once with
+/// the compiled static-schedule engine (`rtl::TransferMode::kCompiled`),
+/// runs both on the same inputs, and compares
+///   - final register values,
+///   - the full conflict record (exact order — the compiled engine pins
+///     conflicts to the same (step, phase) delta cycles),
+///   - delta-cycle counts and the event/update/transaction counters,
+///   - the complete signal-event trace (every event, in order, with the
+///     same SimTime — i.e. VCD output is identical).
+[[nodiscard]] CheckReport check_engine_equivalence(
+    const transfer::Design& design,
+    const std::map<std::string, std::int64_t>& inputs = {});
+
 /// Compares two register-write traces (e.g. abstract vs clocked
 /// implementations of the same schedule). Writes must agree in per-register
 /// order and value; `ignore_preload` drops step-0 entries (initial loads)

@@ -128,5 +128,18 @@ TEST(Signal, SignalIdsAreSequential) {
   EXPECT_EQ(sched.signal_count(), 2u);
 }
 
+TEST(Signal, SetEffectiveBypassesDriversAndReportsEvents) {
+  // The external-engine interface (rtl::CompiledEngine): a direct effective
+  // write returns whether the value changed, without touching drivers or
+  // scheduling an update.
+  Scheduler sched;
+  auto& sig = sched.make_signal<int>("s", 0);
+  EXPECT_FALSE(sig.set_effective(0)) << "same value: no event";
+  EXPECT_TRUE(sig.set_effective(7));
+  EXPECT_EQ(sig.read(), 7);
+  EXPECT_FALSE(sig.set_effective(7));
+  EXPECT_EQ(sched.stats().updates, 0u) << "no kernel update was scheduled";
+}
+
 }  // namespace
 }  // namespace ctrtl::kernel

@@ -76,13 +76,15 @@ double time_best_ms(int repetitions, F&& body) {
   return best;
 }
 
-Entry measure_single_instance(const Config& config) {
+Entry measure_single_instance(const Config& config, rtl::TransferMode mode,
+                              std::string name) {
   Entry entry;
-  entry.name = "single_instance";
+  entry.name = std::move(name);
   entry.repetitions = config.repetitions + 2;  // cheap; repeat a bit more
   rtl::BatchRunner runner(
       [&](std::size_t instance) {
-        return transfer::build_model(instance_design(instance, config.transfers));
+        return transfer::build_model(instance_design(instance, config.transfers),
+                                     mode);
       },
       rtl::BatchRunOptions{.workers = 1});
   std::uint64_t deltas = 0;
@@ -94,15 +96,17 @@ Entry measure_single_instance(const Config& config) {
   return entry;
 }
 
-Entry measure_batch(const Config& config, std::size_t workers) {
+Entry measure_batch(const Config& config, std::size_t workers,
+                    rtl::TransferMode mode, std::string name) {
   Entry entry;
-  entry.name = "batch";
+  entry.name = std::move(name);
   entry.workers = workers;
   entry.instances = config.batch_instances;
   entry.repetitions = config.repetitions;
   rtl::BatchRunner runner(
       [&](std::size_t instance) {
-        return transfer::build_model(instance_design(instance, config.transfers));
+        return transfer::build_model(instance_design(instance, config.transfers),
+                                     mode);
       },
       rtl::BatchRunOptions{.workers = workers});
   std::uint64_t deltas = 0;
@@ -124,7 +128,8 @@ std::vector<Entry> measure_vs_clocked(const Config& config) {
   for (const auto& [name, mode] :
        {std::pair{"clockfree_process_per_transfer",
                   rtl::TransferMode::kProcessPerTransfer},
-        std::pair{"clockfree_dispatch", rtl::TransferMode::kDispatch}}) {
+        std::pair{"clockfree_dispatch", rtl::TransferMode::kDispatch},
+        std::pair{"clockfree_compiled", rtl::TransferMode::kCompiled}}) {
     Entry entry;
     entry.name = name;
     entry.repetitions = config.repetitions;
@@ -154,9 +159,11 @@ std::vector<Entry> measure_vs_clocked(const Config& config) {
 
 void emit_json(std::ostream& os, const Config& config,
                const std::vector<Entry>& entries) {
-  const auto find_batch_w1 = std::find_if(
-      entries.begin(), entries.end(),
-      [](const Entry& e) { return e.name == "batch" && e.workers == 1; });
+  const auto one_worker_baseline = [&](const std::string& name) {
+    return std::find_if(entries.begin(), entries.end(), [&](const Entry& e) {
+      return e.name == name && e.workers == 1;
+    });
+  };
   os << "{\n"
      << "  \"schema\": \"ctrtl-bench/1\",\n"
      << "  \"suite\": \"bench_batch\",\n"
@@ -177,10 +184,12 @@ void emit_json(std::ostream& os, const Config& config,
        << ", \"repetitions\": " << e.repetitions << ", \"wall_ms\": " << e.wall_ms
        << ", \"steps\": " << e.steps
        << ", \"throughput_steps_per_s\": " << e.throughput();
-    if (e.name == "batch" && find_batch_w1 != entries.end() &&
-        find_batch_w1->throughput() > 0.0) {
-      os << ", \"speedup_vs_1worker\": "
-         << e.throughput() / find_batch_w1->throughput();
+    if (e.name == "batch" || e.name == "batch_compiled") {
+      const auto baseline = one_worker_baseline(e.name);
+      if (baseline != entries.end() && baseline->throughput() > 0.0) {
+        os << ", \"speedup_vs_1worker\": "
+           << e.throughput() / baseline->throughput();
+      }
     }
     os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
@@ -212,14 +221,22 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Entry> entries;
-  entries.push_back(measure_single_instance(config));
+  entries.push_back(measure_single_instance(
+      config, rtl::TransferMode::kProcessPerTransfer, "single_instance"));
+  entries.push_back(measure_single_instance(config, rtl::TransferMode::kCompiled,
+                                            "single_instance_compiled"));
   std::vector<std::size_t> worker_counts = {1, 2, 4};
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   if (hw > 4) {
     worker_counts.push_back(hw);
   }
   for (const std::size_t workers : worker_counts) {
-    entries.push_back(measure_batch(config, workers));
+    entries.push_back(measure_batch(
+        config, workers, rtl::TransferMode::kProcessPerTransfer, "batch"));
+  }
+  for (const std::size_t workers : worker_counts) {
+    entries.push_back(measure_batch(config, workers, rtl::TransferMode::kCompiled,
+                                    "batch_compiled"));
   }
   for (Entry& entry : measure_vs_clocked(config)) {
     entries.push_back(entry);

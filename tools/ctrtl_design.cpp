@@ -3,7 +3,7 @@
 // Usage:
 //   ctrtl_design <file.rtd> [--analyze] [--simulate] [--dataflow]
 //                [--emit-vhdl <out.vhd>] [--set input=value ...]
-//                [--dispatch] [--vcd <out.vcd>]
+//                [--engine=event|compiled] [--dispatch] [--vcd <out.vcd>]
 //
 // Validates the design, then (per flags) runs static conflict analysis,
 // symbolic dataflow extraction, simulation (with final register values and
@@ -28,7 +28,13 @@ void usage() {
   std::fprintf(stderr,
                "usage: ctrtl_design <file.rtd> [--analyze] [--simulate] "
                "[--dataflow] [--emit-vhdl <out.vhd>] [--set input=value ...] "
-               "[--dispatch] [--vcd <out.vcd>]\n");
+               "[--engine=event|compiled] [--dispatch] [--vcd <out.vcd>]\n"
+               "  --engine=event     event-driven kernel, one TRANS process "
+               "per transfer (default)\n"
+               "  --engine=compiled  compiled static-schedule engine "
+               "(levelized tables, same results)\n"
+               "  --dispatch         event kernel with the indexed-dispatcher "
+               "ablation\n");
 }
 
 }  // namespace
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
   bool simulate = false;
   bool dataflow = false;
   bool dispatch = false;
+  std::string engine = "event";
   std::string vhdl_out;
   std::string vcd_out;
   std::map<std::string, std::int64_t> inputs;
@@ -53,6 +60,14 @@ int main(int argc, char** argv) {
       dataflow = true;
     } else if (arg == "--dispatch") {
       dispatch = true;
+    } else if (arg.rfind("--engine=", 0) == 0 ||
+               (arg == "--engine" && i + 1 < argc)) {
+      engine = arg == "--engine" ? argv[++i] : arg.substr(std::strlen("--engine="));
+      if (engine != "event" && engine != "compiled") {
+        std::fprintf(stderr, "--engine expects 'event' or 'compiled', got '%s'\n",
+                     engine.c_str());
+        return 1;
+      }
     } else if (arg == "--emit-vhdl" && i + 1 < argc) {
       vhdl_out = argv[++i];
     } else if (arg == "--vcd" && i + 1 < argc) {
@@ -80,6 +95,10 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     usage();
+    return 1;
+  }
+  if (dispatch && engine == "compiled") {
+    std::fprintf(stderr, "--dispatch and --engine=compiled are exclusive\n");
     return 1;
   }
 
@@ -146,9 +165,11 @@ int main(int argc, char** argv) {
   }
 
   if (simulate || !vcd_out.empty()) {
-    auto model = ctrtl::transfer::build_model(
-        design, dispatch ? ctrtl::rtl::TransferMode::kDispatch
-                         : ctrtl::rtl::TransferMode::kProcessPerTransfer);
+    const ctrtl::rtl::TransferMode mode =
+        engine == "compiled" ? ctrtl::rtl::TransferMode::kCompiled
+        : dispatch           ? ctrtl::rtl::TransferMode::kDispatch
+                             : ctrtl::rtl::TransferMode::kProcessPerTransfer;
+    auto model = ctrtl::transfer::build_model(design, mode);
     for (const auto& [name, value] : inputs) {
       model->set_input(name, ctrtl::rtl::RtValue::of(value));
     }
@@ -161,7 +182,9 @@ int main(int argc, char** argv) {
     std::printf("simulated: %llu delta cycles, %llu events, %s mode\n",
                 static_cast<unsigned long long>(result.stats.delta_cycles),
                 static_cast<unsigned long long>(result.stats.events),
-                dispatch ? "dispatch" : "process-per-transfer");
+                engine == "compiled" ? "compiled"
+                : dispatch           ? "dispatch"
+                                     : "process-per-transfer");
     for (const auto& conflict : result.conflicts) {
       std::printf("  %s\n", to_string(conflict).c_str());
     }

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   ctrtl_sim <file.vhd> --top <entity> [--trace] [--max-cycles N] [--signals]
-//             [--vcd <out.vcd>]
+//             [--vcd <out.vcd>] [--engine=event|compiled]
 //
 // Parses the file, checks subset conformance, elaborates the top entity on
 // the simulation kernel, runs to quiescence, and prints the final value of
@@ -24,7 +24,16 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: ctrtl_sim <file.vhd> --top <entity> [--trace] "
-               "[--max-cycles N] [--signals] [--vcd <out.vcd>]\n");
+               "[--max-cycles N] [--signals] [--vcd <out.vcd>] "
+               "[--engine=event|compiled]\n"
+               "  --engine=event     event-driven kernel (default)\n"
+               "  --engine=compiled  compiled static-schedule engine; only "
+               "designs with a static\n"
+               "                     transfer schedule qualify — "
+               "interpreted VHDL processes do not,\n"
+               "                     so ctrtl_sim rejects it (use "
+               "ctrtl_design --engine=compiled\n"
+               "                     on a .rtd design file instead)\n");
 }
 
 }  // namespace
@@ -35,6 +44,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool signals = false;
   std::string vcd_path;
+  std::string engine = "event";
   std::uint64_t max_cycles = ctrtl::kernel::Scheduler::kNoLimit;
 
   for (int i = 1; i < argc; ++i) {
@@ -49,6 +59,14 @@ int main(int argc, char** argv) {
       vcd_path = argv[++i];
     } else if (arg == "--max-cycles" && i + 1 < argc) {
       max_cycles = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--engine=", 0) == 0 ||
+               (arg == "--engine" && i + 1 < argc)) {
+      engine = arg == "--engine" ? argv[++i] : arg.substr(std::strlen("--engine="));
+      if (engine != "event" && engine != "compiled") {
+        std::fprintf(stderr, "--engine expects 'event' or 'compiled', got '%s'\n",
+                     engine.c_str());
+        return 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -62,6 +80,17 @@ int main(int argc, char** argv) {
   }
   if (path.empty() || top.empty()) {
     usage();
+    return 1;
+  }
+  if (engine == "compiled") {
+    // The compiled engine executes a statically lowered transfer schedule;
+    // arbitrary interpreted VHDL processes have no such schedule to lower.
+    std::fprintf(stderr,
+                 "ctrtl_sim: --engine=compiled is not available for "
+                 "interpreted VHDL input — general processes have no static "
+                 "transfer schedule to lower.\n"
+                 "Use 'ctrtl_design <file.rtd> --simulate --engine=compiled' "
+                 "on a register-transfer design file instead.\n");
     return 1;
   }
 
