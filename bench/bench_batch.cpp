@@ -6,6 +6,12 @@
 // worker count. On a W-core host batched throughput approaches W x the
 // single-worker figure because instances share no mutable state; on fewer
 // cores the worker counts above the core count simply tie.
+//
+// Experiment E12 (PR 4): the lane engine. All instances share one design;
+// BM_BatchCompiledShared elaborates one compiled model per instance from the
+// shared schedule (lower once, elaborate N times), BM_BatchLanes shares the
+// whole action table and runs instances as SoA lane blocks. The pair is the
+// direct ablation of per-instance models vs lanes at identical work.
 
 #include <benchmark/benchmark.h>
 
@@ -13,6 +19,7 @@
 
 #include "rtl/batch_runner.h"
 #include "transfer/build.h"
+#include "transfer/schedule.h"
 #include "verify/random_design.h"
 
 namespace {
@@ -86,6 +93,40 @@ void BM_BatchCompiled(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchCompiled)
     ->ArgsProduct({{16, 64}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void run_shared_design_batch(benchmark::State& state, rtl::BatchEngineKind engine) {
+  const auto instances = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const auto design = transfer::CompiledDesign::compile(instance_design(0));
+  rtl::BatchRunner runner(design,
+                          rtl::BatchRunOptions{.workers = workers, .engine = engine});
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const rtl::BatchRunResult result = runner.run(instances);
+    steps = result.total.delta_cycles / rtl::kPhasesPerStep;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(steps));
+  state.counters["instances"] = static_cast<double>(instances);
+  state.counters["workers"] = static_cast<double>(workers);
+}
+
+// Per-instance compiled models of ONE design, elaborated from the shared
+// pre-lowered schedule. Baseline side of the lane ablation.
+void BM_BatchCompiledShared(benchmark::State& state) {
+  run_shared_design_batch(state, rtl::BatchEngineKind::kPerInstance);
+}
+BENCHMARK(BM_BatchCompiledShared)
+    ->ArgsProduct({{64, 256}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+// The lane engine: one shared action table, SoA lane blocks across workers.
+void BM_BatchLanes(benchmark::State& state) {
+  run_shared_design_batch(state, rtl::BatchEngineKind::kCompiledLanes);
+}
+BENCHMARK(BM_BatchLanes)
+    ->ArgsProduct({{64, 256}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -57,6 +57,26 @@ assert {1, 2, 4} <= batch_workers, f"missing batch worker configs: {batch_worker
 compiled_workers = {e["workers"] for e in entries if e["name"] == "batch_compiled"}
 assert {1, 2, 4} <= compiled_workers, \
     f"missing batch_compiled worker configs: {compiled_workers}"
+# PR 4 lane engine: the shared-design ablation pair must sweep the fixed
+# worker set at both batch sizes.
+lanes = [e for e in entries if e["name"] == "batch_lanes"]
+shared = [e for e in entries if e["name"] == "batch_compiled_shared"]
+assert lanes, "missing batch_lanes entries (lane engine)"
+assert shared, "missing batch_compiled_shared entries (lane-ablation baseline)"
+lane_workers = {e["workers"] for e in lanes}
+assert {1, 2, 4, 8} <= lane_workers, \
+    f"missing batch_lanes worker configs: {lane_workers}"
+lane_sizes = {e["instances"] for e in lanes}
+assert len(lane_sizes) >= 2, \
+    f"batch_lanes must cover two batch sizes, got {lane_sizes}"
+# Lane blocks and per-instance models execute the identical shared design,
+# so at equal (workers, instances) the step counts must agree exactly.
+shared_steps = {(e["workers"], e["instances"]): e["steps"] for e in shared}
+for e in lanes:
+    key = (e["workers"], e["instances"])
+    assert shared_steps.get(key) == e["steps"], \
+        f"batch_lanes{key} steps {e['steps']} != batch_compiled_shared " \
+        f"{shared_steps.get(key)}"
 assert "clockfree_process_per_transfer" in names and "clocked_rtl" in names, \
     "missing E6 clocked-vs-clock-free entries"
 assert "clockfree_compiled" in names, "missing clockfree_compiled entry"
@@ -88,6 +108,8 @@ else
   grep -q '"name": "single_instance_compiled"' "$OUT"
   grep -q '"name": "batch"' "$OUT"
   grep -q '"name": "batch_compiled"' "$OUT"
+  grep -q '"name": "batch_compiled_shared"' "$OUT"
+  grep -q '"name": "batch_lanes"' "$OUT"
   grep -q '"name": "clockfree_compiled"' "$OUT"
   grep -q '"name": "clocked_rtl"' "$OUT"
   echo "bench_smoke: OK (grep fallback)"

@@ -1,6 +1,11 @@
 #include "rtl/batch_runner.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "rtl/lane_engine.h"
+#include "transfer/build.h"
+#include "transfer/schedule.h"
 
 namespace ctrtl::rtl {
 
@@ -24,7 +29,41 @@ BatchRunner::BatchRunner(ModelFactory factory, BatchRunOptions options)
   if (!factory_) {
     throw std::invalid_argument("BatchRunner requires a model factory");
   }
+  if (options_.engine == BatchEngineKind::kCompiledLanes) {
+    throw std::invalid_argument(
+        "BatchRunner: the lane engine needs one shared CompiledDesign — "
+        "construct from CompiledDesign::compile, not a model factory");
+  }
 }
+
+BatchRunner::BatchRunner(std::shared_ptr<const transfer::CompiledDesign> design,
+                         BatchRunOptions options, BatchInputProvider inputs)
+    : options_(options),
+      design_(std::move(design)),
+      inputs_(std::move(inputs)),
+      engine_(kernel::BatchOptions{options.workers}) {
+  if (!design_) {
+    throw std::invalid_argument("BatchRunner requires a compiled design");
+  }
+  // The per-instance reference path for this design: elaborate from the
+  // shared schedule (no per-instance re-lowering) and apply the instance's
+  // inputs. Used by run_one and by engine == kPerInstance.
+  factory_ = [this](std::size_t instance) {
+    std::unique_ptr<RtModel> model =
+        transfer::build_model(*design_, options_.mode);
+    if (inputs_) {
+      for (const auto& [name, value] : inputs_(instance)) {
+        model->set_input(name, value);
+      }
+    }
+    return model;
+  };
+  if (options_.engine == BatchEngineKind::kCompiledLanes) {
+    lane_engine_ = std::make_unique<LaneEngine>(design_);
+  }
+}
+
+BatchRunner::~BatchRunner() = default;
 
 InstanceResult BatchRunner::run_one(std::size_t instance) const {
   const std::unique_ptr<RtModel> model = factory_(instance);
@@ -37,8 +76,25 @@ InstanceResult BatchRunner::run_one(std::size_t instance) const {
 
 BatchRunResult BatchRunner::run(std::size_t count) {
   BatchRunResult result;
-  result.instances = engine_.map<InstanceResult>(
-      count, [this](std::size_t instance) { return run_one(instance); });
+  if (options_.engine == BatchEngineKind::kCompiledLanes) {
+    const std::size_t shard = std::max<std::size_t>(1, options_.lane_block);
+    const std::size_t jobs = (count + shard - 1) / shard;
+    std::vector<std::vector<InstanceResult>> blocks =
+        engine_.map<std::vector<InstanceResult>>(jobs, [&](std::size_t job) {
+          const std::size_t first = job * shard;
+          return lane_engine_->run_block(first, std::min(shard, count - first),
+                                         inputs_, options_.max_cycles);
+        });
+    result.instances.reserve(count);
+    for (std::vector<InstanceResult>& block_results : blocks) {
+      for (InstanceResult& instance : block_results) {
+        result.instances.push_back(std::move(instance));
+      }
+    }
+  } else {
+    result.instances = engine_.map<InstanceResult>(
+        count, [this](std::size_t instance) { return run_one(instance); });
+  }
   result.wall_time_ns = engine_.last_dispatch().wall_time_ns;
   result.workers = engine_.worker_count();
   for (const InstanceResult& instance : result.instances) {

@@ -10,7 +10,32 @@
 #include "kernel/batch.h"
 #include "rtl/model.h"
 
+namespace ctrtl::transfer {
+struct CompiledDesign;
+}
+
 namespace ctrtl::rtl {
+
+class LaneEngine;
+
+/// Per-instance external inputs: `(input name, value)` pairs applied in
+/// order before control step 1 (the `RtModel::set_input` protocol). Invoked
+/// concurrently with distinct instance indices — must be thread-safe.
+using BatchInputProvider =
+    std::function<std::vector<std::pair<std::string, RtValue>>(std::size_t)>;
+
+/// How a batch executes its instances.
+enum class BatchEngineKind : std::uint8_t {
+  /// One model and one scheduler per instance (any `TransferMode`); jobs are
+  /// whole instances. The fully general shape — instances may come from a
+  /// factory producing arbitrarily different models.
+  kPerInstance,
+  /// One shared compiled action table, instances as structure-of-arrays
+  /// lanes (`LaneEngine`); jobs are fixed-size lane blocks. Requires all
+  /// instances to share one `transfer::CompiledDesign` (they may still
+  /// differ in external inputs).
+  kCompiledLanes,
+};
 
 /// Options for a `BatchRunner`.
 struct BatchRunOptions {
@@ -18,6 +43,17 @@ struct BatchRunOptions {
   std::size_t workers = 0;
   /// Cycle limit applied to every instance (`RtModel::run` semantics).
   std::uint64_t max_cycles = kernel::Scheduler::kNoLimit;
+  /// Execution engine; `kCompiledLanes` requires the design-based
+  /// constructor.
+  BatchEngineKind engine = BatchEngineKind::kPerInstance;
+  /// Lane-engine shard size: instances simulated per SoA block. Fixed (not
+  /// derived from the worker count) so the work decomposition — and
+  /// therefore every result bit — is identical for every worker count.
+  std::size_t lane_block = 16;
+  /// Transfer mode for per-instance models elaborated from a
+  /// `CompiledDesign` (ignored by the factory constructor and by
+  /// `kCompiledLanes`, which is compiled by construction).
+  TransferMode mode = TransferMode::kCompiled;
 };
 
 /// Everything observable about one simulated instance: the run outcome
@@ -62,35 +98,60 @@ struct BatchRunResult {
 
 /// Runs N independent instances of a clock-free design across a worker pool.
 ///
-/// Each instance is produced by the factory (typically wrapping
-/// `transfer::build_model` with per-instance inputs, seeds, or microcode)
-/// and simulated to quiescence on its own `Scheduler`, one simulation per
-/// worker thread at a time. This is the throughput shape for serving many
-/// concurrent workloads: simulations never share mutable state, so the only
-/// cross-thread traffic is job dispatch.
+/// Two shapes, selected by `BatchRunOptions::engine`:
+///
+///   - `kPerInstance`: each instance is produced by a factory (or elaborated
+///     from a shared `CompiledDesign`) and simulated to quiescence on its own
+///     `Scheduler`, one simulation per worker thread at a time. Simulations
+///     never share mutable state, so the only cross-thread traffic is job
+///     dispatch.
+///   - `kCompiledLanes`: all instances share one immutable compiled action
+///     table; per-instance state is laid out as contiguous SoA lanes and the
+///     batch is sharded into fixed-size lane blocks across the pool (see
+///     `LaneEngine`). Requires the design-based constructor.
 ///
 /// Determinism guarantee: `run(n)` returns the same `BatchRunResult`
-/// (ignoring wall time) as n sequential `run_one` calls on the same factory
-/// outputs, for any worker count. The factory must be thread-safe — it is
-/// invoked concurrently with distinct instance indices.
+/// (ignoring wall time) for any worker count, and per-instance equal to n
+/// sequential `run_one` calls. Factories and input providers must be
+/// thread-safe — they are invoked concurrently with distinct indices.
 class BatchRunner {
  public:
   using ModelFactory = std::function<std::unique_ptr<RtModel>(std::size_t instance)>;
 
+  /// Fully general per-instance batch. Throws `std::invalid_argument` when
+  /// `options.engine == kCompiledLanes` — lanes need one shared design.
   explicit BatchRunner(ModelFactory factory, BatchRunOptions options = {});
+
+  /// All instances share one pre-lowered design (`CompiledDesign::compile`),
+  /// differing only in the inputs the provider sets. Supports both engines:
+  /// `kPerInstance` elaborates one model per instance from the shared
+  /// schedule (lower once, elaborate N times), `kCompiledLanes` shares the
+  /// whole action table and runs SoA lane blocks.
+  explicit BatchRunner(std::shared_ptr<const transfer::CompiledDesign> design,
+                       BatchRunOptions options = {},
+                       BatchInputProvider inputs = nullptr);
+
+  ~BatchRunner();
 
   /// Simulates instances `0..count-1`.
   [[nodiscard]] BatchRunResult run(std::size_t count);
 
-  /// Builds and simulates one instance on the calling thread — the
-  /// sequential reference path used by the determinism tests.
+  /// Builds and simulates one instance on the calling thread through the
+  /// per-instance path — the sequential reference the determinism and
+  /// lane-equivalence tests compare against.
   [[nodiscard]] InstanceResult run_one(std::size_t instance) const;
 
   [[nodiscard]] std::size_t worker_count() const { return engine_.worker_count(); }
 
+  /// The shared lane engine; nullptr unless constructed for `kCompiledLanes`.
+  [[nodiscard]] const LaneEngine* lane_engine() const { return lane_engine_.get(); }
+
  private:
   ModelFactory factory_;
   BatchRunOptions options_;
+  std::shared_ptr<const transfer::CompiledDesign> design_;
+  BatchInputProvider inputs_;
+  std::unique_ptr<LaneEngine> lane_engine_;
   kernel::BatchEngine engine_;
 };
 

@@ -100,25 +100,13 @@ std::map<std::string, unsigned> latency_map(const Design& design) {
   return latencies;
 }
 
-std::unique_ptr<rtl::RtModel> build_model(const Design& design,
-                                          rtl::TransferMode mode) {
-  // Compiled mode elaborates from the statically lowered schedule:
-  // `lower_schedule` validates the design (including the no-cr-fires
-  // restriction) and groups the TRANS instances per (step, phase) level —
-  // the symbolic form of the engine's action tables. Instance declaration
-  // order is preserved within each level, which is all the compiled engine
-  // needs for event-order parity with the process-based modes.
-  std::optional<StaticSchedule> schedule;
-  if (mode == rtl::TransferMode::kCompiled) {
-    schedule = lower_schedule(design);
-  } else {
-    common::DiagnosticBag diags;
-    if (!validate(design, diags)) {
-      throw std::invalid_argument("design '" + design.name +
-                                  "' does not validate:\n" + diags.to_text());
-    }
-  }
+namespace {
 
+/// Shared elaboration body: `schedule` is non-null exactly in compiled mode
+/// (lowered by the caller, possibly once for a whole batch of instances).
+std::unique_ptr<rtl::RtModel> elaborate(const Design& design,
+                                        const StaticSchedule* schedule,
+                                        rtl::TransferMode mode) {
   auto model = std::make_unique<rtl::RtModel>(design.cs_max, mode);
   for (const RegisterDecl& reg : design.registers) {
     model->add_register(reg.name, reg.initial.has_value()
@@ -152,7 +140,7 @@ std::unique_ptr<rtl::RtModel> build_model(const Design& design,
     }
   }
 
-  if (schedule) {
+  if (schedule != nullptr) {
     for (const ScheduleLevel& level : schedule->levels) {
       for (const TransInstance& instance : level.fires) {
         model->add_transfer(instance.step, instance.phase,
@@ -169,6 +157,41 @@ std::unique_ptr<rtl::RtModel> build_model(const Design& design,
                         endpoint_signal(*model, instance.sink), instance.name());
   }
   return model;
+}
+
+}  // namespace
+
+std::unique_ptr<rtl::RtModel> build_model(const Design& design,
+                                          rtl::TransferMode mode) {
+  // Compiled mode elaborates from the statically lowered schedule:
+  // `lower_schedule` validates the design (including the no-cr-fires
+  // restriction) and groups the TRANS instances per (step, phase) level —
+  // the symbolic form of the engine's action tables. Instance declaration
+  // order is preserved within each level, which is all the compiled engine
+  // needs for event-order parity with the process-based modes.
+  if (mode == rtl::TransferMode::kCompiled) {
+    const StaticSchedule schedule = lower_schedule(design);
+    return elaborate(design, &schedule, mode);
+  }
+  common::DiagnosticBag diags;
+  if (!validate(design, diags)) {
+    throw std::invalid_argument("design '" + design.name +
+                                "' does not validate:\n" + diags.to_text());
+  }
+  return elaborate(design, nullptr, mode);
+}
+
+std::unique_ptr<rtl::RtModel> build_model(const CompiledDesign& compiled,
+                                          rtl::TransferMode mode) {
+  if (mode == rtl::TransferMode::kCompiled) {
+    return elaborate(compiled.design, &compiled.schedule, mode);
+  }
+  common::DiagnosticBag diags;
+  if (!validate(compiled.design, diags)) {
+    throw std::invalid_argument("design '" + compiled.design.name +
+                                "' does not validate:\n" + diags.to_text());
+  }
+  return elaborate(compiled.design, nullptr, mode);
 }
 
 }  // namespace ctrtl::transfer

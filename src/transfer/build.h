@@ -4,6 +4,7 @@
 
 #include "rtl/model.h"
 #include "transfer/design.h"
+#include "transfer/schedule.h"
 
 namespace ctrtl::transfer {
 
@@ -20,6 +21,15 @@ namespace ctrtl::transfer {
 [[nodiscard]] std::unique_ptr<rtl::RtModel> build_model(
     const Design& design,
     rtl::TransferMode mode = rtl::TransferMode::kProcessPerTransfer);
+
+/// Elaborates from an already-lowered design: the `StaticSchedule` inside
+/// `compiled` is reused read-only instead of re-running `lower_schedule`, so
+/// batch elaboration of N compiled-mode instances lowers once, not N times
+/// (the schedule is immutable and safely shared across threads). The
+/// non-compiled modes ignore the schedule and elaborate from the tuples.
+[[nodiscard]] std::unique_ptr<rtl::RtModel> build_model(
+    const CompiledDesign& compiled,
+    rtl::TransferMode mode = rtl::TransferMode::kCompiled);
 
 /// Resolves a symbolic endpoint to its signal in an elaborated model.
 /// Throws `std::invalid_argument` when the endpoint names nothing.

@@ -155,6 +155,13 @@ StaticSchedule lower_schedule(const Design& design) {
   return schedule;
 }
 
+std::shared_ptr<const CompiledDesign> CompiledDesign::compile(Design design) {
+  auto compiled = std::make_shared<CompiledDesign>();
+  compiled->schedule = lower_schedule(design);
+  compiled->design = std::move(design);
+  return compiled;
+}
+
 std::string to_text(const StaticSchedule& schedule) {
   std::ostringstream out;
   out << "static schedule '" << schedule.design_name << "' (" << schedule.cs_max

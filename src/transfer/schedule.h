@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,20 @@ struct StaticSchedule {
 /// instance fires at phase `cr` (which has no release level — the same
 /// restriction `rtl::RtModel::add_transfer` enforces in compiled mode).
 [[nodiscard]] StaticSchedule lower_schedule(const Design& design);
+
+/// A design paired with its statically lowered schedule, lowered exactly
+/// once. Every consumer — per-instance compiled models, the lane engine,
+/// tools — shares the same immutable tables read-only; the shared_ptr makes
+/// the sharing explicit across `rtl::BatchRunner` instances and worker
+/// threads (lowering N times for an N-instance batch was pure elaboration
+/// overhead, see build_model(const CompiledDesign&)).
+struct CompiledDesign {
+  Design design;
+  StaticSchedule schedule;
+
+  /// Validates and lowers `design` (throws like `lower_schedule`).
+  [[nodiscard]] static std::shared_ptr<const CompiledDesign> compile(Design design);
+};
 
 /// Human-readable rendering, one line per occupied level:
 ///   "step 5 ra   | R1.out -> B1, R2.out -> B2"

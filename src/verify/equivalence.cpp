@@ -5,7 +5,9 @@
 #include <sstream>
 #include <tuple>
 
+#include "rtl/lane_engine.h"
 #include "transfer/build.h"
+#include "transfer/schedule.h"
 
 namespace ctrtl::verify {
 
@@ -89,14 +91,24 @@ CheckReport check_engine_equivalence(
     const std::map<std::string, std::int64_t>& inputs) {
   CheckReport report;
 
+  // The trace must be declared after the model: its destructor unregisters
+  // from the model's scheduler, so it has to die first (a tuple would
+  // destroy the model head-first and leave the recorder unregistering from
+  // a freed scheduler — caught by the TSan CI job).
+  struct EngineRun {
+    std::unique_ptr<rtl::RtModel> model;
+    std::unique_ptr<TraceRecorder> trace;
+    rtl::RunResult result;
+  };
   const auto run_with = [&](rtl::TransferMode mode) {
-    auto model = transfer::build_model(design, mode);
+    EngineRun run;
+    run.model = transfer::build_model(design, mode);
     for (const auto& [name, value] : inputs) {
-      model->set_input(name, rtl::RtValue::of(value));
+      run.model->set_input(name, rtl::RtValue::of(value));
     }
-    auto trace = std::make_unique<TraceRecorder>(model->scheduler());
-    rtl::RunResult result = model->run();
-    return std::tuple(std::move(model), std::move(trace), std::move(result));
+    run.trace = std::make_unique<TraceRecorder>(run.model->scheduler());
+    run.result = run.model->run();
+    return run;
   };
   const auto [event_model, event_trace, event_result] =
       run_with(rtl::TransferMode::kProcessPerTransfer);
@@ -171,6 +183,79 @@ CheckReport check_engine_equivalence(
     }
     report.mismatches.push_back(out.str());
   }
+
+  // Side 3: the lane engine — the same design lowered once into the shared
+  // action table and executed as structure-of-arrays lanes. Its contract is
+  // InstanceResult equality with the event kernel, so compare against the
+  // event side both as a single-lane block and as an inner lane of a wider
+  // block (the latter catches cross-lane indexing mistakes a lone lane
+  // cannot expose).
+  rtl::InstanceResult event_instance;
+  event_instance.cycles = event_result.cycles;
+  event_instance.stats = event_result.stats;
+  event_instance.conflicts = event_result.conflicts;
+  for (const auto& reg : event_model->registers()) {
+    event_instance.registers.emplace_back(reg->name(), reg->value());
+  }
+  const rtl::BatchInputProvider provider = [&inputs](std::size_t) {
+    std::vector<std::pair<std::string, rtl::RtValue>> pairs;
+    pairs.reserve(inputs.size());
+    for (const auto& [name, value] : inputs) {
+      pairs.emplace_back(name, rtl::RtValue::of(value));
+    }
+    return pairs;
+  };
+  const rtl::LaneEngine lane_engine(transfer::CompiledDesign::compile(design));
+  const auto check_lane = [&](const rtl::InstanceResult& lane,
+                              const std::string& label) {
+    if (lane == event_instance) {
+      return;
+    }
+    if (lane.registers != event_instance.registers) {
+      std::ostringstream out;
+      out << label << ": register values differ; event {";
+      for (const auto& [name, value] : event_instance.registers) {
+        out << " " << name << "=" << rtl::to_string(value);
+      }
+      out << " } lanes {";
+      for (const auto& [name, value] : lane.registers) {
+        out << " " << name << "=" << rtl::to_string(value);
+      }
+      out << " }";
+      report.mismatches.push_back(out.str());
+    }
+    if (lane.conflicts != event_instance.conflicts) {
+      std::ostringstream out;
+      out << label << ": conflict records differ; event {";
+      for (const rtl::Conflict& c : event_instance.conflicts) {
+        out << " [" << rtl::to_string(c) << "]";
+      }
+      out << " } lanes {";
+      for (const rtl::Conflict& c : lane.conflicts) {
+        out << " [" << rtl::to_string(c) << "]";
+      }
+      out << " }";
+      report.mismatches.push_back(out.str());
+    }
+    const auto lane_counter = [&](const char* name, std::uint64_t event_count,
+                                  std::uint64_t lane_count) {
+      if (event_count != lane_count) {
+        report.mismatches.push_back(label + ": " + name + " differ: event " +
+                                    std::to_string(event_count) + ", lanes " +
+                                    std::to_string(lane_count));
+      }
+    };
+    lane_counter("cycles", event_instance.cycles, lane.cycles);
+    lane_counter("delta_cycles", event_instance.stats.delta_cycles,
+                 lane.stats.delta_cycles);
+    lane_counter("events", event_instance.stats.events, lane.stats.events);
+    lane_counter("updates", event_instance.stats.updates, lane.stats.updates);
+    lane_counter("transactions", event_instance.stats.transactions,
+                 lane.stats.transactions);
+  };
+  check_lane(lane_engine.run_block(0, 1, provider)[0], "lane engine (1 lane)");
+  check_lane(lane_engine.run_block(0, 3, provider)[1],
+             "lane engine (lane 1 of 3)");
   return report;
 }
 

@@ -41,6 +41,10 @@ struct CheckReport {
 ///   - delta-cycle counts and the event/update/transaction counters,
 ///   - the complete signal-event trace (every event, in order, with the
 ///     same SimTime — i.e. VCD output is identical).
+///
+/// The lane engine (`rtl::LaneEngine`) is checked as a third side against
+/// the event kernel — final registers, ordered conflicts, and all counters,
+/// both as a single-lane block and as an inner lane of a multi-lane block.
 [[nodiscard]] CheckReport check_engine_equivalence(
     const transfer::Design& design,
     const std::map<std::string, std::int64_t>& inputs = {});

@@ -10,6 +10,7 @@
 
 #include "rtl/batch_runner.h"
 #include "transfer/build.h"
+#include "transfer/schedule.h"
 #include "verify/random_design.h"
 
 namespace ctrtl {
@@ -245,7 +246,46 @@ TEST(SignalResolution, PaperTableThroughBothDispatchPaths) {
 }
 
 TEST(BatchRunner, NullFactoryRejected) {
-  EXPECT_THROW(rtl::BatchRunner(nullptr, {}), std::invalid_argument);
+  EXPECT_THROW(
+      rtl::BatchRunner(rtl::BatchRunner::ModelFactory{}, rtl::BatchRunOptions{}),
+      std::invalid_argument);
+}
+
+TEST(BatchRunner, NullDesignRejected) {
+  EXPECT_THROW(rtl::BatchRunner(
+                   std::shared_ptr<const transfer::CompiledDesign>{}, {}),
+               std::invalid_argument);
+}
+
+TEST(BatchRunner, LaneEngineRequiresSharedDesign) {
+  EXPECT_THROW(
+      rtl::BatchRunner(
+          design_factory(8),
+          rtl::BatchRunOptions{.engine = rtl::BatchEngineKind::kCompiledLanes}),
+      std::invalid_argument);
+}
+
+TEST(BatchRunner, LaneBatchMatchesPerInstanceReference) {
+  verify::RandomDesignOptions options;
+  options.seed = 917;
+  options.num_transfers = 12;
+  const auto design =
+      transfer::CompiledDesign::compile(verify::random_design(options));
+
+  rtl::BatchRunner lanes(design, rtl::BatchRunOptions{
+                                     .workers = 2,
+                                     .engine = rtl::BatchEngineKind::kCompiledLanes,
+                                     .lane_block = 4});
+  rtl::BatchRunner reference(design, rtl::BatchRunOptions{.workers = 2});
+
+  constexpr std::size_t kInstances = 11;  // deliberately not a block multiple
+  const rtl::BatchRunResult lane_result = lanes.run(kInstances);
+  const rtl::BatchRunResult reference_result = reference.run(kInstances);
+  ASSERT_EQ(lane_result.instances.size(), kInstances);
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    EXPECT_EQ(lane_result.instances[i], reference_result.instances[i])
+        << "instance " << i;
+  }
 }
 
 TEST(BatchRunner, FactoryExceptionPropagates) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "rtl/batch_runner.h"
+#include "rtl/lane_engine.h"
 #include "transfer/build.h"
+#include "transfer/schedule.h"
 #include "verify/equivalence.h"
 #include "verify/random_design.h"
 #include "verify/trace.h"
@@ -38,9 +40,11 @@ TEST(EngineEquivalence, Fig1WithBusConflict) {
   EXPECT_TRUE(report.consistent()) << report.to_text();
 }
 
-/// The differential sweep: seeded random designs, run through both engines,
-/// must agree on registers, conflicts (exact order), delta cycles, kernel
-/// counters, and the complete event trace.
+/// The differential sweep: seeded random designs, run through all engines
+/// (`check_engine_equivalence` covers the event kernel, the compiled engine,
+/// and the lane engine), must agree on registers, conflicts (exact order),
+/// delta cycles, kernel counters, and — for the per-instance engines — the
+/// complete event trace.
 class EngineSweepTest : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(EngineSweepTest, CleanDesignsAgree) {
@@ -129,6 +133,121 @@ TEST(EngineEquivalence, DispatchModeAlsoAgreesWithCompiled) {
   EXPECT_EQ(dispatch_result.cycles, compiled_result.cycles);
   EXPECT_EQ(dispatch_result.conflicts, compiled_result.conflicts);
   EXPECT_EQ(dispatch_result.registers, compiled_result.registers);
+}
+
+// --- lane engine ------------------------------------------------------------
+
+/// fig1 with one operand replaced by an external input, so lanes carry
+/// genuinely different data through the same shared schedule.
+Design lane_input_design() {
+  Design d;
+  d.name = "lane_input";
+  d.cs_max = 3;
+  d.registers = {{"R1", 1}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}};
+  d.inputs = {{"X"}};
+  RegisterTransfer t;
+  t.operand_a = transfer::OperandPath{transfer::Endpoint::register_out("R1"), "B1"};
+  t.operand_b = transfer::OperandPath{transfer::Endpoint::input("X"), "B2"};
+  t.read_step = 1;
+  t.module = "ADD";
+  t.write_step = 2;
+  t.write_bus = "B1";
+  t.destination = "R1";
+  d.transfers = {t};
+  return d;
+}
+
+TEST(LaneEngine, PerInstanceInputsFlowThroughLanes) {
+  const Design design = lane_input_design();
+  const rtl::BatchInputProvider provider = [](std::size_t instance) {
+    return std::vector<std::pair<std::string, rtl::RtValue>>{
+        {"X", rtl::RtValue::of(static_cast<std::int64_t>(instance) * 10)}};
+  };
+  rtl::BatchRunner lanes(transfer::CompiledDesign::compile(design),
+                         {.workers = 2,
+                          .engine = rtl::BatchEngineKind::kCompiledLanes,
+                          .lane_block = 4},
+                         provider);
+  const rtl::BatchRunResult batch = lanes.run(10);
+  ASSERT_EQ(batch.instances.size(), 10u);
+  for (std::size_t i = 0; i < batch.instances.size(); ++i) {
+    // Event-kernel reference with the same instance input.
+    auto model = transfer::build_model(design, rtl::TransferMode::kProcessPerTransfer);
+    model->set_input("X", rtl::RtValue::of(static_cast<std::int64_t>(i) * 10));
+    const rtl::InstanceResult reference = rtl::run_instance(*model);
+    EXPECT_EQ(batch.instances[i], reference) << "instance " << i;
+    ASSERT_EQ(batch.instances[i].registers.size(), 1u);
+    EXPECT_EQ(batch.instances[i].registers[0].second,
+              rtl::RtValue::of(1 + static_cast<std::int64_t>(i) * 10))
+        << "instance " << i;
+  }
+}
+
+TEST(LaneEngine, BatchResultByteStableAcrossWorkerCounts) {
+  // The lane shard size is fixed (not derived from the worker count), so the
+  // whole BatchRunResult — per-instance registers, conflict order, every
+  // counter — must be identical for 1, 2, and 4 workers.
+  RandomDesignOptions options;
+  options.seed = 42;
+  options.num_transfers = 12;
+  options.inject_conflicts = true;
+  const auto design = transfer::CompiledDesign::compile(random_design(options));
+
+  std::vector<rtl::BatchRunResult> results;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    rtl::BatchRunner runner(design,
+                            {.workers = workers,
+                             .engine = rtl::BatchEngineKind::kCompiledLanes,
+                             .lane_block = 8});
+    results.push_back(runner.run(37));  // not a multiple of the block size
+  }
+  EXPECT_GT(results[0].conflict_count(), 0u)
+      << "conflict-injected design must surface ILLEGAL events";
+  for (std::size_t variant = 1; variant < results.size(); ++variant) {
+    ASSERT_EQ(results[variant].instances.size(), results[0].instances.size());
+    for (std::size_t i = 0; i < results[0].instances.size(); ++i) {
+      EXPECT_EQ(results[variant].instances[i], results[0].instances[i])
+          << "worker variant " << variant << ", instance " << i;
+    }
+    EXPECT_EQ(results[variant].total.updates, results[0].total.updates);
+    EXPECT_EQ(results[variant].total.events, results[0].total.events);
+    EXPECT_EQ(results[variant].total.transactions, results[0].total.transactions);
+  }
+}
+
+TEST(LaneEngine, TableStatsReflectLoweredDesign) {
+  const rtl::LaneEngine engine(transfer::CompiledDesign::compile(fig1_design()));
+  const rtl::LaneEngine::TableStats stats = engine.table_stats();
+  // fig1: 7 steps x 6 phases + the trailing latch cycle.
+  EXPECT_EQ(stats.cycles, 7u * 6u + 1u);
+  // R1.in/out, R2.in/out, B1, B2, ADD.in1/in2/out.
+  EXPECT_EQ(stats.signals, 9u);
+  // Sinks: B1 (2 drivers), B2, ADD.in1, ADD.in2, R1.in.
+  EXPECT_EQ(stats.resolved_sinks, 5u);
+  EXPECT_EQ(stats.drivers, 6u);
+  // One fire and one release per TRANS instance of the tuple.
+  EXPECT_EQ(stats.fire_actions, 6u);
+  EXPECT_EQ(stats.release_actions, 6u);
+  EXPECT_EQ(stats.modules, 1u);
+  EXPECT_EQ(stats.registers, 2u);
+}
+
+TEST(LaneEngine, SharedScheduleLoweredOnce) {
+  // CompiledDesign lowers at compile() time; both the lane engine and any
+  // number of per-instance elaborations reuse the same immutable tables.
+  const auto design = transfer::CompiledDesign::compile(fig1_design());
+  EXPECT_EQ(design->schedule.cs_max, 7u);
+  EXPECT_EQ(design->schedule.occupancy.instances, 6u);
+  const rtl::LaneEngine engine(design);
+  EXPECT_EQ(&engine.compiled(), design.get());
+  auto model = transfer::build_model(*design);  // shares design->schedule
+  const rtl::InstanceResult reference = rtl::run_instance(*model);
+  const std::vector<rtl::InstanceResult> lane =
+      engine.run_block(0, 1, nullptr);
+  ASSERT_EQ(lane.size(), 1u);
+  EXPECT_EQ(lane[0], reference);
 }
 
 }  // namespace

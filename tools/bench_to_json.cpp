@@ -25,6 +25,7 @@
 #include "clocked/translate.h"
 #include "rtl/batch_runner.h"
 #include "transfer/build.h"
+#include "transfer/schedule.h"
 #include "verify/random_design.h"
 
 namespace {
@@ -37,7 +38,7 @@ struct Entry {
   std::size_t workers = 1;
   std::size_t instances = 1;
   int repetitions = 1;
-  double wall_ms = 0.0;  // best-of-repetitions for one execution
+  double wall_ms = 0.0;  // median-of-repetitions for one execution
   double steps = 0.0;    // work items per execution
   [[nodiscard]] double throughput() const {
     return wall_ms > 0.0 ? steps / (wall_ms / 1000.0) : 0.0;
@@ -60,20 +61,25 @@ transfer::Design instance_design(std::size_t instance, unsigned transfers) {
   return verify::random_design(options);
 }
 
-/// Best-of-N wall time of `body`, in milliseconds.
+/// Median-of-N wall time of `body`, in milliseconds. The median is robust
+/// against one-off scheduler hiccups in either direction, unlike the
+/// best-of sample this tool used before PR 4.
 template <typename F>
-double time_best_ms(int repetitions, F&& body) {
-  double best = 0.0;
+double time_median_ms(int repetitions, F&& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(std::max(1, repetitions)));
   for (int rep = 0; rep < repetitions; ++rep) {
     const auto start = std::chrono::steady_clock::now();
     body();
     const std::chrono::duration<double, std::milli> elapsed =
         std::chrono::steady_clock::now() - start;
-    if (rep == 0 || elapsed.count() < best) {
-      best = elapsed.count();
-    }
+    samples.push_back(elapsed.count());
   }
-  return best;
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
 Entry measure_single_instance(const Config& config, rtl::TransferMode mode,
@@ -88,7 +94,7 @@ Entry measure_single_instance(const Config& config, rtl::TransferMode mode,
       },
       rtl::BatchRunOptions{.workers = 1});
   std::uint64_t deltas = 0;
-  entry.wall_ms = time_best_ms(entry.repetitions, [&] {
+  entry.wall_ms = time_median_ms(entry.repetitions, [&] {
     const rtl::InstanceResult result = runner.run_one(0);
     deltas = result.stats.delta_cycles;
   });
@@ -110,8 +116,34 @@ Entry measure_batch(const Config& config, std::size_t workers,
       },
       rtl::BatchRunOptions{.workers = workers});
   std::uint64_t deltas = 0;
-  entry.wall_ms = time_best_ms(entry.repetitions, [&] {
+  entry.wall_ms = time_median_ms(entry.repetitions, [&] {
     const rtl::BatchRunResult result = runner.run(config.batch_instances);
+    deltas = result.total.delta_cycles;
+  });
+  entry.steps = static_cast<double>(deltas) / rtl::kPhasesPerStep;
+  return entry;
+}
+
+/// Shared-design batch (E12): every instance is the SAME design, lowered
+/// once into a `CompiledDesign`. `kCompiledLanes` runs it on the SoA lane
+/// engine; `kPerInstance` elaborates one compiled model per instance from
+/// the shared schedule — the baseline side of the lane ablation at
+/// identical work.
+Entry measure_shared_batch(
+    const Config& config,
+    const std::shared_ptr<const transfer::CompiledDesign>& design,
+    std::size_t workers, std::size_t instances, rtl::BatchEngineKind engine,
+    std::string name) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.workers = workers;
+  entry.instances = instances;
+  entry.repetitions = config.repetitions;
+  rtl::BatchRunner runner(
+      design, rtl::BatchRunOptions{.workers = workers, .engine = engine});
+  std::uint64_t deltas = 0;
+  entry.wall_ms = time_median_ms(entry.repetitions, [&] {
+    const rtl::BatchRunResult result = runner.run(instances);
     deltas = result.total.delta_cycles;
   });
   entry.steps = static_cast<double>(deltas) / rtl::kPhasesPerStep;
@@ -134,7 +166,7 @@ std::vector<Entry> measure_vs_clocked(const Config& config) {
     entry.name = name;
     entry.repetitions = config.repetitions;
     std::uint64_t deltas = 0;
-    entry.wall_ms = time_best_ms(entry.repetitions, [&] {
+    entry.wall_ms = time_median_ms(entry.repetitions, [&] {
       auto model = transfer::build_model(design, mode);
       deltas = model->run().stats.delta_cycles;
     });
@@ -148,7 +180,7 @@ std::vector<Entry> measure_vs_clocked(const Config& config) {
   clocked_entry.repetitions = config.repetitions;
   const clocked::TranslationPlan plan = clocked::plan_translation(design);
   unsigned cycles = 0;
-  clocked_entry.wall_ms = time_best_ms(clocked_entry.repetitions, [&] {
+  clocked_entry.wall_ms = time_median_ms(clocked_entry.repetitions, [&] {
     baseline::ClockedRtlSim sim(plan);
     cycles = sim.run().clock_cycles;
   });
@@ -159,9 +191,10 @@ std::vector<Entry> measure_vs_clocked(const Config& config) {
 
 void emit_json(std::ostream& os, const Config& config,
                const std::vector<Entry>& entries) {
-  const auto one_worker_baseline = [&](const std::string& name) {
+  const auto one_worker_baseline = [&](const std::string& name,
+                                       std::size_t instances) {
     return std::find_if(entries.begin(), entries.end(), [&](const Entry& e) {
-      return e.name == name && e.workers == 1;
+      return e.name == name && e.workers == 1 && e.instances == instances;
     });
   };
   os << "{\n"
@@ -184,8 +217,9 @@ void emit_json(std::ostream& os, const Config& config,
        << ", \"repetitions\": " << e.repetitions << ", \"wall_ms\": " << e.wall_ms
        << ", \"steps\": " << e.steps
        << ", \"throughput_steps_per_s\": " << e.throughput();
-    if (e.name == "batch" || e.name == "batch_compiled") {
-      const auto baseline = one_worker_baseline(e.name);
+    if (e.name == "batch" || e.name == "batch_compiled" ||
+        e.name == "batch_compiled_shared" || e.name == "batch_lanes") {
+      const auto baseline = one_worker_baseline(e.name, e.instances);
       if (baseline != entries.end() && baseline->throughput() > 0.0) {
         os << ", \"speedup_vs_1worker\": "
            << e.throughput() / baseline->throughput();
@@ -237,6 +271,25 @@ int main(int argc, char** argv) {
   for (const std::size_t workers : worker_counts) {
     entries.push_back(measure_batch(config, workers, rtl::TransferMode::kCompiled,
                                     "batch_compiled"));
+  }
+  // E12: the lane engine vs per-instance models of one shared design. The
+  // worker sweep is fixed at {1, 2, 4, 8} so the JSON shape is stable across
+  // hosts; on machines with fewer cores the higher counts simply tie.
+  const auto shared_design =
+      transfer::CompiledDesign::compile(instance_design(0, config.transfers));
+  const std::vector<std::size_t> lane_workers = {1, 2, 4, 8};
+  const std::vector<std::size_t> lane_instances =
+      config.quick ? std::vector<std::size_t>{8, 32}
+                   : std::vector<std::size_t>{64, 256};
+  for (const std::size_t instances : lane_instances) {
+    for (const std::size_t workers : lane_workers) {
+      entries.push_back(measure_shared_batch(
+          config, shared_design, workers, instances,
+          rtl::BatchEngineKind::kPerInstance, "batch_compiled_shared"));
+      entries.push_back(measure_shared_batch(
+          config, shared_design, workers, instances,
+          rtl::BatchEngineKind::kCompiledLanes, "batch_lanes"));
+    }
   }
   for (Entry& entry : measure_vs_clocked(config)) {
     entries.push_back(entry);

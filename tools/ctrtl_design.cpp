@@ -4,18 +4,22 @@
 //   ctrtl_design <file.rtd> [--analyze] [--simulate] [--dataflow]
 //                [--emit-vhdl <out.vhd>] [--set input=value ...]
 //                [--engine=event|compiled] [--dispatch] [--vcd <out.vcd>]
+//                [--batch=N] [--workers=W]
 //
 // Validates the design, then (per flags) runs static conflict analysis,
 // symbolic dataflow extraction, simulation (with final register values and
-// conflict reports), VHDL emission, and VCD dumping.
+// conflict reports), VHDL emission, and VCD dumping. With --batch=N the
+// design is lowered once and run as N instances on the lane engine.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "rtl/batch_runner.h"
 #include "transfer/build.h"
 #include "transfer/conflict.h"
+#include "transfer/schedule.h"
 #include "transfer/text_format.h"
 #include "verify/dataflow.h"
 #include "verify/trace.h"
@@ -28,13 +32,18 @@ void usage() {
   std::fprintf(stderr,
                "usage: ctrtl_design <file.rtd> [--analyze] [--simulate] "
                "[--dataflow] [--emit-vhdl <out.vhd>] [--set input=value ...] "
-               "[--engine=event|compiled] [--dispatch] [--vcd <out.vcd>]\n"
+               "[--engine=event|compiled] [--dispatch] [--vcd <out.vcd>] "
+               "[--batch=N] [--workers=W]\n"
                "  --engine=event     event-driven kernel, one TRANS process "
                "per transfer (default)\n"
                "  --engine=compiled  compiled static-schedule engine "
                "(levelized tables, same results)\n"
                "  --dispatch         event kernel with the indexed-dispatcher "
-               "ablation\n");
+               "ablation\n"
+               "  --batch=N          run N instances on the lane engine "
+               "(shared schedule, SoA lanes)\n"
+               "  --workers=W        worker threads for --batch "
+               "(default: hardware concurrency)\n");
 }
 
 }  // namespace
@@ -46,8 +55,12 @@ int main(int argc, char** argv) {
   bool dataflow = false;
   bool dispatch = false;
   std::string engine = "event";
+  bool engine_set = false;
   std::string vhdl_out;
   std::string vcd_out;
+  std::size_t batch = 0;
+  std::size_t workers = 0;
+  bool workers_set = false;
   std::map<std::string, std::int64_t> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,9 +76,31 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--engine=", 0) == 0 ||
                (arg == "--engine" && i + 1 < argc)) {
       engine = arg == "--engine" ? argv[++i] : arg.substr(std::strlen("--engine="));
+      engine_set = true;
       if (engine != "event" && engine != "compiled") {
         std::fprintf(stderr, "--engine expects 'event' or 'compiled', got '%s'\n",
                      engine.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--batch=", 0) == 0 ||
+               (arg == "--batch" && i + 1 < argc)) {
+      const std::string count =
+          arg == "--batch" ? argv[++i] : arg.substr(std::strlen("--batch="));
+      batch = std::strtoull(count.c_str(), nullptr, 10);
+      if (batch == 0) {
+        std::fprintf(stderr, "--batch expects a positive instance count, "
+                     "got '%s'\n", count.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--workers=", 0) == 0 ||
+               (arg == "--workers" && i + 1 < argc)) {
+      const std::string count =
+          arg == "--workers" ? argv[++i] : arg.substr(std::strlen("--workers="));
+      workers = std::strtoull(count.c_str(), nullptr, 10);
+      workers_set = true;
+      if (workers == 0) {
+        std::fprintf(stderr, "--workers expects a positive thread count, "
+                     "got '%s'\n", count.c_str());
         return 1;
       }
     } else if (arg == "--emit-vhdl" && i + 1 < argc) {
@@ -99,6 +134,22 @@ int main(int argc, char** argv) {
   }
   if (dispatch && engine == "compiled") {
     std::fprintf(stderr, "--dispatch and --engine=compiled are exclusive\n");
+    return 1;
+  }
+  if (workers_set && batch == 0) {
+    std::fprintf(stderr, "--workers requires --batch=N\n");
+    return 1;
+  }
+  if (batch > 0 && (dispatch || (engine_set && engine == "event"))) {
+    // The lane engine executes the compiled shared schedule; there is no
+    // batched variant of the event kernel in this tool.
+    std::fprintf(stderr, "--batch runs the compiled lane engine; it is not "
+                 "available with --engine=event or --dispatch\n");
+    return 1;
+  }
+  if (batch > 0 && !vcd_out.empty()) {
+    std::fprintf(stderr, "--batch has no per-instance event trace; --vcd "
+                 "requires a single-instance run\n");
     return 1;
   }
 
@@ -161,6 +212,49 @@ int main(int argc, char** argv) {
     } catch (const std::exception& error) {
       std::fprintf(stderr, "VHDL emission failed: %s\n", error.what());
       return 1;
+    }
+  }
+
+  if (batch > 0) {
+    // Lane-engine batch: lower the schedule once, run `batch` instances as
+    // structure-of-arrays lanes sharded across `workers` threads. The --set
+    // inputs apply to every instance.
+    ctrtl::rtl::BatchInputProvider provider;
+    if (!inputs.empty()) {
+      provider = [&inputs](std::size_t) {
+        std::vector<std::pair<std::string, ctrtl::rtl::RtValue>> pairs;
+        pairs.reserve(inputs.size());
+        for (const auto& [name, value] : inputs) {
+          pairs.emplace_back(name, ctrtl::rtl::RtValue::of(value));
+        }
+        return pairs;
+      };
+    }
+    try {
+      ctrtl::rtl::BatchRunner runner(
+          ctrtl::transfer::CompiledDesign::compile(design),
+          ctrtl::rtl::BatchRunOptions{
+              .workers = workers,
+              .engine = ctrtl::rtl::BatchEngineKind::kCompiledLanes},
+          provider);
+      const ctrtl::rtl::BatchRunResult result = runner.run(batch);
+      std::printf("batched: %zu instances, %zu workers, %llu delta cycles, "
+                  "%llu events, %llu conflicts, lane engine\n",
+                  result.instances.size(), runner.worker_count(),
+                  static_cast<unsigned long long>(result.total.delta_cycles),
+                  static_cast<unsigned long long>(result.total.events),
+                  static_cast<unsigned long long>(result.conflict_count()));
+      for (const auto& conflict : result.instances.front().conflicts) {
+        std::printf("  instance 0: %s\n", to_string(conflict).c_str());
+      }
+      std::printf("final register values (instance 0):\n");
+      for (const auto& [name, value] : result.instances.front().registers) {
+        std::printf("  %-12s %s\n", name.c_str(), to_string(value).c_str());
+      }
+      return result.conflict_count() == 0 ? 0 : 3;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "batch run failed: %s\n", error.what());
+      return 2;
     }
   }
 

@@ -33,7 +33,11 @@ void usage() {
                "interpreted VHDL processes do not,\n"
                "                     so ctrtl_sim rejects it (use "
                "ctrtl_design --engine=compiled\n"
-               "                     on a .rtd design file instead)\n");
+               "                     on a .rtd design file instead)\n"
+               "  --batch/--workers  not available here — batched lane "
+               "execution needs a static\n"
+               "                     schedule (use ctrtl_design --batch=N "
+               "on a .rtd file)\n");
 }
 
 }  // namespace
@@ -59,6 +63,17 @@ int main(int argc, char** argv) {
       vcd_path = argv[++i];
     } else if (arg == "--max-cycles" && i + 1 < argc) {
       max_cycles = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--batch", 0) == 0 || arg.rfind("--workers", 0) == 0) {
+      // Mirror the --engine=compiled rejection: batching rides on the lane
+      // engine's shared compiled schedule, which interpreted VHDL lacks.
+      std::fprintf(stderr,
+                   "ctrtl_sim: %s is not available for interpreted VHDL "
+                   "input — batched lane execution requires a static "
+                   "transfer schedule shared by every instance.\n"
+                   "Use 'ctrtl_design <file.rtd> --batch=N [--workers=W]' "
+                   "on a register-transfer design file instead.\n",
+                   arg.c_str());
+      return 1;
     } else if (arg.rfind("--engine=", 0) == 0 ||
                (arg == "--engine" && i + 1 < argc)) {
       engine = arg == "--engine" ? argv[++i] : arg.substr(std::strlen("--engine="));
