@@ -1,0 +1,9 @@
+# Fault plan for examples/rtd/fig1.rtd: inject a second driver onto B1 in
+# control step 5, phase ra — exactly when R1 is driving it toward the ADD
+# module. Both contributions are non-DISC, so the bus resolves to ILLEGAL
+# and the conflict recorder fires at (5, rb).
+#
+# Run with:
+#   ctrtl_design examples/rtd/fig1.rtd --simulate \
+#       --fault-plan=examples/faults/fig1_force.fp
+force-bus B1 = 99 @5:ra

@@ -26,5 +26,21 @@ for b in "$BUILD"/bench/*; do
   fi
 done 2>&1 | tee bench_output.txt
 
+echo "=== fault-sweep smoke ==="
+# Guarded-execution spot checks on the shipped example design: an injected
+# bus contention must exit 3 with a conflict record, and an armed watchdog
+# must exit 4 with the structured trip diagnostic (see docs/ROBUSTNESS.md).
+# The full 30-design x 5-kind differential sweep runs under ctest above
+# (fault_sweep_test).
+{
+  "$BUILD"/tools/ctrtl_design examples/rtd/fig1.rtd --simulate \
+    --fault-plan=examples/faults/fig1_force.fp && exit_code=0 || exit_code=$?
+  [ "$exit_code" -eq 3 ] || { echo "fault-plan smoke: expected exit 3, got $exit_code"; exit 1; }
+  "$BUILD"/tools/ctrtl_design examples/rtd/fig1.rtd --simulate \
+    --max-delta-cycles=10 && exit_code=0 || exit_code=$?
+  [ "$exit_code" -eq 4 ] || { echo "watchdog smoke: expected exit 4, got $exit_code"; exit 1; }
+  echo "fault-sweep smoke: ok"
+} 2>&1 | tee fault_smoke_output.txt
+
 echo "=== bench smoke (JSON harness) ==="
 "$(dirname "$0")/bench_smoke.sh" "$BUILD"

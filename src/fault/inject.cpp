@@ -1,0 +1,191 @@
+#include "fault/inject.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "transfer/build.h"
+#include "transfer/mapping.h"
+
+namespace ctrtl::fault {
+
+namespace {
+
+using transfer::Endpoint;
+using transfer::TransInstance;
+
+/// The constant source carrying a forced value. Constants are shared by
+/// value across the plan's faults; names avoid collisions with the design's
+/// own constants ("__fault0", "__fault1", ...).
+const std::string& fault_constant(FaultedDesign& out,
+                                  std::map<std::int64_t, std::string>& by_value,
+                                  std::int64_t value) {
+  const auto it = by_value.find(value);
+  if (it != by_value.end()) {
+    return it->second;
+  }
+  std::size_t n = 0;
+  std::string name;
+  do {
+    name = "__fault" + std::to_string(n++);
+  } while (out.design.find_constant(name) != nullptr);
+  out.design.constants.push_back(transfer::ConstantDecl{name, value});
+  return by_value.emplace(value, std::move(name)).first->second;
+}
+
+bool step_matches(const FaultSpec& spec, const TransInstance& instance) {
+  return spec.step == 0 || instance.step == spec.step;
+}
+
+}  // namespace
+
+std::optional<FaultedDesign> apply_plan(const transfer::Design& design,
+                                        const FaultPlan& plan,
+                                        common::DiagnosticBag& diags) {
+  FaultedDesign out;
+  out.design = design;
+  out.instances = transfer::to_instances(design.transfers);
+  std::map<std::int64_t, std::string> constants_by_value;
+
+  for (const FaultSpec& spec : plan.faults) {
+    const std::string label = to_string(spec);
+    if (spec.step > design.cs_max) {
+      diags.error("fault '" + label + "': step " + std::to_string(spec.step) +
+                  " outside 1.." + std::to_string(design.cs_max));
+      continue;
+    }
+    switch (spec.kind) {
+      case FaultKind::kStuckDisc: {
+        if (design.find_register(spec.target) == nullptr) {
+          diags.error("fault '" + label + "': no register named '" +
+                      spec.target + "'");
+          break;
+        }
+        const Endpoint source = Endpoint::register_out(spec.target);
+        const std::size_t before = out.instances.size();
+        std::erase_if(out.instances, [&](const TransInstance& instance) {
+          return instance.source == source && step_matches(spec, instance);
+        });
+        const std::size_t removed = before - out.instances.size();
+        out.dropped += removed;
+        if (removed == 0) {
+          diags.warning("fault '" + label + "' matched no transfer");
+        }
+        break;
+      }
+      case FaultKind::kStuckIllegal: {
+        if (design.find_register(spec.target) == nullptr) {
+          diags.error("fault '" + label + "': no register named '" +
+                      spec.target + "'");
+          break;
+        }
+        const Endpoint source = Endpoint::register_out(spec.target);
+        // Collect first, then append: every matched read fire gains two
+        // extra non-DISC contributions on its sink, which pins the resolved
+        // value at ILLEGAL (resolve_rt counts contributions) exactly where
+        // the stuck register drove.
+        std::vector<TransInstance> extra;
+        for (const TransInstance& instance : out.instances) {
+          if (instance.source == source && step_matches(spec, instance)) {
+            for (const std::int64_t value : {0, 1}) {
+              extra.push_back(TransInstance{
+                  instance.step, instance.phase,
+                  Endpoint::constant(
+                      fault_constant(out, constants_by_value, value)),
+                  instance.sink});
+            }
+          }
+        }
+        if (extra.empty()) {
+          diags.warning("fault '" + label + "' matched no transfer");
+        }
+        out.inserted += extra.size();
+        for (TransInstance& instance : extra) {
+          out.instances.push_back(std::move(instance));
+        }
+        break;
+      }
+      case FaultKind::kForceBus: {
+        if (!design.has_bus(spec.target)) {
+          diags.error("fault '" + label + "': no bus named '" + spec.target +
+                      "'");
+          break;
+        }
+        if (spec.step == 0 || !spec.phase.has_value()) {
+          diags.error("fault '" + label +
+                      "': force-bus needs an explicit step and phase");
+          break;
+        }
+        if (*spec.phase == rtl::Phase::kCm || *spec.phase == rtl::kPhaseHigh) {
+          diags.error("fault '" + label +
+                      "': force-bus phase must be ra, rb, wa, or wb");
+          break;
+        }
+        out.instances.push_back(TransInstance{
+            spec.step, *spec.phase,
+            Endpoint::constant(
+                fault_constant(out, constants_by_value, spec.value)),
+            Endpoint::bus(spec.target)});
+        ++out.inserted;
+        break;
+      }
+      case FaultKind::kDropTransfer: {
+        Endpoint sink;
+        try {
+          sink = transfer::parse_endpoint(spec.target);
+        } catch (const std::exception& error) {
+          diags.error("fault '" + label + "': " + error.what());
+          break;
+        }
+        const std::size_t before = out.instances.size();
+        std::erase_if(out.instances, [&](const TransInstance& instance) {
+          return instance.sink == sink && instance.step == spec.step &&
+                 (!spec.phase.has_value() || instance.phase == *spec.phase);
+        });
+        const std::size_t removed = before - out.instances.size();
+        out.dropped += removed;
+        if (removed == 0) {
+          diags.warning("fault '" + label + "' matched no transfer");
+        }
+        break;
+      }
+      case FaultKind::kCorruptModule: {
+        if (design.find_module(spec.target) == nullptr) {
+          diags.error("fault '" + label + "': no module named '" +
+                      spec.target + "'");
+          break;
+        }
+        const Endpoint source = Endpoint::module_out(spec.target);
+        std::size_t rewritten = 0;
+        for (TransInstance& instance : out.instances) {
+          if (instance.source == source && step_matches(spec, instance)) {
+            instance.source = Endpoint::constant(
+                fault_constant(out, constants_by_value, spec.value));
+            ++rewritten;
+          }
+        }
+        out.rewritten += rewritten;
+        if (rewritten == 0) {
+          diags.warning("fault '" + label + "' matched no transfer");
+        }
+        break;
+      }
+    }
+  }
+  if (diags.has_errors()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::unique_ptr<rtl::RtModel> build_model(const FaultedDesign& faulted,
+                                          rtl::TransferMode mode) {
+  return transfer::build_model(faulted.design, faulted.instances, mode);
+}
+
+std::shared_ptr<const transfer::CompiledDesign> compile(
+    const FaultedDesign& faulted) {
+  return transfer::CompiledDesign::compile(faulted.design, faulted.instances);
+}
+
+}  // namespace ctrtl::fault

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "fault/plan.h"
+#include "rtl/model.h"
+#include "transfer/design.h"
+#include "transfer/schedule.h"
+
+namespace ctrtl::fault {
+
+/// A design with a fault plan applied: the (possibly extended) design — new
+/// `__faultN` constants provide the forced values — plus the transformed
+/// TRANS instance stream. Faults are *instance-stream transformations*
+/// (drop, rewrite-source, append), so every engine consuming the pair
+/// `(design, instances)` observes the identical faulted behaviour; that is
+/// what makes the fault-sweep equivalence check meaningful.
+struct FaultedDesign {
+  transfer::Design design;
+  std::vector<transfer::TransInstance> instances;
+
+  /// Transformation counts, for reporting ("dropped 2, inserted 3").
+  std::size_t dropped = 0;
+  std::size_t rewritten = 0;
+  std::size_t inserted = 0;
+};
+
+/// Applies `plan` to `design`'s canonical instance stream. Unknown targets,
+/// out-of-range steps, and phases outside ra/rb/wa/wb (for force-bus) are
+/// errors — reported into `diags`, returning nullopt. A fault that matches
+/// nothing is a warning (the plan ran, the fault just had no effect site).
+/// Appended instances go at the end of the stream, so they are last within
+/// their (step, phase) level on every engine alike.
+[[nodiscard]] std::optional<FaultedDesign> apply_plan(
+    const transfer::Design& design, const FaultPlan& plan,
+    common::DiagnosticBag& diags);
+
+/// Engine facade: elaborates the faulted pair for the event-driven modes
+/// (or compiled mode) — `transfer::build_model` over the explicit stream.
+[[nodiscard]] std::unique_ptr<rtl::RtModel> build_model(
+    const FaultedDesign& faulted,
+    rtl::TransferMode mode = rtl::TransferMode::kProcessPerTransfer);
+
+/// Engine facade: lowers the faulted pair once for the lane engine /
+/// batch runner (`transfer::CompiledDesign::compile` over the stream).
+[[nodiscard]] std::shared_ptr<const transfer::CompiledDesign> compile(
+    const FaultedDesign& faulted);
+
+}  // namespace ctrtl::fault

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "rtl/phase.h"
+
+namespace ctrtl::fault {
+
+/// The fault repertoire. Every kind is a transformation of a design's
+/// canonical TRANS instance stream (see fault::apply_plan), so one plan has
+/// identical observable effect on all three engines by construction.
+enum class FaultKind : std::uint8_t {
+  /// Register output stuck at DISC: its read fires never happen (the
+  /// sourced values vanish from the buses — downstream sees DISC or only
+  /// the other contributors).
+  kStuckDisc,
+  /// Register output stuck at ILLEGAL: every read fire is joined by two
+  /// extra bus contributions, guaranteeing the resolved value is ILLEGAL
+  /// (>= 2 non-DISC contributions) exactly where the register drove.
+  kStuckIllegal,
+  /// An extra contribution of `value` forced onto a bus at one
+  /// (step, phase) — the classic injected-contention fault. Restricted to
+  /// the transfer phases ra/rb/wa/wb.
+  kForceBus,
+  /// The transfer(s) driving a given sink endpoint at (step[, phase]) are
+  /// dropped from the stream — the paper's "missing TRANS instance".
+  kDropTransfer,
+  /// A module's output reads are rerouted to a constant `value`: consumers
+  /// observe a corrupted result instead of the computed one.
+  kCorruptModule,
+};
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// One declarative fault: what to break (`target` — a register, bus, module,
+/// or sink-endpoint text depending on `kind`), where (`step` 0 = every step;
+/// `phase` where the kind needs one), and the forced `value` for kForceBus /
+/// kCorruptModule.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kStuckDisc;
+  std::string target;
+  unsigned step = 0;
+  std::optional<rtl::Phase> phase;
+  std::int64_t value = 0;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// Round-trippable rendering in the plan-file grammar (see parse_fault_plan).
+[[nodiscard]] std::string to_string(const FaultSpec& spec);
+
+/// A declarative set of faults applied together to one design.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// One fault per line.
+[[nodiscard]] std::string to_text(const FaultPlan& plan);
+
+/// Parses the line-oriented plan grammar ('#' starts a comment, blank lines
+/// are skipped):
+///
+///   stuck-disc <register> [@<step>]
+///   stuck-illegal <register> [@<step>]
+///   force-bus <bus> = <value> @<step>:<phase>     (phase: ra|rb|wa|wb)
+///   drop <sink-endpoint> @<step>[:<phase>]        (endpoint: "B1", "R1.in", ...)
+///   corrupt-module <module> = <value> [@<step>]
+///
+/// Malformed lines are reported into `diags` (anchored to their line number)
+/// and skipped; the well-formed remainder is still returned, so callers gate
+/// on `diags.has_errors()`.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& text,
+                                         common::DiagnosticBag& diags);
+
+}  // namespace ctrtl::fault

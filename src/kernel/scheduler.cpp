@@ -120,7 +120,12 @@ bool Scheduler::step() {
   triggered_scratch_.clear();
 
   if (pending_head_ != nullptr) {
-    // Delta cycle: physical time does not advance.
+    // Delta cycle: physical time does not advance. The watchdog counts
+    // consecutive deltas at one physical time: now_.delta is exactly that
+    // count, so trip when executing the next delta would exceed the bound.
+    if (now_.delta >= max_delta_cycles_) {
+      throw WatchdogError(max_delta_cycles_, now_.delta + 1);
+    }
     ++now_.delta;
     ++stats_.delta_cycles;
   } else if (!timed_.empty()) {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 #include <queue>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,28 @@
 #include "kernel/time.h"
 
 namespace ctrtl::kernel {
+
+/// Thrown by `Scheduler::step` when the consecutive-delta-cycle watchdog
+/// trips: the model scheduled yet another delta cycle after `limit()` of
+/// them ran back-to-back at unchanged physical time. `next_delta()` is the
+/// delta ordinal that would have executed next — callers with a phase map
+/// (rtl::Controller) can pin it to a (control step, phase).
+class WatchdogError : public std::runtime_error {
+ public:
+  WatchdogError(std::uint64_t limit, std::uint64_t next_delta)
+      : std::runtime_error(
+            "delta-cycle watchdog: limit of " + std::to_string(limit) +
+            " delta cycles reached without quiescence"),
+        limit_(limit),
+        next_delta_(next_delta) {}
+
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+  [[nodiscard]] std::uint64_t next_delta() const { return next_delta_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t next_delta_;
+};
 
 /// Discrete-event scheduler implementing the VHDL simulation cycle for the
 /// feature set used by the paper's subset (plus physical time for the
@@ -67,6 +90,16 @@ class Scheduler {
 
   /// One simulation cycle; returns false when quiescent (nothing ran).
   bool step();
+
+  /// Arms the delta-cycle watchdog: once `limit` consecutive delta cycles
+  /// have run at one physical time and the model schedules yet another,
+  /// `step` throws WatchdogError instead of executing it (non-convergence
+  /// becomes a structured diagnostic, not a hang). Timed cycles reset the
+  /// consecutive count (`now().delta` returns to zero). kNoLimit disarms.
+  void set_max_delta_cycles(std::uint64_t limit) { max_delta_cycles_ = limit; }
+  [[nodiscard]] std::uint64_t max_delta_cycles() const {
+    return max_delta_cycles_;
+  }
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] const KernelStats& stats() const { return stats_; }
@@ -148,6 +181,7 @@ class Scheduler {
 
   SimTime now_;
   KernelStats stats_;
+  std::uint64_t max_delta_cycles_ = kNoLimit;
   std::uint64_t epoch_ = 0;
   bool initialized_ = false;
   std::exception_ptr pending_exception_;

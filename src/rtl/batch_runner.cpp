@@ -9,12 +9,33 @@
 
 namespace ctrtl::rtl {
 
-InstanceResult run_instance(RtModel& model, std::uint64_t max_cycles) {
+namespace {
+
+common::Diagnostic error_diagnostic(std::string message) {
+  common::Diagnostic diag;
+  diag.severity = common::Severity::kError;
+  diag.message = std::move(message);
+  return diag;
+}
+
+}  // namespace
+
+InstanceResult run_instance(RtModel& model, const RunOptions& options) {
   InstanceResult result;
-  RunResult run = model.run(max_cycles);
-  result.cycles = run.cycles;
-  result.stats = run.stats;
-  result.conflicts = std::move(run.conflicts);
+  try {
+    RunResult run = model.run(options);
+    result.cycles = run.cycles;
+    result.stats = run.stats;
+    result.conflicts = std::move(run.conflicts);
+    result.report = std::move(run.report);
+  } catch (const std::exception& error) {
+    // The simulation threw (a process exception, not a watchdog trip —
+    // those are already folded into the report by RtModel::run). The model
+    // object is still alive, so the register snapshot below is the valid
+    // partial result at the failure point.
+    result.report.status = RunStatus::kError;
+    result.report.diagnostics.push_back(error_diagnostic(error.what()));
+  }
   result.registers.reserve(model.registers().size());
   for (const auto& reg : model.registers()) {
     result.registers.emplace_back(reg->name(), reg->value());
@@ -66,12 +87,27 @@ BatchRunner::BatchRunner(std::shared_ptr<const transfer::CompiledDesign> design,
 BatchRunner::~BatchRunner() = default;
 
 InstanceResult BatchRunner::run_one(std::size_t instance) const {
-  const std::unique_ptr<RtModel> model = factory_(instance);
+  std::unique_ptr<RtModel> model;
+  try {
+    model = factory_(instance);
+  } catch (const std::exception& error) {
+    // A throwing factory (or input provider inside the design-based
+    // factory) is an instance-level failure: isolate it so the rest of the
+    // batch completes. There is no model, so there is nothing to snapshot.
+    InstanceResult result;
+    result.report.status = RunStatus::kError;
+    result.report.diagnostics.push_back(error_diagnostic(error.what()));
+    return result;
+  }
   if (!model) {
+    // Returning null is caller misuse of the factory contract, not an
+    // instance failure — keep throwing.
     throw std::invalid_argument("model factory returned null for instance " +
                                 std::to_string(instance));
   }
-  return run_instance(*model, options_.max_cycles);
+  return run_instance(
+      *model, RunOptions{.max_cycles = options_.max_cycles,
+                         .max_delta_cycles = options_.max_delta_cycles});
 }
 
 BatchRunResult BatchRunner::run(std::size_t count) {
@@ -82,8 +118,35 @@ BatchRunResult BatchRunner::run(std::size_t count) {
     std::vector<std::vector<InstanceResult>> blocks =
         engine_.map<std::vector<InstanceResult>>(jobs, [&](std::size_t job) {
           const std::size_t first = job * shard;
-          return lane_engine_->run_block(first, std::min(shard, count - first),
-                                         inputs_, options_.max_cycles);
+          const std::size_t width = std::min(shard, count - first);
+          try {
+            return lane_engine_->run_block(first, width, inputs_,
+                                           options_.max_cycles,
+                                           options_.max_delta_cycles);
+          } catch (const std::exception&) {
+            // One lane poisoned the whole SoA block (typically its input
+            // provider threw). Isolate by re-running the block one lane at
+            // a time: single-lane results equal multi-lane results by the
+            // lane contract, so healthy instances are byte-identical to the
+            // un-failed run and only the offender reports an error.
+            std::vector<InstanceResult> isolated;
+            isolated.reserve(width);
+            for (std::size_t i = 0; i < width; ++i) {
+              try {
+                std::vector<InstanceResult> one = lane_engine_->run_block(
+                    first + i, 1, inputs_, options_.max_cycles,
+                    options_.max_delta_cycles);
+                isolated.push_back(std::move(one[0]));
+              } catch (const std::exception& error) {
+                InstanceResult failed;
+                failed.report.status = RunStatus::kError;
+                failed.report.diagnostics.push_back(
+                    error_diagnostic(error.what()));
+                isolated.push_back(std::move(failed));
+              }
+            }
+            return isolated;
+          }
         });
     result.instances.reserve(count);
     for (std::vector<InstanceResult>& block_results : blocks) {

@@ -43,6 +43,10 @@ struct BatchRunOptions {
   std::size_t workers = 0;
   /// Cycle limit applied to every instance (`RtModel::run` semantics).
   std::uint64_t max_cycles = kernel::Scheduler::kNoLimit;
+  /// Delta-cycle watchdog limit applied to every instance
+  /// (`RunOptions::max_delta_cycles` semantics): a non-converging instance
+  /// ends with a kWatchdogTripped report instead of hanging its worker.
+  std::uint64_t max_delta_cycles = kernel::Scheduler::kNoLimit;
   /// Execution engine; `kCompiledLanes` requires the design-based
   /// constructor.
   BatchEngineKind engine = BatchEngineKind::kPerInstance;
@@ -66,11 +70,16 @@ struct InstanceResult {
   std::vector<Conflict> conflicts;
   /// (register name, final value), in elaboration order.
   std::vector<std::pair<std::string, RtValue>> registers;
+  /// Guarded-execution outcome: kOk, kWatchdogTripped, or kError (the
+  /// instance threw — its exception was caught at the instance boundary and
+  /// the rest of the batch kept running). Non-ok results still carry the
+  /// partial registers/conflicts observed up to the failure point.
+  RunReport report;
 
   friend bool operator==(const InstanceResult& a, const InstanceResult& b) {
     // Stats are timing-dependent only in wall_time_ns; compare behaviour.
     return a.cycles == b.cycles && a.conflicts == b.conflicts &&
-           a.registers == b.registers &&
+           a.registers == b.registers && a.report == b.report &&
            a.stats.delta_cycles == b.stats.delta_cycles &&
            a.stats.events == b.stats.events &&
            a.stats.updates == b.stats.updates &&
@@ -94,6 +103,15 @@ struct BatchRunResult {
     }
     return count;
   }
+
+  /// Instances whose report is not kOk (watchdog trips + errors).
+  [[nodiscard]] std::size_t failure_count() const {
+    std::size_t count = 0;
+    for (const InstanceResult& instance : instances) {
+      count += instance.report.ok() ? 0 : 1;
+    }
+    return count;
+  }
 };
 
 /// Runs N independent instances of a clock-free design across a worker pool.
@@ -114,6 +132,13 @@ struct BatchRunResult {
 /// (ignoring wall time) for any worker count, and per-instance equal to n
 /// sequential `run_one` calls. Factories and input providers must be
 /// thread-safe — they are invoked concurrently with distinct indices.
+///
+/// Isolation guarantee: one misbehaving instance cannot take down the
+/// batch. An instance that throws (factory, input provider, or simulation)
+/// or trips the delta-cycle watchdog yields an `InstanceResult` whose
+/// `report` records the failure with its diagnostics, while every other
+/// instance completes normally — and the result stays byte-stable across
+/// worker counts.
 class BatchRunner {
  public:
   using ModelFactory = std::function<std::unique_ptr<RtModel>(std::size_t instance)>;
@@ -156,7 +181,11 @@ class BatchRunner {
 };
 
 /// Simulates an already-built model and snapshots its observable state.
-[[nodiscard]] InstanceResult run_instance(
-    RtModel& model, std::uint64_t max_cycles = kernel::Scheduler::kNoLimit);
+/// Guarded: a simulation exception is caught at this boundary and reported
+/// as `result.report` (status kError, message in the diagnostics) with the
+/// registers snapshotted as they stood; a watchdog trip arrives the same
+/// way with status kWatchdogTripped.
+[[nodiscard]] InstanceResult run_instance(RtModel& model,
+                                          const RunOptions& options = {});
 
 }  // namespace ctrtl::rtl

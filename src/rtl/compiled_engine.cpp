@@ -325,7 +325,8 @@ void CompiledEngine::execute_cycle(std::uint64_t ordinal, RunResult& result,
   stats.transactions += plan.controller_transactions;
 }
 
-RunResult CompiledEngine::run(std::uint64_t max_cycles) {
+RunResult CompiledEngine::run(std::uint64_t max_cycles,
+                              std::uint64_t max_delta_cycles) {
   const auto start = std::chrono::steady_clock::now();
   kernel::KernelStats& stats = scheduler_.external_stats();
   const kernel::KernelStats before = stats;
@@ -347,6 +348,18 @@ RunResult CompiledEngine::run(std::uint64_t max_cycles) {
   while (executed < max_cycles && cursor_ <= last) {
     if (cursor_ == last && !trailing_cycle_needed()) {
       break;  // quiescent: the final cr latched nothing and released nothing
+    }
+    // Watchdog: cursor_ - 1 delta cycles have run in total (matching the
+    // event scheduler's now().delta); trip instead of executing ordinal
+    // cursor_ once that count reaches the bound. Checked after the
+    // quiescence break (a finished model never trips) and inside the
+    // max_cycles bound (the silent cap wins when the two coincide), exactly
+    // like the event path.
+    if (cursor_ - 1 >= max_delta_cycles) {
+      result.report.status = RunStatus::kWatchdogTripped;
+      result.report.diagnostics.push_back(
+          watchdog_diagnostic(max_delta_cycles, cursor_));
+      break;
     }
     execute_cycle(cursor_, result, observers);
     ++cursor_;

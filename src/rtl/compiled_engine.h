@@ -60,8 +60,13 @@ class CompiledEngine {
   /// Executes up to `max_cycles` delta cycles (all of them by default),
   /// continuing where a previous partial run stopped. Equivalent to
   /// `Scheduler::run` plus the conflict recorder of the event-driven
-  /// `RtModel::run`.
-  RunResult run(std::uint64_t max_cycles = kernel::Scheduler::kNoLimit);
+  /// `RtModel::run`. `max_delta_cycles` arms the watchdog: once that many
+  /// delta cycles have executed in total and more work remains, the run
+  /// stops with a kWatchdogTripped report instead of executing further —
+  /// the same trip point and diagnostic the event scheduler produces. The
+  /// `max_cycles` bound is checked first, mirroring `Scheduler::run`.
+  RunResult run(std::uint64_t max_cycles = kernel::Scheduler::kNoLimit,
+                std::uint64_t max_delta_cycles = kernel::Scheduler::kNoLimit);
 
   /// Sizes of the precomputed tables (diagnostics, tests, tools).
   struct TableStats {

@@ -436,10 +436,9 @@ void LaneEngine::execute_cycle(std::uint64_t ordinal, LaneBlock& block) const {
   }
 }
 
-std::vector<InstanceResult> LaneEngine::run_block(std::size_t first_instance,
-                                                  std::size_t lanes,
-                                                  const InputProvider& inputs,
-                                                  std::uint64_t max_cycles) const {
+std::vector<InstanceResult> LaneEngine::run_block(
+    std::size_t first_instance, std::size_t lanes, const InputProvider& inputs,
+    std::uint64_t max_cycles, std::uint64_t max_delta_cycles) const {
   const auto start = std::chrono::steady_clock::now();
   std::vector<InstanceResult> results(lanes);
   if (lanes == 0) {
@@ -515,7 +514,20 @@ std::vector<InstanceResult> LaneEngine::run_block(std::size_t first_instance,
 
   std::uint64_t executed = 0;
   std::uint64_t cursor = 1;
+  // Watchdog bookkeeping: `executed` matches the event scheduler's
+  // now().delta and the compiled engine's cursor_ - 1, so the trip point —
+  // executing the next cycle would exceed the bound while work remains —
+  // lands on the same ordinal on all three engines. The max_cycles bound is
+  // checked first (silent cap wins when the two coincide), and a mid-wheel
+  // trip hits every lane: controller work is pending for all of them.
+  bool tripped_wheel = false;
+  std::uint64_t trip_ordinal = 0;
   while (executed < max_cycles && cursor <= wheel_cycles_) {
+    if (executed >= max_delta_cycles) {
+      tripped_wheel = true;
+      trip_ordinal = cursor;
+      break;
+    }
     execute_cycle(cursor, block);
     uniform_updates += plan_[cursor].uniform_updates;
     uniform_events += plan_[cursor].uniform_events;
@@ -529,7 +541,12 @@ std::vector<InstanceResult> LaneEngine::run_block(std::size_t first_instance,
   // With static updates pending (releases from final-step wb fires) every
   // lane executes it; otherwise only lanes whose final cr latched something.
   std::vector<std::uint8_t> trailing(lanes, 0);
-  if (executed < max_cycles && cursor == wheel_cycles_ + 1) {
+  std::vector<std::uint8_t> lane_tripped(lanes, 0);
+  if (tripped_wheel) {
+    std::fill(lane_tripped.begin(), lane_tripped.end(),
+              static_cast<std::uint8_t>(1));
+  }
+  if (!tripped_wheel && executed < max_cycles && cursor == wheel_cycles_ + 1) {
     bool any = false;
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       bool needed = trailing_has_static_updates_;
@@ -539,7 +556,17 @@ std::vector<InstanceResult> LaneEngine::run_block(std::size_t first_instance,
       trailing[lane] = needed ? 1 : 0;
       any = any || needed;
     }
-    if (any) {
+    if (any && executed >= max_delta_cycles) {
+      // The trailing cycle would exceed the bound: the lanes that still had
+      // work trip (the event scheduler throws at exactly this point), the
+      // already-quiescent lanes finish clean. `executed` is lane-uniform,
+      // so this split is deterministic.
+      trip_ordinal = wheel_cycles_ + 1;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        lane_tripped[lane] = trailing[lane];
+        trailing[lane] = 0;
+      }
+    } else if (any) {
       // Safe over non-participating lanes: their register latches are clean
       // and sink updates only exist when every lane participates.
       execute_cycle(wheel_cycles_ + 1, block);
@@ -568,6 +595,11 @@ std::vector<InstanceResult> LaneEngine::run_block(std::size_t first_instance,
     result.stats.transactions = uniform_transactions + block.lane_transactions[lane];
     result.stats.wall_time_ns = elapsed_ns / lanes;  // amortized block time
     result.conflicts = std::move(block.conflicts[lane]);
+    if (lane_tripped[lane] != 0) {
+      result.report.status = RunStatus::kWatchdogTripped;
+      result.report.diagnostics.push_back(
+          watchdog_diagnostic(max_delta_cycles, trip_ordinal));
+    }
     result.registers.reserve(registers_.size());
     for (const RegisterTable& reg : registers_) {
       result.registers.emplace_back(

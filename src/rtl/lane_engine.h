@@ -61,11 +61,15 @@ class LaneEngine {
   /// SoA lockstep and returns their results indexed by lane (so slot `i`
   /// is instance `first_instance + i`). Thread-safe: `const`, all mutable
   /// state is local to the call. `max_cycles` has `RtModel::run` semantics
-  /// applied to every lane.
+  /// applied to every lane; `max_delta_cycles` arms the per-lane watchdog
+  /// (`RunOptions::max_delta_cycles` semantics) — a trip marks the affected
+  /// lanes' reports kWatchdogTripped with the same diagnostic the other
+  /// engines emit, while already-quiescent lanes stay kOk.
   [[nodiscard]] std::vector<InstanceResult> run_block(
       std::size_t first_instance, std::size_t lanes,
       const InputProvider& inputs,
-      std::uint64_t max_cycles = kernel::Scheduler::kNoLimit) const;
+      std::uint64_t max_cycles = kernel::Scheduler::kNoLimit,
+      std::uint64_t max_delta_cycles = kernel::Scheduler::kNoLimit) const;
 
   /// Sizes of the shared lowered tables (diagnostics, tests, tools).
   /// Everything here is per-design, independent of the lane count.

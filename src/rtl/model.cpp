@@ -222,6 +222,10 @@ void RtModel::monitor(RtSignal& signal) {
 }
 
 RunResult RtModel::run(std::uint64_t max_cycles) {
+  return run(RunOptions{.max_cycles = max_cycles});
+}
+
+RunResult RtModel::run(const RunOptions& options) {
   if (mode_ == TransferMode::kCompiled) {
     if (compiled_engine_ == nullptr) {
       compiled_engine_ = std::make_unique<CompiledEngine>(
@@ -231,7 +235,7 @@ RunResult RtModel::run(std::uint64_t max_cycles) {
     // The engine records conflicts itself (it knows which update entries hit
     // monitored signals), so the event-observer-based recorder below is not
     // attached; trace/VCD observers still fire through the scheduler.
-    return compiled_engine_->run(max_cycles);
+    return compiled_engine_->run(options.max_cycles, options.max_delta_cycles);
   }
   RunResult result;
   const std::size_t observer = scheduler_->add_event_observer(
@@ -246,7 +250,22 @@ RunResult RtModel::run(std::uint64_t max_cycles) {
         result.conflicts.push_back(Conflict{signal.name(), step, phase});
       });
   const kernel::KernelStats before = scheduler_->stats();
-  result.cycles = scheduler_->run(max_cycles);
+  const std::uint64_t saved_limit = scheduler_->max_delta_cycles();
+  scheduler_->set_max_delta_cycles(options.max_delta_cycles);
+  try {
+    result.cycles = scheduler_->run(options.max_cycles);
+  } catch (const kernel::WatchdogError& error) {
+    // Non-convergence becomes a structured report, not an escape: the model
+    // stays usable and everything up to the trip point is a valid partial
+    // result. The scheduler's run loop counted one step() per cycle; rebuild
+    // the count from the stats window (each cycle is delta or timed).
+    result.report.status = RunStatus::kWatchdogTripped;
+    result.report.diagnostics.push_back(
+        watchdog_diagnostic(error.limit(), error.next_delta()));
+    const kernel::KernelStats so_far = scheduler_->stats() - before;
+    result.cycles = so_far.delta_cycles + so_far.timed_cycles;
+  }
+  scheduler_->set_max_delta_cycles(saved_limit);
   result.stats = scheduler_->stats() - before;
   scheduler_->remove_event_observer(observer);
   return result;

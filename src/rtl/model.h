@@ -11,6 +11,7 @@
 #include "rtl/controller.h"
 #include "rtl/module.h"
 #include "rtl/register.h"
+#include "rtl/report.h"
 #include "rtl/transfer_process.h"
 #include "rtl/value.h"
 
@@ -32,11 +33,24 @@ struct Conflict {
 /// "conflict on B1 at step 5, phase rb (driven at ra)"
 std::string to_string(const Conflict& conflict);
 
+/// Bounds for a guarded run. `max_cycles` is the historical silent cap (the
+/// run simply stops); `max_delta_cycles` arms the watchdog, which converts
+/// non-convergence into a `RunReport` diagnostic with (step, phase)
+/// provenance. When both bounds coincide the silent cap wins: the loop bound
+/// is checked before the watchdog on every engine, which keeps their reports
+/// byte-equal.
+struct RunOptions {
+  std::uint64_t max_cycles = kernel::Scheduler::kNoLimit;
+  std::uint64_t max_delta_cycles = kernel::Scheduler::kNoLimit;
+};
+
 /// Outcome of simulating an `RtModel`.
 struct RunResult {
   kernel::KernelStats stats;
   std::uint64_t cycles = 0;
   std::vector<Conflict> conflicts;
+  /// Guarded-execution outcome; `report.ok()` unless the watchdog tripped.
+  RunReport report;
 
   [[nodiscard]] bool conflict_free() const { return conflicts.empty(); }
 };
@@ -154,6 +168,13 @@ class RtModel {
   /// Runs to quiescence (or `max_cycles`), returning statistics and all
   /// observed conflicts.
   RunResult run(std::uint64_t max_cycles = kernel::Scheduler::kNoLimit);
+
+  /// Guarded run: like `run(max_cycles)` but with the delta-cycle watchdog
+  /// armed per `options.max_delta_cycles`. A trip does not throw — it ends
+  /// the run with `result.report.status == RunStatus::kWatchdogTripped` and
+  /// a diagnostic locating the next (control step, phase); registers and
+  /// conflicts up to the trip point remain valid partial results.
+  RunResult run(const RunOptions& options);
 
   /// The transfers recorded for the compiled engine (kCompiled mode only;
   /// empty otherwise).

@@ -1,0 +1,44 @@
+#include "rtl/report.h"
+
+#include <sstream>
+
+#include "rtl/controller.h"
+
+namespace ctrtl::rtl {
+
+std::string to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kWatchdogTripped:
+      return "watchdog-tripped";
+    case RunStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string RunReport::to_text() const {
+  std::ostringstream out;
+  out << "status: " << to_string(status) << '\n';
+  for (const common::Diagnostic& diag : diagnostics) {
+    out << common::to_string(diag) << '\n';
+  }
+  return out.str();
+}
+
+common::Diagnostic watchdog_diagnostic(std::uint64_t limit,
+                                       std::uint64_t ordinal) {
+  const auto [step, phase] = Controller::locate(ordinal);
+  common::Diagnostic diag;
+  diag.severity = common::Severity::kError;
+  std::ostringstream message;
+  message << "delta-cycle watchdog tripped: limit of " << limit
+          << " delta cycles reached; next delta cycle (ordinal " << ordinal
+          << ") realizes control step " << step << ", phase "
+          << phase_name(phase);
+  diag.message = message.str();
+  return diag;
+}
+
+}  // namespace ctrtl::rtl

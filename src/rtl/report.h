@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.h"
+
+namespace ctrtl::rtl {
+
+/// How a guarded simulation run ended.
+enum class RunStatus : std::uint8_t {
+  /// Ran to quiescence (or the caller's max_cycles bound) without incident.
+  kOk = 0,
+  /// The delta-cycle watchdog converted non-convergence into a diagnostic:
+  /// the run stopped at the configured bound instead of spinning. Partial
+  /// results (registers, conflicts, counters up to the trip point) are valid.
+  kWatchdogTripped,
+  /// The simulation threw; the diagnostics carry the exception text. Partial
+  /// results reflect the state when the error surfaced.
+  kError,
+};
+
+/// "ok", "watchdog-tripped", "error".
+[[nodiscard]] std::string to_string(RunStatus status);
+
+/// Structured outcome of a guarded run: the status plus any diagnostics with
+/// (control step, phase) provenance. Identical across engines — the event
+/// kernel, the compiled engine, and the lane engine produce byte-equal
+/// reports for the same instance and the same bounds.
+struct RunReport {
+  RunStatus status = RunStatus::kOk;
+  std::vector<common::Diagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
+  /// "status: watchdog-tripped" followed by one diagnostic per line.
+  [[nodiscard]] std::string to_text() const;
+
+  friend bool operator==(const RunReport&, const RunReport&) = default;
+};
+
+/// The canonical watchdog diagnostic, shared by all three engines so the
+/// reports compare byte-equal: `limit` is the configured bound, `ordinal`
+/// the delta cycle that would have run next. `Controller::locate` pins the
+/// ordinal to its (control step, phase) — the paper's delta-cycle/phase
+/// bijection applied to the diagnostic itself.
+[[nodiscard]] common::Diagnostic watchdog_diagnostic(std::uint64_t limit,
+                                                     std::uint64_t ordinal);
+
+}  // namespace ctrtl::rtl

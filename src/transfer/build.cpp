@@ -102,11 +102,12 @@ std::map<std::string, unsigned> latency_map(const Design& design) {
 
 namespace {
 
-/// Shared elaboration body: `schedule` is non-null exactly in compiled mode
-/// (lowered by the caller, possibly once for a whole batch of instances).
-std::unique_ptr<rtl::RtModel> elaborate(const Design& design,
-                                        const StaticSchedule* schedule,
-                                        rtl::TransferMode mode) {
+/// Resource elaboration shared by every build path: registers, buses,
+/// constants (including the implicit op-code constants derived from the
+/// design's tuples), inputs, and modules — everything except the TRANS
+/// instances themselves.
+std::unique_ptr<rtl::RtModel> elaborate_resources(const Design& design,
+                                                  rtl::TransferMode mode) {
   auto model = std::make_unique<rtl::RtModel>(design.cs_max, mode);
   for (const RegisterDecl& reg : design.registers) {
     model->add_register(reg.name, reg.initial.has_value()
@@ -139,7 +140,15 @@ std::unique_ptr<rtl::RtModel> elaborate(const Design& design,
       model->add_constant(name, code);
     }
   }
+  return model;
+}
 
+/// Shared elaboration body: `schedule` is non-null exactly in compiled mode
+/// (lowered by the caller, possibly once for a whole batch of instances).
+std::unique_ptr<rtl::RtModel> elaborate(const Design& design,
+                                        const StaticSchedule* schedule,
+                                        rtl::TransferMode mode) {
+  auto model = elaborate_resources(design, mode);
   if (schedule != nullptr) {
     for (const ScheduleLevel& level : schedule->levels) {
       for (const TransInstance& instance : level.fires) {
@@ -179,6 +188,28 @@ std::unique_ptr<rtl::RtModel> build_model(const Design& design,
                                 "' does not validate:\n" + diags.to_text());
   }
   return elaborate(design, nullptr, mode);
+}
+
+std::unique_ptr<rtl::RtModel> build_model(const Design& design,
+                                          std::span<const TransInstance> instances,
+                                          rtl::TransferMode mode) {
+  if (mode == rtl::TransferMode::kCompiled) {
+    const StaticSchedule schedule =
+        lower_schedule(design, {instances.begin(), instances.end()});
+    return elaborate(design, &schedule, mode);
+  }
+  common::DiagnosticBag diags;
+  if (!validate(design, diags)) {
+    throw std::invalid_argument("design '" + design.name +
+                                "' does not validate:\n" + diags.to_text());
+  }
+  auto model = elaborate_resources(design, mode);
+  for (const TransInstance& instance : instances) {
+    model->add_transfer(instance.step, instance.phase,
+                        endpoint_signal(*model, instance.source),
+                        endpoint_signal(*model, instance.sink), instance.name());
+  }
+  return model;
 }
 
 std::unique_ptr<rtl::RtModel> build_model(const CompiledDesign& compiled,

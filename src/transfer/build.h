@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "rtl/model.h"
 #include "transfer/design.h"
@@ -20,6 +21,17 @@ namespace ctrtl::transfer {
 /// through `transfer::lower_schedule` — see transfer/schedule.h).
 [[nodiscard]] std::unique_ptr<rtl::RtModel> build_model(
     const Design& design,
+    rtl::TransferMode mode = rtl::TransferMode::kProcessPerTransfer);
+
+/// Elaborates `design`'s resources but instantiates the explicit TRANS
+/// `instances` stream instead of expanding the design's own tuples — the
+/// fault-injection path (`fault::apply_plan` transforms the canonical
+/// stream). The op-code constants still derive from the design's tuples, so
+/// op-port instances resolve regardless of how the stream was transformed.
+/// Stream order is the spawn order (and intra-level lowering order in
+/// compiled mode), preserving engine parity for any transformed stream.
+[[nodiscard]] std::unique_ptr<rtl::RtModel> build_model(
+    const Design& design, std::span<const TransInstance> instances,
     rtl::TransferMode mode = rtl::TransferMode::kProcessPerTransfer);
 
 /// Elaborates from an already-lowered design: the `StaticSchedule` inside

@@ -113,6 +113,11 @@ const ScheduleLevel* StaticSchedule::level(unsigned step, rtl::Phase phase) cons
 }
 
 StaticSchedule lower_schedule(const Design& design) {
+  return lower_schedule(design, to_instances(design.transfers));
+}
+
+StaticSchedule lower_schedule(const Design& design,
+                              std::vector<TransInstance> instances) {
   common::DiagnosticBag diags;
   if (!validate(design, diags)) {
     throw std::invalid_argument("design '" + design.name +
@@ -131,7 +136,7 @@ StaticSchedule lower_schedule(const Design& design) {
         rtl::phase_from_index(static_cast<int>(i % rtl::kPhasesPerStep));
   }
 
-  for (TransInstance& instance : to_instances(design.transfers)) {
+  for (TransInstance& instance : instances) {
     if (instance.phase == rtl::kPhaseHigh) {
       throw std::invalid_argument("instance '" + instance.name() +
                                   "' fires at phase cr, which has no release "
@@ -158,6 +163,14 @@ StaticSchedule lower_schedule(const Design& design) {
 std::shared_ptr<const CompiledDesign> CompiledDesign::compile(Design design) {
   auto compiled = std::make_shared<CompiledDesign>();
   compiled->schedule = lower_schedule(design);
+  compiled->design = std::move(design);
+  return compiled;
+}
+
+std::shared_ptr<const CompiledDesign> CompiledDesign::compile(
+    Design design, std::vector<TransInstance> instances) {
+  auto compiled = std::make_shared<CompiledDesign>();
+  compiled->schedule = lower_schedule(design, std::move(instances));
   compiled->design = std::move(design);
   return compiled;
 }

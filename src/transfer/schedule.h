@@ -59,6 +59,15 @@ struct StaticSchedule {
 /// restriction `rtl::RtModel::add_transfer` enforces in compiled mode).
 [[nodiscard]] StaticSchedule lower_schedule(const Design& design);
 
+/// Same lowering, but from an explicit TRANS instance stream instead of the
+/// design's own tuples. This is the fault-injection entry point: a
+/// `fault::FaultPlan` transforms the canonical instance stream (drop,
+/// rewrite, append) and the transformed stream must reach every engine
+/// unchanged. Stream order is preserved within each level — instances keep
+/// the relative order the equivalent TRANS processes would be spawned in.
+[[nodiscard]] StaticSchedule lower_schedule(const Design& design,
+                                            std::vector<TransInstance> instances);
+
 /// A design paired with its statically lowered schedule, lowered exactly
 /// once. Every consumer — per-instance compiled models, the lane engine,
 /// tools — shares the same immutable tables read-only; the shared_ptr makes
@@ -71,6 +80,11 @@ struct CompiledDesign {
 
   /// Validates and lowers `design` (throws like `lower_schedule`).
   [[nodiscard]] static std::shared_ptr<const CompiledDesign> compile(Design design);
+
+  /// Validates `design` but lowers the explicit `instances` stream instead
+  /// of the design's own tuples (the fault-injection path).
+  [[nodiscard]] static std::shared_ptr<const CompiledDesign> compile(
+      Design design, std::vector<TransInstance> instances);
 };
 
 /// Human-readable rendering, one line per occupied level:

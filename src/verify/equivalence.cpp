@@ -1,6 +1,7 @@
 #include "verify/equivalence.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <tuple>
@@ -86,9 +87,18 @@ CheckReport check_consistency(const transfer::Design& design,
   return report;
 }
 
-CheckReport check_engine_equivalence(
-    const transfer::Design& design,
-    const std::map<std::string, std::int64_t>& inputs) {
+namespace {
+
+/// Shared body of the clean and fault-sweep engine-equivalence checks:
+/// `build` elaborates one side in the requested mode, `compiled` is the
+/// pre-lowered design the lane engine executes. The clean check passes the
+/// design straight through; the fault check routes both through the fault
+/// facade so every engine consumes the identical transformed stream.
+CheckReport check_engine_equivalence_impl(
+    const std::vector<transfer::RegisterDecl>& registers,
+    const std::map<std::string, std::int64_t>& inputs,
+    const std::function<std::unique_ptr<rtl::RtModel>(rtl::TransferMode)>& build,
+    std::shared_ptr<const transfer::CompiledDesign> compiled) {
   CheckReport report;
 
   // The trace must be declared after the model: its destructor unregisters
@@ -102,7 +112,7 @@ CheckReport check_engine_equivalence(
   };
   const auto run_with = [&](rtl::TransferMode mode) {
     EngineRun run;
-    run.model = transfer::build_model(design, mode);
+    run.model = build(mode);
     for (const auto& [name, value] : inputs) {
       run.model->set_input(name, rtl::RtValue::of(value));
     }
@@ -115,7 +125,7 @@ CheckReport check_engine_equivalence(
   const auto [compiled_model, compiled_trace, compiled_result] =
       run_with(rtl::TransferMode::kCompiled);
 
-  for (const transfer::RegisterDecl& decl : design.registers) {
+  for (const transfer::RegisterDecl& decl : registers) {
     const rtl::Register* event_reg = event_model->find_register(decl.name);
     const rtl::Register* compiled_reg = compiled_model->find_register(decl.name);
     if (event_reg->value() != compiled_reg->value()) {
@@ -205,7 +215,7 @@ CheckReport check_engine_equivalence(
     }
     return pairs;
   };
-  const rtl::LaneEngine lane_engine(transfer::CompiledDesign::compile(design));
+  const rtl::LaneEngine lane_engine(std::move(compiled));
   const auto check_lane = [&](const rtl::InstanceResult& lane,
                               const std::string& label) {
     if (lane == event_instance) {
@@ -257,6 +267,30 @@ CheckReport check_engine_equivalence(
   check_lane(lane_engine.run_block(0, 3, provider)[1],
              "lane engine (lane 1 of 3)");
   return report;
+}
+
+}  // namespace
+
+CheckReport check_engine_equivalence(
+    const transfer::Design& design,
+    const std::map<std::string, std::int64_t>& inputs) {
+  return check_engine_equivalence_impl(
+      design.registers, inputs,
+      [&design](rtl::TransferMode mode) {
+        return transfer::build_model(design, mode);
+      },
+      transfer::CompiledDesign::compile(design));
+}
+
+CheckReport check_engine_equivalence(
+    const fault::FaultedDesign& faulted,
+    const std::map<std::string, std::int64_t>& inputs) {
+  return check_engine_equivalence_impl(
+      faulted.design.registers, inputs,
+      [&faulted](rtl::TransferMode mode) {
+        return fault::build_model(faulted, mode);
+      },
+      fault::compile(faulted));
 }
 
 CheckReport compare_write_traces(const std::vector<RegisterWrite>& expected,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/inject.h"
 #include "transfer/design.h"
 #include "verify/semantics.h"
 #include "verify/trace.h"
@@ -47,6 +48,16 @@ struct CheckReport {
 /// both as a single-lane block and as an inner lane of a multi-lane block.
 [[nodiscard]] CheckReport check_engine_equivalence(
     const transfer::Design& design,
+    const std::map<std::string, std::int64_t>& inputs = {});
+
+/// Fault-sweep mode of the same differential check: all three engines
+/// execute the *faulted* instance stream (`fault::apply_plan` output)
+/// through the fault facade, and must agree on everything the clean check
+/// compares — registers, ordered conflicts, counters, and the full event
+/// trace. This is the tentpole property: a fault plan is an instance-stream
+/// transformation, so engine equivalence must survive any plan.
+[[nodiscard]] CheckReport check_engine_equivalence(
+    const fault::FaultedDesign& faulted,
     const std::map<std::string, std::int64_t>& inputs = {});
 
 /// Compares two register-write traces (e.g. abstract vs clocked

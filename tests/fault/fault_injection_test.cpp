@@ -1,0 +1,187 @@
+#include "fault/inject.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/plan.h"
+#include "rtl/batch_runner.h"
+#include "verify/equivalence.h"
+
+namespace ctrtl::fault {
+namespace {
+
+using transfer::Design;
+using transfer::ModuleKind;
+using transfer::RegisterTransfer;
+
+// The paper's figure 1: (R1,B1,R2,B2,5,ADD,6,B1,R1), CS_MAX = 7. Clean run
+// computes R1 := R1 + R2 = 42.
+Design fig1_design() {
+  Design d;
+  d.name = "fig1";
+  d.cs_max = 7;
+  d.registers = {{"R1", 30}, {"R2", 12}};
+  d.buses = {{"B1"}, {"B2"}};
+  d.modules = {{"ADD", ModuleKind::kAdd, 1}};
+  d.transfers = {
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1")};
+  return d;
+}
+
+FaultedDesign apply(const Design& design, const std::string& plan_text) {
+  common::DiagnosticBag diags;
+  const FaultPlan plan = parse_fault_plan(plan_text, diags);
+  auto faulted = apply_plan(design, plan, diags);
+  EXPECT_TRUE(faulted.has_value()) << diags.to_text();
+  return *faulted;
+}
+
+rtl::InstanceResult run_faulted(const FaultedDesign& faulted) {
+  auto model = build_model(faulted);
+  return rtl::run_instance(*model);
+}
+
+rtl::RtValue register_value(const rtl::InstanceResult& result,
+                            const std::string& name) {
+  for (const auto& [reg, value] : result.registers) {
+    if (reg == name) {
+      return value;
+    }
+  }
+  ADD_FAILURE() << "no register " << name;
+  return rtl::RtValue::disc();
+}
+
+TEST(FaultInjection, EmptyPlanIsIdentity) {
+  const FaultedDesign faulted = apply(fig1_design(), "");
+  EXPECT_EQ(faulted.dropped, 0u);
+  EXPECT_EQ(faulted.rewritten, 0u);
+  EXPECT_EQ(faulted.inserted, 0u);
+  const rtl::InstanceResult result = run_faulted(faulted);
+  EXPECT_TRUE(result.conflicts.empty());
+  EXPECT_EQ(register_value(result, "R1"), rtl::RtValue::of(42));
+}
+
+TEST(FaultInjection, DropWritePreservesRegister) {
+  // Dropping the write-back TRANS instance: the ADD result never reaches
+  // R1.in, so R1 keeps its initial value and nothing conflicts.
+  const FaultedDesign faulted = apply(fig1_design(), "drop R1.in @6\n");
+  EXPECT_EQ(faulted.dropped, 1u);
+  const rtl::InstanceResult result = run_faulted(faulted);
+  EXPECT_TRUE(result.conflicts.empty());
+  EXPECT_EQ(register_value(result, "R1"), rtl::RtValue::of(30));
+  EXPECT_EQ(register_value(result, "R2"), rtl::RtValue::of(12));
+}
+
+TEST(FaultInjection, StuckDiscOneOperandPoisonsModule) {
+  // R2's read fire vanishes, so the ADD sees one DISC operand — the paper's
+  // operand discipline makes it compute ILLEGAL, which propagates into R1.
+  const FaultedDesign faulted = apply(fig1_design(), "stuck-disc R2\n");
+  EXPECT_EQ(faulted.dropped, 1u);
+  const rtl::InstanceResult result = run_faulted(faulted);
+  EXPECT_FALSE(result.conflicts.empty());
+  EXPECT_TRUE(register_value(result, "R1").is_illegal());
+}
+
+TEST(FaultInjection, StuckDiscBothOperandsIsSilentIdle) {
+  // Both operands DISC: the ADD idles (DISC out, per the paper), the write
+  // fire carries DISC, and a DISC register input is "no load" — R1 keeps 30
+  // with no conflict anywhere.
+  const FaultedDesign faulted =
+      apply(fig1_design(), "stuck-disc R1\nstuck-disc R2\n");
+  EXPECT_EQ(faulted.dropped, 2u);
+  const rtl::InstanceResult result = run_faulted(faulted);
+  EXPECT_TRUE(result.conflicts.empty());
+  EXPECT_EQ(register_value(result, "R1"), rtl::RtValue::of(30));
+}
+
+TEST(FaultInjection, CorruptModuleRewritesResult) {
+  const FaultedDesign faulted =
+      apply(fig1_design(), "corrupt-module ADD = 99\n");
+  EXPECT_EQ(faulted.rewritten, 1u);
+  const rtl::InstanceResult result = run_faulted(faulted);
+  EXPECT_TRUE(result.conflicts.empty());
+  EXPECT_EQ(register_value(result, "R1"), rtl::RtValue::of(99));
+}
+
+TEST(FaultInjection, ForceBusCreatesContention) {
+  // A second contribution on B1 while R1 drives it: >= 2 non-DISC
+  // contributions resolve to ILLEGAL, visible one phase later.
+  const FaultedDesign faulted =
+      apply(fig1_design(), "force-bus B1 = 99 @5:ra\n");
+  EXPECT_EQ(faulted.inserted, 1u);
+  const rtl::InstanceResult result = run_faulted(faulted);
+  ASSERT_FALSE(result.conflicts.empty());
+  EXPECT_EQ(result.conflicts[0], (rtl::Conflict{"B1", 5, rtl::Phase::kRb}));
+  EXPECT_TRUE(register_value(result, "R1").is_illegal());
+}
+
+TEST(FaultInjection, StuckIllegalForcesContentionAtEveryRead) {
+  // Two extra constant contributions ride along with R1's read fire, so the
+  // resolved bus value is ILLEGAL regardless of R1's payload.
+  const FaultedDesign faulted = apply(fig1_design(), "stuck-illegal R1\n");
+  EXPECT_EQ(faulted.inserted, 2u);
+  const rtl::InstanceResult result = run_faulted(faulted);
+  ASSERT_FALSE(result.conflicts.empty());
+  EXPECT_EQ(result.conflicts[0], (rtl::Conflict{"B1", 5, rtl::Phase::kRb}));
+  EXPECT_TRUE(register_value(result, "R1").is_illegal());
+}
+
+TEST(FaultInjection, EveryFaultKindKeepsEngineEquivalence) {
+  // The tentpole property, spot-checked on fig1: each faulted stream must
+  // drive all three engines to identical registers, conflicts, and traces.
+  const char* plans[] = {
+      "drop R1.in @6\n",
+      "stuck-disc R2\n",
+      "stuck-disc R1\nstuck-disc R2\n",
+      "corrupt-module ADD = 99\n",
+      "force-bus B1 = 99 @5:ra\n",
+      "stuck-illegal R1\n",
+  };
+  for (const char* plan : plans) {
+    const verify::CheckReport report =
+        verify::check_engine_equivalence(apply(fig1_design(), plan));
+    EXPECT_TRUE(report.consistent()) << "plan:\n" << plan << report.to_text();
+  }
+}
+
+TEST(FaultInjection, UnknownTargetsAreErrors) {
+  const char* plans[] = {
+      "stuck-disc NOPE\n",
+      "stuck-illegal NOPE\n",
+      "force-bus NOPE = 1 @5:ra\n",
+      "corrupt-module NOPE = 1\n",
+      "drop X.bogus @5\n",   // unknown endpoint suffix
+      "stuck-disc R1 @8\n",  // step past cs_max = 7
+  };
+  for (const char* plan_text : plans) {
+    common::DiagnosticBag diags;
+    const FaultPlan plan = parse_fault_plan(plan_text, diags);
+    ASSERT_FALSE(diags.has_errors()) << plan_text << diags.to_text();
+    EXPECT_FALSE(apply_plan(fig1_design(), plan, diags).has_value())
+        << plan_text;
+    EXPECT_TRUE(diags.has_errors()) << plan_text;
+  }
+}
+
+TEST(FaultInjection, MatchlessFaultIsAWarningNotAnError) {
+  // R1 is only read at step 5; a fault pinned to step 3 hits nothing. That
+  // is a plan worth flagging but not rejecting.
+  common::DiagnosticBag diags;
+  const FaultPlan plan = parse_fault_plan("stuck-disc R1 @3\n", diags);
+  const auto faulted = apply_plan(fig1_design(), plan, diags);
+  ASSERT_TRUE(faulted.has_value()) << diags.to_text();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_FALSE(diags.empty()) << "expected a matched-nothing warning";
+  EXPECT_EQ(faulted->dropped, 0u);
+
+  // A drop whose endpoint is well-formed but dangling behaves the same way.
+  common::DiagnosticBag drop_diags;
+  const FaultPlan drop_plan = parse_fault_plan("drop NOPE.in @5\n", drop_diags);
+  const auto drop_faulted = apply_plan(fig1_design(), drop_plan, drop_diags);
+  ASSERT_TRUE(drop_faulted.has_value()) << drop_diags.to_text();
+  EXPECT_FALSE(drop_diags.has_errors());
+  EXPECT_FALSE(drop_diags.empty()) << "expected a matched-nothing warning";
+}
+
+}  // namespace
+}  // namespace ctrtl::fault

@@ -288,7 +288,10 @@ TEST(BatchRunner, LaneBatchMatchesPerInstanceReference) {
   }
 }
 
-TEST(BatchRunner, FactoryExceptionPropagates) {
+TEST(BatchRunner, FactoryExceptionIsIsolatedToItsInstance) {
+  // A throwing factory no longer aborts the batch: the exception is captured
+  // into that instance's RunReport and every other instance still completes
+  // (the full isolation contract lives in rtl_batch_isolation_test).
   rtl::BatchRunner runner(
       [](std::size_t instance) -> std::unique_ptr<rtl::RtModel> {
         if (instance == 3) {
@@ -299,7 +302,15 @@ TEST(BatchRunner, FactoryExceptionPropagates) {
         return transfer::build_model(verify::random_design(options));
       },
       rtl::BatchRunOptions{.workers = 2});
-  EXPECT_THROW(runner.run(8), std::runtime_error);
+  const rtl::BatchRunResult result = runner.run(8);
+  ASSERT_EQ(result.instances.size(), 8u);
+  EXPECT_EQ(result.failure_count(), 1u);
+  EXPECT_EQ(result.instances[3].report.status, rtl::RunStatus::kError);
+  ASSERT_EQ(result.instances[3].report.diagnostics.size(), 1u);
+  EXPECT_EQ(result.instances[3].report.diagnostics[0].message, "bad instance");
+  for (const std::size_t i : {0u, 1u, 2u, 4u, 5u, 6u, 7u}) {
+    EXPECT_TRUE(result.instances[i].report.ok()) << "instance " << i;
+  }
 }
 
 }  // namespace

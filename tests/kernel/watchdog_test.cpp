@@ -1,0 +1,106 @@
+#include "kernel/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ctrtl::kernel {
+namespace {
+
+// Two of these processes cross-wired form a zero-delay oscillator: every
+// event re-arms the other driver at the same physical time, so the model
+// never quiesces and delta cycles accumulate without bound.
+Process oscillate(Signal<int>& in, Signal<int>& out, DriverId driver) {
+  const std::vector<SignalBase*> sens = {&in};
+  for (;;) {
+    co_await wait_on(sens);
+    out.drive(driver, in.read() + 1);
+  }
+}
+
+struct Oscillator {
+  Scheduler sched;
+  Signal<int>* a = nullptr;
+  Signal<int>* b = nullptr;
+  DriverId da = 0;
+
+  Oscillator() {
+    a = &sched.make_signal<int>("a", 0);
+    b = &sched.make_signal<int>("b", 0);
+    da = a->add_driver(0);
+    const DriverId db = b->add_driver(0);
+    sched.spawn("p1", oscillate(*a, *b, db));
+    sched.spawn("p2", oscillate(*b, *a, da));
+    sched.initialize();
+  }
+
+  void kick() { a->drive(da, 1); }
+};
+
+TEST(Watchdog, TripsOnNonConvergence) {
+  Oscillator osc;
+  osc.sched.set_max_delta_cycles(10);
+  osc.kick();
+  try {
+    osc.sched.run();
+    FAIL() << "oscillator must trip the watchdog";
+  } catch (const WatchdogError& error) {
+    EXPECT_EQ(error.limit(), 10u);
+    EXPECT_EQ(error.next_delta(), 11u);
+  }
+  // Exactly `limit` delta cycles executed before the throw: the state at the
+  // trip point is a valid partial simulation, not torn mid-cycle.
+  EXPECT_EQ(osc.sched.stats().delta_cycles, 10u);
+  EXPECT_EQ(osc.a->read() + osc.b->read(), 19) << "deltas 1..10 alternated";
+}
+
+TEST(Watchdog, QuiescentRunNeverTrips) {
+  // A model that settles in N deltas runs clean under any limit >= N —
+  // including the limit exactly equal to N (the trip fires only when work
+  // is still pending past the bound).
+  for (const std::uint64_t limit : {7u, 8u, 1000u}) {
+    Scheduler sched;
+    auto& a = sched.make_signal<int>("a", 0);
+    auto& b = sched.make_signal<int>("b", 0);
+    const DriverId da = a.add_driver(0);
+    const DriverId db = b.add_driver(0);
+    auto bounded = [](Signal<int>& in, Signal<int>& out, DriverId driver,
+                      int rounds) -> Process {
+      const std::vector<SignalBase*> sens = {&in};
+      for (int i = 0; i < rounds; ++i) {
+        co_await wait_on(sens);
+        out.drive(driver, in.read() + 1);
+      }
+    };
+    sched.spawn("p1", bounded(a, b, db, 3));
+    sched.spawn("p2", bounded(b, a, da, 3));
+    sched.initialize();
+    sched.set_max_delta_cycles(limit);
+    a.drive(da, 1);
+    EXPECT_NO_THROW(sched.run()) << "limit " << limit;
+    EXPECT_EQ(sched.stats().delta_cycles, 7u);
+  }
+}
+
+TEST(Watchdog, SilentCycleCapWinsWhenBoundsCoincide) {
+  // run(max_cycles) checks its loop bound before step() ever reaches the
+  // watchdog, so equal limits stop silently — the documented tie-break that
+  // keeps the event engine aligned with the compiled/lane engines.
+  Oscillator osc;
+  osc.sched.set_max_delta_cycles(10);
+  osc.kick();
+  EXPECT_NO_THROW(osc.sched.run(10));
+  EXPECT_EQ(osc.sched.stats().delta_cycles, 10u);
+}
+
+TEST(Watchdog, DisarmedByDefault) {
+  EXPECT_EQ(Scheduler{}.max_delta_cycles(), Scheduler::kNoLimit);
+  Oscillator osc;
+  osc.kick();
+  // kNoLimit watchdog + explicit cycle cap: the historical silent stop.
+  EXPECT_NO_THROW(osc.sched.run(100));
+  EXPECT_EQ(osc.sched.stats().delta_cycles, 100u);
+}
+
+}  // namespace
+}  // namespace ctrtl::kernel

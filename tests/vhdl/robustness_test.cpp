@@ -2,6 +2,7 @@
 
 #include <random>
 
+#include "vhdl/elaborator.h"
 #include "vhdl/emitter.h"
 #include "vhdl/lexer.h"
 #include "vhdl/parser.h"
@@ -105,6 +106,74 @@ TEST_P(LexerRobustness, RandomAsciiNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LexerRobustness, ::testing::Range(1, 51));
+
+// --- full front-end negative paths ------------------------------------------
+//
+// `load_model` is the crash boundary for the whole pipeline (lex + parse +
+// subset check + elaborate): on any malformed input it must return nullptr
+// with the failure explained in the DiagnosticBag — never crash, never
+// return a half-built model silently.
+
+class FrontEndRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrontEndRobustness, MutatedSourcesFailWithDiagnosticsNotCrashes) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 69069u);
+  std::string source = standard_cells();
+  std::uniform_int_distribution<std::size_t> pos(0, source.size() - 1);
+  std::uniform_int_distribution<int> printable(32, 126);
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t at = pos(rng) % source.size();
+    if (i % 2 == 0) {
+      source.resize(at + 1);  // truncation: the classic half-written file
+    } else {
+      source[at % source.size()] = static_cast<char>(printable(rng));
+    }
+    if (source.empty()) {
+      source = "entity e is end e;";
+    }
+  }
+  common::DiagnosticBag diags;
+  const auto model = load_model(source, "no_such_entity", diags);
+  // The mutated source may still lex/parse, but the top entity never exists,
+  // so the pipeline must always end in a reported failure.
+  EXPECT_EQ(model, nullptr);
+  EXPECT_TRUE(diags.has_errors())
+      << "nullptr without diagnostics leaves the caller blind";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontEndRobustness, ::testing::Range(1, 51));
+
+TEST(FrontEndRobustness, PathologicalInputsProduceDiagnostics) {
+  const char* cases[] = {
+      "",
+      "entity",
+      "entity e is end e; architecture a of e is begin",
+      "entity e is end e;\narchitecture a of e is\n  signal s: bogus_type;\n"
+      "begin\nend a;",
+      "entity e is end e;\narchitecture a of e is\nbegin\n"
+      "  p: process begin s <= 1; wait; end process;\nend a;",  // undeclared s
+      "architecture orphan of missing is begin end orphan;",
+      "\xff\xfe garbage \x01\x02",
+  };
+  for (const char* source : cases) {
+    common::DiagnosticBag diags;
+    const auto model = load_model(source, "e", diags);
+    EXPECT_EQ(model, nullptr) << "source: " << source;
+    EXPECT_TRUE(diags.has_errors()) << "source: " << source;
+  }
+}
+
+TEST(FrontEndRobustness, ValidSourceStillLoads) {
+  // The negative paths above only mean something if the same entry point
+  // succeeds on well-formed input.
+  common::DiagnosticBag diags;
+  const auto model = load_model(
+      "entity e is end e;\narchitecture a of e is\n  signal s: integer := 3;\n"
+      "begin\nend a;",
+      "e", diags);
+  EXPECT_NE(model, nullptr) << diags.to_text();
+  EXPECT_FALSE(diags.has_errors()) << diags.to_text();
+}
 
 TEST(ParserRobustness, DeeplyNestedExpressions) {
   // Heavy nesting must not blow the stack at parse time (recursive

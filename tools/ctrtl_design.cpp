@@ -4,18 +4,26 @@
 //   ctrtl_design <file.rtd> [--analyze] [--simulate] [--dataflow]
 //                [--emit-vhdl <out.vhd>] [--set input=value ...]
 //                [--engine=event|compiled] [--dispatch] [--vcd <out.vcd>]
-//                [--batch=N] [--workers=W]
+//                [--batch=N] [--workers=W] [--max-delta-cycles=N]
+//                [--fault-plan=FILE]
 //
 // Validates the design, then (per flags) runs static conflict analysis,
 // symbolic dataflow extraction, simulation (with final register values and
 // conflict reports), VHDL emission, and VCD dumping. With --batch=N the
 // design is lowered once and run as N instances on the lane engine.
+// --fault-plan applies a declarative fault plan (see docs/ROBUSTNESS.md)
+// before simulating; --max-delta-cycles arms the delta-cycle watchdog.
+//
+// Exit status: 0 clean run, 1 usage/front-end errors, 2 runtime errors,
+// 3 conflicts observed, 4 delta-cycle watchdog tripped.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "fault/inject.h"
+#include "fault/plan.h"
 #include "rtl/batch_runner.h"
 #include "transfer/build.h"
 #include "transfer/conflict.h"
@@ -43,7 +51,15 @@ void usage() {
                "  --batch=N          run N instances on the lane engine "
                "(shared schedule, SoA lanes)\n"
                "  --workers=W        worker threads for --batch "
-               "(default: hardware concurrency)\n");
+               "(default: hardware concurrency)\n"
+               "  --max-delta-cycles=N  delta-cycle watchdog: a run needing "
+               "more than N delta cycles\n"
+               "                     stops with a diagnostic and exit code 4 "
+               "instead of spinning\n"
+               "  --fault-plan=FILE  apply a declarative fault plan "
+               "(stuck-disc, stuck-illegal,\n"
+               "                     force-bus, drop, corrupt-module) before "
+               "simulating\n");
 }
 
 }  // namespace
@@ -61,6 +77,8 @@ int main(int argc, char** argv) {
   std::size_t batch = 0;
   std::size_t workers = 0;
   bool workers_set = false;
+  std::uint64_t max_delta_cycles = ctrtl::kernel::Scheduler::kNoLimit;
+  std::string fault_plan_path;
   std::map<std::string, std::int64_t> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -103,6 +121,23 @@ int main(int argc, char** argv) {
                      "got '%s'\n", count.c_str());
         return 1;
       }
+    } else if (arg.rfind("--max-delta-cycles=", 0) == 0 ||
+               (arg == "--max-delta-cycles" && i + 1 < argc)) {
+      const std::string count =
+          arg == "--max-delta-cycles"
+              ? argv[++i]
+              : arg.substr(std::strlen("--max-delta-cycles="));
+      max_delta_cycles = std::strtoull(count.c_str(), nullptr, 10);
+      if (max_delta_cycles == 0) {
+        std::fprintf(stderr, "--max-delta-cycles expects a positive limit, "
+                     "got '%s'\n", count.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--fault-plan=", 0) == 0 ||
+               (arg == "--fault-plan" && i + 1 < argc)) {
+      fault_plan_path = arg == "--fault-plan"
+                            ? argv[++i]
+                            : arg.substr(std::strlen("--fault-plan="));
     } else if (arg == "--emit-vhdl" && i + 1 < argc) {
       vhdl_out = argv[++i];
     } else if (arg == "--vcd" && i + 1 < argc) {
@@ -174,6 +209,34 @@ int main(int argc, char** argv) {
               design.buses.size(), design.modules.size(),
               design.transfers.size());
 
+  std::optional<ctrtl::fault::FaultedDesign> faulted;
+  if (!fault_plan_path.empty()) {
+    std::ifstream plan_file(fault_plan_path);
+    if (!plan_file) {
+      std::fprintf(stderr, "cannot open fault plan '%s'\n",
+                   fault_plan_path.c_str());
+      return 1;
+    }
+    std::ostringstream plan_buffer;
+    plan_buffer << plan_file.rdbuf();
+    ctrtl::common::DiagnosticBag plan_diags;
+    const ctrtl::fault::FaultPlan plan =
+        ctrtl::fault::parse_fault_plan(plan_buffer.str(), plan_diags);
+    if (!plan_diags.has_errors()) {
+      faulted = ctrtl::fault::apply_plan(design, plan, plan_diags);
+    }
+    if (!plan_diags.empty()) {
+      std::fprintf(stderr, "%s", plan_diags.to_text().c_str());
+    }
+    if (plan_diags.has_errors() || !faulted.has_value()) {
+      return 1;
+    }
+    std::printf("fault plan: %zu faults (dropped %zu, rewrote %zu, inserted "
+                "%zu instances)\n",
+                plan.faults.size(), faulted->dropped, faulted->rewritten,
+                faulted->inserted);
+  }
+
   if (analyze) {
     const ctrtl::transfer::AnalysisReport report = ctrtl::transfer::analyze(design);
     if (report.clean()) {
@@ -232,9 +295,11 @@ int main(int argc, char** argv) {
     }
     try {
       ctrtl::rtl::BatchRunner runner(
-          ctrtl::transfer::CompiledDesign::compile(design),
+          faulted ? ctrtl::fault::compile(*faulted)
+                  : ctrtl::transfer::CompiledDesign::compile(design),
           ctrtl::rtl::BatchRunOptions{
               .workers = workers,
+              .max_delta_cycles = max_delta_cycles,
               .engine = ctrtl::rtl::BatchEngineKind::kCompiledLanes},
           provider);
       const ctrtl::rtl::BatchRunResult result = runner.run(batch);
@@ -244,12 +309,30 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.total.delta_cycles),
                   static_cast<unsigned long long>(result.total.events),
                   static_cast<unsigned long long>(result.conflict_count()));
+      bool saw_error = false;
+      bool saw_watchdog = false;
+      for (std::size_t i = 0; i < result.instances.size(); ++i) {
+        const ctrtl::rtl::RunReport& report = result.instances[i].report;
+        if (report.ok()) {
+          continue;
+        }
+        saw_error |= report.status == ctrtl::rtl::RunStatus::kError;
+        saw_watchdog |=
+            report.status == ctrtl::rtl::RunStatus::kWatchdogTripped;
+        std::fprintf(stderr, "instance %zu:\n%s", i, report.to_text().c_str());
+      }
       for (const auto& conflict : result.instances.front().conflicts) {
         std::printf("  instance 0: %s\n", to_string(conflict).c_str());
       }
       std::printf("final register values (instance 0):\n");
       for (const auto& [name, value] : result.instances.front().registers) {
         std::printf("  %-12s %s\n", name.c_str(), to_string(value).c_str());
+      }
+      if (saw_error) {
+        return 2;
+      }
+      if (saw_watchdog) {
+        return 4;
       }
       return result.conflict_count() == 0 ? 0 : 3;
     } catch (const std::exception& error) {
@@ -263,7 +346,8 @@ int main(int argc, char** argv) {
         engine == "compiled" ? ctrtl::rtl::TransferMode::kCompiled
         : dispatch           ? ctrtl::rtl::TransferMode::kDispatch
                              : ctrtl::rtl::TransferMode::kProcessPerTransfer;
-    auto model = ctrtl::transfer::build_model(design, mode);
+    auto model = faulted ? ctrtl::fault::build_model(*faulted, mode)
+                         : ctrtl::transfer::build_model(design, mode);
     for (const auto& [name, value] : inputs) {
       model->set_input(name, ctrtl::rtl::RtValue::of(value));
     }
@@ -272,7 +356,8 @@ int main(int argc, char** argv) {
       recorder =
           std::make_unique<ctrtl::verify::TraceRecorder>(model->scheduler());
     }
-    const ctrtl::rtl::RunResult result = model->run();
+    const ctrtl::rtl::RunResult result = model->run(
+        ctrtl::rtl::RunOptions{.max_delta_cycles = max_delta_cycles});
     std::printf("simulated: %llu delta cycles, %llu events, %s mode\n",
                 static_cast<unsigned long long>(result.stats.delta_cycles),
                 static_cast<unsigned long long>(result.stats.events),
@@ -296,6 +381,12 @@ int main(int argc, char** argv) {
       ctrtl::verify::write_vcd(vcd, recorder->events());
       std::printf("wrote %zu events to %s\n", recorder->events().size(),
                   vcd_out.c_str());
+    }
+    if (!result.report.ok()) {
+      std::fprintf(stderr, "%s", result.report.to_text().c_str());
+      return result.report.status == ctrtl::rtl::RunStatus::kWatchdogTripped
+                 ? 4
+                 : 2;
     }
     return result.conflict_free() ? 0 : 3;
   }

@@ -37,6 +37,11 @@ void usage() {
                "  --batch/--workers  not available here — batched lane "
                "execution needs a static\n"
                "                     schedule (use ctrtl_design --batch=N "
+               "on a .rtd file)\n"
+               "  --fault-plan, --max-delta-cycles\n"
+               "                     not available here — fault injection "
+               "and the watchdog operate\n"
+               "                     on a static schedule (use ctrtl_design "
                "on a .rtd file)\n");
 }
 
@@ -72,6 +77,20 @@ int main(int argc, char** argv) {
                    "transfer schedule shared by every instance.\n"
                    "Use 'ctrtl_design <file.rtd> --batch=N [--workers=W]' "
                    "on a register-transfer design file instead.\n",
+                   arg.c_str());
+      return 1;
+    } else if (arg.rfind("--fault-plan", 0) == 0 ||
+               arg.rfind("--max-delta-cycles", 0) == 0) {
+      // Fault plans rewrite the transfer-instance stream and the watchdog
+      // reports (step, phase) positions — both are defined on the static
+      // schedule of a .rtd design, not on interpreted VHDL processes.
+      std::fprintf(stderr,
+                   "ctrtl_sim: %s is not available for interpreted VHDL "
+                   "input — fault injection and the delta-cycle watchdog "
+                   "operate on a static transfer schedule.\n"
+                   "Use 'ctrtl_design <file.rtd> --simulate "
+                   "[--fault-plan=FILE] [--max-delta-cycles=N]' on a "
+                   "register-transfer design file instead.\n",
                    arg.c_str());
       return 1;
     } else if (arg.rfind("--engine=", 0) == 0 ||
