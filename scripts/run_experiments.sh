@@ -42,5 +42,13 @@ echo "=== fault-sweep smoke ==="
   echo "fault-sweep smoke: ok"
 } 2>&1 | tee fault_smoke_output.txt
 
+echo "=== generator corpus smoke (PR gate) ==="
+# 25 mixed-profile seeds through the conflict oracle, the 3-way engine
+# equivalence check, and the standard fault plans on every 5th case. The
+# nightly CI job runs the same sweep at 500 seeds (see E13 in
+# EXPERIMENTS.md); a failing case prints its reproducing --seed.
+"$BUILD"/tools/ctrtl_gen --seed=1 --count=25 --profile=mixed \
+  --verify --fault-sweep=5 2>&1 | tee corpus_smoke_output.txt
+
 echo "=== bench smoke (JSON harness) ==="
 "$(dirname "$0")/bench_smoke.sh" "$BUILD"

@@ -1,0 +1,125 @@
+#include "gen/corpus.h"
+
+#include <chrono>
+#include <exception>
+
+#include "common/diagnostics.h"
+#include "fault/inject.h"
+#include "gen/oracle.h"
+#include "verify/equivalence.h"
+#include "verify/oracle_check.h"
+
+namespace ctrtl::gen {
+
+std::vector<fault::FaultPlan> standard_fault_plans(
+    const transfer::Design& design) {
+  std::vector<fault::FaultPlan> plans;
+  if (!design.registers.empty()) {
+    fault::FaultPlan stuck;
+    stuck.faults.push_back({fault::FaultKind::kStuckDisc,
+                            design.registers.front().name, 0, std::nullopt, 0});
+    plans.push_back(std::move(stuck));
+  }
+  if (!design.buses.empty()) {
+    fault::FaultPlan force;
+    force.faults.push_back({fault::FaultKind::kForceBus,
+                            design.buses.front().name,
+                            std::max(1u, design.cs_max / 2), rtl::Phase::kRa,
+                            7});
+    plans.push_back(std::move(force));
+  }
+  return plans;
+}
+
+CorpusReport run_corpus(const CorpusOptions& options) {
+  CorpusReport report;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (unsigned i = 0; i < options.count; ++i) {
+    const std::uint64_t seed = options.first_seed + i;
+    GeneratorConfig config = options.knobs;
+    config.seed = seed;
+    config.profile = options.profile;
+
+    GeneratedCase generated;
+    try {
+      generated = generate(config);
+    } catch (const std::exception& error) {
+      report.failures.push_back({seed, "generate", error.what(), 0});
+      continue;
+    }
+    ++report.cases;
+    report.total_transfers += generated.design.transfers.size();
+    report.predicted_conflicts += generated.oracle.conflicts.size();
+    report.predicted_disc_sites += generated.oracle.disc_sites.size();
+
+    if (options.verify_engines) {
+      const verify::CheckReport engines =
+          verify::check_engine_equivalence(generated.design);
+      if (!engines.consistent()) {
+        report.failures.push_back({seed, "engines", engines.to_text(), 0});
+        continue;
+      }
+    }
+    if (options.check_oracle) {
+      const verify::CheckReport oracle =
+          verify::check_prediction(generated.design, generated.oracle);
+      if (!oracle.consistent()) {
+        // 1-minimal reproduction: drop transfers while the oracle still
+        // disagrees with the simulation.
+        const transfer::Design minimal = shrink(
+            generated.design, [](const transfer::Design& candidate) {
+              try {
+                return !verify::check_prediction(candidate,
+                                                 predict_outcomes(candidate))
+                            .consistent();
+              } catch (const std::exception&) {
+                return true;  // crashing is failing too
+              }
+            });
+        report.failures.push_back(
+            {seed, "oracle", oracle.to_text(),
+             static_cast<unsigned>(minimal.transfers.size())});
+        continue;
+      }
+    }
+
+    if (options.fault_every != 0 && i % options.fault_every == 0) {
+      for (const fault::FaultPlan& plan :
+           standard_fault_plans(generated.design)) {
+        common::DiagnosticBag diags;
+        const auto faulted = fault::apply_plan(generated.design, plan, diags);
+        if (!faulted.has_value()) {
+          report.failures.push_back(
+              {seed, "fault:" + to_text(plan), diags.to_text(), 0});
+          continue;
+        }
+        ++report.faulted_runs;
+        if (options.verify_engines) {
+          const verify::CheckReport engines =
+              verify::check_engine_equivalence(*faulted);
+          if (!engines.consistent()) {
+            report.failures.push_back(
+                {seed, "fault:" + to_text(plan), engines.to_text(), 0});
+            continue;
+          }
+        }
+        if (options.check_oracle) {
+          const verify::CheckReport oracle = verify::check_prediction(
+              *faulted, predict_outcomes(*faulted));
+          if (!oracle.consistent()) {
+            report.failures.push_back(
+                {seed, "fault:" + to_text(plan), oracle.to_text(), 0});
+          }
+        }
+      }
+    }
+  }
+
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return report;
+}
+
+}  // namespace ctrtl::gen

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "gen/generator.h"
+
+namespace ctrtl::gen {
+
+/// Corpus sweep configuration: seeds [first_seed, first_seed + count) are
+/// generated under `profile` and pushed through the enabled checks.
+struct CorpusOptions {
+  std::uint64_t first_seed = 1;
+  unsigned count = 25;
+  Profile profile = Profile::kMixed;
+  GeneratorConfig knobs;  // seed/profile fields overridden per case
+  /// Three-way engine equivalence (event kernel / compiled / lanes).
+  bool verify_engines = true;
+  /// Oracle-vs-simulation agreement (conflicts, DISC sites, registers).
+  bool check_oracle = true;
+  /// Every Nth case is additionally swept under the standard fault plans,
+  /// re-predicted on the faulted stream. 0 disables the sweep.
+  unsigned fault_every = 0;
+};
+
+struct CorpusFailure {
+  std::uint64_t seed = 0;
+  std::string phase;   // "engines", "oracle", "fault:<plan>", "generate"
+  std::string detail;
+  /// Transfer count of the 1-minimal shrunk reproduction (clean oracle
+  /// failures only; 0 when shrinking was not applicable).
+  unsigned shrunk_transfers = 0;
+};
+
+struct CorpusReport {
+  unsigned cases = 0;
+  unsigned faulted_runs = 0;
+  std::size_t total_transfers = 0;
+  std::size_t predicted_conflicts = 0;
+  std::size_t predicted_disc_sites = 0;
+  double wall_ms = 0.0;
+  std::vector<CorpusFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] double cases_per_second() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(cases) / wall_ms : 0.0;
+  }
+};
+
+/// The two standard fault plans composed with generated cases: a stuck-DISC
+/// register (reads vanish) and a forced bus contribution (injected
+/// contention) — two distinct fault kinds, as the corpus contract requires.
+[[nodiscard]] std::vector<fault::FaultPlan> standard_fault_plans(
+    const transfer::Design& design);
+
+/// Runs the sweep. Every failure carries the reproducing seed; a clean-case
+/// oracle failure is additionally shrunk to a 1-minimal transfer set.
+[[nodiscard]] CorpusReport run_corpus(const CorpusOptions& options);
+
+}  // namespace ctrtl::gen

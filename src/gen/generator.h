@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "iks/microcode.h"
+#include "transfer/design.h"
+#include "verify/oracle_check.h"
+
+namespace ctrtl::gen {
+
+/// Structural families the generator emits. Each profile stresses a
+/// different axis of the model:
+///   kFabric   — multi-bus routing fabrics: several buses, fixed-function
+///               and ALU units, conflict-free bus allocation per step.
+///   kRegfile  — register-file indexing: J/R file selectors resolved
+///               through microinstruction fields, MACC accumulation chains.
+///   kPipeline — deep pipelined units (latency 2..4) with overlapping
+///               in-flight operations; write steps trail read steps.
+///   kConflict — deliberately conflicting schedules: double-booked buses,
+///               operand-discipline violations, uninitialized reads; the
+///               oracle must predict every resulting ILLEGAL/DISC site.
+///   kMixed    — seed-driven choice among the above, occasionally layering
+///               conflict injections over a clean base. The corpus default.
+enum class Profile : std::uint8_t {
+  kFabric,
+  kRegfile,
+  kPipeline,
+  kConflict,
+  kMixed,
+};
+
+[[nodiscard]] std::string to_string(Profile profile);
+[[nodiscard]] bool parse_profile(const std::string& text, Profile& profile);
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+  Profile profile = Profile::kMixed;
+  /// Upper bounds on the generated structure; the seed draws actual sizes.
+  unsigned max_registers = 8;
+  unsigned max_buses = 5;
+  unsigned max_steps = 12;
+  /// 0 suppresses all activity: resources are declared but no transfer is
+  /// scheduled (the degenerate 0-transfer case must survive every layer).
+  unsigned max_transfers = 16;
+};
+
+/// The generated microprogram: per-case code maps plus the instruction rows,
+/// in the representation `iks::translate_microcode` consumes. The design's
+/// transfer schedule is *produced by* translating this program, so microcode
+/// and schedule agree by construction.
+struct Microcode {
+  iks::CodeMaps maps;
+  std::vector<iks::MicroInstruction> program;
+
+  /// Paper-style listing: the store table (addr opc1 opc2 m j r) followed
+  /// by the code-map legend.
+  [[nodiscard]] std::string to_text() const;
+};
+
+struct GeneratedCase {
+  transfer::Design design;
+  Microcode microcode;
+  /// The conflict oracle's prediction for the canonical instance stream.
+  verify::OutcomePrediction oracle;
+  /// Profile actually realized (kMixed resolves to a concrete family).
+  Profile profile = Profile::kMixed;
+  std::uint64_t seed = 0;
+};
+
+/// Deterministic: equal configs yield byte-identical cases. The design
+/// always validates; clean profiles (fabric/regfile/pipeline) predict zero
+/// conflicts and zero DISC sites, kConflict predicts at least one conflict.
+[[nodiscard]] GeneratedCase generate(const GeneratorConfig& config);
+
+/// Greedy 1-minimal shrink for failing cases: repeatedly removes single
+/// transfers while `still_fails(candidate)` holds and the candidate still
+/// validates, until no single removal preserves the failure. The predicate
+/// must be deterministic.
+[[nodiscard]] transfer::Design shrink(
+    const transfer::Design& design,
+    const std::function<bool(const transfer::Design&)>& still_fails);
+
+}  // namespace ctrtl::gen

@@ -1,0 +1,315 @@
+#include "gen/oracle.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "transfer/mapping.h"
+#include "transfer/module_sim.h"
+#include "transfer/walk.h"
+
+namespace ctrtl::gen {
+
+namespace {
+
+using rtl::Phase;
+using transfer::Endpoint;
+using transfer::TransInstance;
+
+/// The oracle's abstract domain: DISC / ILLEGAL / value, with the value
+/// class split into "known payload" (constants — the only split the model
+/// ever branches on, via the op-port arity lookup) and "unknown payload"
+/// (everything data-dependent).
+struct AbsValue {
+  enum class Kind : std::uint8_t { kDisc, kIllegal, kKnown, kUnknown };
+  Kind kind = Kind::kDisc;
+  std::int64_t payload = 0;  // meaningful only for kKnown
+
+  static AbsValue disc() { return {}; }
+  static AbsValue illegal() { return {Kind::kIllegal, 0}; }
+  static AbsValue known(std::int64_t value) { return {Kind::kKnown, value}; }
+  static AbsValue unknown() { return {Kind::kUnknown, 0}; }
+
+  [[nodiscard]] bool is_disc() const { return kind == Kind::kDisc; }
+  [[nodiscard]] bool is_illegal() const { return kind == Kind::kIllegal; }
+  [[nodiscard]] bool is_value() const {
+    return kind == Kind::kKnown || kind == Kind::kUnknown;
+  }
+  [[nodiscard]] rtl::RtValue::Kind classification() const {
+    switch (kind) {
+      case Kind::kDisc:
+        return rtl::RtValue::Kind::kDisc;
+      case Kind::kIllegal:
+        return rtl::RtValue::Kind::kIllegal;
+      case Kind::kKnown:
+      case Kind::kUnknown:
+        return rtl::RtValue::Kind::kValue;
+    }
+    return rtl::RtValue::Kind::kIllegal;
+  }
+};
+
+/// Abstract counterpart of `rtl::resolve_rt`: classification of the wired-or
+/// depends only on the classifications of the contributions.
+AbsValue resolve_abs(const std::vector<AbsValue>& values) {
+  const AbsValue* single = nullptr;
+  std::size_t non_disc = 0;
+  for (const AbsValue& value : values) {
+    if (value.is_illegal()) {
+      return AbsValue::illegal();
+    }
+    if (!value.is_disc()) {
+      ++non_disc;
+      single = &value;
+    }
+  }
+  if (non_disc >= 2) {
+    return AbsValue::illegal();
+  }
+  return non_disc == 1 ? *single : AbsValue::disc();
+}
+
+/// Abstract counterpart of `transfer::ModuleSim`: identical operand
+/// discipline, pipeline depth, and poisoning rule, evaluated over AbsValue.
+/// Arity lookups delegate to a real ModuleSim so the two can never drift.
+class AbsModule {
+ public:
+  explicit AbsModule(const transfer::ModuleDecl& decl)
+      : decl_(&decl), arity_probe_(decl) {
+    pipeline_.assign(decl.latency, AbsValue::disc());
+  }
+
+  AbsValue evaluate(std::span<const AbsValue> operands, const AbsValue& op) {
+    for (const AbsValue& operand : operands) {
+      if (operand.is_illegal()) {
+        return AbsValue::illegal();
+      }
+    }
+    const bool has_op = decl_->has_op_port();
+    unsigned arity = decl_->num_inputs();
+    if (has_op) {
+      if (op.is_illegal()) {
+        return AbsValue::illegal();
+      }
+      if (op.is_disc()) {
+        for (const AbsValue& operand : operands) {
+          if (!operand.is_disc()) {
+            return AbsValue::illegal();
+          }
+        }
+        // MACC holds its accumulator when idle — a value, never DISC.
+        return decl_->kind == transfer::ModuleKind::kMacc ? AbsValue::unknown()
+                                                          : AbsValue::disc();
+      }
+      if (op.kind != AbsValue::Kind::kKnown) {
+        throw std::domain_error(
+            "conflict oracle: module '" + decl_->name +
+            "' op port driven by a payload that is not statically known — "
+            "outside the tuple/fault-plan model class");
+      }
+      arity = arity_probe_.arity_for(op.payload);
+    }
+    unsigned present = 0;
+    for (unsigned i = 0; i < arity && i < operands.size(); ++i) {
+      if (operands[i].is_value()) {
+        ++present;
+      }
+    }
+    if (present == 0 && !has_op) {
+      return AbsValue::disc();
+    }
+    if (present != arity) {
+      return AbsValue::illegal();
+    }
+    return AbsValue::unknown();
+  }
+
+  AbsValue step(std::span<const AbsValue> operands, const AbsValue& op) {
+    if (decl_->latency == 0) {
+      out_ = evaluate(operands, op);
+      return out_;
+    }
+    out_ = pipeline_.back();
+    const AbsValue next =
+        poisoned_ ? AbsValue::illegal() : evaluate(operands, op);
+    pipeline_.pop_back();
+    pipeline_.push_front(next);
+    if (next.is_illegal()) {
+      poisoned_ = true;
+    }
+    return out_;
+  }
+
+  [[nodiscard]] const AbsValue& out() const { return out_; }
+  [[nodiscard]] const transfer::ModuleDecl& decl() const { return *decl_; }
+
+ private:
+  const transfer::ModuleDecl* decl_;
+  transfer::ModuleSim arity_probe_;
+  std::deque<AbsValue> pipeline_;  // front() newest; size == latency
+  AbsValue out_ = AbsValue::disc();
+  bool poisoned_ = false;
+};
+
+}  // namespace
+
+verify::OutcomePrediction predict_outcomes(
+    const transfer::Design& design,
+    std::span<const TransInstance> instances,
+    const std::map<std::string, std::int64_t>& inputs) {
+  common::DiagnosticBag diags;
+  if (!transfer::validate(design, diags)) {
+    throw std::invalid_argument("conflict oracle: design does not validate:\n" +
+                                diags.to_text());
+  }
+
+  std::map<std::string, AbsValue> registers;
+  for (const transfer::RegisterDecl& reg : design.registers) {
+    registers[reg.name] = reg.initial.has_value() ? AbsValue::known(*reg.initial)
+                                                  : AbsValue::disc();
+  }
+  std::map<std::string, AbsValue> constants;
+  for (const transfer::ConstantDecl& constant : design.constants) {
+    constants[constant.name] = AbsValue::known(constant.value);
+  }
+  std::map<std::string, AbsValue> input_values;
+  for (const transfer::InputDecl& input : design.inputs) {
+    const auto it = inputs.find(input.name);
+    input_values[input.name] =
+        it == inputs.end() ? AbsValue::disc() : AbsValue::known(it->second);
+  }
+  std::map<std::string, AbsModule> modules;
+  for (const transfer::ModuleDecl& module : design.modules) {
+    modules.emplace(module.name, AbsModule(module));
+  }
+
+  const transfer::InstanceWalker walker(instances, design.cs_max);
+
+  verify::OutcomePrediction prediction;
+
+  std::map<std::string, AbsValue> visible;
+
+  const auto source_value = [&](const Endpoint& source) -> AbsValue {
+    switch (source.kind) {
+      case Endpoint::Kind::kRegisterOut:
+        return registers.at(source.resource);
+      case Endpoint::Kind::kConstant: {
+        const auto it = constants.find(source.resource);
+        if (it != constants.end()) {
+          return it->second;
+        }
+        std::int64_t code = 0;
+        if (transfer::parse_op_constant_name(source.resource, code)) {
+          return AbsValue::known(code);
+        }
+        throw std::logic_error("conflict oracle: unknown constant '" +
+                               source.resource + "'");
+      }
+      case Endpoint::Kind::kInput:
+        return input_values.at(source.resource);
+      case Endpoint::Kind::kModuleOut:
+        return modules.at(source.resource).out();
+      case Endpoint::Kind::kBus: {
+        const auto it = visible.find(source.resource);
+        return it == visible.end() ? AbsValue::disc() : it->second;
+      }
+      default:
+        throw std::logic_error("conflict oracle: bad source endpoint");
+    }
+  };
+
+  for (unsigned step = 1; step <= design.cs_max; ++step) {
+    for (int phase_index = 0; phase_index < rtl::kPhasesPerStep; ++phase_index) {
+      const Phase phase = rtl::phase_from_index(phase_index);
+
+      std::map<std::string, std::vector<AbsValue>> contributions;
+      if (phase != rtl::kPhaseLow) {
+        for (const TransInstance* instance :
+             walker.fires(step, rtl::pred(phase))) {
+          contributions[to_string(instance->sink)].push_back(
+              source_value(instance->source));
+        }
+      }
+      std::map<std::string, AbsValue> next_visible;
+      for (const auto& [sink, values] : contributions) {
+        next_visible[sink] = resolve_abs(values);
+      }
+      for (const auto& [sink, value] : next_visible) {
+        if (value.is_disc()) {
+          prediction.disc_sites.push_back(verify::DiscSite{sink, step, phase});
+        }
+        if (!value.is_illegal()) {
+          continue;
+        }
+        const auto prev_it = visible.find(sink);
+        const bool was_illegal =
+            prev_it != visible.end() && prev_it->second.is_illegal();
+        if (!was_illegal) {
+          prediction.conflicts.push_back(rtl::Conflict{sink, step, phase});
+        }
+      }
+      visible = std::move(next_visible);
+
+      if (phase == Phase::kCm) {
+        for (auto& [name, module] : modules) {
+          std::vector<AbsValue> operands(module.decl().num_inputs(),
+                                         AbsValue::disc());
+          for (unsigned port = 0; port < operands.size(); ++port) {
+            const auto it =
+                visible.find(to_string(Endpoint::module_in(name, port)));
+            if (it != visible.end()) {
+              operands[port] = it->second;
+            }
+          }
+          AbsValue op = AbsValue::disc();
+          if (module.decl().has_op_port()) {
+            const auto it = visible.find(to_string(Endpoint::module_op(name)));
+            if (it != visible.end()) {
+              op = it->second;
+            }
+          }
+          module.step(operands, op);
+        }
+      } else if (phase == Phase::kCr) {
+        for (auto& [name, value] : registers) {
+          const auto it = visible.find(to_string(Endpoint::register_in(name)));
+          if (it != visible.end() && !it->second.is_disc()) {
+            value = it->second;
+          }
+        }
+      }
+    }
+    visible.clear();
+  }
+
+  std::sort(prediction.conflicts.begin(), prediction.conflicts.end(),
+            [](const rtl::Conflict& a, const rtl::Conflict& b) {
+              return std::tuple(a.step, a.phase, a.signal) <
+                     std::tuple(b.step, b.phase, b.signal);
+            });
+  std::sort(prediction.disc_sites.begin(), prediction.disc_sites.end());
+  for (const auto& [name, value] : registers) {
+    prediction.registers[name] = value.classification();
+  }
+  return prediction;
+}
+
+verify::OutcomePrediction predict_outcomes(
+    const transfer::Design& design,
+    const std::map<std::string, std::int64_t>& inputs) {
+  const std::vector<TransInstance> instances =
+      transfer::to_instances(design.transfers);
+  return predict_outcomes(design, instances, inputs);
+}
+
+verify::OutcomePrediction predict_outcomes(
+    const fault::FaultedDesign& faulted,
+    const std::map<std::string, std::int64_t>& inputs) {
+  return predict_outcomes(faulted.design, faulted.instances, inputs);
+}
+
+}  // namespace ctrtl::gen

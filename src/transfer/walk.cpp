@@ -1,0 +1,44 @@
+#include "transfer/walk.h"
+
+namespace ctrtl::transfer {
+
+InstanceWalker::InstanceWalker(std::span<const TransInstance> instances,
+                               unsigned cs_max)
+    : cs_max_(cs_max) {
+  levels_.resize(static_cast<std::size_t>(cs_max) * rtl::kPhasesPerStep);
+  for (const TransInstance& instance : instances) {
+    if (instance.step == 0 || instance.step > cs_max) {
+      continue;
+    }
+    const std::size_t level =
+        static_cast<std::size_t>(instance.step - 1) * rtl::kPhasesPerStep +
+        static_cast<std::size_t>(rtl::phase_index(instance.phase));
+    levels_[level].push_back(&instance);
+    ++instance_count_;
+  }
+}
+
+std::span<const TransInstance* const> InstanceWalker::fires(
+    unsigned step, rtl::Phase phase) const {
+  if (step == 0 || step > cs_max_) {
+    return {};
+  }
+  const std::size_t level =
+      static_cast<std::size_t>(step - 1) * rtl::kPhasesPerStep +
+      static_cast<std::size_t>(rtl::phase_index(phase));
+  return levels_[level];
+}
+
+void InstanceWalker::for_each_level(
+    const std::function<void(unsigned, rtl::Phase,
+                             std::span<const TransInstance* const>)>& visit)
+    const {
+  for (unsigned step = 1; step <= cs_max_; ++step) {
+    for (int index = 0; index < rtl::kPhasesPerStep; ++index) {
+      const rtl::Phase phase = rtl::phase_from_index(index);
+      visit(step, phase, fires(step, phase));
+    }
+  }
+}
+
+}  // namespace ctrtl::transfer

@@ -1,0 +1,180 @@
+#include "verify/oracle_check.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "transfer/build.h"
+#include "transfer/mapping.h"
+#include "verify/semantics.h"
+
+namespace ctrtl::verify {
+
+std::string to_string(const DiscSite& site) {
+  std::ostringstream out;
+  out << "DISC on " << site.signal << " at step " << site.step << ", phase "
+      << rtl::phase_name(site.visible_phase);
+  return out.str();
+}
+
+namespace {
+
+std::vector<rtl::Conflict> sorted_conflicts(std::vector<rtl::Conflict> conflicts) {
+  std::sort(conflicts.begin(), conflicts.end(),
+            [](const rtl::Conflict& a, const rtl::Conflict& b) {
+              return std::tuple(a.step, a.phase, a.signal) <
+                     std::tuple(b.step, b.phase, b.signal);
+            });
+  return conflicts;
+}
+
+const char* kind_name(rtl::RtValue::Kind kind) {
+  switch (kind) {
+    case rtl::RtValue::Kind::kDisc:
+      return "DISC";
+    case rtl::RtValue::Kind::kIllegal:
+      return "ILLEGAL";
+    case rtl::RtValue::Kind::kValue:
+      return "value";
+  }
+  return "<corrupt>";
+}
+
+/// Reports the symmetric difference of two sorted record sets as
+/// false-negative ("observed, not predicted") and false-positive
+/// ("predicted, not observed") mismatch lines.
+template <typename Record>
+void diff_sets(const std::vector<Record>& observed,
+               const std::vector<Record>& predicted, const char* what,
+               CheckReport& report) {
+  std::vector<Record> missed;
+  std::set_difference(observed.begin(), observed.end(), predicted.begin(),
+                      predicted.end(), std::back_inserter(missed));
+  std::vector<Record> phantom;
+  std::set_difference(predicted.begin(), predicted.end(), observed.begin(),
+                      observed.end(), std::back_inserter(phantom));
+  for (const Record& record : missed) {
+    report.mismatches.push_back(std::string("oracle false negative: ") + what +
+                                " [" + to_string(record) + "] observed but not "
+                                "predicted");
+  }
+  for (const Record& record : phantom) {
+    report.mismatches.push_back(std::string("oracle false positive: ") + what +
+                                " [" + to_string(record) + "] predicted but "
+                                "not observed");
+  }
+}
+
+CheckReport check_prediction_impl(
+    const transfer::Design& design,
+    std::span<const transfer::TransInstance> instances,
+    const OutcomePrediction& prediction,
+    const std::map<std::string, std::int64_t>& inputs,
+    std::unique_ptr<rtl::RtModel> model) {
+  CheckReport report;
+
+  // Side 1: the event kernel over the identical stream.
+  for (const auto& [name, value] : inputs) {
+    model->set_input(name, rtl::RtValue::of(value));
+  }
+  const rtl::RunResult simulated = model->run();
+
+  // Side 2: the reference transition semantics, streaming every driven-sink
+  // resolution so DISC outcomes are observable (the kernel's conflict
+  // monitor only records ILLEGAL transitions).
+  std::vector<DiscSite> observed_disc;
+  const EvalResult reference = evaluate(
+      design, instances, inputs, [&](const Resolution& resolution) {
+        if (resolution.value.is_disc()) {
+          observed_disc.push_back(DiscSite{resolution.sink, resolution.step,
+                                           resolution.visible_phase});
+        }
+      });
+
+  // Conflicts: prediction vs simulation, exact as a set.
+  const std::vector<rtl::Conflict> simulated_conflicts =
+      sorted_conflicts(simulated.conflicts);
+  const std::vector<rtl::Conflict> predicted_conflicts =
+      sorted_conflicts(prediction.conflicts);
+  const auto conflict_less = [](const rtl::Conflict& a, const rtl::Conflict& b) {
+    return std::tuple(a.step, a.phase, a.signal) <
+           std::tuple(b.step, b.phase, b.signal);
+  };
+  std::vector<rtl::Conflict> missed;
+  std::set_difference(simulated_conflicts.begin(), simulated_conflicts.end(),
+                      predicted_conflicts.begin(), predicted_conflicts.end(),
+                      std::back_inserter(missed), conflict_less);
+  std::vector<rtl::Conflict> phantom;
+  std::set_difference(predicted_conflicts.begin(), predicted_conflicts.end(),
+                      simulated_conflicts.begin(), simulated_conflicts.end(),
+                      std::back_inserter(phantom), conflict_less);
+  for (const rtl::Conflict& conflict : missed) {
+    report.mismatches.push_back("oracle false negative: [" +
+                                to_string(conflict) +
+                                "] observed but not predicted");
+  }
+  for (const rtl::Conflict& conflict : phantom) {
+    report.mismatches.push_back("oracle false positive: [" +
+                                to_string(conflict) +
+                                "] predicted but not observed");
+  }
+
+  // Cross-check: reference semantics vs event kernel on the same stream.
+  if (sorted_conflicts(reference.conflicts) != simulated_conflicts) {
+    report.mismatches.push_back(
+        "reference semantics and event kernel disagree on the conflict set "
+        "for this stream — the prediction comparison is unanchored");
+  }
+
+  // DISC sites: prediction vs reference semantics, exact as a set.
+  std::sort(observed_disc.begin(), observed_disc.end());
+  std::vector<DiscSite> predicted_disc = prediction.disc_sites;
+  std::sort(predicted_disc.begin(), predicted_disc.end());
+  diff_sets(observed_disc, predicted_disc, "disc", report);
+
+  // Final register classification vs the simulated values.
+  for (const transfer::RegisterDecl& decl : design.registers) {
+    const auto it = prediction.registers.find(decl.name);
+    if (it == prediction.registers.end()) {
+      report.mismatches.push_back("oracle predicts nothing for register " +
+                                  decl.name);
+      continue;
+    }
+    const rtl::Register* reg = model->find_register(decl.name);
+    if (reg->value().kind() != it->second) {
+      report.mismatches.push_back(
+          "register " + decl.name + ": oracle predicts " +
+          kind_name(it->second) + ", simulation ended with " +
+          to_string(reg->value()));
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+CheckReport check_prediction(const transfer::Design& design,
+                             std::span<const transfer::TransInstance> instances,
+                             const OutcomePrediction& prediction,
+                             const std::map<std::string, std::int64_t>& inputs) {
+  return check_prediction_impl(design, instances, prediction, inputs,
+                               transfer::build_model(design, instances));
+}
+
+CheckReport check_prediction(const transfer::Design& design,
+                             const OutcomePrediction& prediction,
+                             const std::map<std::string, std::int64_t>& inputs) {
+  const std::vector<transfer::TransInstance> instances =
+      transfer::to_instances(design.transfers);
+  return check_prediction_impl(design, instances, prediction, inputs,
+                               transfer::build_model(design));
+}
+
+CheckReport check_prediction(const fault::FaultedDesign& faulted,
+                             const OutcomePrediction& prediction,
+                             const std::map<std::string, std::int64_t>& inputs) {
+  return check_prediction_impl(faulted.design, faulted.instances, prediction,
+                               inputs, fault::build_model(faulted));
+}
+
+}  // namespace ctrtl::verify

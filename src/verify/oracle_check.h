@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/inject.h"
+#include "rtl/model.h"
+#include "transfer/design.h"
+#include "transfer/tuple.h"
+#include "verify/equivalence.h"
+
+namespace ctrtl::verify {
+
+/// One predicted DISC outcome: a sink that is driven (>= 1 TRANS instance
+/// fires into it) at `pred(visible_phase)` of `step` yet resolves to DISC —
+/// a vanished operand, an uninitialized register read, or a dropped/faulted
+/// contribution. The ILLEGAL counterpart is an `rtl::Conflict` record.
+struct DiscSite {
+  std::string signal;
+  unsigned step = 0;
+  rtl::Phase visible_phase = rtl::Phase::kRb;
+
+  friend bool operator==(const DiscSite&, const DiscSite&) = default;
+  friend auto operator<=>(const DiscSite&, const DiscSite&) = default;
+};
+
+[[nodiscard]] std::string to_string(const DiscSite& site);
+
+/// Everything a conflict oracle claims about a run, without simulating:
+/// the exact conflict record (every ILLEGAL transition, with its
+/// (step, phase) and signal), every driven-sink DISC resolution, and the
+/// final DISC/ILLEGAL/value classification of each register. Produced by
+/// `gen::predict_outcomes`; checked against simulation below.
+struct OutcomePrediction {
+  /// Predicted conflict records, sorted by (step, phase, signal).
+  std::vector<rtl::Conflict> conflicts;
+  /// Predicted DISC resolutions of driven sinks, sorted.
+  std::vector<DiscSite> disc_sites;
+  /// Predicted final classification of every register.
+  std::map<std::string, rtl::RtValue::Kind> registers;
+};
+
+/// Oracle-vs-simulation comparison mode: runs the instance stream through
+/// the event kernel AND the reference transition semantics, and checks
+///   - the simulated conflict record equals `prediction.conflicts` exactly
+///     as a set — zero false positives, zero false negatives;
+///   - every driven-sink DISC resolution of the reference semantics equals
+///     `prediction.disc_sites` exactly as a set;
+///   - each register's final simulated value has the predicted
+///     DISC/ILLEGAL/value classification;
+///   - (cross-check) the reference semantics and the event kernel agree on
+///     the conflict set, so the two predicted-vs-observed comparisons above
+///     are anchored to the same behaviour.
+[[nodiscard]] CheckReport check_prediction(
+    const transfer::Design& design,
+    std::span<const transfer::TransInstance> instances,
+    const OutcomePrediction& prediction,
+    const std::map<std::string, std::int64_t>& inputs = {});
+
+/// Same check over the design's canonical instance stream.
+[[nodiscard]] CheckReport check_prediction(
+    const transfer::Design& design, const OutcomePrediction& prediction,
+    const std::map<std::string, std::int64_t>& inputs = {});
+
+/// Same check over a faulted design: the prediction must describe the
+/// *faulted* stream (re-predicted under the plan), and the simulation side
+/// executes the identical transformed stream through the fault facade.
+[[nodiscard]] CheckReport check_prediction(
+    const fault::FaultedDesign& faulted, const OutcomePrediction& prediction,
+    const std::map<std::string, std::int64_t>& inputs = {});
+
+}  // namespace ctrtl::verify

@@ -1,11 +1,11 @@
 #include "verify/semantics.h"
 
-#include <deque>
 #include <optional>
 #include <stdexcept>
 
 #include "transfer/mapping.h"
 #include "transfer/module_sim.h"
+#include "transfer/walk.h"
 
 namespace ctrtl::verify {
 
@@ -21,6 +21,13 @@ using transfer::TransInstance;
 
 EvalResult evaluate(const transfer::Design& design,
                     const std::map<std::string, std::int64_t>& inputs) {
+  return evaluate(design, transfer::to_instances(design.transfers), inputs);
+}
+
+EvalResult evaluate(const transfer::Design& design,
+                    std::span<const TransInstance> instances,
+                    const std::map<std::string, std::int64_t>& inputs,
+                    const ResolutionObserver& observer) {
   common::DiagnosticBag diags;
   if (!validate(design, diags)) {
     throw std::invalid_argument("reference semantics: design does not validate:\n" +
@@ -48,8 +55,7 @@ EvalResult evaluate(const transfer::Design& design,
     modules.emplace(module.name, ModuleSim(module));
   }
 
-  const std::vector<TransInstance> instances =
-      transfer::to_instances(design.transfers);
+  const transfer::InstanceWalker walker(instances, design.cs_max);
 
   EvalResult result;
   result.expected_delta_cycles =
@@ -99,12 +105,10 @@ EvalResult evaluate(const transfer::Design& design,
       //    phase of the same step.
       std::map<std::string, std::vector<RtValue>> contributions;
       if (phase != rtl::kPhaseLow) {
-        const Phase drive_phase = rtl::pred(phase);
-        for (const TransInstance& instance : instances) {
-          if (instance.step == step && instance.phase == drive_phase) {
-            contributions[to_string(instance.sink)].push_back(
-                source_value(instance.source));
-          }
+        for (const TransInstance* instance :
+             walker.fires(step, rtl::pred(phase))) {
+          contributions[to_string(instance->sink)].push_back(
+              source_value(instance->source));
         }
       }
       std::map<std::string, RtValue> next_visible;
@@ -113,6 +117,9 @@ EvalResult evaluate(const transfer::Design& design,
       }
       // Conflict events: a monitored sink changing *to* ILLEGAL.
       for (const auto& [sink, value] : next_visible) {
+        if (observer) {
+          observer(Resolution{sink, step, phase, value});
+        }
         if (!value.is_illegal()) {
           continue;
         }

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "rtl/model.h"
 #include "transfer/design.h"
+#include "transfer/tuple.h"
 
 namespace ctrtl::verify {
 
@@ -20,6 +23,21 @@ struct EvalResult {
   /// What a delta-cycle-faithful simulation must cost: cs_max * 6.
   std::uint64_t expected_delta_cycles = 0;
 };
+
+/// One driven-sink resolution of the reference transition system: the sink
+/// was driven (>= 1 contribution) at `pred(visible_phase)` of `step` and
+/// the resolved value becomes visible at `visible_phase`. Streamed to the
+/// `ResolutionObserver` of `evaluate` — this is how the conflict-oracle
+/// comparison mode sees every concrete DISC/value/ILLEGAL outcome, not just
+/// the ILLEGAL transitions the conflict record keeps.
+struct Resolution {
+  std::string sink;
+  unsigned step = 0;
+  rtl::Phase visible_phase = rtl::Phase::kRb;
+  rtl::RtValue value;
+};
+
+using ResolutionObserver = std::function<void(const Resolution&)>;
 
 /// The paper's *dedicated formal semantics* of register transfer models
 /// (section 2.7), implemented as a direct transition system over
@@ -39,5 +57,16 @@ struct EvalResult {
 [[nodiscard]] EvalResult evaluate(
     const transfer::Design& design,
     const std::map<std::string, std::int64_t>& inputs = {});
+
+/// Same transition system over an explicit TRANS instance stream instead of
+/// the design's own tuples — the fault-injection and generated-corpus entry
+/// point (a `fault::FaultPlan` or a generator emits the stream directly).
+/// `observer`, when non-null, receives every driven-sink resolution in
+/// execution order (see `Resolution`).
+[[nodiscard]] EvalResult evaluate(
+    const transfer::Design& design,
+    std::span<const transfer::TransInstance> instances,
+    const std::map<std::string, std::int64_t>& inputs = {},
+    const ResolutionObserver& observer = nullptr);
 
 }  // namespace ctrtl::verify

@@ -23,6 +23,7 @@
 
 #include "baseline/clocked_rtl.h"
 #include "clocked/translate.h"
+#include "gen/corpus.h"
 #include "rtl/batch_runner.h"
 #include "transfer/build.h"
 #include "transfer/schedule.h"
@@ -147,6 +148,36 @@ Entry measure_shared_batch(
     deltas = result.total.delta_cycles;
   });
   entry.steps = static_cast<double>(deltas) / rtl::kPhasesPerStep;
+  return entry;
+}
+
+/// E13: generator-corpus verification throughput — seeded cases generated,
+/// oracle-predicted, and pushed through the 3-way engine equivalence check
+/// with a fault sweep on every 10th case. Steps count verified cases, so
+/// throughput is cases/s.
+Entry measure_corpus_verify(const Config& config) {
+  Entry entry;
+  entry.name = "corpus_verify";
+  entry.unit = "cases";
+  entry.repetitions = config.repetitions;
+  entry.instances = config.quick ? 25 : 200;
+  gen::CorpusOptions options;
+  options.first_seed = 1;
+  options.count = static_cast<unsigned>(entry.instances);
+  options.profile = gen::Profile::kMixed;
+  options.verify_engines = true;
+  options.check_oracle = true;
+  options.fault_every = 10;
+  unsigned failures = 0;
+  entry.wall_ms = time_median_ms(entry.repetitions, [&] {
+    const gen::CorpusReport report = gen::run_corpus(options);
+    failures += static_cast<unsigned>(report.failures.size());
+  });
+  if (failures != 0) {
+    std::cerr << "corpus_verify: " << failures
+              << " failing cases across repetitions\n";
+  }
+  entry.steps = static_cast<double>(entry.instances);
   return entry;
 }
 
@@ -294,6 +325,7 @@ int main(int argc, char** argv) {
   for (Entry& entry : measure_vs_clocked(config)) {
     entries.push_back(entry);
   }
+  entries.push_back(measure_corpus_verify(config));
 
   if (config.out_path.empty()) {
     emit_json(std::cout, config, entries);

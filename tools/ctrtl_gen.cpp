@@ -1,0 +1,232 @@
+// ctrtl_gen — seeded design-space generator with a conflict oracle.
+//
+// Usage:
+//   ctrtl_gen [--seed=N] [--count=K] [--profile=P] [--verify] [--fault-sweep[=M]]
+//             [--out-dir=DIR] [--dump]
+//
+// Generates K structurally diverse register-transfer designs (profiles:
+// fabric, regfile, pipeline, conflict, mixed) from consecutive seeds, each
+// with a matching microprogram and an oracle prediction of every ILLEGAL
+// conflict and DISC outcome computed from the TRANS stream alone.
+//
+//   --verify         run each case through the three-way engine equivalence
+//                    check AND the oracle-vs-simulation comparison
+//   --fault-sweep=M  additionally re-predict and re-check every Mth case
+//                    under the standard fault plans (default M = 10)
+//   --out-dir=DIR    write <name>.rtd / <name>.mc / <name>.oracle per case
+//   --dump           print design, microcode, and prediction to stdout
+//
+// Exit status: 0 when every case agrees, 1 on a mismatch (the reproducing
+// --seed is printed), 2 on bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gen/corpus.h"
+#include "gen/generator.h"
+#include "transfer/text_format.h"
+
+namespace {
+
+using ctrtl::gen::CorpusFailure;
+using ctrtl::gen::CorpusOptions;
+using ctrtl::gen::CorpusReport;
+using ctrtl::gen::GeneratedCase;
+using ctrtl::gen::GeneratorConfig;
+using ctrtl::gen::Profile;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ctrtl_gen [--seed=N] [--count=K] "
+               "[--profile=fabric|regfile|pipeline|conflict|mixed]\n"
+               "                 [--verify] [--fault-sweep[=M]] "
+               "[--out-dir=DIR] [--dump]\n");
+}
+
+const char* kind_name(ctrtl::rtl::RtValue::Kind kind) {
+  switch (kind) {
+    case ctrtl::rtl::RtValue::Kind::kDisc:
+      return "DISC";
+    case ctrtl::rtl::RtValue::Kind::kIllegal:
+      return "ILLEGAL";
+    case ctrtl::rtl::RtValue::Kind::kValue:
+      return "value";
+  }
+  return "<corrupt>";
+}
+
+std::string prediction_text(const ctrtl::verify::OutcomePrediction& oracle) {
+  std::ostringstream out;
+  out << "conflicts: " << oracle.conflicts.size() << "\n";
+  for (const auto& conflict : oracle.conflicts) {
+    out << "  " << to_string(conflict) << "\n";
+  }
+  out << "disc sites: " << oracle.disc_sites.size() << "\n";
+  for (const auto& site : oracle.disc_sites) {
+    out << "  " << to_string(site) << "\n";
+  }
+  out << "registers:\n";
+  for (const auto& [name, kind] : oracle.registers) {
+    out << "  " << name << ": " << kind_name(kind) << "\n";
+  }
+  return out.str();
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.string().c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  unsigned count = 1;
+  Profile profile = Profile::kMixed;
+  bool verify = false;
+  unsigned fault_every = 0;
+  bool dump = false;
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(value_of("--seed="), nullptr, 10);
+    } else if (arg.rfind("--count=", 0) == 0) {
+      count = static_cast<unsigned>(
+          std::strtoul(value_of("--count="), nullptr, 10));
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      if (!ctrtl::gen::parse_profile(value_of("--profile="), profile)) {
+        std::fprintf(stderr, "unknown profile '%s'\n", value_of("--profile="));
+        usage();
+        return 2;
+      }
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--fault-sweep") {
+      fault_every = 10;
+    } else if (arg.rfind("--fault-sweep=", 0) == 0) {
+      fault_every = static_cast<unsigned>(
+          std::strtoul(value_of("--fault-sweep="), nullptr, 10));
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = value_of("--out-dir=");
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (count == 0) {
+    std::fprintf(stderr, "--count must be at least 1\n");
+    return 2;
+  }
+
+  // Emit per-case artifacts (generation is deterministic, so this pass and
+  // the verification pass below see identical cases).
+  if (!out_dir.empty() || dump) {
+    std::error_code ec;
+    if (!out_dir.empty()) {
+      std::filesystem::create_directories(out_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create '%s': %s\n", out_dir.c_str(),
+                     ec.message().c_str());
+        return 2;
+      }
+    }
+    for (unsigned i = 0; i < count; ++i) {
+      GeneratorConfig config;
+      config.seed = seed + i;
+      config.profile = profile;
+      const GeneratedCase generated = ctrtl::gen::generate(config);
+      if (dump) {
+        std::printf("--- %s (seed %llu, profile %s) ---\n%s\n%s\n%s",
+                    generated.design.name.c_str(),
+                    static_cast<unsigned long long>(generated.seed),
+                    to_string(generated.profile).c_str(),
+                    ctrtl::transfer::to_text(generated.design).c_str(),
+                    generated.microcode.to_text().c_str(),
+                    prediction_text(generated.oracle).c_str());
+      }
+      if (!out_dir.empty()) {
+        const std::filesystem::path base =
+            std::filesystem::path(out_dir) / generated.design.name;
+        if (!write_file(base.string() + ".rtd",
+                        ctrtl::transfer::to_text(generated.design)) ||
+            !write_file(base.string() + ".mc",
+                        generated.microcode.to_text()) ||
+            !write_file(base.string() + ".oracle",
+                        prediction_text(generated.oracle))) {
+          return 2;
+        }
+      }
+    }
+    if (!out_dir.empty()) {
+      std::printf("wrote %u case%s to %s\n", count, count == 1 ? "" : "s",
+                  out_dir.c_str());
+    }
+  }
+
+  CorpusOptions options;
+  options.first_seed = seed;
+  options.count = count;
+  options.profile = profile;
+  options.verify_engines = verify;
+  options.check_oracle = true;
+  options.fault_every = fault_every;
+  const CorpusReport report = ctrtl::gen::run_corpus(options);
+
+  std::printf(
+      "%u case%s (profile %s, seeds %llu..%llu): %zu transfers, "
+      "%zu predicted conflicts, %zu predicted DISC sites",
+      report.cases, report.cases == 1 ? "" : "s", to_string(profile).c_str(),
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(seed + count - 1),
+      report.total_transfers, report.predicted_conflicts,
+      report.predicted_disc_sites);
+  if (report.faulted_runs != 0) {
+    std::printf(", %u faulted runs", report.faulted_runs);
+  }
+  std::printf("\nchecked %s in %.1f ms (%.0f cases/s)\n",
+              verify ? "oracle + 3-way engine equivalence" : "oracle",
+              report.wall_ms, report.cases_per_second());
+
+  if (!report.ok()) {
+    for (const CorpusFailure& failure : report.failures) {
+      std::fprintf(stderr, "FAIL seed %llu [%s]:\n%s",
+                   static_cast<unsigned long long>(failure.seed),
+                   failure.phase.c_str(), failure.detail.c_str());
+      if (failure.shrunk_transfers != 0) {
+        std::fprintf(stderr, "shrunk reproduction: %u transfer%s\n",
+                     failure.shrunk_transfers,
+                     failure.shrunk_transfers == 1 ? "" : "s");
+      }
+      std::fprintf(stderr,
+                   "reproduce with: ctrtl_gen --seed=%llu --count=1 "
+                   "--profile=%s --verify --fault-sweep=1\n",
+                   static_cast<unsigned long long>(failure.seed),
+                   to_string(profile).c_str());
+    }
+    std::fprintf(stderr, "%zu failing case%s\n", report.failures.size(),
+                 report.failures.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "verify/trace.h"
 #include "verify/vcd.h"
@@ -55,6 +57,9 @@ int main(int argc, char** argv) {
   std::string vcd_path;
   std::string engine = "event";
   std::uint64_t max_cycles = ctrtl::kernel::Scheduler::kNoLimit;
+  // Flags that only work on a static transfer schedule, with the reason
+  // each one cannot apply to interpreted VHDL. Reported together below.
+  std::vector<std::pair<std::string, std::string>> unsupported;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,30 +74,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-cycles" && i + 1 < argc) {
       max_cycles = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg.rfind("--batch", 0) == 0 || arg.rfind("--workers", 0) == 0) {
-      // Mirror the --engine=compiled rejection: batching rides on the lane
-      // engine's shared compiled schedule, which interpreted VHDL lacks.
-      std::fprintf(stderr,
-                   "ctrtl_sim: %s is not available for interpreted VHDL "
-                   "input — batched lane execution requires a static "
-                   "transfer schedule shared by every instance.\n"
-                   "Use 'ctrtl_design <file.rtd> --batch=N [--workers=W]' "
-                   "on a register-transfer design file instead.\n",
-                   arg.c_str());
-      return 1;
+      // Batching rides on the lane engine's shared compiled schedule, which
+      // interpreted VHDL lacks. Collected rather than rejected immediately so
+      // one run reports every unsupported flag at once.
+      unsupported.emplace_back(arg,
+                               "batched lane execution requires a static "
+                               "transfer schedule shared by every instance");
     } else if (arg.rfind("--fault-plan", 0) == 0 ||
                arg.rfind("--max-delta-cycles", 0) == 0) {
       // Fault plans rewrite the transfer-instance stream and the watchdog
       // reports (step, phase) positions — both are defined on the static
       // schedule of a .rtd design, not on interpreted VHDL processes.
-      std::fprintf(stderr,
-                   "ctrtl_sim: %s is not available for interpreted VHDL "
-                   "input — fault injection and the delta-cycle watchdog "
-                   "operate on a static transfer schedule.\n"
-                   "Use 'ctrtl_design <file.rtd> --simulate "
-                   "[--fault-plan=FILE] [--max-delta-cycles=N]' on a "
-                   "register-transfer design file instead.\n",
-                   arg.c_str());
-      return 1;
+      unsupported.emplace_back(arg,
+                               "fault injection and the delta-cycle watchdog "
+                               "operate on a static transfer schedule");
     } else if (arg.rfind("--engine=", 0) == 0 ||
                (arg == "--engine" && i + 1 < argc)) {
       engine = arg == "--engine" ? argv[++i] : arg.substr(std::strlen("--engine="));
@@ -112,19 +107,37 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (path.empty() || top.empty()) {
-    usage();
-    return 1;
-  }
   if (engine == "compiled") {
     // The compiled engine executes a statically lowered transfer schedule;
     // arbitrary interpreted VHDL processes have no such schedule to lower.
+    unsupported.emplace_back("--engine=compiled",
+                             "general processes have no static transfer "
+                             "schedule to lower");
+  }
+  if (!unsupported.empty()) {
+    // One diagnostic listing every schedule-only flag on the command line,
+    // so a misdirected invocation is fixed in a single round trip.
+    if (unsupported.size() > 1) {
+      std::fprintf(stderr,
+                   "ctrtl_sim: %zu flags are not available for interpreted "
+                   "VHDL input:\n",
+                   unsupported.size());
+    }
+    for (const auto& [flag, reason] : unsupported) {
+      std::fprintf(stderr,
+                   "ctrtl_sim: %s is not available for interpreted VHDL "
+                   "input — %s.\n",
+                   flag.c_str(), reason.c_str());
+    }
     std::fprintf(stderr,
-                 "ctrtl_sim: --engine=compiled is not available for "
-                 "interpreted VHDL input — general processes have no static "
-                 "transfer schedule to lower.\n"
-                 "Use 'ctrtl_design <file.rtd> --simulate --engine=compiled' "
-                 "on a register-transfer design file instead.\n");
+                 "Use 'ctrtl_design <file.rtd> [--simulate] [--batch=N] "
+                 "[--workers=W] [--engine=compiled] [--fault-plan=FILE] "
+                 "[--max-delta-cycles=N]' on a register-transfer design "
+                 "file instead.\n");
+    return 1;
+  }
+  if (path.empty() || top.empty()) {
+    usage();
     return 1;
   }
 
