@@ -80,6 +80,16 @@ for e in lanes:
 assert "clockfree_process_per_transfer" in names and "clocked_rtl" in names, \
     "missing E6 clocked-vs-clock-free entries"
 assert "clockfree_compiled" in names, "missing clockfree_compiled entry"
+# PR 7 service entries (E14): both must exist and run the same workload, so
+# their step counts agree; the warm entry carries the cold/warm ratio.
+assert "service_cold" in names, "missing service_cold entry (cache-miss path)"
+assert "service_warm" in names, "missing service_warm entry (cache-hit path)"
+service_cold = next(e for e in entries if e["name"] == "service_cold")
+service_warm = next(e for e in entries if e["name"] == "service_warm")
+assert service_cold["steps"] == service_warm["steps"], \
+    "service_cold and service_warm must measure identical workloads"
+assert "speedup_vs_cold" in service_warm, \
+    "service_warm missing speedup_vs_cold ratio"
 
 for e in entries:
     for key in ("name", "unit", "workers", "instances", "repetitions",
@@ -112,5 +122,7 @@ else
   grep -q '"name": "batch_lanes"' "$OUT"
   grep -q '"name": "clockfree_compiled"' "$OUT"
   grep -q '"name": "clocked_rtl"' "$OUT"
+  grep -q '"name": "service_cold"' "$OUT"
+  grep -q '"name": "service_warm"' "$OUT"
   echo "bench_smoke: OK (grep fallback)"
 fi

@@ -50,5 +50,15 @@ echo "=== generator corpus smoke (PR gate) ==="
 "$BUILD"/tools/ctrtl_gen --seed=1 --count=25 --profile=mixed \
   --verify --fault-sweep=5 2>&1 | tee corpus_smoke_output.txt
 
+echo "=== service smoke (ctrtl_serve e2e, E14 correctness half) ==="
+# Real server on a Unix socket: cold and warm submissions diffed
+# byte-for-byte against ctrtl_design --simulate, the cache-hit counter
+# proving the warm job skipped lowering, fault-plan / watchdog / garbage
+# jobs as structured results, clean SHUTDOWN. The E14 saturation protocol
+# (worker sweep, BUSY rates) is documented in EXPERIMENTS.md; the
+# cold-vs-warm latency pair lands in BENCH_kernel.json via bench_to_json.
+"$(dirname "$0")/serve_smoke.sh" "$BUILD"/tools/ctrtl_serve \
+  "$BUILD"/tools/ctrtl_design . 2>&1 | tee serve_smoke_output.txt
+
 echo "=== bench smoke (JSON harness) ==="
 "$(dirname "$0")/bench_smoke.sh" "$BUILD"

@@ -178,6 +178,20 @@ std::optional<FaultedDesign> apply_plan(const transfer::Design& design,
   return out;
 }
 
+std::optional<FaultedDesign> parse_and_apply(const transfer::Design& design,
+                                             const std::string& plan_text,
+                                             common::DiagnosticBag& diags,
+                                             FaultPlan* plan_out) {
+  const FaultPlan plan = parse_fault_plan(plan_text, diags);
+  if (plan_out != nullptr) {
+    *plan_out = plan;
+  }
+  if (diags.has_errors()) {
+    return std::nullopt;
+  }
+  return apply_plan(design, plan, diags);
+}
+
 std::unique_ptr<rtl::RtModel> build_model(const FaultedDesign& faulted,
                                           rtl::TransferMode mode) {
   return transfer::build_model(faulted.design, faulted.instances, mode);

@@ -39,6 +39,16 @@ struct FaultedDesign {
     const transfer::Design& design, const FaultPlan& plan,
     common::DiagnosticBag& diags);
 
+/// Fault plans as first-class job parameters: parses plan text (the
+/// `parse_fault_plan` grammar) and applies it in one step — the shape a
+/// service job carries, where the plan arrives as a text blob next to the
+/// design. Parse errors and application errors both land in `diags` with
+/// nullopt returned; `plan_out` (when non-null) receives the parsed plan
+/// either way, so callers can report fault counts.
+[[nodiscard]] std::optional<FaultedDesign> parse_and_apply(
+    const transfer::Design& design, const std::string& plan_text,
+    common::DiagnosticBag& diags, FaultPlan* plan_out = nullptr);
+
 /// Engine facade: elaborates the faulted pair for the event-driven modes
 /// (or compiled mode) — `transfer::build_model` over the explicit stream.
 [[nodiscard]] std::unique_ptr<rtl::RtModel> build_model(

@@ -1,6 +1,7 @@
 #include "rtl/batch_runner.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "rtl/lane_engine.h"
@@ -111,7 +112,21 @@ InstanceResult BatchRunner::run_one(std::size_t instance) const {
 }
 
 BatchRunResult BatchRunner::run(std::size_t count) {
+  return run(count, nullptr);
+}
+
+BatchRunResult BatchRunner::run(std::size_t count, const BatchResultSink& sink) {
   BatchRunResult result;
+  // Serializes sink invocations across worker threads: the sink sees one
+  // completed work unit at a time, in completion order.
+  std::mutex sink_mutex;
+  const auto emit = [&](std::size_t first,
+                        std::span<const InstanceResult> block) {
+    if (sink) {
+      const std::scoped_lock lock(sink_mutex);
+      sink(first, block);
+    }
+  };
   if (options_.engine == BatchEngineKind::kCompiledLanes) {
     const std::size_t shard = std::max<std::size_t>(1, options_.lane_block);
     const std::size_t jobs = (count + shard - 1) / shard;
@@ -120,9 +135,11 @@ BatchRunResult BatchRunner::run(std::size_t count) {
           const std::size_t first = job * shard;
           const std::size_t width = std::min(shard, count - first);
           try {
-            return lane_engine_->run_block(first, width, inputs_,
-                                           options_.max_cycles,
-                                           options_.max_delta_cycles);
+            std::vector<InstanceResult> block = lane_engine_->run_block(
+                first, width, inputs_, options_.max_cycles,
+                options_.max_delta_cycles);
+            emit(first, block);
+            return block;
           } catch (const std::exception&) {
             // One lane poisoned the whole SoA block (typically its input
             // provider threw). Isolate by re-running the block one lane at
@@ -145,6 +162,7 @@ BatchRunResult BatchRunner::run(std::size_t count) {
                 isolated.push_back(std::move(failed));
               }
             }
+            emit(first, isolated);
             return isolated;
           }
         });
@@ -155,8 +173,12 @@ BatchRunResult BatchRunner::run(std::size_t count) {
       }
     }
   } else {
-    result.instances = engine_.map<InstanceResult>(
-        count, [this](std::size_t instance) { return run_one(instance); });
+    result.instances =
+        engine_.map<InstanceResult>(count, [&](std::size_t instance) {
+          InstanceResult one = run_one(instance);
+          emit(instance, std::span<const InstanceResult>(&one, 1));
+          return one;
+        });
   }
   result.wall_time_ns = engine_.last_dispatch().wall_time_ns;
   result.workers = engine_.worker_count();

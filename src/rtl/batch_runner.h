@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -87,6 +88,21 @@ struct InstanceResult {
   }
 };
 
+/// Incremental result streaming: invoked once per completed work unit with
+/// the results of instances `first_instance .. first_instance +
+/// block.size() - 1` (a whole lane block under `kCompiledLanes`, a single
+/// instance under `kPerInstance`), as soon as that unit finishes — long
+/// before `run` returns. Calls are serialized by the runner (never
+/// concurrent with each other) but arrive on worker threads in completion
+/// order, which varies with scheduling; within one call the block is in
+/// ascending instance order. The spanned results are identical to the slots
+/// the final `BatchRunResult` will hold, so a consumer that streams and one
+/// that waits observe byte-identical data. `ctrtl_serve` hangs its
+/// per-instance report streaming off this hook.
+using BatchResultSink =
+    std::function<void(std::size_t first_instance,
+                       std::span<const InstanceResult> block)>;
+
 /// Result of one batch dispatch: per-instance results indexed by instance
 /// number (deterministic — independent of worker interleaving), aggregated
 /// kernel statistics, and the batch wall time.
@@ -160,6 +176,13 @@ class BatchRunner {
 
   /// Simulates instances `0..count-1`.
   [[nodiscard]] BatchRunResult run(std::size_t count);
+
+  /// Like `run(count)`, additionally streaming every completed work unit
+  /// through `sink` while the batch is still in flight (see
+  /// `BatchResultSink`). A null sink is equivalent to `run(count)`; the
+  /// returned result is identical either way.
+  [[nodiscard]] BatchRunResult run(std::size_t count,
+                                   const BatchResultSink& sink);
 
   /// Builds and simulates one instance on the calling thread through the
   /// per-instance path — the sequential reference the determinism and

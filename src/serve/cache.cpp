@@ -1,0 +1,45 @@
+#include "serve/cache.h"
+
+namespace ctrtl::serve {
+
+std::shared_ptr<const transfer::CompiledDesign> DesignCache::get_or_compile(
+    std::uint64_t key, const Compile& compile, bool* hit) {
+  std::unique_lock lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++counters_.hits;
+    order_.splice(order_.begin(), order_, it->second.order);
+    if (hit != nullptr) {
+      *hit = true;
+    }
+    return it->second.design;
+  }
+  ++counters_.misses;
+  if (hit != nullptr) {
+    *hit = false;
+  }
+  // Compile under the lock: concurrent misses on the same key would
+  // otherwise lower the same design twice.
+  std::shared_ptr<const transfer::CompiledDesign> design = compile();
+  if (capacity_ == 0) {
+    return design;
+  }
+  order_.push_front(key);
+  entries_.emplace(key, Entry{design, order_.begin()});
+  while (entries_.size() > capacity_) {
+    const std::uint64_t victim = order_.back();
+    order_.pop_back();
+    entries_.erase(victim);
+    ++counters_.evictions;
+  }
+  return design;
+}
+
+DesignCache::Stats DesignCache::stats() const {
+  std::unique_lock lock(mutex_);
+  Stats out = counters_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace ctrtl::serve

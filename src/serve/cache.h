@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "transfer/schedule.h"
+
+namespace ctrtl::serve {
+
+/// LRU-bounded cache of lowered designs, keyed by the canonical-stream
+/// content hash (`transfer::canonical_stream_hash` over the post-fault
+/// `(design, instances)` pair — see docs/SERVICE.md, "Cache key"). The
+/// cache owns nothing but `shared_ptr`s: eviction drops the cache's
+/// reference, and any job still running against the evicted
+/// `CompiledDesign` keeps it alive until the job finishes. Thread-safe;
+/// `get_or_compile` holds the cache lock across a miss's compile so that
+/// concurrent submissions of the same design lower it exactly once
+/// (single-flight) — lowering is fast relative to simulation, so the
+/// simplicity wins over a per-key latch.
+class DesignCache {
+ public:
+  using Compile =
+      std::function<std::shared_ptr<const transfer::CompiledDesign>()>;
+
+  /// `capacity` == 0 disables caching (every lookup is a miss and nothing
+  /// is retained).
+  explicit DesignCache(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+  };
+
+  /// Returns the cached design for `key`, or invokes `compile`, stores the
+  /// result (evicting the least-recently-used entry when over capacity) and
+  /// returns it. `hit` (when non-null) reports which path was taken. A
+  /// `compile` that throws propagates and caches nothing.
+  [[nodiscard]] std::shared_ptr<const transfer::CompiledDesign> get_or_compile(
+      std::uint64_t key, const Compile& compile, bool* hit = nullptr);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const transfer::CompiledDesign> design;
+    std::list<std::uint64_t>::iterator order;  ///< position in order_
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Keys in recency order, most recent at the front.
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  Stats counters_;
+};
+
+}  // namespace ctrtl::serve

@@ -1,0 +1,188 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ctrtl::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("serve client: " + message);
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void ServeClient::connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    fail("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    fail(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    fail("connect(" + socket_path + ") failed: " + detail);
+  }
+  send_frame(Frame{MessageType::kHello, encode_hello(HelloPayload{})});
+  const Frame reply = read_frame();
+  if (reply.type != MessageType::kHello) {
+    fail("expected HELLO reply, got " + to_string(reply.type));
+  }
+  HelloPayload hello;
+  std::string error;
+  if (!parse_hello(reply.payload, &hello, &error)) {
+    fail("bad HELLO payload: " + error);
+  }
+  if (hello.proto != kProtocolName) {
+    fail("server speaks '" + hello.proto + "', expected '" +
+         std::string(kProtocolName) + "'");
+  }
+}
+
+void ServeClient::send_frame(const Frame& frame) {
+  std::string encoded = encode_frame(frame);
+  std::string_view rest = encoded;
+  while (!rest.empty()) {
+    // MSG_NOSIGNAL: a dead server shows up as a write error, not SIGPIPE.
+    const ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail(std::string("write failed: ") + std::strerror(errno));
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+Frame ServeClient::read_frame() {
+  Frame frame;
+  char buffer[4096];
+  while (!decoder_.next(&frame)) {
+    if (decoder_.failed()) {
+      fail("protocol error: " + decoder_.error());
+    }
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      fail("connection closed by server");
+    }
+    decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+  return frame;
+}
+
+JobOutcome ServeClient::run_job(
+    const JobRequest& request,
+    const std::function<void(const ReportPayload&)>& on_report) {
+  send_frame(Frame{MessageType::kSubmit, encode_submit(request)});
+  JobOutcome outcome;
+  std::string error;
+  for (;;) {
+    const Frame frame = read_frame();
+    switch (frame.type) {
+      case MessageType::kAccepted: {
+        AcceptedPayload accepted;
+        if (!parse_accepted(frame.payload, &accepted, &error)) {
+          fail("bad ACCEPTED payload: " + error);
+        }
+        outcome.accepted = accepted;
+        break;
+      }
+      case MessageType::kReport: {
+        ReportPayload report;
+        if (!parse_report(frame.payload, &report, &error)) {
+          fail("bad REPORT payload: " + error);
+        }
+        if (on_report) {
+          on_report(report);
+        }
+        outcome.reports.push_back(std::move(report));
+        break;
+      }
+      case MessageType::kDone: {
+        if (!parse_done(frame.payload, &outcome.done, &error)) {
+          fail("bad DONE payload: " + error);
+        }
+        outcome.status = JobOutcome::Status::kDone;
+        return outcome;
+      }
+      case MessageType::kBusy: {
+        if (!parse_busy(frame.payload, &outcome.busy, &error)) {
+          fail("bad BUSY payload: " + error);
+        }
+        outcome.status = JobOutcome::Status::kBusy;
+        return outcome;
+      }
+      case MessageType::kError: {
+        if (!parse_error(frame.payload, &outcome.error, &error)) {
+          fail("bad ERROR payload: " + error);
+        }
+        outcome.status = JobOutcome::Status::kError;
+        return outcome;
+      }
+      default:
+        fail("unexpected frame " + to_string(frame.type));
+    }
+  }
+}
+
+StatsPayload ServeClient::stats() {
+  send_frame(Frame{MessageType::kStats, ""});
+  const Frame reply = read_frame();
+  if (reply.type != MessageType::kStats) {
+    fail("expected STATS reply, got " + to_string(reply.type));
+  }
+  StatsPayload stats;
+  std::string error;
+  if (!parse_stats(reply.payload, &stats, &error)) {
+    fail("bad STATS payload: " + error);
+  }
+  return stats;
+}
+
+void ServeClient::shutdown_server() {
+  send_frame(Frame{MessageType::kShutdown, ""});
+  const Frame reply = read_frame();
+  if (reply.type != MessageType::kBye) {
+    fail("expected BYE ack, got " + to_string(reply.type));
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void ServeClient::close() {
+  if (fd_ < 0) {
+    return;
+  }
+  send_frame(Frame{MessageType::kBye, ""});
+  // Best-effort: consume the BYE ack, tolerate an already-gone server.
+  try {
+    (void)read_frame();
+  } catch (const std::runtime_error&) {
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace ctrtl::serve

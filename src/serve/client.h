@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace ctrtl::serve {
+
+/// How a submitted job ended, from the client's point of view.
+struct JobOutcome {
+  enum class Status : std::uint8_t {
+    kDone,   ///< DONE received; `done` and `reports` are valid
+    kBusy,   ///< BUSY at admission; `busy` is valid
+    kError,  ///< ERROR (at admission or mid-job); `error` is valid
+  };
+  Status status = Status::kError;
+  std::optional<AcceptedPayload> accepted;
+  DonePayload done;
+  BusyPayload busy;
+  ErrorPayload error;
+  /// Every REPORT frame, in arrival (completion) order. `run_job` sorts by
+  /// instance on request; raw arrival order is what determinism tests
+  /// normalize themselves.
+  std::vector<ReportPayload> reports;
+};
+
+/// Blocking ctrtl-serve/1 client over a Unix-domain socket. Not
+/// thread-safe; one client per thread.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects and exchanges HELLOs; throws `std::runtime_error` on socket
+  /// or protocol failure.
+  void connect(const std::string& socket_path);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Submits `request` and blocks until the job's terminal frame,
+  /// invoking `on_report` (when set) as each REPORT arrives.
+  [[nodiscard]] JobOutcome run_job(
+      const JobRequest& request,
+      const std::function<void(const ReportPayload&)>& on_report = nullptr);
+
+  [[nodiscard]] StatsPayload stats();
+
+  /// Asks the server to shut down; consumes the BYE ack.
+  void shutdown_server();
+
+  /// Polite close (BYE exchange) then disconnect.
+  void close();
+
+ private:
+  void send_frame(const Frame& frame);
+  [[nodiscard]] Frame read_frame();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace ctrtl::serve

@@ -1,0 +1,693 @@
+#include "serve/protocol.h"
+
+#include <array>
+#include <charconv>
+#include <cstring>
+
+#include "common/diagnostics.h"
+#include "rtl/model.h"
+#include "rtl/report.h"
+#include "rtl/value.h"
+
+namespace ctrtl::serve {
+
+namespace {
+
+constexpr std::array<std::string_view, 10> kTypeTokens = {
+    "HELLO", "SUBMIT", "ACCEPTED", "REPORT", "DONE",
+    "ERROR", "BUSY",   "STATS",    "SHUTDOWN", "BYE"};
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) {
+    *error = std::move(message);
+  }
+  return false;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t* value) {
+  if (text.empty()) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_i64(std::string_view text, std::int64_t* value) {
+  if (text.empty()) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+/// Splits "key rest of line" at the first space; rest is empty when the
+/// line is a bare key.
+std::pair<std::string_view, std::string_view> split_word(std::string_view line) {
+  const std::size_t space = line.find(' ');
+  if (space == std::string_view::npos) {
+    return {line, std::string_view{}};
+  }
+  return {line.substr(0, space), line.substr(space + 1)};
+}
+
+/// Cursor over a payload: newline-terminated key/value lines interleaved
+/// with length-prefixed raw byte blobs.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view payload) : rest_(payload) {}
+
+  [[nodiscard]] bool done() const { return rest_.empty(); }
+
+  /// Takes the next line (without its terminator). The final line may omit
+  /// the trailing newline.
+  bool line(std::string_view* out) {
+    if (rest_.empty()) {
+      return false;
+    }
+    const std::size_t nl = rest_.find('\n');
+    if (nl == std::string_view::npos) {
+      *out = rest_;
+      rest_ = {};
+    } else {
+      *out = rest_.substr(0, nl);
+      rest_.remove_prefix(nl + 1);
+    }
+    return true;
+  }
+
+  /// Takes exactly `count` raw bytes plus the mandatory '\n' separator that
+  /// keeps the following line from gluing onto the blob.
+  bool blob(std::size_t count, std::string_view* out) {
+    if (rest_.size() < count + 1 || rest_[count] != '\n') {
+      return false;
+    }
+    *out = rest_.substr(0, count);
+    rest_.remove_prefix(count + 1);
+    return true;
+  }
+
+ private:
+  std::string_view rest_;
+};
+
+void append_kv(std::string& out, std::string_view key, std::string_view value) {
+  out.append(key);
+  out.push_back(' ');
+  out.append(value);
+  out.push_back('\n');
+}
+
+void append_kv(std::string& out, std::string_view key, std::uint64_t value) {
+  append_kv(out, key, std::to_string(value));
+}
+
+void append_blob(std::string& out, std::string_view key, std::string_view blob) {
+  append_kv(out, key, std::to_string(blob.size()));
+  out.append(blob);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string to_string(MessageType type) {
+  return std::string(kTypeTokens[static_cast<std::size_t>(type)]);
+}
+
+bool parse_message_type(std::string_view token, MessageType* type) {
+  for (std::size_t i = 0; i < kTypeTokens.size(); ++i) {
+    if (kTypeTokens[i] == token) {
+      *type = static_cast<MessageType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string encode_frame(const Frame& frame) {
+  std::string out(kProtocolMagic);
+  out.push_back(' ');
+  out.append(to_string(frame.type));
+  out.push_back(' ');
+  out.append(std::to_string(frame.payload.size()));
+  out.push_back('\n');
+  out.append(frame.payload);
+  return out;
+}
+
+bool FrameDecoder::next(Frame* frame) {
+  if (failed_) {
+    return false;
+  }
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) {
+    // A header longer than magic + type + a 20-digit length is garbage even
+    // before its newline arrives.
+    if (buffer_.size() > 64) {
+      failed_ = true;
+      error_ = "frame header exceeds 64 bytes without a newline";
+    }
+    return false;
+  }
+  const std::string_view header(buffer_.data(), nl);
+  const auto [magic, after_magic] = split_word(header);
+  if (magic != kProtocolMagic) {
+    failed_ = true;
+    error_ = "bad frame magic '" + std::string(magic) + "'";
+    return false;
+  }
+  const auto [type_token, length_token] = split_word(after_magic);
+  MessageType type;
+  if (!parse_message_type(type_token, &type)) {
+    failed_ = true;
+    error_ = "unknown message type '" + std::string(type_token) + "'";
+    return false;
+  }
+  std::uint64_t length = 0;
+  if (!parse_u64(length_token, &length)) {
+    failed_ = true;
+    error_ = "bad payload length '" + std::string(length_token) + "'";
+    return false;
+  }
+  if (length > max_payload_) {
+    failed_ = true;
+    error_ = "payload length " + std::to_string(length) + " exceeds limit " +
+             std::to_string(max_payload_);
+    return false;
+  }
+  if (buffer_.size() - nl - 1 < length) {
+    return false;  // payload still in flight
+  }
+  frame->type = type;
+  frame->payload = buffer_.substr(nl + 1, length);
+  buffer_.erase(0, nl + 1 + length);
+  return true;
+}
+
+bool valid_job_id(std::string_view job_id) {
+  if (job_id.empty() || job_id.size() > 256) {
+    return false;
+  }
+  for (const char c : job_id) {
+    if (c <= ' ' || c == 0x7f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SUBMIT
+
+std::string encode_submit(const JobRequest& request) {
+  std::string out;
+  append_kv(out, "job", request.job_id);
+  append_kv(out, "instances", request.instances);
+  if (request.max_cycles != kernel::Scheduler::kNoLimit) {
+    append_kv(out, "max-cycles", request.max_cycles);
+  }
+  if (request.max_delta_cycles != kernel::Scheduler::kNoLimit) {
+    append_kv(out, "max-delta-cycles", request.max_delta_cycles);
+  }
+  for (const auto& [name, value] : request.inputs) {
+    append_kv(out, "input", name + " " + std::to_string(value));
+  }
+  append_blob(out, "design", request.design_text);
+  if (request.has_fault_plan) {
+    append_blob(out, "fault-plan", request.fault_plan_text);
+  }
+  return out;
+}
+
+bool parse_submit(std::string_view payload, JobRequest* request,
+                  std::string* error) {
+  *request = JobRequest{};
+  request->job_id.clear();
+  bool saw_design = false;
+  Scanner scanner(payload);
+  std::string_view line;
+  while (scanner.line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto [key, value] = split_word(line);
+    if (key == "job") {
+      if (!valid_job_id(value)) {
+        return set_error(error, "invalid job id");
+      }
+      request->job_id = std::string(value);
+    } else if (key == "instances") {
+      if (!parse_u64(value, &request->instances) || request->instances == 0) {
+        return set_error(error, "instances expects a positive count");
+      }
+    } else if (key == "max-cycles") {
+      if (!parse_u64(value, &request->max_cycles)) {
+        return set_error(error, "max-cycles expects an unsigned integer");
+      }
+    } else if (key == "max-delta-cycles") {
+      if (!parse_u64(value, &request->max_delta_cycles)) {
+        return set_error(error, "max-delta-cycles expects an unsigned integer");
+      }
+    } else if (key == "input") {
+      const auto [name, int_token] = split_word(value);
+      std::int64_t int_value = 0;
+      if (name.empty() || !parse_i64(int_token, &int_value)) {
+        return set_error(error, "input expects '<name> <integer>'");
+      }
+      request->inputs.emplace_back(std::string(name), int_value);
+    } else if (key == "design" || key == "fault-plan") {
+      std::uint64_t size = 0;
+      if (!parse_u64(value, &size)) {
+        return set_error(error,
+                         std::string(key) + " expects a byte count");
+      }
+      std::string_view blob;
+      if (!scanner.blob(size, &blob)) {
+        return set_error(error, std::string(key) + " blob truncated");
+      }
+      if (key == "design") {
+        saw_design = true;
+        request->design_text = std::string(blob);
+      } else {
+        request->has_fault_plan = true;
+        request->fault_plan_text = std::string(blob);
+      }
+    } else {
+      return set_error(error, "unknown SUBMIT field '" + std::string(key) + "'");
+    }
+  }
+  if (request->job_id.empty()) {
+    return set_error(error, "SUBMIT requires a job id");
+  }
+  if (!saw_design) {
+    return set_error(error, "SUBMIT requires a design blob");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ACCEPTED
+
+std::string encode_accepted(const AcceptedPayload& accepted) {
+  std::string out;
+  append_kv(out, "job", accepted.job_id);
+  append_kv(out, "queued", accepted.queued);
+  return out;
+}
+
+bool parse_accepted(std::string_view payload, AcceptedPayload* accepted,
+                    std::string* error) {
+  *accepted = AcceptedPayload{};
+  Scanner scanner(payload);
+  std::string_view line;
+  while (scanner.line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto [key, value] = split_word(line);
+    if (key == "job") {
+      accepted->job_id = std::string(value);
+    } else if (key == "queued") {
+      if (!parse_u64(value, &accepted->queued)) {
+        return set_error(error, "queued expects an unsigned integer");
+      }
+    } else {
+      return set_error(error,
+                       "unknown ACCEPTED field '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// REPORT
+
+std::string encode_report(const std::string& job_id, std::uint64_t instance,
+                          const rtl::InstanceResult& result) {
+  std::string out;
+  append_kv(out, "job", job_id);
+  append_kv(out, "instance", instance);
+  append_kv(out, "status", rtl::to_string(result.report.status));
+  append_kv(out, "cycles", result.cycles);
+  append_kv(out, "delta-cycles", result.stats.delta_cycles);
+  append_kv(out, "events", result.stats.events);
+  append_kv(out, "updates", result.stats.updates);
+  append_kv(out, "transactions", result.stats.transactions);
+  for (const rtl::Conflict& conflict : result.conflicts) {
+    append_kv(out, "conflict", rtl::to_string(conflict));
+  }
+  for (const auto& [name, value] : result.registers) {
+    append_kv(out, "register", name + " " + rtl::to_string(value));
+  }
+  for (const common::Diagnostic& diagnostic : result.report.diagnostics) {
+    append_kv(out, "diagnostic", common::to_string(diagnostic));
+  }
+  return out;
+}
+
+bool parse_report(std::string_view payload, ReportPayload* report,
+                  std::string* error) {
+  *report = ReportPayload{};
+  Scanner scanner(payload);
+  std::string_view line;
+  while (scanner.line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto [key, value] = split_word(line);
+    if (key == "job") {
+      report->job_id = std::string(value);
+    } else if (key == "instance") {
+      if (!parse_u64(value, &report->instance)) {
+        return set_error(error, "instance expects an unsigned integer");
+      }
+    } else if (key == "status") {
+      report->status = std::string(value);
+    } else if (key == "cycles") {
+      if (!parse_u64(value, &report->cycles)) {
+        return set_error(error, "cycles expects an unsigned integer");
+      }
+    } else if (key == "delta-cycles") {
+      if (!parse_u64(value, &report->delta_cycles)) {
+        return set_error(error, "delta-cycles expects an unsigned integer");
+      }
+    } else if (key == "events") {
+      if (!parse_u64(value, &report->events)) {
+        return set_error(error, "events expects an unsigned integer");
+      }
+    } else if (key == "updates") {
+      if (!parse_u64(value, &report->updates)) {
+        return set_error(error, "updates expects an unsigned integer");
+      }
+    } else if (key == "transactions") {
+      if (!parse_u64(value, &report->transactions)) {
+        return set_error(error, "transactions expects an unsigned integer");
+      }
+    } else if (key == "conflict") {
+      report->conflicts.emplace_back(value);
+    } else if (key == "register") {
+      const auto [name, rendered] = split_word(value);
+      if (name.empty() || rendered.empty()) {
+        return set_error(error, "register expects '<name> <value>'");
+      }
+      report->registers.emplace_back(std::string(name), std::string(rendered));
+    } else if (key == "diagnostic") {
+      report->diagnostics.emplace_back(value);
+    } else {
+      return set_error(error, "unknown REPORT field '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+std::string render_design_style(const ReportPayload& report) {
+  std::string out;
+  for (const std::string& conflict : report.conflicts) {
+    out.append("  ");
+    out.append(conflict);
+    out.push_back('\n');
+  }
+  out.append("final register values:\n");
+  for (const auto& [name, value] : report.registers) {
+    out.append("  ");
+    out.append(name);
+    for (std::size_t pad = name.size(); pad < 12; ++pad) {
+      out.push_back(' ');
+    }
+    out.push_back(' ');
+    out.append(value);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DONE
+
+std::string encode_done(const DonePayload& done) {
+  std::string out;
+  append_kv(out, "job", done.job_id);
+  append_kv(out, "instances", done.instances);
+  append_kv(out, "failures", done.failures);
+  append_kv(out, "conflicts", done.conflicts);
+  append_kv(out, "cache", done.cache_hit ? "hit" : "miss");
+  append_kv(out, "key", done.cache_key);
+  append_kv(out, "lower-ns", done.lower_ns);
+  append_kv(out, "run-ns", done.run_ns);
+  return out;
+}
+
+bool parse_done(std::string_view payload, DonePayload* done, std::string* error) {
+  *done = DonePayload{};
+  Scanner scanner(payload);
+  std::string_view line;
+  while (scanner.line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto [key, value] = split_word(line);
+    if (key == "job") {
+      done->job_id = std::string(value);
+    } else if (key == "instances") {
+      if (!parse_u64(value, &done->instances)) {
+        return set_error(error, "instances expects an unsigned integer");
+      }
+    } else if (key == "failures") {
+      if (!parse_u64(value, &done->failures)) {
+        return set_error(error, "failures expects an unsigned integer");
+      }
+    } else if (key == "conflicts") {
+      if (!parse_u64(value, &done->conflicts)) {
+        return set_error(error, "conflicts expects an unsigned integer");
+      }
+    } else if (key == "cache") {
+      if (value != "hit" && value != "miss") {
+        return set_error(error, "cache expects 'hit' or 'miss'");
+      }
+      done->cache_hit = value == "hit";
+    } else if (key == "key") {
+      done->cache_key = std::string(value);
+    } else if (key == "lower-ns") {
+      if (!parse_u64(value, &done->lower_ns)) {
+        return set_error(error, "lower-ns expects an unsigned integer");
+      }
+    } else if (key == "run-ns") {
+      if (!parse_u64(value, &done->run_ns)) {
+        return set_error(error, "run-ns expects an unsigned integer");
+      }
+    } else {
+      return set_error(error, "unknown DONE field '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ERROR
+
+std::string to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kProtocol:
+      return "E-PROTOCOL";
+    case ErrorCode::kParse:
+      return "E-PARSE";
+    case ErrorCode::kValidate:
+      return "E-VALIDATE";
+    case ErrorCode::kFaultPlan:
+      return "E-FAULT-PLAN";
+    case ErrorCode::kLimit:
+      return "E-LIMIT";
+    case ErrorCode::kShutdown:
+      return "E-SHUTDOWN";
+    case ErrorCode::kInternal:
+      return "E-INTERNAL";
+  }
+  return "E-INTERNAL";
+}
+
+bool parse_error_code(std::string_view token, ErrorCode* code) {
+  for (const ErrorCode candidate :
+       {ErrorCode::kProtocol, ErrorCode::kParse, ErrorCode::kValidate,
+        ErrorCode::kFaultPlan, ErrorCode::kLimit, ErrorCode::kShutdown,
+        ErrorCode::kInternal}) {
+    if (to_string(candidate) == token) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string encode_error(const ErrorPayload& error_payload) {
+  std::string out;
+  if (!error_payload.job_id.empty()) {
+    append_kv(out, "job", error_payload.job_id);
+  }
+  append_kv(out, "code", to_string(error_payload.code));
+  for (const std::string& diagnostic : error_payload.diagnostics) {
+    append_kv(out, "diagnostic", diagnostic);
+  }
+  return out;
+}
+
+bool parse_error(std::string_view payload, ErrorPayload* error_payload,
+                 std::string* error) {
+  *error_payload = ErrorPayload{};
+  Scanner scanner(payload);
+  std::string_view line;
+  while (scanner.line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto [key, value] = split_word(line);
+    if (key == "job") {
+      error_payload->job_id = std::string(value);
+    } else if (key == "code") {
+      if (!parse_error_code(value, &error_payload->code)) {
+        return set_error(error, "unknown error code '" + std::string(value) + "'");
+      }
+    } else if (key == "diagnostic") {
+      error_payload->diagnostics.emplace_back(value);
+    } else {
+      return set_error(error, "unknown ERROR field '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// BUSY
+
+std::string encode_busy(const BusyPayload& busy) {
+  std::string out;
+  append_kv(out, "job", busy.job_id);
+  append_kv(out, "queued", busy.queued);
+  append_kv(out, "capacity", busy.capacity);
+  return out;
+}
+
+bool parse_busy(std::string_view payload, BusyPayload* busy, std::string* error) {
+  *busy = BusyPayload{};
+  Scanner scanner(payload);
+  std::string_view line;
+  while (scanner.line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto [key, value] = split_word(line);
+    if (key == "job") {
+      busy->job_id = std::string(value);
+    } else if (key == "queued") {
+      if (!parse_u64(value, &busy->queued)) {
+        return set_error(error, "queued expects an unsigned integer");
+      }
+    } else if (key == "capacity") {
+      if (!parse_u64(value, &busy->capacity)) {
+        return set_error(error, "capacity expects an unsigned integer");
+      }
+    } else {
+      return set_error(error, "unknown BUSY field '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// STATS
+
+namespace {
+
+struct StatsField {
+  std::string_view key;
+  std::uint64_t StatsPayload::* member;
+};
+
+constexpr std::array<StatsField, 12> kStatsFields = {{
+    {"jobs-accepted", &StatsPayload::jobs_accepted},
+    {"jobs-completed", &StatsPayload::jobs_completed},
+    {"jobs-rejected-busy", &StatsPayload::jobs_rejected_busy},
+    {"jobs-failed", &StatsPayload::jobs_failed},
+    {"instances-completed", &StatsPayload::instances_completed},
+    {"cache-hits", &StatsPayload::cache_hits},
+    {"cache-misses", &StatsPayload::cache_misses},
+    {"cache-evictions", &StatsPayload::cache_evictions},
+    {"cache-entries", &StatsPayload::cache_entries},
+    {"cache-capacity", &StatsPayload::cache_capacity},
+    {"queue-capacity", &StatsPayload::queue_capacity},
+    {"workers", &StatsPayload::workers},
+}};
+
+}  // namespace
+
+std::string encode_stats(const StatsPayload& stats) {
+  std::string out;
+  for (const StatsField& field : kStatsFields) {
+    append_kv(out, field.key, stats.*(field.member));
+  }
+  return out;
+}
+
+bool parse_stats(std::string_view payload, StatsPayload* stats,
+                 std::string* error) {
+  *stats = StatsPayload{};
+  Scanner scanner(payload);
+  std::string_view line;
+  while (scanner.line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto [key, value] = split_word(line);
+    bool matched = false;
+    for (const StatsField& field : kStatsFields) {
+      if (field.key == key) {
+        if (!parse_u64(value, &(stats->*(field.member)))) {
+          return set_error(error,
+                           std::string(key) + " expects an unsigned integer");
+        }
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return set_error(error, "unknown STATS field '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// HELLO
+
+std::string encode_hello(const HelloPayload& hello) {
+  std::string out;
+  append_kv(out, "proto", hello.proto);
+  if (!hello.server.empty()) {
+    append_kv(out, "server", hello.server);
+  }
+  return out;
+}
+
+bool parse_hello(std::string_view payload, HelloPayload* hello,
+                 std::string* error) {
+  *hello = HelloPayload{};
+  hello->proto.clear();
+  Scanner scanner(payload);
+  std::string_view line;
+  while (scanner.line(&line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto [key, value] = split_word(line);
+    if (key == "proto") {
+      hello->proto = std::string(value);
+    } else if (key == "server") {
+      hello->server = std::string(value);
+    } else {
+      return set_error(error, "unknown HELLO field '" + std::string(key) + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace ctrtl::serve

@@ -1,0 +1,278 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "kernel/scheduler.h"
+#include "rtl/batch_runner.h"
+
+/// The ctrtl-serve/1 wire protocol: length-prefixed frames carrying
+/// line-oriented payloads, exchanged over a local stream socket between a
+/// `ctrtl_serve` server and its clients. docs/SERVICE.md is the normative
+/// spec; this header is its executable mirror. Everything here is pure
+/// string <-> struct transcoding — no sockets, no threads — so the whole
+/// grammar is unit-testable byte-for-byte.
+namespace ctrtl::serve {
+
+/// Frame header magic. A peer that opens with anything else is speaking a
+/// different (or future) protocol and is rejected with E-PROTOCOL.
+inline constexpr std::string_view kProtocolMagic = "CTRTL/1";
+
+/// Protocol identifier echoed in HELLO replies.
+inline constexpr std::string_view kProtocolName = "ctrtl-serve/1";
+
+/// Upper bound on one frame's payload; larger declared lengths poison the
+/// decoder (a malicious or corrupt length prefix must not trigger a
+/// gigabyte allocation).
+inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;
+
+/// Every frame type of ctrtl-serve/1. Client-to-server: HELLO, SUBMIT,
+/// STATS, SHUTDOWN, BYE. Server-to-client: HELLO (reply), ACCEPTED,
+/// REPORT, DONE, ERROR, BUSY, STATS (reply), BYE (ack).
+enum class MessageType : std::uint8_t {
+  kHello,
+  kSubmit,
+  kAccepted,
+  kReport,
+  kDone,
+  kError,
+  kBusy,
+  kStats,
+  kShutdown,
+  kBye,
+};
+
+/// The wire token ("HELLO", "SUBMIT", ...).
+[[nodiscard]] std::string to_string(MessageType type);
+[[nodiscard]] bool parse_message_type(std::string_view token, MessageType* type);
+
+/// One protocol frame: `CTRTL/1 <TYPE> <LENGTH>\n` followed by LENGTH
+/// payload bytes.
+struct Frame {
+  MessageType type = MessageType::kHello;
+  std::string payload;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Incremental frame decoder: feed raw bytes as they arrive off a socket,
+/// pull complete frames out. A malformed header or oversized length poisons
+/// the decoder permanently (`failed()`), after which the connection must be
+/// torn down — framing cannot be resynchronized once the byte stream is
+/// corrupt.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete frame; false when more bytes are needed or
+  /// the decoder has failed.
+  [[nodiscard]] bool next(Frame* frame);
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::string buffer_;
+  std::size_t max_payload_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// SUBMIT
+
+/// One simulation job, exactly as carried by a SUBMIT payload: sources as
+/// text blobs (the server parses, validates, hashes, and lowers them),
+/// per-job engine bounds, and the external inputs applied to every
+/// instance. This is the job-oriented API the service schedules — the same
+/// struct whether it arrived over the wire or was built in-process.
+struct JobRequest {
+  /// Client-chosen token echoed on every reply for this job. Non-empty,
+  /// no whitespace or control characters, at most 256 bytes.
+  std::string job_id = "job";
+  std::uint64_t instances = 1;
+  std::uint64_t max_cycles = kernel::Scheduler::kNoLimit;
+  std::uint64_t max_delta_cycles = kernel::Scheduler::kNoLimit;
+  /// (input name, value) pairs applied in order to every instance.
+  std::vector<std::pair<std::string, std::int64_t>> inputs;
+  /// The design source, .rtd text format.
+  std::string design_text;
+  /// Optional declarative fault plan (fault::parse_fault_plan grammar).
+  bool has_fault_plan = false;
+  std::string fault_plan_text;
+
+  friend bool operator==(const JobRequest&, const JobRequest&) = default;
+};
+
+[[nodiscard]] std::string encode_submit(const JobRequest& request);
+[[nodiscard]] bool parse_submit(std::string_view payload, JobRequest* request,
+                                std::string* error);
+
+// ---------------------------------------------------------------------------
+// ACCEPTED
+
+struct AcceptedPayload {
+  std::string job_id;
+  /// Jobs sitting in the queue at admission, this one included.
+  std::uint64_t queued = 0;
+
+  friend bool operator==(const AcceptedPayload&, const AcceptedPayload&) = default;
+};
+
+[[nodiscard]] std::string encode_accepted(const AcceptedPayload& accepted);
+[[nodiscard]] bool parse_accepted(std::string_view payload,
+                                  AcceptedPayload* accepted, std::string* error);
+
+// ---------------------------------------------------------------------------
+// REPORT — one per instance, streamed as lane blocks complete
+
+/// Wire image of one `rtl::InstanceResult`: status and counters verbatim,
+/// conflicts/diagnostics as their canonical renderings, registers as
+/// (name, rendered value) in elaboration order. Byte-identical inputs give
+/// byte-identical payloads, which is what the equivalence smoke diffs
+/// against `ctrtl_design` output.
+struct ReportPayload {
+  std::string job_id;
+  std::uint64_t instance = 0;
+  std::string status;  ///< "ok", "watchdog-tripped", "error"
+  std::uint64_t cycles = 0;
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t events = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t transactions = 0;
+  std::vector<std::string> conflicts;  ///< to_string(Conflict), in order
+  std::vector<std::pair<std::string, std::string>> registers;
+  std::vector<std::string> diagnostics;  ///< to_string(Diagnostic), in order
+
+  friend bool operator==(const ReportPayload&, const ReportPayload&) = default;
+};
+
+[[nodiscard]] std::string encode_report(const std::string& job_id,
+                                        std::uint64_t instance,
+                                        const rtl::InstanceResult& result);
+[[nodiscard]] bool parse_report(std::string_view payload, ReportPayload* report,
+                                std::string* error);
+
+/// ctrtl_design-compatible rendering of one report: conflict lines
+/// ("  <conflict>") followed by the "final register values:" block with
+/// `%-12s` name padding — exactly the bytes `ctrtl_design --simulate`
+/// prints for the same instance, enabling byte-for-byte diffs in CI.
+[[nodiscard]] std::string render_design_style(const ReportPayload& report);
+
+// ---------------------------------------------------------------------------
+// DONE
+
+struct DonePayload {
+  std::string job_id;
+  std::uint64_t instances = 0;
+  std::uint64_t failures = 0;   ///< instances whose report is not ok
+  std::uint64_t conflicts = 0;  ///< total conflict records across instances
+  bool cache_hit = false;
+  std::string cache_key;  ///< 16 lowercase hex digits
+  std::uint64_t lower_ns = 0;  ///< time spent lowering (0 on a cache hit)
+  std::uint64_t run_ns = 0;
+
+  friend bool operator==(const DonePayload&, const DonePayload&) = default;
+};
+
+[[nodiscard]] std::string encode_done(const DonePayload& done);
+[[nodiscard]] bool parse_done(std::string_view payload, DonePayload* done,
+                              std::string* error);
+
+// ---------------------------------------------------------------------------
+// ERROR
+
+/// Job- and connection-level failure classes. Instance-level failures
+/// (watchdog trips, simulation errors) are NOT errors at this level — they
+/// stream as REPORT frames with a non-ok status, and the job still DONEs.
+enum class ErrorCode : std::uint8_t {
+  kProtocol,   ///< E-PROTOCOL: malformed frame, payload, or message type
+  kParse,      ///< E-PARSE: design text did not parse
+  kValidate,   ///< E-VALIDATE: design parsed but failed validation
+  kFaultPlan,  ///< E-FAULT-PLAN: fault plan did not parse or apply
+  kLimit,      ///< E-LIMIT: request exceeds a server limit
+  kShutdown,   ///< E-SHUTDOWN: server is draining, job not accepted
+  kInternal,   ///< E-INTERNAL: unexpected server-side exception
+};
+
+[[nodiscard]] std::string to_string(ErrorCode code);
+[[nodiscard]] bool parse_error_code(std::string_view token, ErrorCode* code);
+
+struct ErrorPayload {
+  std::string job_id;  ///< empty when the failure precedes job identity
+  ErrorCode code = ErrorCode::kInternal;
+  std::vector<std::string> diagnostics;
+
+  friend bool operator==(const ErrorPayload&, const ErrorPayload&) = default;
+};
+
+[[nodiscard]] std::string encode_error(const ErrorPayload& error_payload);
+[[nodiscard]] bool parse_error(std::string_view payload, ErrorPayload* error_payload,
+                               std::string* error);
+
+// ---------------------------------------------------------------------------
+// BUSY — admission-control rejection
+
+struct BusyPayload {
+  std::string job_id;
+  std::uint64_t queued = 0;    ///< jobs in the queue at rejection
+  std::uint64_t capacity = 0;  ///< configured queue capacity
+
+  friend bool operator==(const BusyPayload&, const BusyPayload&) = default;
+};
+
+[[nodiscard]] std::string encode_busy(const BusyPayload& busy);
+[[nodiscard]] bool parse_busy(std::string_view payload, BusyPayload* busy,
+                              std::string* error);
+
+// ---------------------------------------------------------------------------
+// STATS
+
+struct StatsPayload {
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_rejected_busy = 0;
+  std::uint64_t jobs_failed = 0;  ///< jobs ending in an ERROR reply
+  std::uint64_t instances_completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_capacity = 0;
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t workers = 0;
+
+  friend bool operator==(const StatsPayload&, const StatsPayload&) = default;
+};
+
+[[nodiscard]] std::string encode_stats(const StatsPayload& stats);
+[[nodiscard]] bool parse_stats(std::string_view payload, StatsPayload* stats,
+                               std::string* error);
+
+// ---------------------------------------------------------------------------
+// HELLO
+
+struct HelloPayload {
+  std::string proto = std::string(kProtocolName);
+  std::string server;  ///< empty in client HELLOs
+
+  friend bool operator==(const HelloPayload&, const HelloPayload&) = default;
+};
+
+[[nodiscard]] std::string encode_hello(const HelloPayload& hello);
+[[nodiscard]] bool parse_hello(std::string_view payload, HelloPayload* hello,
+                               std::string* error);
+
+/// Checks the job-id lexical rule (non-empty, printable, no spaces,
+/// <= 256 bytes).
+[[nodiscard]] bool valid_job_id(std::string_view job_id);
+
+}  // namespace ctrtl::serve

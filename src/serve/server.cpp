@@ -1,0 +1,313 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+namespace ctrtl::serve {
+
+namespace {
+
+/// Writes the whole buffer, retrying on EINTR / partial writes.
+/// MSG_NOSIGNAL: a peer that disconnected mid-stream must surface as EPIPE,
+/// not a process-killing SIGPIPE.
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Per-connection state shared between the reader, the writer, and any
+/// service workers still streaming job frames. The outbox is unbounded in
+/// memory by design: service workers must never block on a client's
+/// socket, so the cost of a slow reader is this connection's memory, not
+/// the service's throughput (docs/SERVICE.md, "Backpressure").
+struct ServeServer::Connection {
+  int fd = -1;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> outbox;
+  /// Reader finished (EOF, BYE, or protocol failure): the writer drains
+  /// what is queued, then exits.
+  bool closing = false;
+  /// Socket is dead; pushes are discarded.
+  bool dead = false;
+
+  void push(std::string encoded) {
+    {
+      std::unique_lock lock(mutex);
+      if (dead) {
+        return;
+      }
+      outbox.push_back(std::move(encoded));
+    }
+    cv.notify_one();
+  }
+
+  void close_writer() {
+    {
+      std::unique_lock lock(mutex);
+      closing = true;
+    }
+    cv.notify_one();
+  }
+};
+
+ServeServer::ServeServer(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {}
+
+ServeServer::~ServeServer() {
+  stop();
+  wait();
+}
+
+void ServeServer::start() {
+  if (options_.socket_path.empty()) {
+    throw std::runtime_error("serve: socket path must not be empty");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: bind(" + options_.socket_path +
+                             ") failed: " + detail);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: listen() failed: " + detail);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ServeServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    std::unique_lock lock(connections_mutex_);
+    connections_.push_back(connection);
+    connection_threads_.emplace_back(
+        [this, connection] { handle_connection(connection); });
+  }
+}
+
+void ServeServer::writer_loop(std::shared_ptr<Connection> connection) {
+  for (;;) {
+    std::string encoded;
+    {
+      std::unique_lock lock(connection->mutex);
+      connection->cv.wait(lock, [&] {
+        return !connection->outbox.empty() || connection->closing;
+      });
+      if (connection->outbox.empty()) {
+        return;  // closing and drained
+      }
+      encoded = std::move(connection->outbox.front());
+      connection->outbox.pop_front();
+    }
+    if (!write_all(connection->fd, encoded)) {
+      std::unique_lock lock(connection->mutex);
+      connection->dead = true;
+      connection->outbox.clear();
+      return;
+    }
+  }
+}
+
+void ServeServer::handle_connection(std::shared_ptr<Connection> connection) {
+  std::thread writer([connection] { writer_loop(connection); });
+
+  const auto send = [&](MessageType type, std::string payload) {
+    connection->push(encode_frame(Frame{type, std::move(payload)}));
+  };
+
+  FrameDecoder decoder;
+  char buffer[4096];
+  bool open = true;
+  while (open) {
+    Frame frame;
+    while (open && !decoder.next(&frame)) {
+      if (decoder.failed()) {
+        ErrorPayload error;
+        error.code = ErrorCode::kProtocol;
+        error.diagnostics.push_back(decoder.error());
+        send(MessageType::kError, encode_error(error));
+        open = false;
+        break;
+      }
+      const ssize_t n = ::read(connection->fd, buffer, sizeof(buffer));
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        open = false;
+        break;
+      }
+      decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+    if (!open) {
+      break;
+    }
+
+    switch (frame.type) {
+      case MessageType::kHello: {
+        HelloPayload hello;
+        hello.server = "ctrtl_serve";
+        send(MessageType::kHello, encode_hello(hello));
+        break;
+      }
+      case MessageType::kSubmit: {
+        JobRequest request;
+        std::string parse_message;
+        if (!parse_submit(frame.payload, &request, &parse_message)) {
+          ErrorPayload error;
+          error.code = ErrorCode::kProtocol;
+          error.diagnostics.push_back("bad SUBMIT payload: " + parse_message);
+          send(MessageType::kError, encode_error(error));
+          break;
+        }
+        const std::string job_id = request.job_id;
+        const SubmitOutcome outcome = service_.submit(
+            std::move(request), [connection](const Frame& event) {
+              connection->push(encode_frame(event));
+            });
+        switch (outcome.status) {
+          case SubmitStatus::kAccepted:
+            send(MessageType::kAccepted,
+                 encode_accepted(AcceptedPayload{job_id, outcome.queued}));
+            break;
+          case SubmitStatus::kBusy: {
+            BusyPayload busy;
+            busy.job_id = job_id;
+            busy.queued = outcome.queued;
+            busy.capacity = options_.service.queue_capacity;
+            send(MessageType::kBusy, encode_busy(busy));
+            break;
+          }
+          case SubmitStatus::kRejected:
+            send(MessageType::kError, encode_error(outcome.error));
+            break;
+        }
+        break;
+      }
+      case MessageType::kStats:
+        send(MessageType::kStats, encode_stats(service_.stats()));
+        break;
+      case MessageType::kShutdown:
+        send(MessageType::kBye, "");
+        stopping_.store(true, std::memory_order_release);
+        open = false;
+        break;
+      case MessageType::kBye:
+        send(MessageType::kBye, "");
+        open = false;
+        break;
+      default: {
+        ErrorPayload error;
+        error.code = ErrorCode::kProtocol;
+        error.diagnostics.push_back("unexpected client frame " +
+                                    to_string(frame.type));
+        send(MessageType::kError, encode_error(error));
+        break;
+      }
+    }
+  }
+
+  connection->close_writer();
+  writer.join();
+  {
+    std::unique_lock lock(connection->mutex);
+    connection->dead = true;
+  }
+  ::shutdown(connection->fd, SHUT_RDWR);
+  ::close(connection->fd);
+}
+
+void ServeServer::wait() {
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Admission is closed (the accept loop exited); drain in-flight jobs so
+  // their frames land in the outboxes before the connections wind down.
+  service_.shutdown();
+  // Unblock any reader still parked in read(): shut the receive side only,
+  // so queued frames (a client's DONE, the SHUTDOWN ack) still flush.
+  {
+    std::unique_lock lock(connections_mutex_);
+    for (const std::weak_ptr<Connection>& weak : connections_) {
+      if (const std::shared_ptr<Connection> connection = weak.lock()) {
+        ::shutdown(connection->fd, SHUT_RD);
+      }
+    }
+    connections_.clear();
+  }
+  reap_finished_connections();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void ServeServer::stop() { stopping_.store(true, std::memory_order_release); }
+
+void ServeServer::reap_finished_connections() {
+  std::vector<std::thread> threads;
+  {
+    std::unique_lock lock(connections_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+}
+
+}  // namespace ctrtl::serve

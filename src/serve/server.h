@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace ctrtl::serve {
+
+/// Options for a `ServeServer`.
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain listening socket. A stale file at
+  /// this path is unlinked on start.
+  std::string socket_path;
+  /// Forwarded to the embedded `SimulationService`.
+  ServiceOptions service;
+};
+
+/// The wire layer of `ctrtl_serve`: accepts Unix-domain stream connections,
+/// decodes ctrtl-serve/1 frames, and routes jobs into an embedded
+/// `SimulationService`. One reader thread and one writer thread per
+/// connection; job frames are buffered into a per-connection outbox that
+/// the writer drains, so a slow (or stalled) reader blocks only its own
+/// connection — never a service worker. A SHUTDOWN frame (or `stop()`)
+/// stops admission, drains in-flight jobs, flushes the outboxes, and
+/// closes everything down.
+class ServeServer {
+ public:
+  explicit ServeServer(ServerOptions options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds and listens; throws `std::runtime_error` on socket failure.
+  void start();
+
+  /// Blocks until the server is stopped (SHUTDOWN frame or `stop()`).
+  void wait();
+
+  /// Initiates shutdown from any thread; idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void handle_connection(std::shared_ptr<Connection> connection);
+  static void writer_loop(std::shared_ptr<Connection> connection);
+  void reap_finished_connections();
+
+  ServerOptions options_;
+  SimulationService service_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+};
+
+}  // namespace ctrtl::serve

@@ -1,0 +1,283 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "common/diagnostics.h"
+#include "fault/inject.h"
+#include "rtl/batch_runner.h"
+#include "transfer/hash.h"
+#include "transfer/mapping.h"
+#include "transfer/text_format.h"
+
+namespace ctrtl::serve {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<std::string> bag_to_strings(const common::DiagnosticBag& diags) {
+  std::vector<std::string> out;
+  out.reserve(diags.entries().size());
+  for (const common::Diagnostic& diagnostic : diags.entries()) {
+    out.push_back(common::to_string(diagnostic));
+  }
+  return out;
+}
+
+}  // namespace
+
+SimulationService::SimulationService(ServiceOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  if (options_.workers == 0) {
+    options_.workers = 1;
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimulationService::~SimulationService() { shutdown(); }
+
+SubmitOutcome SimulationService::submit(JobRequest request, EventSink sink) {
+  SubmitOutcome outcome;
+  const auto reject = [&](ErrorCode code, std::string message) {
+    outcome.status = SubmitStatus::kRejected;
+    outcome.error.job_id = request.job_id;
+    outcome.error.code = code;
+    outcome.error.diagnostics.push_back(std::move(message));
+    return outcome;
+  };
+
+  if (!valid_job_id(request.job_id)) {
+    request.job_id.clear();  // don't echo garbage back
+    return reject(ErrorCode::kValidate, "invalid job id");
+  }
+  if (request.instances == 0) {
+    return reject(ErrorCode::kValidate, "instances must be positive");
+  }
+  if (request.instances > options_.max_instances) {
+    return reject(ErrorCode::kLimit,
+                  "instances " + std::to_string(request.instances) +
+                      " exceeds limit " +
+                      std::to_string(options_.max_instances));
+  }
+  if (request.design_text.size() > options_.max_source_bytes ||
+      request.fault_plan_text.size() > options_.max_source_bytes) {
+    return reject(ErrorCode::kLimit,
+                  "source blob exceeds " +
+                      std::to_string(options_.max_source_bytes) + " bytes");
+  }
+
+  std::unique_lock lock(mutex_);
+  if (draining_) {
+    return reject(ErrorCode::kShutdown, "server is shutting down");
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    ++jobs_rejected_busy_;
+    outcome.status = SubmitStatus::kBusy;
+    outcome.queued = queue_.size();
+    return outcome;
+  }
+  queue_.push_back(Job{std::move(request), std::move(sink)});
+  ++jobs_accepted_;
+  outcome.status = SubmitStatus::kAccepted;
+  outcome.queued = queue_.size();
+  lock.unlock();
+  queue_cv_.notify_one();
+  return outcome;
+}
+
+void SimulationService::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // draining and nothing left
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (options_.on_job_start) {
+      options_.on_job_start(job.request.job_id);
+    }
+    process(std::move(job));
+  }
+}
+
+void SimulationService::process(Job job) {
+  const JobRequest& request = job.request;
+  const auto fail = [&](ErrorCode code, std::vector<std::string> diagnostics) {
+    ErrorPayload error;
+    error.job_id = request.job_id;
+    error.code = code;
+    error.diagnostics = std::move(diagnostics);
+    {
+      // Count before emitting: a caller woken by the terminal frame must
+      // observe the updated stats.
+      std::unique_lock lock(mutex_);
+      ++jobs_failed_;
+    }
+    if (job.sink) {
+      job.sink(Frame{MessageType::kError, encode_error(error)});
+    }
+  };
+
+  try {
+    // Parse the design source.
+    common::DiagnosticBag diags;
+    transfer::Design design =
+        transfer::parse_design(request.design_text, diags);
+    if (diags.has_errors()) {
+      fail(ErrorCode::kParse, bag_to_strings(diags));
+      return;
+    }
+    diags.clear();
+
+    // Resolve the instance stream: the design's own tuples, or the
+    // fault-transformed stream when the job carries a plan.
+    std::vector<transfer::TransInstance> instances;
+    if (request.has_fault_plan) {
+      const std::optional<fault::FaultedDesign> faulted =
+          fault::parse_and_apply(design, request.fault_plan_text, diags);
+      if (!faulted.has_value()) {
+        fail(ErrorCode::kFaultPlan, bag_to_strings(diags));
+        return;
+      }
+      design = faulted->design;
+      instances = faulted->instances;
+    } else {
+      instances = transfer::to_instances(design.transfers);
+    }
+
+    // Content-hash the post-fault canonical stream: the cache key.
+    const std::uint64_t key =
+        transfer::canonical_stream_hash(design, instances);
+
+    // Cache lookup; a miss lowers under the cache lock (single-flight).
+    // CompiledDesign::compile throws invalid_argument on validation
+    // failure, which surfaces as E-VALIDATE below.
+    bool cache_hit = false;
+    std::uint64_t lower_ns = 0;
+    std::shared_ptr<const transfer::CompiledDesign> compiled;
+    try {
+      compiled = cache_.get_or_compile(
+          key,
+          [&] {
+            const std::uint64_t start = now_ns();
+            auto lowered =
+                transfer::CompiledDesign::compile(design, instances);
+            lower_ns = now_ns() - start;
+            return lowered;
+          },
+          &cache_hit);
+    } catch (const std::invalid_argument& error) {
+      fail(ErrorCode::kValidate, {error.what()});
+      return;
+    }
+
+    // Lane-sharded run, streaming each completed lane block out as REPORT
+    // frames. The sink calls are serialized by the runner, so frames for
+    // one job never interleave mid-frame.
+    std::vector<std::pair<std::string, rtl::RtValue>> inputs;
+    inputs.reserve(request.inputs.size());
+    for (const auto& [name, value] : request.inputs) {
+      inputs.emplace_back(name, rtl::RtValue::of(value));
+    }
+    rtl::BatchRunOptions run_options;
+    run_options.workers = options_.lane_workers;
+    run_options.max_cycles = request.max_cycles;
+    run_options.max_delta_cycles = request.max_delta_cycles;
+    run_options.engine = rtl::BatchEngineKind::kCompiledLanes;
+    run_options.lane_block = options_.lane_block;
+    rtl::BatchRunner runner(
+        compiled, run_options,
+        inputs.empty() ? rtl::BatchInputProvider{}
+                       : [inputs](std::size_t) { return inputs; });
+
+    const std::uint64_t run_start = now_ns();
+    const rtl::BatchRunResult result = runner.run(
+        request.instances,
+        [&](std::size_t first_instance,
+            std::span<const rtl::InstanceResult> block) {
+          if (!job.sink) {
+            return;
+          }
+          for (std::size_t i = 0; i < block.size(); ++i) {
+            job.sink(Frame{
+                MessageType::kReport,
+                encode_report(request.job_id, first_instance + i, block[i])});
+          }
+        });
+    const std::uint64_t run_ns = now_ns() - run_start;
+
+    DonePayload done;
+    done.job_id = request.job_id;
+    done.instances = result.instances.size();
+    done.failures = result.failure_count();
+    done.conflicts = result.conflict_count();
+    done.cache_hit = cache_hit;
+    done.cache_key = transfer::to_hex(key);
+    done.lower_ns = lower_ns;
+    done.run_ns = run_ns;
+    {
+      // Count before emitting, so stats are current once DONE is visible.
+      std::unique_lock lock(mutex_);
+      ++jobs_completed_;
+      instances_completed_ += result.instances.size();
+    }
+    if (job.sink) {
+      job.sink(Frame{MessageType::kDone, encode_done(done)});
+    }
+  } catch (const std::exception& error) {
+    fail(ErrorCode::kInternal, {error.what()});
+  }
+}
+
+StatsPayload SimulationService::stats() const {
+  const DesignCache::Stats cache = cache_.stats();
+  StatsPayload out;
+  std::unique_lock lock(mutex_);
+  out.jobs_accepted = jobs_accepted_;
+  out.jobs_completed = jobs_completed_;
+  out.jobs_rejected_busy = jobs_rejected_busy_;
+  out.jobs_failed = jobs_failed_;
+  out.instances_completed = instances_completed_;
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  out.cache_entries = cache.entries;
+  out.cache_capacity = cache_.capacity();
+  out.queue_capacity = options_.queue_capacity;
+  out.workers = options_.workers;
+  return out;
+}
+
+void SimulationService::shutdown() {
+  {
+    std::unique_lock lock(mutex_);
+    if (draining_ && workers_.empty()) {
+      return;
+    }
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+}
+
+}  // namespace ctrtl::serve

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+#include <deque>
+
+#include "serve/cache.h"
+#include "serve/protocol.h"
+
+namespace ctrtl::serve {
+
+/// Tuning knobs for a `SimulationService`. docs/SERVICE.md ("Operations")
+/// discusses how to size them.
+struct ServiceOptions {
+  /// Job worker threads — jobs processed concurrently.
+  std::size_t workers = 2;
+  /// Worker threads inside each job's `rtl::BatchRunner` (lane-block
+  /// parallelism within one job). workers * lane_workers should not exceed
+  /// the machine.
+  std::size_t lane_workers = 1;
+  /// Lane-engine shard size, forwarded to `BatchRunOptions::lane_block`.
+  std::size_t lane_block = 16;
+  /// Bounded admission queue: jobs accepted but not yet picked up by a
+  /// worker. A full queue rejects with BUSY instead of growing without
+  /// bound — the backpressure contract.
+  std::size_t queue_capacity = 16;
+  /// Lowered designs retained, LRU (`DesignCache`).
+  std::size_t cache_capacity = 8;
+  /// Per-job instance-count limit (E-LIMIT above it).
+  std::uint64_t max_instances = 65536;
+  /// Per-blob source-size limit in bytes (E-LIMIT above it).
+  std::size_t max_source_bytes = 1u << 20;
+  /// Test/observability hook: invoked on the worker thread with the job id
+  /// right after dequeue, before any processing. Lets tests park a worker
+  /// deterministically to exercise queue-full backpressure.
+  std::function<void(const std::string& job_id)> on_job_start;
+};
+
+enum class SubmitStatus : std::uint8_t {
+  kAccepted,  ///< queued; REPORT/DONE/ERROR frames will follow via the sink
+  kBusy,      ///< queue full — resubmit later
+  kRejected,  ///< failed admission validation; `error` says why
+};
+
+/// Synchronous outcome of `submit`. Everything asynchronous (REPORT, DONE,
+/// job-level ERROR) arrives through the job's `EventSink` instead.
+struct SubmitOutcome {
+  SubmitStatus status = SubmitStatus::kRejected;
+  /// Jobs in the queue: after enqueue for kAccepted (this job included),
+  /// at rejection for kBusy.
+  std::uint64_t queued = 0;
+  /// Populated when status == kRejected.
+  ErrorPayload error;
+};
+
+/// Receives a job's asynchronous frames (REPORT per instance in completion
+/// order, then exactly one DONE or ERROR). Invoked on worker threads;
+/// calls for one job are serialized. Must not block the worker for long —
+/// socket-facing callers buffer into a per-connection outbox and let a
+/// writer thread drain it (see `ServeServer`).
+using EventSink = std::function<void(const Frame& frame)>;
+
+/// The in-process core of `ctrtl_serve`: a bounded job queue, a worker
+/// pool, and a content-addressed `DesignCache`, independent of any wire.
+/// A job's lifecycle: accept -> hash -> cache hit/miss -> lower ->
+/// lane-sharded run (streaming REPORTs as lane blocks complete) -> DONE.
+/// Anything that fails before the run starts ends the job with a single
+/// structured ERROR frame instead; instance-level failures (watchdog,
+/// per-instance errors) are *not* job errors — they stream as REPORT
+/// frames with a non-ok status and the job still completes with DONE.
+class SimulationService {
+ public:
+  explicit SimulationService(ServiceOptions options = {});
+
+  /// Drains and joins (`shutdown()`).
+  ~SimulationService();
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
+
+  /// Validates and enqueues one job. On kAccepted the sink will be invoked
+  /// asynchronously until the job's terminal frame (DONE or ERROR); on
+  /// kBusy/kRejected the sink is never invoked.
+  [[nodiscard]] SubmitOutcome submit(JobRequest request, EventSink sink);
+
+  [[nodiscard]] StatsPayload stats() const;
+
+  /// Stops admission (further submits are kRejected with E-SHUTDOWN),
+  /// drains already-accepted jobs, and joins the workers. Idempotent.
+  void shutdown();
+
+ private:
+  struct Job {
+    JobRequest request;
+    EventSink sink;
+  };
+
+  void worker_loop();
+  void process(Job job);
+
+  ServiceOptions options_;
+  DesignCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool draining_ = false;
+  std::vector<std::thread> workers_;
+
+  // Counters (guarded by mutex_).
+  std::uint64_t jobs_accepted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_rejected_busy_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t instances_completed_ = 0;
+};
+
+}  // namespace ctrtl::serve

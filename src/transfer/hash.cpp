@@ -1,0 +1,125 @@
+#include "transfer/hash.h"
+
+#include <cstdio>
+
+#include "transfer/mapping.h"
+
+namespace ctrtl::transfer {
+
+namespace {
+
+/// Bump when the key encoding changes shape; keys from different versions
+/// must never collide by construction.
+constexpr std::string_view kFormatTag = "ctrtl-stream-hash/1";
+
+void hash_endpoint(StreamHasher& hasher, const Endpoint& endpoint) {
+  hasher.update(static_cast<std::uint8_t>(endpoint.kind));
+  hasher.update(endpoint.resource);
+  hasher.update(static_cast<std::uint32_t>(endpoint.port));
+}
+
+void hash_declarations(StreamHasher& hasher, const Design& design) {
+  hasher.update(kFormatTag);
+  hasher.update(design.name);
+  hasher.update(static_cast<std::uint32_t>(design.cs_max));
+
+  hasher.update(static_cast<std::uint64_t>(design.registers.size()));
+  for (const RegisterDecl& reg : design.registers) {
+    hasher.update(reg.name);
+    hasher.update(static_cast<std::uint8_t>(reg.initial.has_value() ? 1 : 0));
+    hasher.update(reg.initial.value_or(0));
+  }
+
+  hasher.update(static_cast<std::uint64_t>(design.buses.size()));
+  for (const BusDecl& bus : design.buses) {
+    hasher.update(bus.name);
+  }
+
+  hasher.update(static_cast<std::uint64_t>(design.modules.size()));
+  for (const ModuleDecl& module : design.modules) {
+    hasher.update(module.name);
+    hasher.update(static_cast<std::uint8_t>(module.kind));
+    hasher.update(static_cast<std::uint32_t>(module.latency));
+    hasher.update(static_cast<std::uint32_t>(module.frac_bits));
+    hasher.update(static_cast<std::uint32_t>(module.iterations));
+  }
+
+  hasher.update(static_cast<std::uint64_t>(design.constants.size()));
+  for (const ConstantDecl& constant : design.constants) {
+    hasher.update(constant.name);
+    hasher.update(constant.value);
+  }
+
+  hasher.update(static_cast<std::uint64_t>(design.inputs.size()));
+  for (const InputDecl& input : design.inputs) {
+    hasher.update(input.name);
+  }
+}
+
+void hash_stream(StreamHasher& hasher,
+                 std::span<const TransInstance> instances) {
+  hasher.update(static_cast<std::uint64_t>(instances.size()));
+  for (const TransInstance& instance : instances) {
+    hasher.update(static_cast<std::uint32_t>(instance.step));
+    hasher.update(static_cast<std::uint8_t>(instance.phase));
+    hash_endpoint(hasher, instance.source);
+    hash_endpoint(hasher, instance.sink);
+  }
+}
+
+}  // namespace
+
+void StreamHasher::update_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= bytes[i];
+    state_ *= kPrime;
+  }
+}
+
+void StreamHasher::update(std::string_view text) {
+  update(static_cast<std::uint64_t>(text.size()));
+  update_bytes(text.data(), text.size());
+}
+
+void StreamHasher::update(std::uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xffu);
+  }
+  update_bytes(bytes, sizeof bytes);
+}
+
+void StreamHasher::update(std::int64_t value) {
+  update(static_cast<std::uint64_t>(value));
+}
+
+void StreamHasher::update(std::uint32_t value) {
+  update(static_cast<std::uint64_t>(value));
+}
+
+void StreamHasher::update(std::uint8_t value) {
+  update_bytes(&value, 1);
+}
+
+std::uint64_t canonical_stream_hash(const Design& design,
+                                    std::span<const TransInstance> instances) {
+  StreamHasher hasher;
+  hash_declarations(hasher, design);
+  hash_stream(hasher, instances);
+  return hasher.digest();
+}
+
+std::uint64_t canonical_stream_hash(const Design& design) {
+  const std::vector<TransInstance> instances = to_instances(design.transfers);
+  return canonical_stream_hash(design, instances);
+}
+
+std::string to_hex(std::uint64_t digest) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buffer, 16);
+}
+
+}  // namespace ctrtl::transfer

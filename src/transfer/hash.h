@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "transfer/design.h"
+#include "transfer/tuple.h"
+
+namespace ctrtl::transfer {
+
+/// Incremental FNV-1a (64-bit) hasher over typed fields. Deterministic
+/// across runs, hosts, and compilers — the digest is a stable content
+/// address, usable as a cache key that outlives the process (the
+/// `ctrtl_serve` design cache persists keys across connections and prints
+/// them on the wire). Every `update` overload feeds a length/tag-delimited
+/// encoding, so adjacent fields cannot alias ("ab","c" vs "a","bc").
+class StreamHasher {
+ public:
+  void update_bytes(const void* data, std::size_t size);
+  void update(std::string_view text);   ///< length-prefixed
+  void update(std::uint64_t value);     ///< fixed 8-byte little-endian
+  void update(std::int64_t value);
+  void update(std::uint32_t value);
+  void update(std::uint8_t value);
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// Content-hash of a design plus an explicit TRANS instance stream — the
+/// cache key of the `ctrtl_serve` design cache. Covers everything that
+/// determines the lowered `CompiledDesign`: every declaration (registers
+/// with initial values, buses, modules with kind/latency/frac/iterations,
+/// constants, external inputs), `cs_max`, the design name, and the canonical
+/// TRANS stream in order (step, phase, source, sink per instance). The
+/// digest is salted with a format-version tag so key semantics can evolve
+/// without silently colliding across releases.
+///
+/// Two designs hash equal iff their declaration lists and streams render
+/// identically — this is *canonical-stream* identity, not semantic
+/// equivalence (reordering declarations or transfers changes the key even
+/// when behaviour is preserved). Fault plans fold in by hashing the
+/// *faulted* pair: `apply_plan` transforms the stream, so distinct plans
+/// with identical transformed streams intentionally share a cache entry.
+[[nodiscard]] std::uint64_t canonical_stream_hash(
+    const Design& design, std::span<const TransInstance> instances);
+
+/// Hash of the design's own canonical stream (the forward mapping of its
+/// tuples) — what `canonical_stream_hash(design, to_instances(transfers))`
+/// returns, computed without materializing the stream separately.
+[[nodiscard]] std::uint64_t canonical_stream_hash(const Design& design);
+
+/// 16 lowercase hex digits, zero-padded — the wire rendering of a key.
+[[nodiscard]] std::string to_hex(std::uint64_t digest);
+
+}  // namespace ctrtl::transfer

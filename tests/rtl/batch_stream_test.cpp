@@ -1,0 +1,127 @@
+// Incremental result streaming out of rtl::BatchRunner (the ctrtl_serve
+// hook): every instance must be streamed exactly once, in ascending order
+// within each emitted block, with contents byte-identical to the slots the
+// final BatchRunResult holds — for both engines and any worker count, and
+// on the isolation path (a poisoned lane block still streams).
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rtl/batch_runner.h"
+#include "transfer/design.h"
+#include "transfer/schedule.h"
+#include "transfer/tuple.h"
+
+namespace ctrtl::rtl {
+namespace {
+
+transfer::Design small_design() {
+  transfer::Design design;
+  design.name = "stream";
+  design.cs_max = 7;
+  design.registers.push_back({"R1", 30});
+  design.registers.push_back({"R2", 12});
+  design.buses.push_back({"B1"});
+  design.buses.push_back({"B2"});
+  transfer::ModuleDecl add;
+  add.name = "ADD";
+  add.kind = transfer::ModuleKind::kAdd;
+  design.modules.push_back(add);
+  design.inputs.push_back({"x"});
+  design.transfers.push_back(transfer::RegisterTransfer::full(
+      "R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1"));
+  return design;
+}
+
+/// Collects streamed blocks keyed by instance index and checks the
+/// exactly-once/ascending-order invariants as they arrive.
+struct Collector {
+  std::map<std::size_t, InstanceResult> streamed;
+
+  BatchResultSink sink() {
+    return [this](std::size_t first, std::span<const InstanceResult> block) {
+      ASSERT_FALSE(block.empty());
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        const std::size_t instance = first + i;
+        ASSERT_EQ(streamed.count(instance), 0u)
+            << "instance " << instance << " streamed twice";
+        streamed.emplace(instance, block[i]);
+      }
+    };
+  }
+
+  void expect_matches(const BatchRunResult& result) {
+    ASSERT_EQ(streamed.size(), result.instances.size());
+    for (std::size_t i = 0; i < result.instances.size(); ++i) {
+      ASSERT_EQ(streamed.count(i), 1u);
+      EXPECT_EQ(streamed.at(i), result.instances[i])
+          << "streamed instance " << i << " differs from the batch result";
+    }
+  }
+};
+
+TEST(BatchStreamTest, LaneEngineStreamsEveryInstanceOnce) {
+  const auto design = transfer::CompiledDesign::compile(small_design());
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    BatchRunner runner(design,
+                       BatchRunOptions{.workers = workers,
+                                       .engine = BatchEngineKind::kCompiledLanes,
+                                       .lane_block = 4});
+    Collector collector;
+    const BatchRunResult result = runner.run(10, collector.sink());
+    collector.expect_matches(result);
+  }
+}
+
+TEST(BatchStreamTest, PerInstanceEngineStreamsEveryInstanceOnce) {
+  const auto design = transfer::CompiledDesign::compile(small_design());
+  BatchRunner runner(design, BatchRunOptions{.workers = 2});
+  Collector collector;
+  const BatchRunResult result = runner.run(7, collector.sink());
+  collector.expect_matches(result);
+}
+
+TEST(BatchStreamTest, NullSinkEqualsPlainRun) {
+  const auto design = transfer::CompiledDesign::compile(small_design());
+  BatchRunner runner(design,
+                     BatchRunOptions{.workers = 1,
+                                     .engine = BatchEngineKind::kCompiledLanes});
+  const BatchRunResult plain = runner.run(6);
+  const BatchRunResult with_null = runner.run(6, nullptr);
+  ASSERT_EQ(plain.instances.size(), with_null.instances.size());
+  for (std::size_t i = 0; i < plain.instances.size(); ++i) {
+    EXPECT_EQ(plain.instances[i], with_null.instances[i]);
+  }
+}
+
+TEST(BatchStreamTest, IsolationPathStillStreamsPoisonedBlocks) {
+  // Instance 2's input provider throws, poisoning its whole lane block;
+  // the runner re-runs that block lane-by-lane — and must still stream
+  // every instance exactly once, with the streamed slots equal to the
+  // final result (offender included).
+  const auto design = transfer::CompiledDesign::compile(small_design());
+  BatchRunner runner(
+      design,
+      BatchRunOptions{.workers = 2,
+                      .engine = BatchEngineKind::kCompiledLanes,
+                      .lane_block = 4},
+      [](std::size_t instance)
+          -> std::vector<std::pair<std::string, RtValue>> {
+        if (instance == 2) {
+          throw std::runtime_error("input provider failure for instance 2");
+        }
+        return {{"x", RtValue::of(static_cast<std::int64_t>(instance))}};
+      });
+  Collector collector;
+  const BatchRunResult result = runner.run(8, collector.sink());
+  collector.expect_matches(result);
+  EXPECT_EQ(result.failure_count(), 1u);
+  EXPECT_EQ(result.instances[2].report.status, RunStatus::kError);
+}
+
+}  // namespace
+}  // namespace ctrtl::rtl

@@ -1,0 +1,119 @@
+// DesignCache: hit/miss accounting, LRU eviction order, the capacity-0
+// bypass, and the guarantee that eviction never kills an in-flight job's
+// compiled design.
+
+#include "serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "transfer/design.h"
+
+namespace ctrtl::serve {
+namespace {
+
+transfer::Design tiny_design(const std::string& name) {
+  transfer::Design design;
+  design.name = name;
+  design.cs_max = 1;
+  design.registers.push_back({"R1", 30});
+  design.registers.push_back({"R2", 12});
+  design.buses.push_back({"B1"});
+  design.buses.push_back({"B2"});
+  transfer::ModuleDecl add;
+  add.name = "ADD";
+  add.kind = transfer::ModuleKind::kAdd;
+  design.modules.push_back(add);
+  return design;
+}
+
+DesignCache::Compile compiler(const std::string& name, int* calls = nullptr) {
+  return [name, calls] {
+    if (calls != nullptr) {
+      ++*calls;
+    }
+    return transfer::CompiledDesign::compile(tiny_design(name));
+  };
+}
+
+TEST(DesignCacheTest, SecondLookupHitsWithoutCompiling) {
+  DesignCache cache(4);
+  int calls = 0;
+  bool hit = true;
+  const auto first = cache.get_or_compile(1, compiler("d", &calls), &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_compile(1, compiler("d", &calls), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(first.get(), second.get());  // the same lowered tables, shared
+  const DesignCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(DesignCacheTest, DistinctKeysMiss) {
+  DesignCache cache(4);
+  int calls = 0;
+  (void)cache.get_or_compile(1, compiler("a", &calls));
+  (void)cache.get_or_compile(2, compiler("b", &calls));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(DesignCacheTest, EvictsLeastRecentlyUsed) {
+  DesignCache cache(2);
+  (void)cache.get_or_compile(1, compiler("a"));
+  (void)cache.get_or_compile(2, compiler("b"));
+  // Touch 1 so 2 becomes the LRU victim.
+  bool hit = false;
+  (void)cache.get_or_compile(1, compiler("a"), &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.get_or_compile(3, compiler("c"));  // evicts 2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  (void)cache.get_or_compile(1, compiler("a"), &hit);
+  EXPECT_TRUE(hit) << "key 1 was recently used and must survive";
+  (void)cache.get_or_compile(2, compiler("b"), &hit);
+  EXPECT_FALSE(hit) << "key 2 was the LRU entry and must have been evicted";
+}
+
+TEST(DesignCacheTest, EvictionKeepsInFlightDesignsAlive) {
+  DesignCache cache(1);
+  // An "in-flight job" holds the shared_ptr while its key gets evicted.
+  const auto in_flight = cache.get_or_compile(1, compiler("a"));
+  (void)cache.get_or_compile(2, compiler("b"));  // evicts key 1
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // The evicted design is still fully usable — eviction only dropped the
+  // cache's reference.
+  EXPECT_EQ(in_flight->design.name, "a");
+  EXPECT_EQ(in_flight->schedule.levels.size(), 6u);
+  EXPECT_EQ(in_flight.use_count(), 1);
+}
+
+TEST(DesignCacheTest, CapacityZeroDisablesRetention) {
+  DesignCache cache(0);
+  int calls = 0;
+  (void)cache.get_or_compile(1, compiler("a", &calls));
+  (void)cache.get_or_compile(1, compiler("a", &calls));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(DesignCacheTest, ThrowingCompileCachesNothing) {
+  DesignCache cache(4);
+  EXPECT_THROW(
+      (void)cache.get_or_compile(
+          1, []() -> std::shared_ptr<const transfer::CompiledDesign> {
+            throw std::runtime_error("lowering failed");
+          }),
+      std::runtime_error);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // The key stays compilable afterwards.
+  bool hit = true;
+  (void)cache.get_or_compile(1, compiler("a"), &hit);
+  EXPECT_FALSE(hit);
+}
+
+}  // namespace
+}  // namespace ctrtl::serve

@@ -1,0 +1,252 @@
+// The ctrtl-serve/1 grammar, byte-for-byte: frame encode/decode round
+// trips, incremental and poisoned decoding, and every payload codec pair.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/batch_runner.h"
+
+namespace ctrtl::serve {
+namespace {
+
+TEST(FrameTest, EncodesHeaderThenPayload) {
+  const Frame frame{MessageType::kSubmit, "job j\n"};
+  EXPECT_EQ(encode_frame(frame), "CTRTL/1 SUBMIT 6\njob j\n");
+  EXPECT_EQ(encode_frame(Frame{MessageType::kBye, ""}), "CTRTL/1 BYE 0\n");
+}
+
+TEST(FrameTest, DecoderRoundTripsAcrossArbitrarySplits) {
+  const std::string wire = encode_frame(Frame{MessageType::kHello, "proto x\n"}) +
+                           encode_frame(Frame{MessageType::kBye, ""});
+  // Feed one byte at a time: framing must not depend on read boundaries.
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  Frame frame;
+  for (const char c : wire) {
+    decoder.feed(std::string_view(&c, 1));
+    while (decoder.next(&frame)) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], (Frame{MessageType::kHello, "proto x\n"}));
+  EXPECT_EQ(frames[1], (Frame{MessageType::kBye, ""}));
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(FrameTest, DecoderPoisonsOnBadMagic) {
+  FrameDecoder decoder;
+  decoder.feed("HTTP/1.1 GET 0\n");
+  Frame frame;
+  EXPECT_FALSE(decoder.next(&frame));
+  EXPECT_TRUE(decoder.failed());
+  // Poisoned permanently: even a well-formed follow-up frame is refused.
+  decoder.feed(encode_frame(Frame{MessageType::kBye, ""}));
+  EXPECT_FALSE(decoder.next(&frame));
+}
+
+TEST(FrameTest, DecoderPoisonsOnOversizedLength) {
+  FrameDecoder decoder(/*max_payload=*/64);
+  decoder.feed("CTRTL/1 SUBMIT 65\n");
+  Frame frame;
+  EXPECT_FALSE(decoder.next(&frame));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_NE(decoder.error().find("exceeds limit"), std::string::npos);
+}
+
+TEST(FrameTest, DecoderPoisonsOnUnknownType) {
+  FrameDecoder decoder;
+  decoder.feed("CTRTL/1 GOSSIP 0\n");
+  Frame frame;
+  EXPECT_FALSE(decoder.next(&frame));
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(FrameTest, MessageTypeTokensRoundTrip) {
+  for (const MessageType type :
+       {MessageType::kHello, MessageType::kSubmit, MessageType::kAccepted,
+        MessageType::kReport, MessageType::kDone, MessageType::kError,
+        MessageType::kBusy, MessageType::kStats, MessageType::kShutdown,
+        MessageType::kBye}) {
+    MessageType parsed;
+    ASSERT_TRUE(parse_message_type(to_string(type), &parsed));
+    EXPECT_EQ(parsed, type);
+  }
+  MessageType parsed;
+  EXPECT_FALSE(parse_message_type("NOPE", &parsed));
+}
+
+TEST(SubmitTest, RoundTripsFullRequest) {
+  JobRequest request;
+  request.job_id = "batch-7";
+  request.instances = 32;
+  request.max_cycles = 100;
+  request.max_delta_cycles = 500;
+  request.inputs = {{"x", 5}, {"y", -3}};
+  request.design_text = "design d\ncs_max 1\n";
+  request.has_fault_plan = true;
+  request.fault_plan_text = "force-bus B1 = 9 @1:ra\n";
+
+  JobRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_submit(encode_submit(request), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, request);
+}
+
+TEST(SubmitTest, OmitsUnboundedLimits) {
+  JobRequest request;
+  request.design_text = "d";
+  const std::string payload = encode_submit(request);
+  EXPECT_EQ(payload.find("max-cycles"), std::string::npos);
+  EXPECT_EQ(payload.find("max-delta-cycles"), std::string::npos);
+
+  JobRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_submit(payload, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.max_cycles, kernel::Scheduler::kNoLimit);
+  EXPECT_EQ(parsed.max_delta_cycles, kernel::Scheduler::kNoLimit);
+}
+
+TEST(SubmitTest, BlobsCarryArbitraryBytes) {
+  // Design text containing newlines, key-lookalikes, and the blob
+  // terminator itself must survive: framing is byte-counted, not quoted.
+  JobRequest request;
+  request.design_text = "line1\ndesign 99\nfault-plan 3\n\n";
+  JobRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_submit(encode_submit(request), &parsed, &error)) << error;
+  EXPECT_EQ(parsed.design_text, request.design_text);
+}
+
+TEST(SubmitTest, RejectsMalformedPayloads) {
+  JobRequest parsed;
+  std::string error;
+  EXPECT_FALSE(parse_submit("job j\n", &parsed, &error));  // no design
+  EXPECT_NE(error.find("design"), std::string::npos);
+  EXPECT_FALSE(parse_submit("design 100\nshort\n", &parsed, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+  EXPECT_FALSE(parse_submit("design 1\nX\njob bad id\n", &parsed, &error));
+  EXPECT_FALSE(parse_submit("design 1\nX\ninstances 0\n", &parsed, &error));
+  EXPECT_FALSE(parse_submit("design 1\nX\nwhatever 3\n", &parsed, &error));
+}
+
+TEST(JobIdTest, EnforcesLexicalRule) {
+  EXPECT_TRUE(valid_job_id("job-7_a.b"));
+  EXPECT_FALSE(valid_job_id(""));
+  EXPECT_FALSE(valid_job_id("has space"));
+  EXPECT_FALSE(valid_job_id("new\nline"));
+  EXPECT_FALSE(valid_job_id(std::string(257, 'x')));
+}
+
+TEST(ReportTest, EncodesInstanceResultAndParsesBack) {
+  rtl::InstanceResult result;
+  result.cycles = 7;
+  result.stats.delta_cycles = 44;
+  result.stats.events = 120;
+  result.stats.updates = 60;
+  result.stats.transactions = 80;
+  result.conflicts.push_back(rtl::Conflict{"B1", 5, rtl::Phase::kRb});
+  result.registers = {{"R1", rtl::RtValue::of(42)},
+                      {"R2", rtl::RtValue::disc()}};
+
+  const std::string payload = encode_report("j", 3, result);
+  ReportPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_report(payload, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.job_id, "j");
+  EXPECT_EQ(parsed.instance, 3u);
+  EXPECT_EQ(parsed.status, "ok");
+  EXPECT_EQ(parsed.cycles, 7u);
+  EXPECT_EQ(parsed.delta_cycles, 44u);
+  ASSERT_EQ(parsed.conflicts.size(), 1u);
+  EXPECT_EQ(parsed.conflicts[0], to_string(result.conflicts[0]));
+  ASSERT_EQ(parsed.registers.size(), 2u);
+  EXPECT_EQ(parsed.registers[0], (std::pair<std::string, std::string>{"R1", "42"}));
+  EXPECT_EQ(parsed.registers[1], (std::pair<std::string, std::string>{"R2", "DISC"}));
+}
+
+TEST(ReportTest, RendersDesignStyleBytes) {
+  ReportPayload report;
+  report.conflicts = {"conflict on B1 at step 5, phase rb (driven at ra)"};
+  report.registers = {{"R1", "42"}, {"LONGREGNAME13", "7"}};
+  EXPECT_EQ(render_design_style(report),
+            "  conflict on B1 at step 5, phase rb (driven at ra)\n"
+            "final register values:\n"
+            "  R1           42\n"
+            "  LONGREGNAME13 7\n");
+}
+
+TEST(DoneTest, RoundTrips) {
+  DonePayload done;
+  done.job_id = "j";
+  done.instances = 16;
+  done.failures = 2;
+  done.conflicts = 3;
+  done.cache_hit = true;
+  done.cache_key = "00ff00ff00ff00ff";
+  done.lower_ns = 0;
+  done.run_ns = 12345;
+  DonePayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_done(encode_done(done), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, done);
+}
+
+TEST(ErrorTest, RoundTripsEveryCode) {
+  for (const ErrorCode code :
+       {ErrorCode::kProtocol, ErrorCode::kParse, ErrorCode::kValidate,
+        ErrorCode::kFaultPlan, ErrorCode::kLimit, ErrorCode::kShutdown,
+        ErrorCode::kInternal}) {
+    ErrorPayload error_payload;
+    error_payload.job_id = "j";
+    error_payload.code = code;
+    error_payload.diagnostics = {"first", "second detail"};
+    ErrorPayload parsed;
+    std::string error;
+    ASSERT_TRUE(parse_error(encode_error(error_payload), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed, error_payload);
+  }
+}
+
+TEST(BusyTest, RoundTrips) {
+  const BusyPayload busy{"j", 16, 16};
+  BusyPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_busy(encode_busy(busy), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, busy);
+}
+
+TEST(StatsTest, RoundTrips) {
+  StatsPayload stats;
+  stats.jobs_accepted = 10;
+  stats.jobs_completed = 8;
+  stats.jobs_rejected_busy = 1;
+  stats.jobs_failed = 1;
+  stats.instances_completed = 800;
+  stats.cache_hits = 6;
+  stats.cache_misses = 2;
+  stats.cache_evictions = 1;
+  stats.cache_entries = 1;
+  stats.cache_capacity = 8;
+  stats.queue_capacity = 16;
+  stats.workers = 2;
+  StatsPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_stats(encode_stats(stats), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, stats);
+}
+
+TEST(HelloTest, RoundTrips) {
+  HelloPayload hello;
+  hello.server = "ctrtl_serve";
+  HelloPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_hello(encode_hello(hello), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, hello);
+  EXPECT_EQ(parsed.proto, kProtocolName);
+}
+
+}  // namespace
+}  // namespace ctrtl::serve

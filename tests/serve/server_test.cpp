@@ -1,0 +1,243 @@
+// ServeServer + ServeClient over a real Unix-domain socket: the wire e2e.
+// Covers the HELLO handshake, cold/warm submissions with the cache-hit
+// proof over the wire, fault and watchdog jobs, protocol-error replies,
+// slow-reader isolation (a stalled connection must not stall other jobs),
+// and clean shutdown.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/client.h"
+
+namespace ctrtl::serve {
+namespace {
+
+constexpr const char* kFig1 = R"(design fig1
+cs_max 7
+register R1 init 30
+register R2 init 12
+bus B1
+bus B2
+module ADD add
+transfer R1 B1 R2 B2 5 ADD 6 B1 R1
+)";
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Short path: sun_path is ~108 bytes; pid + test counter keep parallel
+    // ctest invocations apart.
+    static int counter = 0;
+    socket_path_ = "/tmp/ctrtl_serve_test_" + std::to_string(::getpid()) +
+                   "_" + std::to_string(counter++) + ".sock";
+  }
+
+  void TearDown() override { ::unlink(socket_path_.c_str()); }
+
+  ServerOptions options() {
+    ServerOptions out;
+    out.socket_path = socket_path_;
+    out.service.workers = 2;
+    return out;
+  }
+
+  static JobRequest fig1_job(const std::string& job_id,
+                             std::uint64_t instances = 1) {
+    JobRequest request;
+    request.job_id = job_id;
+    request.instances = instances;
+    request.design_text = kFig1;
+    return request;
+  }
+
+  std::string socket_path_;
+};
+
+TEST_F(ServerTest, ColdThenWarmSubmitOverTheWire) {
+  ServeServer server(options());
+  server.start();
+
+  ServeClient client;
+  client.connect(socket_path_);
+
+  const JobOutcome cold = client.run_job(fig1_job("cold", 3));
+  ASSERT_EQ(cold.status, JobOutcome::Status::kDone);
+  ASSERT_TRUE(cold.accepted.has_value());
+  EXPECT_FALSE(cold.done.cache_hit);
+  ASSERT_EQ(cold.reports.size(), 3u);
+
+  const JobOutcome warm = client.run_job(fig1_job("warm", 3));
+  ASSERT_EQ(warm.status, JobOutcome::Status::kDone);
+  EXPECT_TRUE(warm.done.cache_hit) << "second wire submission must skip lowering";
+  EXPECT_EQ(warm.done.cache_key, cold.done.cache_key);
+
+  // Rendered results agree instance-for-instance, and R1 holds fig1's 42.
+  auto rendered = [](const JobOutcome& outcome, std::uint64_t instance) {
+    for (const ReportPayload& report : outcome.reports) {
+      if (report.instance == instance) {
+        return render_design_style(report);
+      }
+    }
+    return std::string("<missing>");
+  };
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rendered(cold, i), rendered(warm, i));
+  }
+  EXPECT_NE(rendered(cold, 0).find("  R1           42\n"), std::string::npos);
+
+  const StatsPayload stats = client.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+
+  client.close();
+  server.stop();
+  server.wait();
+}
+
+TEST_F(ServerTest, FaultAndWatchdogJobsOverTheWire) {
+  ServeServer server(options());
+  server.start();
+  ServeClient client;
+  client.connect(socket_path_);
+
+  JobRequest faulted = fig1_job("faulted");
+  faulted.has_fault_plan = true;
+  faulted.fault_plan_text = "force-bus B1 = 99 @5:ra\n";
+  const JobOutcome fault_outcome = client.run_job(faulted);
+  ASSERT_EQ(fault_outcome.status, JobOutcome::Status::kDone);
+  EXPECT_EQ(fault_outcome.done.conflicts, 4u);  // forced drive + propagation
+  ASSERT_EQ(fault_outcome.reports.size(), 1u);
+  ASSERT_EQ(fault_outcome.reports[0].conflicts.size(), 4u);
+  EXPECT_EQ(fault_outcome.reports[0].conflicts[0],
+            "conflict on B1 at step 5, phase rb (driven at ra)");
+
+  JobRequest watchdog = fig1_job("wd");
+  watchdog.max_delta_cycles = 10;
+  const JobOutcome wd_outcome = client.run_job(watchdog);
+  ASSERT_EQ(wd_outcome.status, JobOutcome::Status::kDone)
+      << "a watchdog trip is a structured per-instance result, not a job error";
+  EXPECT_EQ(wd_outcome.done.failures, 1u);
+  ASSERT_EQ(wd_outcome.reports.size(), 1u);
+  EXPECT_EQ(wd_outcome.reports[0].status, "watchdog-tripped");
+
+  JobRequest bad = fig1_job("bad");
+  bad.design_text = "garbage\n";
+  const JobOutcome bad_outcome = client.run_job(bad);
+  ASSERT_EQ(bad_outcome.status, JobOutcome::Status::kError);
+  EXPECT_EQ(bad_outcome.error.code, ErrorCode::kParse);
+  EXPECT_EQ(bad_outcome.error.job_id, "bad");
+
+  client.close();
+  server.stop();
+  server.wait();
+}
+
+TEST_F(ServerTest, SlowReaderDoesNotStallOtherJobs) {
+  ServeServer server(options());
+  server.start();
+
+  // The slow reader: submits a job over a raw socket and never reads a
+  // byte. Its frames pile up in the connection outbox (and the socket
+  // buffer), not in a service worker.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  const int slow_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(slow_fd, 0);
+  ASSERT_EQ(::connect(slow_fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string wire =
+      encode_frame(Frame{MessageType::kHello, encode_hello(HelloPayload{})}) +
+      encode_frame(
+          Frame{MessageType::kSubmit, encode_submit(fig1_job("slow", 64))});
+  ASSERT_EQ(::write(slow_fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+
+  // Meanwhile a well-behaved client's jobs complete normally.
+  ServeClient client;
+  client.connect(socket_path_);
+  for (int i = 0; i < 3; ++i) {
+    const JobOutcome outcome =
+        client.run_job(fig1_job("fast" + std::to_string(i), 8));
+    ASSERT_EQ(outcome.status, JobOutcome::Status::kDone)
+        << "job " << i << " stalled behind the slow reader";
+    EXPECT_EQ(outcome.reports.size(), 8u);
+  }
+  const StatsPayload stats = client.stats();
+  EXPECT_GE(stats.jobs_completed, 3u);
+
+  ::close(slow_fd);
+  client.close();
+  server.stop();
+  server.wait();
+}
+
+TEST_F(ServerTest, MalformedBytesGetAStructuredProtocolError) {
+  ServeServer server(options());
+  server.start();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::write(fd, garbage, sizeof(garbage) - 1), 0);
+
+  // The server must answer with one ERROR frame (E-PROTOCOL) and close.
+  FrameDecoder decoder;
+  Frame frame;
+  char buffer[4096];
+  bool got_frame = false;
+  for (;;) {
+    if (decoder.next(&frame)) {
+      got_frame = true;
+      break;
+    }
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      break;
+    }
+    decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+  ASSERT_TRUE(got_frame);
+  EXPECT_EQ(frame.type, MessageType::kError);
+  ErrorPayload error_payload;
+  std::string error;
+  ASSERT_TRUE(parse_error(frame.payload, &error_payload, &error)) << error;
+  EXPECT_EQ(error_payload.code, ErrorCode::kProtocol);
+  ::close(fd);
+
+  server.stop();
+  server.wait();
+}
+
+TEST_F(ServerTest, ShutdownFrameStopsTheServerCleanly) {
+  ServeServer server(options());
+  server.start();
+
+  ServeClient client;
+  client.connect(socket_path_);
+  ASSERT_EQ(client.run_job(fig1_job("pre")).status, JobOutcome::Status::kDone);
+  client.shutdown_server();
+  server.wait();  // returns because the SHUTDOWN frame stopped the server
+
+  // The socket is gone: a fresh connect must fail.
+  ServeClient late;
+  EXPECT_THROW(late.connect(socket_path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ctrtl::serve

@@ -1,0 +1,380 @@
+// SimulationService: the job lifecycle end to end, in process. The
+// acceptance-critical properties live here: submitting the same design
+// twice proves the second job skipped lowering (cache-hit flag + counter)
+// with byte-identical streamed reports, a fault-plan job and a
+// watchdog-tripping job flow through as structured results, and the
+// bounded queue rejects with BUSY deterministically.
+
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "rtl/batch_runner.h"
+#include "transfer/schedule.h"
+#include "transfer/text_format.h"
+
+namespace ctrtl::serve {
+namespace {
+
+constexpr const char* kFig1 = R"(design fig1
+cs_max 7
+register R1 init 30
+register R2 init 12
+bus B1
+bus B2
+module ADD add
+transfer R1 B1 R2 B2 5 ADD 6 B1 R1
+)";
+
+/// Collects one job's frames and lets the test block until the terminal
+/// frame (DONE or ERROR) lands.
+struct Collector {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Frame> frames;
+  bool terminal = false;
+
+  EventSink sink() {
+    return [this](const Frame& frame) {
+      std::unique_lock lock(mutex);
+      frames.push_back(frame);
+      if (frame.type == MessageType::kDone ||
+          frame.type == MessageType::kError) {
+        terminal = true;
+        cv.notify_all();
+      }
+    };
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] { return terminal; });
+  }
+
+  [[nodiscard]] std::vector<Frame> reports() const {
+    std::vector<Frame> out;
+    for (const Frame& frame : frames) {
+      if (frame.type == MessageType::kReport) {
+        out.push_back(frame);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] const Frame& last() const { return frames.back(); }
+};
+
+ServiceOptions one_worker() {
+  ServiceOptions options;
+  options.workers = 1;
+  return options;
+}
+
+JobRequest fig1_job(const std::string& job_id, std::uint64_t instances = 1) {
+  JobRequest request;
+  request.job_id = job_id;
+  request.instances = instances;
+  request.design_text = kFig1;
+  return request;
+}
+
+TEST(ServiceTest, SecondIdenticalJobSkipsLoweringWithIdenticalReports) {
+  SimulationService service(one_worker());
+
+  Collector cold;
+  ASSERT_EQ(service.submit(fig1_job("cold", 3), cold.sink()).status,
+            SubmitStatus::kAccepted);
+  cold.wait();
+
+  Collector warm;
+  ASSERT_EQ(service.submit(fig1_job("warm", 3), warm.sink()).status,
+            SubmitStatus::kAccepted);
+  warm.wait();
+
+  // Terminal frames: DONE with the cache verdicts and matching keys.
+  DonePayload cold_done, warm_done;
+  std::string error;
+  ASSERT_EQ(cold.last().type, MessageType::kDone);
+  ASSERT_TRUE(parse_done(cold.last().payload, &cold_done, &error)) << error;
+  ASSERT_EQ(warm.last().type, MessageType::kDone);
+  ASSERT_TRUE(parse_done(warm.last().payload, &warm_done, &error)) << error;
+  EXPECT_FALSE(cold_done.cache_hit);
+  EXPECT_TRUE(warm_done.cache_hit) << "identical sources must hit the cache";
+  EXPECT_EQ(cold_done.cache_key, warm_done.cache_key);
+  EXPECT_GT(cold_done.lower_ns, 0u);
+  EXPECT_EQ(warm_done.lower_ns, 0u) << "a hit must not lower again";
+
+  // The cache-hit counter is the observable proof the second job skipped
+  // lowering.
+  const StatsPayload stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_EQ(stats.instances_completed, 6u);
+
+  // Byte-identical streamed reports (modulo the job-id line, which is the
+  // only intentional difference).
+  auto normalize = [](std::vector<Frame> frames) {
+    std::vector<std::string> out;
+    for (Frame& frame : frames) {
+      const std::size_t line_end = frame.payload.find('\n');
+      out.push_back(frame.payload.substr(line_end + 1));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(normalize(cold.reports()), normalize(warm.reports()));
+}
+
+TEST(ServiceTest, ReportsAreByteIdenticalToDirectBatchRunnerRun) {
+  // The wire payloads must encode exactly what a direct (no service, no
+  // cache) BatchRunner run of the same sources produces.
+  SimulationService service(one_worker());
+  Collector collector;
+  ASSERT_EQ(service.submit(fig1_job("direct", 4), collector.sink()).status,
+            SubmitStatus::kAccepted);
+  collector.wait();
+
+  common::DiagnosticBag diags;
+  const transfer::Design design = transfer::parse_design(kFig1, diags);
+  ASSERT_FALSE(diags.has_errors());
+  rtl::BatchRunner runner(
+      transfer::CompiledDesign::compile(design),
+      rtl::BatchRunOptions{.workers = 1,
+                           .engine = rtl::BatchEngineKind::kCompiledLanes});
+  const rtl::BatchRunResult expected = runner.run(4);
+
+  const std::vector<Frame> reports = collector.reports();
+  ASSERT_EQ(reports.size(), 4u);
+  std::vector<std::string> got(4);
+  for (const Frame& frame : reports) {
+    ReportPayload parsed;
+    std::string error;
+    ASSERT_TRUE(parse_report(frame.payload, &parsed, &error)) << error;
+    ASSERT_LT(parsed.instance, got.size());
+    got[parsed.instance] = frame.payload;
+  }
+  for (std::size_t i = 0; i < expected.instances.size(); ++i) {
+    EXPECT_EQ(got[i], encode_report("direct", i, expected.instances[i]));
+  }
+}
+
+TEST(ServiceTest, FaultPlanJobStreamsConflicts) {
+  SimulationService service(one_worker());
+  JobRequest request = fig1_job("faulted");
+  request.has_fault_plan = true;
+  request.fault_plan_text = "force-bus B1 = 99 @5:ra\n";
+  Collector collector;
+  ASSERT_EQ(service.submit(std::move(request), collector.sink()).status,
+            SubmitStatus::kAccepted);
+  collector.wait();
+
+  ASSERT_EQ(collector.last().type, MessageType::kDone);
+  DonePayload done;
+  std::string error;
+  ASSERT_TRUE(parse_done(collector.last().payload, &done, &error)) << error;
+  // The forced drive collides on B1 at rb and the ILLEGAL then propagates
+  // through ADD.in1 / B1@wb / R1.in — four conflict records total.
+  EXPECT_EQ(done.conflicts, 4u);
+  EXPECT_FALSE(done.cache_hit) << "faulted stream must key differently";
+
+  ReportPayload report;
+  ASSERT_TRUE(
+      parse_report(collector.reports().at(0).payload, &report, &error));
+  ASSERT_EQ(report.conflicts.size(), 4u);
+  EXPECT_EQ(report.conflicts[0],
+            "conflict on B1 at step 5, phase rb (driven at ra)");
+  ASSERT_FALSE(report.registers.empty());
+  EXPECT_EQ(report.registers[0],
+            (std::pair<std::string, std::string>{"R1", "ILLEGAL"}));
+}
+
+TEST(ServiceTest, WatchdogTripIsAStructuredReportNotAJobError) {
+  SimulationService service(one_worker());
+  JobRequest request = fig1_job("wd");
+  request.max_delta_cycles = 10;
+  Collector collector;
+  ASSERT_EQ(service.submit(std::move(request), collector.sink()).status,
+            SubmitStatus::kAccepted);
+  collector.wait();
+
+  // The job completes with DONE; the trip lives in the instance report.
+  ASSERT_EQ(collector.last().type, MessageType::kDone);
+  DonePayload done;
+  std::string error;
+  ASSERT_TRUE(parse_done(collector.last().payload, &done, &error)) << error;
+  EXPECT_EQ(done.failures, 1u);
+
+  ReportPayload report;
+  ASSERT_TRUE(
+      parse_report(collector.reports().at(0).payload, &report, &error));
+  EXPECT_EQ(report.status, "watchdog-tripped");
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_NE(report.diagnostics[0].find("watchdog"), std::string::npos);
+}
+
+TEST(ServiceTest, UnparseableDesignEndsInEParse) {
+  SimulationService service(one_worker());
+  JobRequest request;
+  request.job_id = "bad";
+  request.design_text = "this is not a design\n";
+  Collector collector;
+  ASSERT_EQ(service.submit(std::move(request), collector.sink()).status,
+            SubmitStatus::kAccepted);
+  collector.wait();
+
+  ASSERT_EQ(collector.last().type, MessageType::kError);
+  ErrorPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_error(collector.last().payload, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.code, ErrorCode::kParse);
+  EXPECT_EQ(parsed.job_id, "bad");
+  EXPECT_FALSE(parsed.diagnostics.empty());
+  EXPECT_EQ(service.stats().jobs_failed, 1u);
+}
+
+TEST(ServiceTest, BadFaultPlanEndsInEFaultPlan) {
+  SimulationService service(one_worker());
+  JobRequest request = fig1_job("badplan");
+  request.has_fault_plan = true;
+  request.fault_plan_text = "force-bus NOSUCHBUS = 1 @5:ra\n";
+  Collector collector;
+  ASSERT_EQ(service.submit(std::move(request), collector.sink()).status,
+            SubmitStatus::kAccepted);
+  collector.wait();
+
+  ASSERT_EQ(collector.last().type, MessageType::kError);
+  ErrorPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_error(collector.last().payload, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.code, ErrorCode::kFaultPlan);
+}
+
+TEST(ServiceTest, AdmissionValidatesLimitsSynchronously) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_instances = 8;
+  options.max_source_bytes = 64;
+  SimulationService service(options);
+
+  const SubmitOutcome too_many =
+      service.submit(fig1_job("big", 9), [](const Frame&) { FAIL(); });
+  EXPECT_EQ(too_many.status, SubmitStatus::kRejected);
+  EXPECT_EQ(too_many.error.code, ErrorCode::kLimit);
+
+  JobRequest huge = fig1_job("huge");
+  huge.design_text = std::string(65, 'x');
+  EXPECT_EQ(service.submit(std::move(huge), nullptr).error.code,
+            ErrorCode::kLimit);
+
+  JobRequest bad_id = fig1_job("has space");
+  EXPECT_EQ(service.submit(std::move(bad_id), nullptr).error.code,
+            ErrorCode::kValidate);
+}
+
+TEST(ServiceTest, FullQueueRejectsBusyDeterministically) {
+  // One worker parked inside a job + capacity-1 queue: the third submit
+  // must bounce with BUSY while nothing is lost for the first two.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  bool worker_parked = false;
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.on_job_start = [&](const std::string&) {
+    std::unique_lock lock(gate_mutex);
+    worker_parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  SimulationService service(options);
+
+  Collector a, b;
+  ASSERT_EQ(service.submit(fig1_job("a"), a.sink()).status,
+            SubmitStatus::kAccepted);
+  {
+    // Wait until the worker has dequeued job a — the queue is now empty.
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  ASSERT_EQ(service.submit(fig1_job("b"), b.sink()).status,
+            SubmitStatus::kAccepted);  // fills the queue
+
+  const SubmitOutcome busy = service.submit(fig1_job("c"), nullptr);
+  EXPECT_EQ(busy.status, SubmitStatus::kBusy);
+  EXPECT_EQ(busy.queued, 1u);
+  EXPECT_EQ(service.stats().jobs_rejected_busy, 1u);
+
+  {
+    std::unique_lock lock(gate_mutex);
+    gate_open = true;
+    worker_parked = false;  // job b will park again at its own start
+  }
+  gate_cv.notify_all();
+  {
+    // Let job b through its gate too.
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  gate_cv.notify_all();
+  a.wait();
+  b.wait();
+  EXPECT_EQ(a.last().type, MessageType::kDone);
+  EXPECT_EQ(b.last().type, MessageType::kDone);
+}
+
+TEST(ServiceTest, ShutdownDrainsAcceptedJobsAndRejectsNewOnes) {
+  SimulationService service(one_worker());
+  Collector collector;
+  ASSERT_EQ(service.submit(fig1_job("last", 2), collector.sink()).status,
+            SubmitStatus::kAccepted);
+  service.shutdown();  // blocks until the queue drains
+  collector.wait();
+  EXPECT_EQ(collector.last().type, MessageType::kDone);
+
+  const SubmitOutcome rejected = service.submit(fig1_job("late"), nullptr);
+  EXPECT_EQ(rejected.status, SubmitStatus::kRejected);
+  EXPECT_EQ(rejected.error.code, ErrorCode::kShutdown);
+}
+
+TEST(ServiceTest, EvictionUnderPressureKeepsJobsCorrect) {
+  // cache_capacity 1 with alternating designs: every other job evicts the
+  // previous entry, and every job still completes correctly.
+  ServiceOptions options;
+  options.workers = 2;
+  options.cache_capacity = 1;
+  SimulationService service(options);
+
+  std::vector<std::unique_ptr<Collector>> collectors;
+  for (int round = 0; round < 3; ++round) {
+    for (const char* variant : {"init 30", "init 29"}) {
+      JobRequest request;
+      request.job_id = "evict";
+      request.instances = 2;
+      request.design_text = kFig1;
+      const std::size_t pos = request.design_text.find("init 30");
+      request.design_text.replace(pos, 7, variant);
+      collectors.push_back(std::make_unique<Collector>());
+      ASSERT_EQ(
+          service.submit(std::move(request), collectors.back()->sink()).status,
+          SubmitStatus::kAccepted);
+    }
+  }
+  for (const auto& collector : collectors) {
+    collector->wait();
+    EXPECT_EQ(collector->last().type, MessageType::kDone);
+  }
+  const StatsPayload stats = service.stats();
+  EXPECT_EQ(stats.jobs_completed, 6u);
+  EXPECT_GE(stats.cache_evictions, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+}
+
+}  // namespace
+}  // namespace ctrtl::serve

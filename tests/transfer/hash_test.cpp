@@ -1,0 +1,128 @@
+// Content-hashing of the canonical TRANS stream (transfer/hash.h) — the
+// cache-key function of the ctrtl_serve design cache. The properties under
+// test are exactly the cache-key semantics docs/SERVICE.md promises:
+// identical sources agree, any one-byte semantic difference disagrees, and
+// fault-transformed streams hash differently from the pristine stream.
+
+#include "transfer/hash.h"
+
+#include <gtest/gtest.h>
+
+#include "common/diagnostics.h"
+#include "fault/inject.h"
+#include "fault/plan.h"
+#include "transfer/mapping.h"
+#include "transfer/text_format.h"
+
+namespace ctrtl::transfer {
+namespace {
+
+Design fig1_design() {
+  Design design;
+  design.name = "fig1";
+  design.cs_max = 7;
+  design.registers.push_back({"R1", 30});
+  design.registers.push_back({"R2", 12});
+  design.buses.push_back({"B1"});
+  design.buses.push_back({"B2"});
+  ModuleDecl add;
+  add.name = "ADD";
+  add.kind = ModuleKind::kAdd;
+  design.modules.push_back(add);
+  design.transfers.push_back(
+      RegisterTransfer::full("R1", "B1", "R2", "B2", 5, "ADD", 6, "B1", "R1"));
+  return design;
+}
+
+TEST(StreamHasherTest, FieldBoundariesDoNotAlias) {
+  StreamHasher ab_c;
+  ab_c.update(std::string_view("ab"));
+  ab_c.update(std::string_view("c"));
+  StreamHasher a_bc;
+  a_bc.update(std::string_view("a"));
+  a_bc.update(std::string_view("bc"));
+  EXPECT_NE(ab_c.digest(), a_bc.digest());
+
+  StreamHasher empty;
+  EXPECT_NE(empty.digest(), 0u);
+}
+
+TEST(StreamHasherTest, HexRenderingIsZeroPadded16Digits) {
+  EXPECT_EQ(to_hex(0), "0000000000000000");
+  EXPECT_EQ(to_hex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(to_hex(0xffffffffffffffffull), "ffffffffffffffff");
+}
+
+TEST(CanonicalStreamHashTest, IdenticalDesignsHashEqual) {
+  EXPECT_EQ(canonical_stream_hash(fig1_design()),
+            canonical_stream_hash(fig1_design()));
+}
+
+TEST(CanonicalStreamHashTest, ExplicitCanonicalStreamMatchesDesignOverload) {
+  const Design design = fig1_design();
+  const std::vector<TransInstance> stream = to_instances(design.transfers);
+  EXPECT_EQ(canonical_stream_hash(design),
+            canonical_stream_hash(design, stream));
+}
+
+TEST(CanonicalStreamHashTest, OneByteDifferenceMisses) {
+  const std::uint64_t base = canonical_stream_hash(fig1_design());
+
+  Design init_changed = fig1_design();
+  init_changed.registers[0].initial = 31;  // init 30 -> 31
+  EXPECT_NE(canonical_stream_hash(init_changed), base);
+
+  Design renamed = fig1_design();
+  renamed.name = "fig2";
+  EXPECT_NE(canonical_stream_hash(renamed), base);
+
+  Design more_steps = fig1_design();
+  more_steps.cs_max = 8;
+  EXPECT_NE(canonical_stream_hash(more_steps), base);
+
+  Design moved_transfer = fig1_design();
+  moved_transfer.transfers[0].read_step = 4;
+  EXPECT_NE(canonical_stream_hash(moved_transfer), base);
+}
+
+TEST(CanonicalStreamHashTest, RoundTripThroughTextFormatPreservesHash) {
+  // The service hashes what it parses off the wire; a design that
+  // round-trips through the .rtd text format must keep its key.
+  const Design design = fig1_design();
+  common::DiagnosticBag diags;
+  const Design reparsed = parse_design(to_text(design), diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.to_text();
+  EXPECT_EQ(canonical_stream_hash(reparsed), canonical_stream_hash(design));
+}
+
+TEST(CanonicalStreamHashTest, FaultTransformedStreamHashesDifferently) {
+  const Design design = fig1_design();
+  common::DiagnosticBag diags;
+  const fault::FaultPlan plan =
+      fault::parse_fault_plan("force-bus B1 = 99 @5:ra\n", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.to_text();
+  const auto faulted = fault::apply_plan(design, plan, diags);
+  ASSERT_TRUE(faulted.has_value()) << diags.to_text();
+  EXPECT_NE(canonical_stream_hash(faulted->design, faulted->instances),
+            canonical_stream_hash(design));
+}
+
+TEST(CanonicalStreamHashTest, DistinctPlansSameStreamShareKey) {
+  // Key identity is over the *transformed* pair, so a no-effect-site plan
+  // (warning, empty transformation) keys identically to no plan at all.
+  const Design design = fig1_design();
+  common::DiagnosticBag diags;
+  const fault::FaultPlan plan =
+      fault::parse_fault_plan("stuck-disc R1 @3\n", diags);
+  ASSERT_FALSE(diags.has_errors());
+  const auto faulted = fault::apply_plan(design, plan, diags);
+  ASSERT_TRUE(faulted.has_value()) << diags.to_text();
+  if (faulted->dropped == 0 && faulted->rewritten == 0 &&
+      faulted->inserted == 0) {
+    EXPECT_EQ(canonical_stream_hash(faulted->design, faulted->instances),
+              canonical_stream_hash(design));
+  }
+}
+
+}  // namespace
+}  // namespace ctrtl::transfer

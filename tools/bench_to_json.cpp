@@ -12,10 +12,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -25,8 +27,10 @@
 #include "clocked/translate.h"
 #include "gen/corpus.h"
 #include "rtl/batch_runner.h"
+#include "serve/service.h"
 #include "transfer/build.h"
 #include "transfer/schedule.h"
+#include "transfer/text_format.h"
 #include "verify/random_design.h"
 
 namespace {
@@ -181,6 +185,65 @@ Entry measure_corpus_verify(const Config& config) {
   return entry;
 }
 
+/// E14: ctrtl_serve job latency through the in-process service core (no
+/// socket), full text path included — the design is serialized with
+/// transfer::to_text and re-parsed per job, exactly what a wire SUBMIT
+/// pays. `service_cold` runs against a cache with retention disabled so
+/// every job re-hashes and re-lowers; `service_warm` primes the LRU cache
+/// once (untimed) and then measures pure cache-hit jobs. The gap between
+/// the two is the lowering cost the cache amortizes (docs/PERFORMANCE.md,
+/// "Reading the service entries").
+Entry measure_service(const Config& config, bool warm, std::string name) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.unit = "instances";
+  entry.instances = config.batch_instances;
+  entry.repetitions = config.repetitions;
+
+  serve::ServiceOptions options;
+  options.workers = 1;
+  options.lane_workers = 1;
+  // Capacity 0 disables retention entirely: every job is a miss.
+  options.cache_capacity = warm ? 8 : 0;
+  serve::SimulationService service(options);
+
+  const std::string design_text =
+      transfer::to_text(instance_design(0, config.transfers));
+
+  unsigned sequence = 0;
+  const auto run_job = [&] {
+    serve::JobRequest request;
+    request.job_id = "bench-" + std::to_string(sequence++);
+    request.instances = config.batch_instances;
+    request.design_text = design_text;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    const serve::SubmitOutcome outcome =
+        service.submit(std::move(request), [&](const serve::Frame& frame) {
+          if (frame.type == serve::MessageType::kDone ||
+              frame.type == serve::MessageType::kError) {
+            std::unique_lock lock(mutex);
+            done = true;
+            cv.notify_one();
+          }
+        });
+    if (outcome.status != serve::SubmitStatus::kAccepted) {
+      std::cerr << entry.name << ": job rejected by the service\n";
+      return;
+    }
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return done; });
+  };
+
+  if (warm) {
+    run_job();  // prime the cache; not timed
+  }
+  entry.wall_ms = time_median_ms(entry.repetitions, run_job);
+  entry.steps = static_cast<double>(config.batch_instances);
+  return entry;
+}
+
 /// E6: one design simulated clock-free (both execution modes) and as the
 /// translated clocked RTL. Steps are control steps for the clock-free
 /// entries and clock cycles for the clocked one.
@@ -256,6 +319,14 @@ void emit_json(std::ostream& os, const Config& config,
            << e.throughput() / baseline->throughput();
       }
     }
+    if (e.name == "service_warm") {
+      const auto cold =
+          std::find_if(entries.begin(), entries.end(),
+                       [](const Entry& c) { return c.name == "service_cold"; });
+      if (cold != entries.end() && e.wall_ms > 0.0) {
+        os << ", \"speedup_vs_cold\": " << cold->wall_ms / e.wall_ms;
+      }
+    }
     os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -326,6 +397,10 @@ int main(int argc, char** argv) {
     entries.push_back(entry);
   }
   entries.push_back(measure_corpus_verify(config));
+  // E14: the simulation service, cold (retention off, every job lowers)
+  // vs warm (LRU hit, lowering skipped).
+  entries.push_back(measure_service(config, /*warm=*/false, "service_cold"));
+  entries.push_back(measure_service(config, /*warm=*/true, "service_warm"));
 
   if (config.out_path.empty()) {
     emit_json(std::cout, config, entries);

@@ -1,0 +1,337 @@
+// ctrtl_serve — persistent simulation service with a content-hashed design
+// cache, speaking the ctrtl-serve/1 wire protocol (docs/SERVICE.md) over a
+// Unix-domain socket.
+//
+// Usage:
+//   ctrtl_serve serve    --socket=PATH [--workers=N] [--lane-workers=N]
+//                        [--queue=N] [--cache=N] [--lane-block=N]
+//   ctrtl_serve submit   --socket=PATH <file.rtd> [--job=ID] [--instances=N]
+//                        [--set input=value ...] [--fault-plan=FILE]
+//                        [--max-cycles=N] [--max-delta-cycles=N]
+//   ctrtl_serve stats    --socket=PATH
+//   ctrtl_serve ping     --socket=PATH
+//   ctrtl_serve shutdown --socket=PATH
+//
+// `serve` runs in the foreground until a client sends SHUTDOWN (or SIGINT/
+// SIGTERM). `submit` sends one job, streams the per-instance reports, and
+// prints each instance's conflicts and final register values to stdout in
+// exactly the format `ctrtl_design --simulate` uses — job-control chatter
+// goes to stderr, so a one-instance submit is byte-comparable against
+// `ctrtl_design` output filtered to its result lines (the CI smoke does
+// precisely that diff).
+//
+// Exit status mirrors ctrtl_design: 0 clean, 1 usage/connection errors,
+// 2 job error reply or instance error, 3 conflicts observed, 4 watchdog.
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+ctrtl::serve::ServeServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) {
+    g_server->stop();
+  }
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ctrtl_serve <serve|submit|stats|ping|shutdown> --socket=PATH\n"
+      "  serve     [--workers=N] [--lane-workers=N] [--queue=N] [--cache=N]\n"
+      "            [--lane-block=N]   run the service in the foreground\n"
+      "  submit    <file.rtd> [--job=ID] [--instances=N] [--set in=val ...]\n"
+      "            [--fault-plan=FILE] [--max-cycles=N] [--max-delta-cycles=N]\n"
+      "  stats     print service counters\n"
+      "  ping      check liveness (HELLO exchange)\n"
+      "  shutdown  stop the server\n");
+}
+
+bool parse_count(const std::string& arg, const char* flag, std::uint64_t* out) {
+  const std::string text = arg.substr(std::strlen(flag));
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || *out == 0) {
+    std::fprintf(stderr, "%s expects a positive count, got '%s'\n", flag,
+                 text.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int run_serve(const std::string& socket_path,
+              const ctrtl::serve::ServiceOptions& service) {
+  ctrtl::serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.service = service;
+  try {
+    ctrtl::serve::ServeServer server(options);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::printf("ctrtl_serve: listening on %s (workers %zu, queue %zu, "
+                "cache %zu)\n",
+                socket_path.c_str(), service.workers, service.queue_capacity,
+                service.cache_capacity);
+    std::fflush(stdout);
+    server.wait();
+    g_server = nullptr;
+    std::printf("ctrtl_serve: stopped\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ctrtl_serve: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run_submit(const std::string& socket_path,
+               const ctrtl::serve::JobRequest& request) {
+  using ctrtl::serve::JobOutcome;
+  try {
+    ctrtl::serve::ServeClient client;
+    client.connect(socket_path);
+    JobOutcome outcome = client.run_job(request);
+    client.close();
+    switch (outcome.status) {
+      case JobOutcome::Status::kBusy:
+        std::fprintf(stderr,
+                     "busy: queue full (%llu of %llu jobs queued), retry\n",
+                     static_cast<unsigned long long>(outcome.busy.queued),
+                     static_cast<unsigned long long>(outcome.busy.capacity));
+        return 2;
+      case JobOutcome::Status::kError: {
+        std::fprintf(stderr, "job error (%s):\n",
+                     to_string(outcome.error.code).c_str());
+        for (const std::string& diagnostic : outcome.error.diagnostics) {
+          std::fprintf(stderr, "  %s\n", diagnostic.c_str());
+        }
+        return 2;
+      }
+      case JobOutcome::Status::kDone:
+        break;
+    }
+    // Reports arrive in completion order; present them by instance.
+    std::sort(outcome.reports.begin(), outcome.reports.end(),
+              [](const auto& a, const auto& b) { return a.instance < b.instance; });
+    bool saw_error = false;
+    bool saw_watchdog = false;
+    for (const ctrtl::serve::ReportPayload& report : outcome.reports) {
+      if (outcome.reports.size() > 1) {
+        std::fprintf(stderr, "instance %llu: %s\n",
+                     static_cast<unsigned long long>(report.instance),
+                     report.status.c_str());
+      }
+      saw_error |= report.status == "error";
+      saw_watchdog |= report.status == "watchdog-tripped";
+      for (const std::string& diagnostic : report.diagnostics) {
+        std::fprintf(stderr, "  %s\n", diagnostic.c_str());
+      }
+      std::fputs(ctrtl::serve::render_design_style(report).c_str(), stdout);
+    }
+    std::fprintf(stderr,
+                 "done: %llu instances, %llu failures, %llu conflicts, "
+                 "cache %s, key %s\n",
+                 static_cast<unsigned long long>(outcome.done.instances),
+                 static_cast<unsigned long long>(outcome.done.failures),
+                 static_cast<unsigned long long>(outcome.done.conflicts),
+                 outcome.done.cache_hit ? "hit" : "miss",
+                 outcome.done.cache_key.c_str());
+    if (saw_error) {
+      return 2;
+    }
+    if (saw_watchdog) {
+      return 4;
+    }
+    return outcome.done.conflicts == 0 ? 0 : 3;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ctrtl_serve: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run_stats(const std::string& socket_path) {
+  try {
+    ctrtl::serve::ServeClient client;
+    client.connect(socket_path);
+    const ctrtl::serve::StatsPayload stats = client.stats();
+    client.close();
+    std::fputs(ctrtl::serve::encode_stats(stats).c_str(), stdout);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ctrtl_serve: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run_ping(const std::string& socket_path) {
+  try {
+    ctrtl::serve::ServeClient client;
+    client.connect(socket_path);
+    client.close();
+    std::printf("ok %s\n", std::string(ctrtl::serve::kProtocolName).c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ctrtl_serve: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run_shutdown(const std::string& socket_path) {
+  try {
+    ctrtl::serve::ServeClient client;
+    client.connect(socket_path);
+    client.shutdown_server();
+    std::printf("shutdown acknowledged\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ctrtl_serve: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string mode = argv[1];
+  if (mode == "--help" || mode == "-h") {
+    usage();
+    return 0;
+  }
+  if (mode != "serve" && mode != "submit" && mode != "stats" &&
+      mode != "ping" && mode != "shutdown") {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    usage();
+    return 1;
+  }
+
+  std::string socket_path;
+  std::string design_path;
+  std::string fault_plan_path;
+  ctrtl::serve::ServiceOptions service;
+  ctrtl::serve::JobRequest request;
+  std::uint64_t count = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(std::strlen("--socket="));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!parse_count(arg, "--workers=", &count)) {
+        return 1;
+      }
+      service.workers = count;
+    } else if (arg.rfind("--lane-workers=", 0) == 0) {
+      if (!parse_count(arg, "--lane-workers=", &count)) {
+        return 1;
+      }
+      service.lane_workers = count;
+    } else if (arg.rfind("--lane-block=", 0) == 0) {
+      if (!parse_count(arg, "--lane-block=", &count)) {
+        return 1;
+      }
+      service.lane_block = count;
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      if (!parse_count(arg, "--queue=", &count)) {
+        return 1;
+      }
+      service.queue_capacity = count;
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      if (!parse_count(arg, "--cache=", &count)) {
+        return 1;
+      }
+      service.cache_capacity = count;
+    } else if (arg.rfind("--job=", 0) == 0) {
+      request.job_id = arg.substr(std::strlen("--job="));
+    } else if (arg.rfind("--instances=", 0) == 0) {
+      if (!parse_count(arg, "--instances=", &request.instances)) {
+        return 1;
+      }
+    } else if (arg.rfind("--max-cycles=", 0) == 0) {
+      if (!parse_count(arg, "--max-cycles=", &request.max_cycles)) {
+        return 1;
+      }
+    } else if (arg.rfind("--max-delta-cycles=", 0) == 0) {
+      if (!parse_count(arg, "--max-delta-cycles=", &request.max_delta_cycles)) {
+        return 1;
+      }
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      fault_plan_path = arg.substr(std::strlen("--fault-plan="));
+    } else if (arg == "--set" && i + 1 < argc) {
+      const std::string assignment = argv[++i];
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set expects input=value, got '%s'\n",
+                     assignment.c_str());
+        return 1;
+      }
+      request.inputs.emplace_back(
+          assignment.substr(0, eq),
+          std::strtoll(assignment.c_str() + eq + 1, nullptr, 10));
+    } else if (!arg.empty() && arg[0] != '-') {
+      design_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "--socket=PATH is required\n");
+    return 1;
+  }
+
+  if (mode == "serve") {
+    return run_serve(socket_path, service);
+  }
+  if (mode == "stats") {
+    return run_stats(socket_path);
+  }
+  if (mode == "ping") {
+    return run_ping(socket_path);
+  }
+  if (mode == "shutdown") {
+    return run_shutdown(socket_path);
+  }
+
+  // submit
+  if (design_path.empty()) {
+    std::fprintf(stderr, "submit requires a design file\n");
+    return 1;
+  }
+  if (!read_file(design_path, &request.design_text)) {
+    return 1;
+  }
+  if (!fault_plan_path.empty()) {
+    if (!read_file(fault_plan_path, &request.fault_plan_text)) {
+      return 1;
+    }
+    request.has_fault_plan = true;
+  }
+  return run_submit(socket_path, request);
+}
