@@ -90,6 +90,13 @@ assert service_cold["steps"] == service_warm["steps"], \
     "service_cold and service_warm must measure identical workloads"
 assert "speedup_vs_cold" in service_warm, \
     "service_warm missing speedup_vs_cold ratio"
+# PR 10 load shedding (E15): the soft-limit entry floods a parked service
+# with low-priority jobs; the shed count is deterministic by construction.
+assert "service_shed" in names, "missing service_shed entry (load shedding)"
+service_shed = next(e for e in entries if e["name"] == "service_shed")
+assert "shed_jobs" in service_shed, "service_shed missing shed_jobs count"
+assert service_shed["shed_jobs"] > 0, \
+    f"service_shed must shed jobs, got {service_shed['shed_jobs']}"
 
 for e in entries:
     for key in ("name", "unit", "workers", "instances", "repetitions",
@@ -124,5 +131,7 @@ else
   grep -q '"name": "clocked_rtl"' "$OUT"
   grep -q '"name": "service_cold"' "$OUT"
   grep -q '"name": "service_warm"' "$OUT"
+  grep -q '"name": "service_shed"' "$OUT"
+  grep -q '"shed_jobs"' "$OUT"
   echo "bench_smoke: OK (grep fallback)"
 fi

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Chaos smoke for ctrtl_serve: drives the production-hardening features
+# through the real binary and real failure modes — a SIGKILLed server must
+# restart warm from its crash-safe snapshot, a truncated snapshot must
+# degrade to a counted skip (never a dead boot), an expired deadline must
+# come back as a structured E-DEADLINE, and the server must keep serving
+# after every one of them. The in-process twin of these scenarios lives in
+# tests/serve/chaos_test.cpp; this script proves the same contracts hold
+# end-to-end. CI runs it as the service chaos job; ctest as
+# tool_ctrtl_serve_chaos_smoke.
+#
+# Usage: scripts/chaos_smoke.sh [ctrtl_serve-bin] [repo-root]
+set -euo pipefail
+
+SERVE="${1:-build/tools/ctrtl_serve}"
+ROOT="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+if [ ! -x "$SERVE" ]; then
+  echo "chaos_smoke: $SERVE not built" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/ctrtl.sock"
+SNAP="$WORK/cache.snap"
+FIG1="$ROOT/examples/rtd/fig1.rtd"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+start_server() {
+  # A SIGKILLed server leaves its socket file behind; clear it so the
+  # readiness loop below waits for the NEW server's bind, not the corpse's.
+  rm -f "$SOCK"
+  "$SERVE" serve --socket="$SOCK" --workers=2 --queue=4 --cache=4 \
+    --snapshot="$SNAP" > "$1" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.05
+  done
+  [ -S "$SOCK" ] || fail "server socket never appeared"
+  "$SERVE" ping --socket="$SOCK" > /dev/null || fail "ping failed after start"
+}
+
+# 1. Cold server with persistence on: the first job is a miss, and its
+#    sources are journaled to the snapshot as a side effect.
+start_server "$WORK/server1.log"
+"$SERVE" submit --socket="$SOCK" --job=cold "$FIG1" \
+  > /dev/null 2> "$WORK/cold.log"
+grep -q "cache miss" "$WORK/cold.log" || fail "first job should miss"
+[ -s "$SNAP" ] || fail "snapshot file not written after a cache miss"
+
+# 2. Crash: SIGKILL the server — no drain, no flush hooks, nothing. The
+#    journal's append-time flush is the only durability it gets.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# 3. Restart: the snapshot replays (one record), and the same design now
+#    hits the cache on the very first submission after the crash.
+start_server "$WORK/server2.log"
+"$SERVE" stats --socket="$SOCK" > "$WORK/stats1.txt"
+grep -q "^snapshot-records-loaded 1$" "$WORK/stats1.txt" \
+  || fail "restarted server should load 1 snapshot record"
+grep -q "^snapshot-records-skipped 0$" "$WORK/stats1.txt" \
+  || fail "clean snapshot should skip nothing"
+"$SERVE" submit --socket="$SOCK" --job=warm "$FIG1" \
+  > /dev/null 2> "$WORK/warm.log"
+grep -q "cache hit" "$WORK/warm.log" \
+  || fail "first job after kill -9 restart should hit the restored cache"
+
+# 4. Deadline chaos: a big job with a 1 ms budget must come back as a
+#    structured E-DEADLINE (exit 2) — whether it burned out queued or
+#    mid-run — and the server must keep serving afterwards.
+set +e
+"$SERVE" submit --socket="$SOCK" --job=doomed --instances=8192 \
+  --deadline-ms=1 "$FIG1" > /dev/null 2> "$WORK/deadline.log"
+STATUS=$?
+set -e
+[ "$STATUS" -eq 2 ] || fail "deadline job expected exit 2, got $STATUS"
+grep -q "E-DEADLINE" "$WORK/deadline.log" \
+  || fail "expected E-DEADLINE error code"
+"$SERVE" ping --socket="$SOCK" > /dev/null \
+  || fail "server died after deadline job"
+"$SERVE" stats --socket="$SOCK" | grep -q "^jobs-deadline-expired 1$" \
+  || fail "deadline expiry not counted"
+
+# 5. Clean shutdown of the healthy server before we maul its snapshot.
+"$SERVE" shutdown --socket="$SOCK" > /dev/null || fail "shutdown failed"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+# 6. Snapshot corruption: tear the record's tail, as a crash mid-append
+#    would. The next boot must come up serving with the damage counted,
+#    never refuse to start.
+SIZE=$(wc -c < "$SNAP")
+TRUNCATED=$((SIZE - 5))
+head -c "$TRUNCATED" "$SNAP" > "$SNAP.torn" && mv "$SNAP.torn" "$SNAP"
+start_server "$WORK/server3.log"
+"$SERVE" stats --socket="$SOCK" > "$WORK/stats2.txt"
+grep -q "^snapshot-records-loaded 0$" "$WORK/stats2.txt" \
+  || fail "torn record must not load"
+grep -q "^snapshot-records-skipped 1$" "$WORK/stats2.txt" \
+  || fail "torn record must be counted as skipped"
+"$SERVE" submit --socket="$SOCK" --job=cold2 "$FIG1" \
+  > /dev/null 2> "$WORK/cold2.log"
+grep -q "cache miss" "$WORK/cold2.log" \
+  || fail "after snapshot loss the cache should be cold, not wrong"
+
+# 7. Clean exit: the survivor still shuts down with status 0.
+"$SERVE" shutdown --socket="$SOCK" > /dev/null || fail "final shutdown failed"
+wait "$SERVER_PID"
+SERVER_STATUS=$?
+SERVER_PID=""
+[ "$SERVER_STATUS" -eq 0 ] || fail "server exited $SERVER_STATUS"
+grep -q "ctrtl_serve: stopped" "$WORK/server3.log" \
+  || fail "server did not log clean stop"
+
+echo "chaos smoke: all checks passed"

@@ -46,7 +46,7 @@ for _ in $(seq 1 100); do
   sleep 0.05
 done
 [ -S "$SOCK" ] || fail "server socket never appeared"
-"$SERVE" ping --socket="$SOCK" | grep -q "ok ctrtl-serve/1" \
+"$SERVE" ping --socket="$SOCK" | grep -q "ok ctrtl-serve/2" \
   || fail "ping failed"
 
 FIG1="$ROOT/examples/rtd/fig1.rtd"

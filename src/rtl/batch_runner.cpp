@@ -19,6 +19,14 @@ common::Diagnostic error_diagnostic(std::string message) {
   return diag;
 }
 
+/// The result of a work unit skipped by the cancellation poll: never ran,
+/// nothing to snapshot.
+InstanceResult cancelled_instance() {
+  InstanceResult result;
+  result.report.status = RunStatus::kCancelled;
+  return result;
+}
+
 }  // namespace
 
 InstanceResult run_instance(RtModel& model, const RunOptions& options) {
@@ -134,6 +142,11 @@ BatchRunResult BatchRunner::run(std::size_t count, const BatchResultSink& sink) 
         engine_.map<std::vector<InstanceResult>>(jobs, [&](std::size_t job) {
           const std::size_t first = job * shard;
           const std::size_t width = std::min(shard, count - first);
+          if (options_.cancel && options_.cancel()) {
+            // Skipped units are not emitted: the sink only ever sees
+            // instances that actually ran.
+            return std::vector<InstanceResult>(width, cancelled_instance());
+          }
           try {
             std::vector<InstanceResult> block = lane_engine_->run_block(
                 first, width, inputs_, options_.max_cycles,
@@ -175,6 +188,9 @@ BatchRunResult BatchRunner::run(std::size_t count, const BatchResultSink& sink) 
   } else {
     result.instances =
         engine_.map<InstanceResult>(count, [&](std::size_t instance) {
+          if (options_.cancel && options_.cancel()) {
+            return cancelled_instance();
+          }
           InstanceResult one = run_one(instance);
           emit(instance, std::span<const InstanceResult>(&one, 1));
           return one;

@@ -59,6 +59,18 @@ struct BatchRunOptions {
   /// `CompiledDesign` (ignored by the factory constructor and by
   /// `kCompiledLanes`, which is compiled by construction).
   TransferMode mode = TransferMode::kCompiled;
+  /// Cooperative cancellation poll. When set, the runner invokes it before
+  /// starting each work unit (a lane block under `kCompiledLanes`, one
+  /// instance under `kPerInstance`); once it returns true, every unit not
+  /// yet started is skipped — its instances report `RunStatus::kCancelled`
+  /// and are NOT streamed through the `BatchResultSink`. Units already
+  /// running complete normally (their results stay byte-identical to an
+  /// uncancelled run), so cancellation latency is bounded by one work
+  /// unit, never by the whole batch. Must be thread-safe; it is polled
+  /// concurrently from worker threads. A truly non-converging instance
+  /// never reaches the next poll point — bound it with `max_delta_cycles`
+  /// (the watchdog), which this poll complements rather than replaces.
+  std::function<bool()> cancel = nullptr;
 };
 
 /// Everything observable about one simulated instance: the run outcome
@@ -120,11 +132,22 @@ struct BatchRunResult {
     return count;
   }
 
-  /// Instances whose report is not kOk (watchdog trips + errors).
+  /// Instances whose report is not kOk (watchdog trips + errors; skipped
+  /// instances of a cancelled batch count here too).
   [[nodiscard]] std::size_t failure_count() const {
     std::size_t count = 0;
     for (const InstanceResult& instance : instances) {
       count += instance.report.ok() ? 0 : 1;
+    }
+    return count;
+  }
+
+  /// Instances skipped by the cooperative cancellation poll
+  /// (`BatchRunOptions::cancel`) — they never ran.
+  [[nodiscard]] std::size_t cancelled_count() const {
+    std::size_t count = 0;
+    for (const InstanceResult& instance : instances) {
+      count += instance.report.status == RunStatus::kCancelled ? 1 : 0;
     }
     return count;
   }

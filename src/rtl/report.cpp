@@ -14,6 +14,8 @@ std::string to_string(RunStatus status) {
       return "watchdog-tripped";
     case RunStatus::kError:
       return "error";
+    case RunStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -19,9 +19,13 @@ enum class RunStatus : std::uint8_t {
   /// The simulation threw; the diagnostics carry the exception text. Partial
   /// results reflect the state when the error surfaced.
   kError,
+  /// The work unit never ran: the batch's cooperative cancellation poll
+  /// (`BatchRunOptions::cancel`) fired before this instance's unit started.
+  /// No partial results — registers/conflicts/counters are all empty.
+  kCancelled,
 };
 
-/// "ok", "watchdog-tripped", "error".
+/// "ok", "watchdog-tripped", "error", "cancelled".
 [[nodiscard]] std::string to_string(RunStatus status);
 
 /// Structured outcome of a guarded run: the status plus any diagnostics with

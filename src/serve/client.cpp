@@ -1,18 +1,21 @@
 #include "serve/client.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
-#include <stdexcept>
+#include <thread>
 
 namespace ctrtl::serve {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& message) {
-  throw std::runtime_error("serve client: " + message);
+[[noreturn]] void fail(ClientError::Kind kind, const std::string& message) {
+  throw ClientError(kind, message);
 }
 
 }  // namespace
@@ -23,37 +26,61 @@ ServeClient::~ServeClient() {
   }
 }
 
+void ServeClient::set_read_timeout_ms(std::uint64_t timeout_ms) {
+  read_timeout_ms_ = timeout_ms;
+  if (fd_ >= 0) {
+    apply_read_timeout();
+  }
+}
+
+void ServeClient::apply_read_timeout() {
+  // SO_RCVTIMEO bounds each blocking read() — the kernel returns EAGAIN
+  // when it elapses, which read_frame converts into a structured kTimeout.
+  // A zero timeval restores fully blocking reads.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(read_timeout_ms_ / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((read_timeout_ms_ % 1000) * 1000);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 void ServeClient::connect(const std::string& socket_path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
-    fail("socket path too long: " + socket_path);
+    fail(ClientError::Kind::kIo, "socket path too long: " + socket_path);
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    fail(std::string("socket() failed: ") + std::strerror(errno));
+    fail(ClientError::Kind::kIo,
+         std::string("socket() failed: ") + std::strerror(errno));
+  }
+  if (read_timeout_ms_ != 0) {
+    apply_read_timeout();
   }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     const std::string detail = std::strerror(errno);
     ::close(fd_);
     fd_ = -1;
-    fail("connect(" + socket_path + ") failed: " + detail);
+    fail(ClientError::Kind::kIo,
+         "connect(" + socket_path + ") failed: " + detail);
   }
   send_frame(Frame{MessageType::kHello, encode_hello(HelloPayload{})});
   const Frame reply = read_frame();
   if (reply.type != MessageType::kHello) {
-    fail("expected HELLO reply, got " + to_string(reply.type));
+    fail(ClientError::Kind::kProtocol,
+         "expected HELLO reply, got " + to_string(reply.type));
   }
   HelloPayload hello;
   std::string error;
   if (!parse_hello(reply.payload, &hello, &error)) {
-    fail("bad HELLO payload: " + error);
+    fail(ClientError::Kind::kProtocol, "bad HELLO payload: " + error);
   }
   if (hello.proto != kProtocolName) {
-    fail("server speaks '" + hello.proto + "', expected '" +
-         std::string(kProtocolName) + "'");
+    fail(ClientError::Kind::kProtocol,
+         "server speaks '" + hello.proto + "', expected '" +
+             std::string(kProtocolName) + "'");
   }
 }
 
@@ -67,7 +94,8 @@ void ServeClient::send_frame(const Frame& frame) {
       if (errno == EINTR) {
         continue;
       }
-      fail(std::string("write failed: ") + std::strerror(errno));
+      fail(ClientError::Kind::kIo,
+           std::string("write failed: ") + std::strerror(errno));
     }
     rest.remove_prefix(static_cast<std::size_t>(n));
   }
@@ -78,14 +106,23 @@ Frame ServeClient::read_frame() {
   char buffer[4096];
   while (!decoder_.next(&frame)) {
     if (decoder_.failed()) {
-      fail("protocol error: " + decoder_.error());
+      fail(ClientError::Kind::kProtocol, "protocol error: " + decoder_.error());
     }
     const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
-    if (n < 0 && errno == EINTR) {
-      continue;
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        fail(ClientError::Kind::kTimeout,
+             "read timed out after " + std::to_string(read_timeout_ms_) +
+                 " ms waiting for the server");
+      }
+      fail(ClientError::Kind::kIo,
+           std::string("read failed: ") + std::strerror(errno));
     }
-    if (n <= 0) {
-      fail("connection closed by server");
+    if (n == 0) {
+      fail(ClientError::Kind::kClosed, "connection closed by server");
     }
     decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
   }
@@ -104,7 +141,7 @@ JobOutcome ServeClient::run_job(
       case MessageType::kAccepted: {
         AcceptedPayload accepted;
         if (!parse_accepted(frame.payload, &accepted, &error)) {
-          fail("bad ACCEPTED payload: " + error);
+          fail(ClientError::Kind::kProtocol, "bad ACCEPTED payload: " + error);
         }
         outcome.accepted = accepted;
         break;
@@ -112,7 +149,7 @@ JobOutcome ServeClient::run_job(
       case MessageType::kReport: {
         ReportPayload report;
         if (!parse_report(frame.payload, &report, &error)) {
-          fail("bad REPORT payload: " + error);
+          fail(ClientError::Kind::kProtocol, "bad REPORT payload: " + error);
         }
         if (on_report) {
           on_report(report);
@@ -122,41 +159,67 @@ JobOutcome ServeClient::run_job(
       }
       case MessageType::kDone: {
         if (!parse_done(frame.payload, &outcome.done, &error)) {
-          fail("bad DONE payload: " + error);
+          fail(ClientError::Kind::kProtocol, "bad DONE payload: " + error);
         }
         outcome.status = JobOutcome::Status::kDone;
         return outcome;
       }
       case MessageType::kBusy: {
         if (!parse_busy(frame.payload, &outcome.busy, &error)) {
-          fail("bad BUSY payload: " + error);
+          fail(ClientError::Kind::kProtocol, "bad BUSY payload: " + error);
         }
         outcome.status = JobOutcome::Status::kBusy;
         return outcome;
       }
       case MessageType::kError: {
         if (!parse_error(frame.payload, &outcome.error, &error)) {
-          fail("bad ERROR payload: " + error);
+          fail(ClientError::Kind::kProtocol, "bad ERROR payload: " + error);
         }
         outcome.status = JobOutcome::Status::kError;
         return outcome;
       }
       default:
-        fail("unexpected frame " + to_string(frame.type));
+        fail(ClientError::Kind::kProtocol,
+             "unexpected frame " + to_string(frame.type));
     }
   }
+}
+
+JobOutcome ServeClient::run_job_with_retry(
+    const JobRequest& request, const RetryPolicy& policy,
+    const std::function<void(const ReportPayload&)>& on_report) {
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  JobOutcome outcome;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    outcome = run_job(request, on_report);
+    if (outcome.status != JobOutcome::Status::kBusy ||
+        attempt + 1 == attempts) {
+      return outcome;
+    }
+    // Exponential backoff floored by the server's hint: shift saturates at
+    // the cap rather than overflowing for large attempt counts.
+    std::uint64_t backoff = policy.base_delay_ms;
+    for (std::size_t i = 0; i < attempt && backoff < policy.max_delay_ms; ++i) {
+      backoff *= 2;
+    }
+    const std::uint64_t delay = std::min(
+        policy.max_delay_ms, std::max(backoff, outcome.busy.retry_after_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  return outcome;
 }
 
 StatsPayload ServeClient::stats() {
   send_frame(Frame{MessageType::kStats, ""});
   const Frame reply = read_frame();
   if (reply.type != MessageType::kStats) {
-    fail("expected STATS reply, got " + to_string(reply.type));
+    fail(ClientError::Kind::kProtocol,
+         "expected STATS reply, got " + to_string(reply.type));
   }
   StatsPayload stats;
   std::string error;
   if (!parse_stats(reply.payload, &stats, &error)) {
-    fail("bad STATS payload: " + error);
+    fail(ClientError::Kind::kProtocol, "bad STATS payload: " + error);
   }
   return stats;
 }
@@ -165,7 +228,8 @@ void ServeClient::shutdown_server() {
   send_frame(Frame{MessageType::kShutdown, ""});
   const Frame reply = read_frame();
   if (reply.type != MessageType::kBye) {
-    fail("expected BYE ack, got " + to_string(reply.type));
+    fail(ClientError::Kind::kProtocol,
+         "expected BYE ack, got " + to_string(reply.type));
   }
   ::close(fd_);
   fd_ = -1;

@@ -1,13 +1,37 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "serve/protocol.h"
 
 namespace ctrtl::serve {
+
+/// Every failure a `ServeClient` throws, with a machine-readable kind so
+/// callers can tell a transport problem from a protocol one without
+/// parsing message text. Derives from `std::runtime_error`, so existing
+/// catch sites keep working.
+class ClientError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kIo,        ///< socket setup or write failed
+    kTimeout,   ///< a read exceeded the configured read timeout
+    kProtocol,  ///< the server sent bytes that do not parse as the protocol
+    kClosed,    ///< the server closed the connection mid-exchange
+  };
+
+  ClientError(Kind kind, const std::string& message)
+      : std::runtime_error("serve client: " + message), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 /// How a submitted job ended, from the client's point of view.
 struct JobOutcome {
@@ -27,8 +51,18 @@ struct JobOutcome {
   std::vector<ReportPayload> reports;
 };
 
-/// Blocking ctrtl-serve/1 client over a Unix-domain socket. Not
-/// thread-safe; one client per thread.
+/// Bounded exponential backoff for resubmitting after BUSY: attempt n
+/// waits max(server's retry-after-ms hint, base_delay_ms << n), capped at
+/// max_delay_ms. The server hint is a floor, never a ceiling — a loaded
+/// server asking for 50 ms gets at least 50 ms.
+struct RetryPolicy {
+  std::size_t max_attempts = 5;
+  std::uint64_t base_delay_ms = 25;
+  std::uint64_t max_delay_ms = 1000;
+};
+
+/// Blocking ctrtl-serve/2 client over a Unix-domain socket. Not
+/// thread-safe; one client per thread. All failures throw `ClientError`.
 class ServeClient {
  public:
   ServeClient() = default;
@@ -37,16 +71,30 @@ class ServeClient {
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
-  /// Connects and exchanges HELLOs; throws `std::runtime_error` on socket
-  /// or protocol failure.
+  /// Connects and exchanges HELLOs; throws `ClientError` on socket or
+  /// protocol failure.
   void connect(const std::string& socket_path);
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Bounds every blocking read: a server that stops responding (stalled,
+  /// wedged, or killed without closing the socket) surfaces as a
+  /// `ClientError` of kind kTimeout after this many milliseconds instead
+  /// of hanging the caller forever. 0 (the default) disables the bound.
+  /// Takes effect immediately, connected or not.
+  void set_read_timeout_ms(std::uint64_t timeout_ms);
 
   /// Submits `request` and blocks until the job's terminal frame,
   /// invoking `on_report` (when set) as each REPORT arrives.
   [[nodiscard]] JobOutcome run_job(
       const JobRequest& request,
+      const std::function<void(const ReportPayload&)>& on_report = nullptr);
+
+  /// `run_job`, resubmitting on BUSY with bounded exponential backoff that
+  /// honors the server's retry-after-ms hint. Returns the first non-BUSY
+  /// outcome, or the final BUSY once attempts are exhausted.
+  [[nodiscard]] JobOutcome run_job_with_retry(
+      const JobRequest& request, const RetryPolicy& policy = {},
       const std::function<void(const ReportPayload&)>& on_report = nullptr);
 
   [[nodiscard]] StatsPayload stats();
@@ -60,8 +108,10 @@ class ServeClient {
  private:
   void send_frame(const Frame& frame);
   [[nodiscard]] Frame read_frame();
+  void apply_read_timeout();
 
   int fd_ = -1;
+  std::uint64_t read_timeout_ms_ = 0;
   FrameDecoder decoder_;
 };
 

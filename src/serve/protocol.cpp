@@ -210,6 +210,12 @@ std::string encode_submit(const JobRequest& request) {
   if (request.max_delta_cycles != kernel::Scheduler::kNoLimit) {
     append_kv(out, "max-delta-cycles", request.max_delta_cycles);
   }
+  if (request.deadline_ms != 0) {
+    append_kv(out, "deadline-ms", request.deadline_ms);
+  }
+  if (request.low_priority) {
+    append_kv(out, "priority", "low");
+  }
   for (const auto& [name, value] : request.inputs) {
     append_kv(out, "input", name + " " + std::to_string(value));
   }
@@ -248,6 +254,19 @@ bool parse_submit(std::string_view payload, JobRequest* request,
     } else if (key == "max-delta-cycles") {
       if (!parse_u64(value, &request->max_delta_cycles)) {
         return set_error(error, "max-delta-cycles expects an unsigned integer");
+      }
+    } else if (key == "deadline-ms") {
+      if (!parse_u64(value, &request->deadline_ms) ||
+          request->deadline_ms == 0) {
+        return set_error(error, "deadline-ms expects a positive count");
+      }
+    } else if (key == "priority") {
+      if (value == "low") {
+        request->low_priority = true;
+      } else if (value == "normal") {
+        request->low_priority = false;
+      } else {
+        return set_error(error, "priority expects 'low' or 'normal'");
       }
     } else if (key == "input") {
       const auto [name, int_token] = split_word(value);
@@ -502,6 +521,10 @@ std::string to_string(ErrorCode code) {
       return "E-SHUTDOWN";
     case ErrorCode::kInternal:
       return "E-INTERNAL";
+    case ErrorCode::kDeadline:
+      return "E-DEADLINE";
+    case ErrorCode::kCancelled:
+      return "E-CANCELLED";
   }
   return "E-INTERNAL";
 }
@@ -510,7 +533,7 @@ bool parse_error_code(std::string_view token, ErrorCode* code) {
   for (const ErrorCode candidate :
        {ErrorCode::kProtocol, ErrorCode::kParse, ErrorCode::kValidate,
         ErrorCode::kFaultPlan, ErrorCode::kLimit, ErrorCode::kShutdown,
-        ErrorCode::kInternal}) {
+        ErrorCode::kInternal, ErrorCode::kDeadline, ErrorCode::kCancelled}) {
     if (to_string(candidate) == token) {
       *code = candidate;
       return true;
@@ -559,11 +582,38 @@ bool parse_error(std::string_view payload, ErrorPayload* error_payload,
 // ---------------------------------------------------------------------------
 // BUSY
 
+std::string to_string(BusyReason reason) {
+  switch (reason) {
+    case BusyReason::kQueueFull:
+      return "queue-full";
+    case BusyReason::kShed:
+      return "shed-low-priority";
+  }
+  return "queue-full";
+}
+
+bool parse_busy_reason(std::string_view token, BusyReason* reason) {
+  for (const BusyReason candidate :
+       {BusyReason::kQueueFull, BusyReason::kShed}) {
+    if (to_string(candidate) == token) {
+      *reason = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string encode_busy(const BusyPayload& busy) {
   std::string out;
   append_kv(out, "job", busy.job_id);
   append_kv(out, "queued", busy.queued);
   append_kv(out, "capacity", busy.capacity);
+  if (busy.retry_after_ms != 0) {
+    append_kv(out, "retry-after-ms", busy.retry_after_ms);
+  }
+  if (busy.reason != BusyReason::kQueueFull) {
+    append_kv(out, "reason", to_string(busy.reason));
+  }
   return out;
 }
 
@@ -586,6 +636,15 @@ bool parse_busy(std::string_view payload, BusyPayload* busy, std::string* error)
       if (!parse_u64(value, &busy->capacity)) {
         return set_error(error, "capacity expects an unsigned integer");
       }
+    } else if (key == "retry-after-ms") {
+      if (!parse_u64(value, &busy->retry_after_ms)) {
+        return set_error(error, "retry-after-ms expects an unsigned integer");
+      }
+    } else if (key == "reason") {
+      if (!parse_busy_reason(value, &busy->reason)) {
+        return set_error(error,
+                         "unknown BUSY reason '" + std::string(value) + "'");
+      }
     } else {
       return set_error(error, "unknown BUSY field '" + std::string(key) + "'");
     }
@@ -603,11 +662,14 @@ struct StatsField {
   std::uint64_t StatsPayload::* member;
 };
 
-constexpr std::array<StatsField, 12> kStatsFields = {{
+constexpr std::array<StatsField, 17> kStatsFields = {{
     {"jobs-accepted", &StatsPayload::jobs_accepted},
     {"jobs-completed", &StatsPayload::jobs_completed},
     {"jobs-rejected-busy", &StatsPayload::jobs_rejected_busy},
     {"jobs-failed", &StatsPayload::jobs_failed},
+    {"jobs-shed", &StatsPayload::jobs_shed},
+    {"jobs-deadline-expired", &StatsPayload::jobs_deadline_expired},
+    {"jobs-cancelled", &StatsPayload::jobs_cancelled},
     {"instances-completed", &StatsPayload::instances_completed},
     {"cache-hits", &StatsPayload::cache_hits},
     {"cache-misses", &StatsPayload::cache_misses},
@@ -616,6 +678,8 @@ constexpr std::array<StatsField, 12> kStatsFields = {{
     {"cache-capacity", &StatsPayload::cache_capacity},
     {"queue-capacity", &StatsPayload::queue_capacity},
     {"workers", &StatsPayload::workers},
+    {"snapshot-records-loaded", &StatsPayload::snapshot_records_loaded},
+    {"snapshot-records-skipped", &StatsPayload::snapshot_records_skipped},
 }};
 
 }  // namespace

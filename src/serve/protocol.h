@@ -9,7 +9,7 @@
 #include "kernel/scheduler.h"
 #include "rtl/batch_runner.h"
 
-/// The ctrtl-serve/1 wire protocol: length-prefixed frames carrying
+/// The ctrtl-serve/2 wire protocol: length-prefixed frames carrying
 /// line-oriented payloads, exchanged over a local stream socket between a
 /// `ctrtl_serve` server and its clients. docs/SERVICE.md is the normative
 /// spec; this header is its executable mirror. Everything here is pure
@@ -21,15 +21,19 @@ namespace ctrtl::serve {
 /// different (or future) protocol and is rejected with E-PROTOCOL.
 inline constexpr std::string_view kProtocolMagic = "CTRTL/1";
 
-/// Protocol identifier echoed in HELLO replies.
-inline constexpr std::string_view kProtocolName = "ctrtl-serve/1";
+/// Protocol identifier echoed in HELLO replies. Bumped to /2 when SUBMIT
+/// gained `deadline-ms`/`priority`, BUSY gained `retry-after-ms`/`reason`,
+/// and STATS gained the shedding/deadline/snapshot counters — the framing
+/// layer (the `CTRTL/1` magic) is unchanged and every /1 payload is still
+/// a valid /2 payload; the bump names the wider grammar.
+inline constexpr std::string_view kProtocolName = "ctrtl-serve/2";
 
 /// Upper bound on one frame's payload; larger declared lengths poison the
 /// decoder (a malicious or corrupt length prefix must not trigger a
 /// gigabyte allocation).
 inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;
 
-/// Every frame type of ctrtl-serve/1. Client-to-server: HELLO, SUBMIT,
+/// Every frame type of ctrtl-serve/2. Client-to-server: HELLO, SUBMIT,
 /// STATS, SHUTDOWN, BYE. Server-to-client: HELLO (reply), ACCEPTED,
 /// REPORT, DONE, ERROR, BUSY, STATS (reply), BYE (ack).
 enum class MessageType : std::uint8_t {
@@ -101,6 +105,14 @@ struct JobRequest {
   std::uint64_t instances = 1;
   std::uint64_t max_cycles = kernel::Scheduler::kNoLimit;
   std::uint64_t max_delta_cycles = kernel::Scheduler::kNoLimit;
+  /// Wall-clock budget in milliseconds, measured from admission; 0 means
+  /// no deadline. An expired job stops at the next lane-block boundary and
+  /// terminates with E-DEADLINE (already-streamed REPORTs stay valid).
+  std::uint64_t deadline_ms = 0;
+  /// Sheddable work: under soft overload (`ServiceOptions::
+  /// shed_queue_depth`) low-priority jobs are rejected with a BUSY carrying
+  /// a retry hint while normal-priority work is still admitted.
+  bool low_priority = false;
   /// (input name, value) pairs applied in order to every instance.
   std::vector<std::pair<std::string, std::int64_t>> inputs;
   /// The design source, .rtd text format.
@@ -201,6 +213,8 @@ enum class ErrorCode : std::uint8_t {
   kLimit,      ///< E-LIMIT: request exceeds a server limit
   kShutdown,   ///< E-SHUTDOWN: server is draining, job not accepted
   kInternal,   ///< E-INTERNAL: unexpected server-side exception
+  kDeadline,   ///< E-DEADLINE: the job's deadline-ms budget expired
+  kCancelled,  ///< E-CANCELLED: the client abandoned the job
 };
 
 [[nodiscard]] std::string to_string(ErrorCode code);
@@ -221,10 +235,25 @@ struct ErrorPayload {
 // ---------------------------------------------------------------------------
 // BUSY — admission-control rejection
 
+/// Why a BUSY was emitted: the hard bounded-queue limit, or the soft
+/// load-shedding tier dropping low-priority work before the queue fills.
+enum class BusyReason : std::uint8_t {
+  kQueueFull,  ///< "queue-full": the bounded admission queue is at capacity
+  kShed,       ///< "shed-low-priority": soft limit shed a low-priority job
+};
+
+[[nodiscard]] std::string to_string(BusyReason reason);
+[[nodiscard]] bool parse_busy_reason(std::string_view token, BusyReason* reason);
+
 struct BusyPayload {
   std::string job_id;
   std::uint64_t queued = 0;    ///< jobs in the queue at rejection
   std::uint64_t capacity = 0;  ///< configured queue capacity
+  /// Backoff hint in milliseconds; 0 means the server offered none. Clients
+  /// should wait at least this long before resubmitting (`ServeClient`'s
+  /// retry loop uses it as the floor of its exponential backoff).
+  std::uint64_t retry_after_ms = 0;
+  BusyReason reason = BusyReason::kQueueFull;
 
   friend bool operator==(const BusyPayload&, const BusyPayload&) = default;
 };
@@ -241,6 +270,9 @@ struct StatsPayload {
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_rejected_busy = 0;
   std::uint64_t jobs_failed = 0;  ///< jobs ending in an ERROR reply
+  std::uint64_t jobs_shed = 0;    ///< low-priority jobs shed at the soft limit
+  std::uint64_t jobs_deadline_expired = 0;  ///< jobs ending in E-DEADLINE
+  std::uint64_t jobs_cancelled = 0;         ///< jobs ending in E-CANCELLED
   std::uint64_t instances_completed = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -249,6 +281,10 @@ struct StatsPayload {
   std::uint64_t cache_capacity = 0;
   std::uint64_t queue_capacity = 0;
   std::uint64_t workers = 0;
+  /// Cache-snapshot persistence: entries restored at boot, corrupt/torn/
+  /// mismatched records skipped at boot (0/0 when persistence is off).
+  std::uint64_t snapshot_records_loaded = 0;
+  std::uint64_t snapshot_records_skipped = 0;
 
   friend bool operator==(const StatsPayload&, const StatsPayload&) = default;
 };

@@ -49,6 +49,33 @@ struct ServeServer::Connection {
   bool closing = false;
   /// Socket is dead; pushes are discarded.
   bool dead = false;
+  /// Cancellation handles of jobs submitted on this connection that may
+  /// still be in flight (pruned of finished jobs on every track()).
+  std::vector<std::shared_ptr<JobControl>> jobs;
+
+  void track(std::shared_ptr<JobControl> control) {
+    if (!control) {
+      return;
+    }
+    std::unique_lock lock(mutex);
+    std::erase_if(jobs, [](const std::shared_ptr<JobControl>& job) {
+      return job->finished();
+    });
+    jobs.push_back(std::move(control));
+  }
+
+  /// Cancels every outstanding job (cancel() on a finished or
+  /// deadline-expired control is a no-op — first cause wins).
+  void cancel_all() {
+    std::vector<std::shared_ptr<JobControl>> pending;
+    {
+      std::unique_lock lock(mutex);
+      pending.swap(jobs);
+    }
+    for (const std::shared_ptr<JobControl>& job : pending) {
+      job->cancel();
+    }
+  }
 
   void push(std::string encoded) {
     {
@@ -170,6 +197,10 @@ void ServeServer::handle_connection(std::shared_ptr<Connection> connection) {
   FrameDecoder decoder;
   char buffer[4096];
   bool open = true;
+  // A connection that ends with a BYE/SHUTDOWN handshake keeps its
+  // in-flight jobs (SHUTDOWN explicitly drains them); one that just
+  // vanishes — EOF mid-job, framing corruption — has its jobs cancelled.
+  bool graceful = false;
   while (open) {
     Frame frame;
     while (open && !decoder.next(&frame)) {
@@ -219,14 +250,17 @@ void ServeServer::handle_connection(std::shared_ptr<Connection> connection) {
             });
         switch (outcome.status) {
           case SubmitStatus::kAccepted:
-            send(MessageType::kAccepted,
-                 encode_accepted(AcceptedPayload{job_id, outcome.queued}));
+            // The ACCEPTED frame was already emitted through the sink by
+            // submit(), ahead of any job frame a fast worker could push.
+            connection->track(outcome.control);
             break;
           case SubmitStatus::kBusy: {
             BusyPayload busy;
             busy.job_id = job_id;
             busy.queued = outcome.queued;
             busy.capacity = options_.service.queue_capacity;
+            busy.retry_after_ms = outcome.retry_after_ms;
+            busy.reason = outcome.busy_reason;
             send(MessageType::kBusy, encode_busy(busy));
             break;
           }
@@ -242,10 +276,12 @@ void ServeServer::handle_connection(std::shared_ptr<Connection> connection) {
       case MessageType::kShutdown:
         send(MessageType::kBye, "");
         stopping_.store(true, std::memory_order_release);
+        graceful = true;
         open = false;
         break;
       case MessageType::kBye:
         send(MessageType::kBye, "");
+        graceful = true;
         open = false;
         break;
       default: {
@@ -259,6 +295,9 @@ void ServeServer::handle_connection(std::shared_ptr<Connection> connection) {
     }
   }
 
+  if (!graceful) {
+    connection->cancel_all();
+  }
   connection->close_writer();
   writer.join();
   {

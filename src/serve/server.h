@@ -22,13 +22,19 @@ struct ServerOptions {
 };
 
 /// The wire layer of `ctrtl_serve`: accepts Unix-domain stream connections,
-/// decodes ctrtl-serve/1 frames, and routes jobs into an embedded
+/// decodes ctrtl-serve/2 frames, and routes jobs into an embedded
 /// `SimulationService`. One reader thread and one writer thread per
 /// connection; job frames are buffered into a per-connection outbox that
 /// the writer drains, so a slow (or stalled) reader blocks only its own
 /// connection — never a service worker. A SHUTDOWN frame (or `stop()`)
 /// stops admission, drains in-flight jobs, flushes the outboxes, and
 /// closes everything down.
+///
+/// Each connection tracks the `JobControl` of every job it submitted; a
+/// connection that ends *abruptly* (EOF or framing corruption, as opposed
+/// to a BYE/SHUTDOWN handshake) cancels its outstanding jobs, so work for
+/// a vanished client stops at the next lane-block boundary instead of
+/// running to completion for nobody.
 class ServeServer {
  public:
   explicit ServeServer(ServerOptions options);

@@ -39,6 +39,12 @@ SimulationService::SimulationService(ServiceOptions options)
   if (options_.workers == 0) {
     options_.workers = 1;
   }
+  if (!options_.snapshot_path.empty()) {
+    journal_ = std::make_unique<SnapshotJournal>(options_.snapshot_path);
+    // Replay before the workers exist: the cache is warm (and the loaded/
+    // skipped counters final) before the first job can be dequeued.
+    restore_snapshot();
+  }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -46,6 +52,62 @@ SimulationService::SimulationService(ServiceOptions options)
 }
 
 SimulationService::~SimulationService() { shutdown(); }
+
+void SimulationService::restore_snapshot() {
+  SnapshotParseResult parsed;
+  std::string error;
+  if (!load_snapshot_file(options_.snapshot_path, &parsed, &error)) {
+    // An unreadable snapshot must never stop the service from booting —
+    // persistence degrades to a cold cache.
+    return;
+  }
+  snapshot_skipped_ = parsed.skipped;
+  for (const SnapshotRecord& record : parsed.records) {
+    // Re-run the standard admission pipeline on the persisted sources. A
+    // record the current binary parses, faults, or hashes differently than
+    // the one that journaled it is skipped, not trusted: the snapshot can
+    // only ever warm the cache with entries this process would compute.
+    common::DiagnosticBag diags;
+    transfer::Design design =
+        transfer::parse_design(record.design_text, diags);
+    if (diags.has_errors()) {
+      ++snapshot_skipped_;
+      continue;
+    }
+    diags.clear();
+    std::vector<transfer::TransInstance> instances;
+    if (record.has_fault_plan) {
+      const std::optional<fault::FaultedDesign> faulted =
+          fault::parse_and_apply(design, record.fault_plan_text, diags);
+      if (!faulted.has_value()) {
+        ++snapshot_skipped_;
+        continue;
+      }
+      design = faulted->design;
+      instances = faulted->instances;
+    } else {
+      instances = transfer::to_instances(design.transfers);
+    }
+    const std::uint64_t key =
+        transfer::canonical_stream_hash(design, instances);
+    if (key != record.key) {
+      ++snapshot_skipped_;
+      continue;
+    }
+    try {
+      bool hit = false;
+      (void)cache_.get_or_compile(
+          key,
+          [&] { return transfer::CompiledDesign::compile(design, instances); },
+          &hit);
+    } catch (const std::exception&) {
+      ++snapshot_skipped_;
+      continue;
+    }
+    journal_->note_existing(key);
+    ++snapshot_loaded_;
+  }
+}
 
 SubmitOutcome SimulationService::submit(JobRequest request, EventSink sink) {
   SubmitOutcome outcome;
@@ -81,13 +143,48 @@ SubmitOutcome SimulationService::submit(JobRequest request, EventSink sink) {
   if (draining_) {
     return reject(ErrorCode::kShutdown, "server is shutting down");
   }
-  if (queue_.size() >= options_.queue_capacity) {
+  // Two-tier admission: the hard bound applies to everyone; the soft bound
+  // (when enabled) sheds low-priority work first so normal-priority jobs
+  // keep the remaining queue headroom under overload.
+  const bool hard_full = queue_.size() >= options_.queue_capacity;
+  const bool shed = !hard_full && request.low_priority &&
+                    options_.shed_queue_depth != 0 &&
+                    queue_.size() >= options_.shed_queue_depth;
+  if (hard_full || shed) {
     ++jobs_rejected_busy_;
+    if (shed) {
+      ++jobs_shed_;
+    }
     outcome.status = SubmitStatus::kBusy;
     outcome.queued = queue_.size();
+    outcome.retry_after_ms = options_.retry_after_ms;
+    outcome.busy_reason = shed ? BusyReason::kShed : BusyReason::kQueueFull;
     return outcome;
   }
-  queue_.push_back(Job{std::move(request), std::move(sink)});
+  Job job;
+  job.control = std::make_shared<JobControl>();
+  job.has_deadline = request.deadline_ms != 0;
+  if (job.has_deadline) {
+    // The budget is measured from admission — queue wait burns it too, so
+    // an overloaded server expires stale work instead of running it late.
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(request.deadline_ms);
+  }
+  outcome.control = job.control;
+  job.request = std::move(request);
+  job.sink = std::move(sink);
+  // Emit ACCEPTED through the sink *before* the job becomes visible to any
+  // worker. Frame order — ACCEPTED, then REPORTs, then the terminal — is a
+  // contract; were ACCEPTED sent by the caller after submit() returned, a
+  // fast worker could stream the whole job first and reorder the wire.
+  // Sinks must not call back into the service (the queue lock is held).
+  if (job.sink) {
+    AcceptedPayload accepted;
+    accepted.job_id = job.request.job_id;
+    accepted.queued = queue_.size() + 1;
+    job.sink(Frame{MessageType::kAccepted, encode_accepted(accepted)});
+  }
+  queue_.push_back(std::move(job));
   ++jobs_accepted_;
   outcome.status = SubmitStatus::kAccepted;
   outcome.queued = queue_.size();
@@ -127,11 +224,36 @@ void SimulationService::process(Job job) {
       // observe the updated stats.
       std::unique_lock lock(mutex_);
       ++jobs_failed_;
+      if (code == ErrorCode::kDeadline) {
+        ++jobs_deadline_expired_;
+      } else if (code == ErrorCode::kCancelled) {
+        ++jobs_cancelled_;
+      }
+    }
+    if (job.control) {
+      job.control->mark_finished();
     }
     if (job.sink) {
       job.sink(Frame{MessageType::kError, encode_error(error)});
     }
   };
+
+  // Jobs can die while still queued: the client may have vanished, or a
+  // tight deadline may have burned out before a worker freed up.
+  if (job.control &&
+      job.control->reason() == JobControl::kCancelledByClient) {
+    fail(ErrorCode::kCancelled, {"job cancelled before it started"});
+    return;
+  }
+  if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
+    if (job.control) {
+      job.control->expire();
+    }
+    fail(ErrorCode::kDeadline,
+         {"deadline of " + std::to_string(request.deadline_ms) +
+          " ms expired while queued"});
+    return;
+  }
 
   try {
     // Parse the design source.
@@ -186,6 +308,18 @@ void SimulationService::process(Job job) {
       return;
     }
 
+    // Journal the sources behind every fresh entry (best-effort: a failed
+    // write degrades persistence, never the job). Only designs that
+    // survived validation reach the snapshot, so replay cannot E-VALIDATE.
+    if (!cache_hit && journal_) {
+      SnapshotRecord record;
+      record.key = key;
+      record.design_text = request.design_text;
+      record.has_fault_plan = request.has_fault_plan;
+      record.fault_plan_text = request.fault_plan_text;
+      (void)journal_->append(record);
+    }
+
     // Lane-sharded run, streaming each completed lane block out as REPORT
     // frames. The sink calls are serialized by the runner, so frames for
     // one job never interleave mid-frame.
@@ -200,6 +334,22 @@ void SimulationService::process(Job job) {
     run_options.max_delta_cycles = request.max_delta_cycles;
     run_options.engine = rtl::BatchEngineKind::kCompiledLanes;
     run_options.lane_block = options_.lane_block;
+    if (job.control) {
+      // Cooperative termination: polled by the runner before each lane
+      // block. Deadline expiry is detected here (and recorded first-wins
+      // on the control), so an in-run expiry and a client cancel cannot
+      // both claim the job.
+      const std::shared_ptr<JobControl> control = job.control;
+      const bool has_deadline = job.has_deadline;
+      const std::chrono::steady_clock::time_point deadline = job.deadline;
+      run_options.cancel = [control, has_deadline, deadline] {
+        if (has_deadline &&
+            std::chrono::steady_clock::now() >= deadline) {
+          control->expire();
+        }
+        return control->reason() != JobControl::kRunning;
+      };
+    }
     rtl::BatchRunner runner(
         compiled, run_options,
         inputs.empty() ? rtl::BatchInputProvider{}
@@ -221,6 +371,32 @@ void SimulationService::process(Job job) {
         });
     const std::uint64_t run_ns = now_ns() - run_start;
 
+    // A run truncated by deadline or cancel ends with ERROR, not DONE.
+    // REPORT frames for the lane blocks that finished were already
+    // streamed and stay valid — the terminal frame names how far it got.
+    const int reason =
+        job.control ? job.control->reason() : JobControl::kRunning;
+    if (reason != JobControl::kRunning) {
+      const std::uint64_t ran = static_cast<std::uint64_t>(
+          result.instances.size() - result.cancelled_count());
+      {
+        std::unique_lock lock(mutex_);
+        instances_completed_ += ran;
+      }
+      const std::string progress = " after completing " +
+                                   std::to_string(ran) + " of " +
+                                   std::to_string(request.instances) +
+                                   " instances";
+      if (reason == JobControl::kDeadlineExpired) {
+        fail(ErrorCode::kDeadline,
+             {"deadline of " + std::to_string(request.deadline_ms) +
+              " ms expired" + progress});
+      } else {
+        fail(ErrorCode::kCancelled, {"job cancelled" + progress});
+      }
+      return;
+    }
+
     DonePayload done;
     done.job_id = request.job_id;
     done.instances = result.instances.size();
@@ -235,6 +411,9 @@ void SimulationService::process(Job job) {
       std::unique_lock lock(mutex_);
       ++jobs_completed_;
       instances_completed_ += result.instances.size();
+    }
+    if (job.control) {
+      job.control->mark_finished();
     }
     if (job.sink) {
       job.sink(Frame{MessageType::kDone, encode_done(done)});
@@ -252,6 +431,9 @@ StatsPayload SimulationService::stats() const {
   out.jobs_completed = jobs_completed_;
   out.jobs_rejected_busy = jobs_rejected_busy_;
   out.jobs_failed = jobs_failed_;
+  out.jobs_shed = jobs_shed_;
+  out.jobs_deadline_expired = jobs_deadline_expired_;
+  out.jobs_cancelled = jobs_cancelled_;
   out.instances_completed = instances_completed_;
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;
@@ -260,6 +442,8 @@ StatsPayload SimulationService::stats() const {
   out.cache_capacity = cache_.capacity();
   out.queue_capacity = options_.queue_capacity;
   out.workers = options_.workers;
+  out.snapshot_records_loaded = snapshot_loaded_;
+  out.snapshot_records_skipped = snapshot_skipped_;
   return out;
 }
 

@@ -1,0 +1,586 @@
+// Service-layer chaos harness: every fault here is injected at the
+// boundaries production actually breaks at — connections severed
+// mid-frame, clients that dribble or vanish, workers stalled past their
+// deadline, snapshots torn by a kill — and the invariant is always the
+// same: a structured error or a clean recovery, never a hang, a crash, or
+// wrong bytes. scripts/chaos_smoke.sh drives the same scenarios through
+// the real binary; this file pins them down deterministically in-process.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace ctrtl::serve {
+namespace {
+
+constexpr const char* kFig1 = R"(design fig1
+cs_max 7
+register R1 init 30
+register R2 init 12
+bus B1
+bus B2
+module ADD add
+transfer R1 B1 R2 B2 5 ADD 6 B1 R1
+)";
+
+JobRequest fig1_job(const std::string& job_id, std::uint64_t instances = 1) {
+  JobRequest request;
+  request.job_id = job_id;
+  request.instances = instances;
+  request.design_text = kFig1;
+  return request;
+}
+
+/// Collects one job's frames and lets the test block until the terminal
+/// frame (DONE or ERROR) lands.
+struct Collector {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Frame> frames;
+  bool terminal = false;
+
+  EventSink sink() {
+    return [this](const Frame& frame) {
+      std::unique_lock lock(mutex);
+      frames.push_back(frame);
+      if (frame.type == MessageType::kDone ||
+          frame.type == MessageType::kError) {
+        terminal = true;
+        cv.notify_all();
+      }
+    };
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] { return terminal; });
+  }
+
+  [[nodiscard]] const Frame& last() const { return frames.back(); }
+};
+
+/// A raw Unix-domain connection the tests can abuse in ways ServeClient
+/// never would: partial writes, single-byte dribbles, abrupt closes.
+class RawConnection {
+ public:
+  explicit RawConnection(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~RawConnection() { close(); }
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  bool write_all(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      if (n <= 0) {
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// One byte per write call: the worst legal client on the wire.
+  bool dribble(std::string_view bytes) {
+    for (const char byte : bytes) {
+      if (!write_all(std::string_view(&byte, 1))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Reads until a complete frame decodes (or the peer closes / decoding
+  /// poisons). Returns false on EOF or decoder failure.
+  bool read_frame(Frame* frame) {
+    char buffer[4096];
+    for (;;) {
+      if (decoder_.next(frame)) {
+        return true;
+      }
+      if (decoder_.failed()) {
+        return false;
+      }
+      const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+      if (n <= 0) {
+        return false;
+      }
+      decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+  }
+
+  /// Abrupt close: no BYE, the socket just disappears mid-conversation.
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    const std::string stem = "ctrtl_chaos_" + std::to_string(::getpid()) +
+                             "_" + std::to_string(counter++);
+    socket_path_ = "/tmp/" + stem + ".sock";
+    snapshot_path_ = testing::TempDir() + stem + ".snap";
+    std::remove(snapshot_path_.c_str());
+  }
+
+  void TearDown() override {
+    ::unlink(socket_path_.c_str());
+    std::remove(snapshot_path_.c_str());
+  }
+
+  ServerOptions server_options() {
+    ServerOptions out;
+    out.socket_path = socket_path_;
+    out.service.workers = 2;
+    return out;
+  }
+
+  std::string socket_path_;
+  std::string snapshot_path_;
+};
+
+// --- Wire-level chaos -------------------------------------------------------
+
+TEST_F(ChaosTest, SeveredMidFrameConnectionLeavesServerHealthy) {
+  ServeServer server(server_options());
+  server.start();
+
+  // Three abusive clients, severed at different points: mid-header,
+  // mid-payload, and right after a complete SUBMIT (job admitted, then the
+  // client vanishes). None may take the server down.
+  const std::string hello =
+      encode_frame(Frame{MessageType::kHello, encode_hello(HelloPayload{})});
+  const std::string submit = encode_frame(
+      Frame{MessageType::kSubmit, encode_submit(fig1_job("severed", 4))});
+  {
+    RawConnection mid_header(socket_path_);
+    ASSERT_TRUE(mid_header.ok());
+    ASSERT_TRUE(mid_header.write_all(hello.substr(0, 3)));
+    mid_header.close();
+  }
+  {
+    RawConnection mid_payload(socket_path_);
+    ASSERT_TRUE(mid_payload.ok());
+    ASSERT_TRUE(
+        mid_payload.write_all((hello + submit).substr(0, hello.size() + 20)));
+    mid_payload.close();
+  }
+  {
+    RawConnection after_submit(socket_path_);
+    ASSERT_TRUE(after_submit.ok());
+    ASSERT_TRUE(after_submit.write_all(hello + submit));
+    Frame frame;
+    ASSERT_TRUE(after_submit.read_frame(&frame));  // HELLO reply
+    after_submit.close();
+  }
+
+  // The server still serves: a well-behaved client completes a job and the
+  // stats round-trip proves the control plane is intact.
+  ServeClient client;
+  client.connect(socket_path_);
+  const JobOutcome outcome = client.run_job(fig1_job("survivor", 2));
+  ASSERT_EQ(outcome.status, JobOutcome::Status::kDone);
+  EXPECT_EQ(outcome.reports.size(), 2u);
+  (void)client.stats();
+  client.close();
+  server.stop();
+  server.wait();
+}
+
+TEST_F(ChaosTest, ByteDribblingClientDecodesIdenticallyAndCompletes) {
+  ServeServer server(server_options());
+  server.start();
+
+  // The whole conversation arrives one byte per write(): the server's
+  // incremental decoder must reassemble it exactly as if it came in one
+  // burst, and the job must complete with the same report bytes a normal
+  // client gets.
+  RawConnection dribbler(socket_path_);
+  ASSERT_TRUE(dribbler.ok());
+  const std::string wire =
+      encode_frame(Frame{MessageType::kHello, encode_hello(HelloPayload{})}) +
+      encode_frame(
+          Frame{MessageType::kSubmit, encode_submit(fig1_job("dribble", 2))});
+  ASSERT_TRUE(dribbler.dribble(wire));
+
+  std::vector<ReportPayload> dribble_reports;
+  DonePayload done;
+  bool got_done = false;
+  Frame frame;
+  std::string error;
+  while (dribbler.read_frame(&frame)) {
+    if (frame.type == MessageType::kReport) {
+      ReportPayload report;
+      ASSERT_TRUE(parse_report(frame.payload, &report, &error)) << error;
+      dribble_reports.push_back(std::move(report));
+    } else if (frame.type == MessageType::kDone) {
+      ASSERT_TRUE(parse_done(frame.payload, &done, &error)) << error;
+      got_done = true;
+      break;
+    } else {
+      ASSERT_TRUE(frame.type == MessageType::kHello ||
+                  frame.type == MessageType::kAccepted)
+          << "unexpected frame type " << to_string(frame.type);
+    }
+  }
+  ASSERT_TRUE(got_done) << "dribbled SUBMIT must still reach DONE";
+  ASSERT_EQ(dribble_reports.size(), 2u);
+
+  // Same design through a normal client: byte-identical rendered results.
+  ServeClient client;
+  client.connect(socket_path_);
+  const JobOutcome reference = client.run_job(fig1_job("reference", 2));
+  ASSERT_EQ(reference.status, JobOutcome::Status::kDone);
+  ASSERT_EQ(reference.reports.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(render_design_style(dribble_reports[i]),
+              render_design_style(reference.reports[i]));
+  }
+  client.close();
+  server.stop();
+  server.wait();
+}
+
+TEST_F(ChaosTest, DeadServerReadTimesOutAsStructuredClientError) {
+  // A listener that accepts connections and then never says a word — the
+  // shape of a wedged or half-dead server. The client's read timeout must
+  // turn the would-be infinite hang into a structured kTimeout error.
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+
+  ServeClient client;
+  client.set_read_timeout_ms(100);
+  try {
+    client.connect(socket_path_);
+    FAIL() << "connect must time out waiting for the HELLO reply";
+  } catch (const ClientError& error) {
+    EXPECT_EQ(error.kind(), ClientError::Kind::kTimeout);
+    EXPECT_NE(std::string(error.what()).find("timed out"), std::string::npos);
+  }
+  ::close(listen_fd);
+}
+
+// --- Deadline and cancellation chaos ---------------------------------------
+
+TEST_F(ChaosTest, WorkerStalledPastDeadlineEndsInEDeadline) {
+  // The worker picks the job up and then stalls (GC pause, overloaded box,
+  // debugger — pick your production story) past the job's budget. The
+  // pre-run deadline check must fire: E-DEADLINE, no reports, no hang.
+  ServerOptions options = server_options();
+  options.service.workers = 1;
+  options.service.on_job_start = [](const std::string& job_id) {
+    if (job_id == "stalled") {
+      // The budget is measured from admission; sleeping well past it on
+      // the worker thread guarantees expiry regardless of queue latency.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  };
+  ServeServer server(options);
+  server.start();
+
+  ServeClient client;
+  client.connect(socket_path_);
+  JobRequest stalled = fig1_job("stalled", 8);
+  stalled.deadline_ms = 10;
+  const JobOutcome outcome = client.run_job(stalled);
+  ASSERT_EQ(outcome.status, JobOutcome::Status::kError);
+  EXPECT_EQ(outcome.error.code, ErrorCode::kDeadline);
+  EXPECT_TRUE(outcome.reports.empty());
+  ASSERT_FALSE(outcome.error.diagnostics.empty());
+  EXPECT_NE(outcome.error.diagnostics[0].find("expired"), std::string::npos);
+
+  const StatsPayload stats = client.stats();
+  EXPECT_EQ(stats.jobs_deadline_expired, 1u);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  client.close();
+  server.stop();
+  server.wait();
+}
+
+TEST_F(ChaosTest, DeadlineExpiryMidJobKeepsStreamedReportsValid) {
+  // A big job with a tiny budget. Whether the deadline burns out while
+  // queued or mid-run, the contract is the same: E-DEADLINE naming the
+  // budget, strictly fewer reports than instances, and every report that
+  // DID stream carries the same bytes an unhurried run produces.
+  ServeServer server(server_options());
+  server.start();
+
+  ServeClient client;
+  client.connect(socket_path_);
+  const JobOutcome reference = client.run_job(fig1_job("reference", 1));
+  ASSERT_EQ(reference.status, JobOutcome::Status::kDone);
+  const std::string expected = render_design_style(reference.reports[0]);
+
+  JobRequest doomed = fig1_job("doomed", 16384);
+  doomed.deadline_ms = 5;
+  const JobOutcome outcome = client.run_job(doomed);
+  ASSERT_EQ(outcome.status, JobOutcome::Status::kError);
+  EXPECT_EQ(outcome.error.code, ErrorCode::kDeadline);
+  ASSERT_FALSE(outcome.error.diagnostics.empty());
+  EXPECT_NE(outcome.error.diagnostics[0].find("deadline of 5 ms expired"),
+            std::string::npos);
+  EXPECT_LT(outcome.reports.size(), 16384u)
+      << "an expired job must not run to completion";
+  for (const ReportPayload& report : outcome.reports) {
+    ASSERT_EQ(render_design_style(report), expected)
+        << "truncation must never corrupt already-streamed results";
+  }
+
+  const StatsPayload stats = client.stats();
+  EXPECT_EQ(stats.jobs_deadline_expired, 1u);
+  client.close();
+  server.stop();
+  server.wait();
+}
+
+TEST_F(ChaosTest, AbruptDisconnectCancelsTheVanishedClientsJob) {
+  // A client submits a job and then its connection dies without a BYE.
+  // The server must cancel the orphaned work instead of running it to
+  // completion for nobody. Sequencing: one worker, parked on a blocker
+  // job, so the doomed job is still queued when its client vanishes.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool parked = false;
+  bool release = false;
+
+  ServerOptions options = server_options();
+  options.service.workers = 1;
+  options.service.on_job_start = [&](const std::string& job_id) {
+    if (job_id != "blocker") {
+      return;
+    }
+    std::unique_lock lock(gate_mutex);
+    parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  };
+  ServeServer server(options);
+  server.start();
+
+  // The blocker occupies the only worker from a background thread.
+  std::thread blocker_thread([&] {
+    ServeClient blocker;
+    blocker.connect(socket_path_);
+    const JobOutcome outcome = blocker.run_job(fig1_job("blocker"));
+    EXPECT_EQ(outcome.status, JobOutcome::Status::kDone);
+    blocker.close();
+  });
+  {
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return parked; });
+  }
+
+  // The doomed client: submit, see ACCEPTED, vanish.
+  {
+    RawConnection doomed(socket_path_);
+    ASSERT_TRUE(doomed.ok());
+    const std::string wire =
+        encode_frame(
+            Frame{MessageType::kHello, encode_hello(HelloPayload{})}) +
+        encode_frame(
+            Frame{MessageType::kSubmit, encode_submit(fig1_job("doomed", 64))});
+    ASSERT_TRUE(doomed.write_all(wire));
+    Frame frame;
+    ASSERT_TRUE(doomed.read_frame(&frame));  // HELLO reply
+    ASSERT_TRUE(doomed.read_frame(&frame));
+    ASSERT_EQ(frame.type, MessageType::kAccepted);
+    doomed.close();
+  }
+  // The reader thread is blocked in read(); the close above wakes it with
+  // EOF and it cancels the connection's jobs. Give it a moment before the
+  // worker is released — the stats poll below is the real synchronization.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::unique_lock lock(gate_mutex);
+    release = true;
+    gate_cv.notify_all();
+  }
+  blocker_thread.join();
+
+  // The orphaned job must end in E-CANCELLED (observable in stats), and
+  // the server must keep serving.
+  ServeClient observer;
+  observer.connect(socket_path_);
+  StatsPayload stats;
+  for (int i = 0; i < 500; ++i) {
+    stats = observer.stats();
+    if (stats.jobs_cancelled >= 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(stats.jobs_cancelled, 1u)
+      << "the vanished client's job must be cancelled, not completed";
+  const JobOutcome after = observer.run_job(fig1_job("after"));
+  EXPECT_EQ(after.status, JobOutcome::Status::kDone);
+  observer.close();
+  server.stop();
+  server.wait();
+}
+
+// --- Snapshot chaos: kill, truncate, corrupt, restart ----------------------
+
+TEST_F(ChaosTest, KillAndRestartWarmStartsFromSnapshot) {
+  // "Kill" here is the destructor — the journal is flushed at append time
+  // (when the miss was compiled), not at shutdown, so the entry survives
+  // any exit path. The restarted service must answer the same design with
+  // a cache hit on its very first job.
+  ServiceOptions options;
+  options.workers = 1;
+  options.snapshot_path = snapshot_path_;
+  {
+    SimulationService first(options);
+    Collector cold;
+    ASSERT_EQ(first.submit(fig1_job("cold"), cold.sink()).status,
+              SubmitStatus::kAccepted);
+    cold.wait();
+    DonePayload done;
+    std::string error;
+    ASSERT_EQ(cold.last().type, MessageType::kDone);
+    ASSERT_TRUE(parse_done(cold.last().payload, &done, &error)) << error;
+    EXPECT_FALSE(done.cache_hit);
+  }
+
+  SimulationService restarted(options);
+  StatsPayload stats = restarted.stats();
+  EXPECT_EQ(stats.snapshot_records_loaded, 1u);
+  EXPECT_EQ(stats.snapshot_records_skipped, 0u);
+
+  Collector warm;
+  ASSERT_EQ(restarted.submit(fig1_job("warm"), warm.sink()).status,
+            SubmitStatus::kAccepted);
+  warm.wait();
+  DonePayload done;
+  std::string error;
+  ASSERT_EQ(warm.last().type, MessageType::kDone);
+  ASSERT_TRUE(parse_done(warm.last().payload, &done, &error)) << error;
+  EXPECT_TRUE(done.cache_hit)
+      << "first job after restart must hit the snapshot-warmed cache";
+  stats = restarted.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  // The restore itself compiled once through the cache (one miss at boot);
+  // the point is that no *job* missed after the restart.
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST_F(ChaosTest, TruncatedAndCorruptSnapshotsBootCleanWithSkipCounter) {
+  // Populate a snapshot with two designs, then maul it two different ways.
+  // Every boot must come up serving, with the damage visible in the skip
+  // counter — corruption degrades to a colder cache, never a dead service.
+  ServiceOptions options;
+  options.workers = 1;
+  options.snapshot_path = snapshot_path_;
+  {
+    SimulationService writer(options);
+    Collector a, b;
+    ASSERT_EQ(writer.submit(fig1_job("a"), a.sink()).status,
+              SubmitStatus::kAccepted);
+    JobRequest faulted = fig1_job("b");
+    faulted.has_fault_plan = true;
+    faulted.fault_plan_text = "force-bus B1 = 99 @5:ra\n";
+    ASSERT_EQ(writer.submit(faulted, b.sink()).status,
+              SubmitStatus::kAccepted);
+    a.wait();
+    b.wait();
+  }
+  std::string full;
+  {
+    std::ifstream in(snapshot_path_, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(full.empty());
+
+  // Chaos 1: a kill mid-append tore the second record.
+  {
+    std::ofstream out(snapshot_path_, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size() - 7));
+  }
+  {
+    SimulationService survivor(options);
+    const StatsPayload stats = survivor.stats();
+    EXPECT_EQ(stats.snapshot_records_loaded, 1u);
+    EXPECT_EQ(stats.snapshot_records_skipped, 1u);
+    Collector check;
+    ASSERT_EQ(survivor.submit(fig1_job("check"), check.sink()).status,
+              SubmitStatus::kAccepted);
+    check.wait();
+    EXPECT_EQ(check.last().type, MessageType::kDone);
+  }
+
+  // Chaos 2: a flipped byte in the first record's body fails its checksum;
+  // the second record is still salvaged. (The truncated-boot above may
+  // have re-journaled nothing new — rewrite the pristine image first.)
+  {
+    std::ofstream out(snapshot_path_, std::ios::binary | std::ios::trunc);
+    std::string mauled = full;
+    mauled[full.find('\n') + 3] ^= 0x20;
+    out.write(mauled.data(), static_cast<std::streamsize>(mauled.size()));
+  }
+  {
+    SimulationService survivor(options);
+    const StatsPayload stats = survivor.stats();
+    EXPECT_EQ(stats.snapshot_records_loaded, 1u);
+    EXPECT_EQ(stats.snapshot_records_skipped, 1u);
+  }
+
+  // Chaos 3: the snapshot is gone entirely (disk wiped). Clean cold boot.
+  std::remove(snapshot_path_.c_str());
+  {
+    SimulationService survivor(options);
+    const StatsPayload stats = survivor.stats();
+    EXPECT_EQ(stats.snapshot_records_loaded, 0u);
+    EXPECT_EQ(stats.snapshot_records_skipped, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ctrtl::serve

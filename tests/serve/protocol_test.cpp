@@ -1,9 +1,12 @@
-// The ctrtl-serve/1 grammar, byte-for-byte: frame encode/decode round
-// trips, incremental and poisoned decoding, and every payload codec pair.
+// The ctrtl-serve/2 grammar, byte-for-byte: frame encode/decode round
+// trips, incremental and poisoned decoding (including randomized chunking
+// and a single-byte corruption sweep), and every payload codec pair.
 
 #include "serve/protocol.h"
 
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include "rtl/batch_runner.h"
 
@@ -63,6 +66,87 @@ TEST(FrameTest, DecoderPoisonsOnUnknownType) {
   EXPECT_TRUE(decoder.failed());
 }
 
+TEST(FrameTest, RandomizedChunkingDecodesIdentically) {
+  // The decode result is a pure function of the byte stream, never of the
+  // read boundaries a socket happened to deliver it in. Replay the same
+  // wire image under many random chunkings and demand identical frames.
+  const std::string wire =
+      encode_frame(Frame{MessageType::kSubmit, "design 5\nABCDE\n"}) +
+      encode_frame(Frame{MessageType::kReport, "job j\ninstance 0\n"}) +
+      encode_frame(Frame{MessageType::kDone, ""}) +
+      encode_frame(Frame{MessageType::kBye, ""});
+
+  const auto decode_all = [&](FrameDecoder& decoder,
+                              std::vector<Frame>* frames) {
+    Frame frame;
+    while (decoder.next(&frame)) {
+      frames->push_back(frame);
+    }
+  };
+  std::vector<Frame> reference;
+  {
+    FrameDecoder decoder;
+    decoder.feed(wire);
+    decode_all(decoder, &reference);
+    ASSERT_EQ(reference.size(), 4u);
+    ASSERT_FALSE(decoder.failed());
+  }
+
+  std::mt19937 rng(20260807);  // fixed seed: failures must replay
+  std::uniform_int_distribution<std::size_t> chunk_size(1, 9);
+  for (int trial = 0; trial < 200; ++trial) {
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t len = std::min(chunk_size(rng), wire.size() - pos);
+      decoder.feed(std::string_view(wire).substr(pos, len));
+      decode_all(decoder, &frames);
+      pos += len;
+    }
+    ASSERT_EQ(frames, reference) << "trial " << trial;
+    ASSERT_FALSE(decoder.failed());
+  }
+}
+
+TEST(FrameTest, SingleByteHeaderCorruptionNeverYieldsTheOriginalFrame) {
+  // Sweep every header byte with two flip patterns. The decoder owes
+  // exactly this much: it never crashes or loops, corrupted magic poisons
+  // it permanently (a later pristine frame is still refused), and whatever
+  // a non-poisoning corruption decodes to is observably NOT the frame that
+  // was sent — corruption may change the message, never impersonate it.
+  const Frame original{MessageType::kSubmit, "job j\n"};
+  const std::string wire = encode_frame(original);
+  const std::string follow = encode_frame(Frame{MessageType::kBye, ""});
+  const std::size_t header_end = wire.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+
+  for (std::size_t pos = 0; pos <= header_end; ++pos) {
+    for (const int flip : {0x01, 0x80}) {
+      std::string mauled = wire;
+      mauled[pos] = static_cast<char>(mauled[pos] ^ flip);
+      FrameDecoder decoder;
+      decoder.feed(mauled);
+      decoder.feed(follow);
+      std::vector<Frame> frames;
+      Frame frame;
+      while (decoder.next(&frame)) {
+        frames.push_back(frame);
+      }
+      if (pos < kProtocolMagic.size()) {
+        EXPECT_TRUE(decoder.failed())
+            << "corrupt magic at byte " << pos << " must poison";
+        EXPECT_TRUE(frames.empty());
+      }
+      for (const Frame& decoded : frames) {
+        EXPECT_NE(decoded, original)
+            << "byte " << pos << " flip " << flip
+            << " decoded back to the uncorrupted frame";
+      }
+    }
+  }
+}
+
 TEST(FrameTest, MessageTypeTokensRoundTrip) {
   for (const MessageType type :
        {MessageType::kHello, MessageType::kSubmit, MessageType::kAccepted,
@@ -87,11 +171,40 @@ TEST(SubmitTest, RoundTripsFullRequest) {
   request.design_text = "design d\ncs_max 1\n";
   request.has_fault_plan = true;
   request.fault_plan_text = "force-bus B1 = 9 @1:ra\n";
+  request.deadline_ms = 2500;
+  request.low_priority = true;
 
   JobRequest parsed;
   std::string error;
   ASSERT_TRUE(parse_submit(encode_submit(request), &parsed, &error)) << error;
   EXPECT_EQ(parsed, request);
+}
+
+TEST(SubmitTest, DeadlineAndPriorityAreOptionalWithV1Defaults) {
+  // A ctrtl-serve/1 SUBMIT carries neither key; it must still parse, with
+  // "no deadline, normal priority" — the /2 bump widens the grammar
+  // without invalidating a single /1 payload.
+  JobRequest plain;
+  plain.design_text = "d";
+  const std::string payload = encode_submit(plain);
+  EXPECT_EQ(payload.find("deadline-ms"), std::string::npos);
+  EXPECT_EQ(payload.find("priority"), std::string::npos);
+
+  JobRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_submit(payload, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.deadline_ms, 0u);
+  EXPECT_FALSE(parsed.low_priority);
+
+  // Explicit normal priority is accepted; zero/garbage values are not.
+  ASSERT_TRUE(parse_submit("job j\ndesign 1\nX\npriority normal\n", &parsed,
+                           &error))
+      << error;
+  EXPECT_FALSE(parsed.low_priority);
+  EXPECT_FALSE(
+      parse_submit("job j\ndesign 1\nX\ndeadline-ms 0\n", &parsed, &error));
+  EXPECT_FALSE(
+      parse_submit("job j\ndesign 1\nX\npriority urgent\n", &parsed, &error));
 }
 
 TEST(SubmitTest, OmitsUnboundedLimits) {
@@ -197,7 +310,7 @@ TEST(ErrorTest, RoundTripsEveryCode) {
   for (const ErrorCode code :
        {ErrorCode::kProtocol, ErrorCode::kParse, ErrorCode::kValidate,
         ErrorCode::kFaultPlan, ErrorCode::kLimit, ErrorCode::kShutdown,
-        ErrorCode::kInternal}) {
+        ErrorCode::kInternal, ErrorCode::kDeadline, ErrorCode::kCancelled}) {
     ErrorPayload error_payload;
     error_payload.job_id = "j";
     error_payload.code = code;
@@ -218,12 +331,45 @@ TEST(BusyTest, RoundTrips) {
   EXPECT_EQ(parsed, busy);
 }
 
+TEST(BusyTest, RetryHintAndShedReasonRoundTrip) {
+  BusyPayload busy{"j", 3, 16};
+  busy.retry_after_ms = 75;
+  busy.reason = BusyReason::kShed;
+  const std::string payload = encode_busy(busy);
+  EXPECT_NE(payload.find("retry-after-ms 75"), std::string::npos);
+  EXPECT_NE(payload.find("reason shed-low-priority"), std::string::npos);
+  BusyPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_busy(payload, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, busy);
+
+  // The /1 shape — no hint, no reason — still parses with the defaults.
+  ASSERT_TRUE(
+      parse_busy("job j\nqueued 16\ncapacity 16\n", &parsed, &error));
+  EXPECT_EQ(parsed.retry_after_ms, 0u);
+  EXPECT_EQ(parsed.reason, BusyReason::kQueueFull);
+  EXPECT_FALSE(parse_busy("job j\nreason whatever\n", &parsed, &error));
+}
+
+TEST(BusyReasonTest, TokensRoundTrip) {
+  for (const BusyReason reason : {BusyReason::kQueueFull, BusyReason::kShed}) {
+    BusyReason parsed;
+    ASSERT_TRUE(parse_busy_reason(to_string(reason), &parsed));
+    EXPECT_EQ(parsed, reason);
+  }
+  BusyReason parsed;
+  EXPECT_FALSE(parse_busy_reason("overloaded", &parsed));
+}
+
 TEST(StatsTest, RoundTrips) {
   StatsPayload stats;
   stats.jobs_accepted = 10;
   stats.jobs_completed = 8;
   stats.jobs_rejected_busy = 1;
   stats.jobs_failed = 1;
+  stats.jobs_shed = 4;
+  stats.jobs_deadline_expired = 2;
+  stats.jobs_cancelled = 3;
   stats.instances_completed = 800;
   stats.cache_hits = 6;
   stats.cache_misses = 2;
@@ -232,6 +378,8 @@ TEST(StatsTest, RoundTrips) {
   stats.cache_capacity = 8;
   stats.queue_capacity = 16;
   stats.workers = 2;
+  stats.snapshot_records_loaded = 5;
+  stats.snapshot_records_skipped = 1;
   StatsPayload parsed;
   std::string error;
   ASSERT_TRUE(parse_stats(encode_stats(stats), &parsed, &error)) << error;

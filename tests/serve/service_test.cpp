@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "rtl/batch_runner.h"
@@ -327,6 +329,193 @@ TEST(ServiceTest, FullQueueRejectsBusyDeterministically) {
   b.wait();
   EXPECT_EQ(a.last().type, MessageType::kDone);
   EXPECT_EQ(b.last().type, MessageType::kDone);
+}
+
+TEST(ServiceTest, SoftLimitShedsLowPriorityWithRetryHint) {
+  // One worker parked on a normal job, queue capacity 4, shedding at depth
+  // 2: low-priority jobs bounce once two jobs queue, normal jobs keep the
+  // remaining headroom, and the hard limit still rejects everyone.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  bool worker_parked = false;
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.shed_queue_depth = 2;
+  options.retry_after_ms = 7;
+  options.on_job_start = [&](const std::string& job_id) {
+    if (job_id != "a") {
+      return;  // only the first job parks; the drain must run unimpeded
+    }
+    std::unique_lock lock(gate_mutex);
+    worker_parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  SimulationService service(options);
+
+  const auto low = [](JobRequest request) {
+    request.low_priority = true;
+    return request;
+  };
+
+  Collector a, b, c, e, g;
+  ASSERT_EQ(service.submit(fig1_job("a"), a.sink()).status,
+            SubmitStatus::kAccepted);
+  {
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  // Queue is empty; two low-priority jobs fit under the soft limit.
+  ASSERT_EQ(service.submit(low(fig1_job("b")), b.sink()).status,
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(service.submit(low(fig1_job("c")), c.sink()).status,
+            SubmitStatus::kAccepted);
+
+  // Depth 2 reached: the next low-priority job is shed, with the reason
+  // and the configured retry hint on the outcome.
+  const SubmitOutcome shed = service.submit(low(fig1_job("d")), nullptr);
+  EXPECT_EQ(shed.status, SubmitStatus::kBusy);
+  EXPECT_EQ(shed.busy_reason, BusyReason::kShed);
+  EXPECT_EQ(shed.retry_after_ms, 7u);
+
+  // Normal priority still gets the headroom between soft and hard limits.
+  ASSERT_EQ(service.submit(fig1_job("e"), e.sink()).status,
+            SubmitStatus::kAccepted);
+  EXPECT_EQ(service.submit(low(fig1_job("f")), nullptr).busy_reason,
+            BusyReason::kShed);
+  ASSERT_EQ(service.submit(fig1_job("g"), g.sink()).status,
+            SubmitStatus::kAccepted);  // queue now at capacity 4
+
+  const SubmitOutcome hard = service.submit(fig1_job("h"), nullptr);
+  EXPECT_EQ(hard.status, SubmitStatus::kBusy);
+  EXPECT_EQ(hard.busy_reason, BusyReason::kQueueFull);
+  EXPECT_EQ(hard.retry_after_ms, 7u);
+
+  const StatsPayload mid = service.stats();
+  EXPECT_EQ(mid.jobs_shed, 2u);
+  EXPECT_EQ(mid.jobs_rejected_busy, 3u) << "shed jobs count as busy too";
+
+  {
+    std::unique_lock lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  for (Collector* collector : {&a, &b, &c, &e, &g}) {
+    collector->wait();
+    EXPECT_EQ(collector->last().type, MessageType::kDone);
+  }
+  EXPECT_EQ(service.stats().jobs_completed, 5u);
+}
+
+TEST(ServiceTest, CancelledWhileQueuedEndsInECancelledWithoutRunning) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  bool worker_parked = false;
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.on_job_start = [&](const std::string& job_id) {
+    if (job_id != "first") {
+      return;
+    }
+    std::unique_lock lock(gate_mutex);
+    worker_parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  SimulationService service(options);
+
+  Collector first, victim;
+  ASSERT_EQ(service.submit(fig1_job("first"), first.sink()).status,
+            SubmitStatus::kAccepted);
+  {
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  const SubmitOutcome queued =
+      service.submit(fig1_job("victim", 4), victim.sink());
+  ASSERT_EQ(queued.status, SubmitStatus::kAccepted);
+  ASSERT_NE(queued.control, nullptr);
+
+  // The client vanishes while the job is still queued.
+  queued.control->cancel();
+  {
+    std::unique_lock lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  first.wait();
+  victim.wait();
+
+  EXPECT_EQ(first.last().type, MessageType::kDone);
+  ASSERT_EQ(victim.last().type, MessageType::kError);
+  ErrorPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_error(victim.last().payload, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.code, ErrorCode::kCancelled);
+  EXPECT_TRUE(victim.reports().empty())
+      << "a job cancelled before it started must not stream reports";
+  EXPECT_TRUE(queued.control->finished());
+
+  const StatsPayload stats = service.stats();
+  EXPECT_EQ(stats.jobs_cancelled, 1u);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.jobs_deadline_expired, 0u);
+}
+
+TEST(ServiceTest, DeadlineBurnedWhileQueuedEndsInEDeadline) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  bool worker_parked = false;
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.on_job_start = [&](const std::string& job_id) {
+    if (job_id != "first") {
+      return;
+    }
+    std::unique_lock lock(gate_mutex);
+    worker_parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  SimulationService service(options);
+
+  Collector first, stale;
+  ASSERT_EQ(service.submit(fig1_job("first"), first.sink()).status,
+            SubmitStatus::kAccepted);
+  {
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return worker_parked; });
+  }
+  JobRequest request = fig1_job("stale");
+  request.deadline_ms = 1;
+  ASSERT_EQ(service.submit(std::move(request), stale.sink()).status,
+            SubmitStatus::kAccepted);
+  // Burn the budget while the job is stuck behind the parked worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::unique_lock lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  first.wait();
+  stale.wait();
+
+  ASSERT_EQ(stale.last().type, MessageType::kError);
+  ErrorPayload parsed;
+  std::string error;
+  ASSERT_TRUE(parse_error(stale.last().payload, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.code, ErrorCode::kDeadline);
+  ASSERT_FALSE(parsed.diagnostics.empty());
+  EXPECT_NE(parsed.diagnostics[0].find("expired while queued"),
+            std::string::npos);
+  EXPECT_EQ(service.stats().jobs_deadline_expired, 1u);
 }
 
 TEST(ServiceTest, ShutdownDrainsAcceptedJobsAndRejectsNewOnes) {

@@ -1,0 +1,199 @@
+// Snapshot persistence: the append-only record format round-trips, and —
+// the property that makes it crash-safe — every corruption shape a dying
+// process or a flipped disk byte can produce (torn tail, bad checksum,
+// garbage runs, empty file) is skipped with a count, never loaded and
+// never fatal. The journal layer dedupes by key so the file stays linear
+// in distinct designs.
+
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ctrtl::serve {
+namespace {
+
+SnapshotRecord plain_record() {
+  SnapshotRecord record;
+  record.key = 0x0123456789abcdefull;
+  record.design_text = "design fig1\ncs_max 7\nregister R1 init 30\n";
+  return record;
+}
+
+SnapshotRecord faulted_record() {
+  SnapshotRecord record;
+  record.key = 0xfedcba9876543210ull;
+  record.design_text = "design g\ncs_max 3\n";
+  record.has_fault_plan = true;
+  record.fault_plan_text = "force-bus B1 = 99 @5:ra\n";
+  return record;
+}
+
+TEST(SnapshotTest, RecordRoundTripsWithAndWithoutFaultPlan) {
+  const std::string image =
+      encode_snapshot_record(plain_record()) +
+      encode_snapshot_record(faulted_record());
+  const SnapshotParseResult parsed = parse_snapshot(image);
+  EXPECT_EQ(parsed.skipped, 0u);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[0], plain_record());
+  EXPECT_EQ(parsed.records[1], faulted_record());
+}
+
+TEST(SnapshotTest, DesignTextWithNewlinesSurvives) {
+  // The body is length-prefixed, not line-oriented: embedded newlines —
+  // including a line that spells a record header — must not confuse the
+  // scanner.
+  SnapshotRecord tricky = plain_record();
+  tricky.design_text = "line1\nSNAP1 fake header\nline3\n";
+  const SnapshotParseResult parsed =
+      parse_snapshot(encode_snapshot_record(tricky));
+  EXPECT_EQ(parsed.skipped, 0u);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0], tricky);
+}
+
+TEST(SnapshotTest, EmptyImageIsCleanlyEmpty) {
+  const SnapshotParseResult parsed = parse_snapshot("");
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_EQ(parsed.skipped, 0u);
+}
+
+TEST(SnapshotTest, TornTailIsSkippedNotFatal) {
+  // A crash mid-append leaves a prefix of the last record. Every possible
+  // truncation point must salvage the first record and count exactly one
+  // skip for the torn one.
+  const std::string first = encode_snapshot_record(plain_record());
+  const std::string second = encode_snapshot_record(faulted_record());
+  for (std::size_t cut = 1; cut < second.size(); ++cut) {
+    const SnapshotParseResult parsed =
+        parse_snapshot(first + second.substr(0, cut));
+    ASSERT_EQ(parsed.records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(parsed.records[0], plain_record()) << "cut at " << cut;
+    EXPECT_EQ(parsed.skipped, 1u) << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotTest, FlippedBodyByteFailsChecksumAndSkipsExactlyThatRecord) {
+  const std::string first = encode_snapshot_record(plain_record());
+  const std::string second = encode_snapshot_record(faulted_record());
+  // Flip one byte inside the first record's design body; framing stays
+  // intact, so the reader steps over it and still loads the second.
+  std::string image = first + second;
+  const std::size_t body_offset = first.find('\n') + 3;
+  image[body_offset] ^= 0x20;
+  const SnapshotParseResult parsed = parse_snapshot(image);
+  EXPECT_EQ(parsed.skipped, 1u);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0], faulted_record());
+}
+
+TEST(SnapshotTest, FlippedChecksumDigitSkipsRecord) {
+  std::string image = encode_snapshot_record(plain_record());
+  // The checksum is the last header token; corrupt one of its hex digits
+  // (pick a digit and replace it with a different valid digit so the
+  // header still parses).
+  const std::size_t header_end = image.find('\n');
+  const std::size_t digit = header_end - 1;
+  image[digit] = image[digit] == '0' ? '1' : '0';
+  const SnapshotParseResult parsed = parse_snapshot(image);
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_EQ(parsed.skipped, 1u);
+}
+
+TEST(SnapshotTest, GarbageRunResynchronizesAtNextRecord) {
+  const std::string good = encode_snapshot_record(plain_record());
+  const SnapshotParseResult parsed =
+      parse_snapshot("not a snapshot at all\nmore junk\n" + good);
+  EXPECT_EQ(parsed.skipped, 1u) << "one skip per contiguous garbage run";
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0], plain_record());
+}
+
+TEST(SnapshotTest, AllGarbageYieldsNoRecords) {
+  const SnapshotParseResult parsed =
+      parse_snapshot("SNAP1 nothex 9 1 2 alsonothex\njunk\n");
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_GE(parsed.skipped, 1u);
+}
+
+TEST(SnapshotTest, MissingFileLoadsAsEmpty) {
+  SnapshotParseResult parsed;
+  std::string error;
+  ASSERT_TRUE(load_snapshot_file("/nonexistent/dir/never.snap", &parsed,
+                                 &error))
+      << error;
+  EXPECT_TRUE(parsed.records.empty());
+  EXPECT_EQ(parsed.skipped, 0u);
+}
+
+TEST(SnapshotTest, JournalAppendsFlushesAndDedupes) {
+  const std::string path =
+      testing::TempDir() + "snapshot_journal_test.snap";
+  std::remove(path.c_str());
+  {
+    SnapshotJournal journal(path);
+    EXPECT_TRUE(journal.append(plain_record()));
+    EXPECT_TRUE(journal.append(plain_record()));  // deduped, still true
+    EXPECT_TRUE(journal.append(faulted_record()));
+  }
+  SnapshotParseResult parsed;
+  std::string error;
+  ASSERT_TRUE(load_snapshot_file(path, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.skipped, 0u);
+  ASSERT_EQ(parsed.records.size(), 2u) << "duplicate key must not re-append";
+  EXPECT_EQ(parsed.records[0], plain_record());
+  EXPECT_EQ(parsed.records[1], faulted_record());
+
+  // note_existing suppresses appends for keys loaded from a prior run.
+  {
+    SnapshotJournal journal(path);
+    journal.note_existing(plain_record().key);
+    journal.note_existing(faulted_record().key);
+    EXPECT_TRUE(journal.append(plain_record()));
+  }
+  ASSERT_TRUE(load_snapshot_file(path, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.records.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, JournalSurvivesTruncationMidRecord) {
+  // Simulate the on-disk state after a kill mid-append: truncate the file
+  // to every prefix length and confirm a reload never fails, never loads
+  // the torn record, and counts the skip.
+  const std::string path =
+      testing::TempDir() + "snapshot_truncation_test.snap";
+  std::remove(path.c_str());
+  {
+    SnapshotJournal journal(path);
+    ASSERT_TRUE(journal.append(plain_record()));
+    ASSERT_TRUE(journal.append(faulted_record()));
+  }
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::size_t first_len = encode_snapshot_record(plain_record()).size();
+  for (const std::size_t cut :
+       {first_len + 1, first_len + 10, full.size() - 1}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    SnapshotParseResult parsed;
+    std::string error;
+    ASSERT_TRUE(load_snapshot_file(path, &parsed, &error)) << error;
+    ASSERT_EQ(parsed.records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(parsed.records[0], plain_record());
+    EXPECT_EQ(parsed.skipped, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ctrtl::serve

@@ -45,6 +45,7 @@ struct Entry {
   int repetitions = 1;
   double wall_ms = 0.0;  // median-of-repetitions for one execution
   double steps = 0.0;    // work items per execution
+  std::uint64_t shed = 0;  // service_shed only: low-priority jobs shed
   [[nodiscard]] double throughput() const {
     return wall_ms > 0.0 ? steps / (wall_ms / 1000.0) : 0.0;
   }
@@ -244,6 +245,101 @@ Entry measure_service(const Config& config, bool warm, std::string name) {
   return entry;
 }
 
+/// E15: graceful degradation under overload — one service worker is parked
+/// on a normal-priority job while 31 low-priority jobs flood a queue with
+/// capacity 4 and a shedding soft limit of 2. Exactly 2 of the flood fit
+/// under the soft limit; the remaining 29 are shed with a retry hint, and
+/// the admitted jobs drain once the worker resumes. Steps count admission
+/// decisions, so throughput is decisions/s — the cost of saying "no"
+/// cheaply is the property this entry tracks (a shed must never lower a
+/// design or touch a worker).
+Entry measure_service_shed(const Config& config) {
+  Entry entry;
+  entry.name = "service_shed";
+  entry.unit = "jobs";
+  entry.repetitions = config.repetitions;
+  constexpr std::size_t kSubmissions = 32;
+  entry.instances = kSubmissions;
+  const std::string design_text =
+      transfer::to_text(instance_design(0, config.transfers));
+
+  std::uint64_t shed_last = 0;
+  entry.wall_ms = time_median_ms(entry.repetitions, [&] {
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool parked = false;
+    bool release = false;
+
+    serve::ServiceOptions options;
+    options.workers = 1;
+    options.queue_capacity = 4;
+    options.shed_queue_depth = 2;
+    options.retry_after_ms = 1;
+    options.on_job_start = [&](const std::string&) {
+      std::unique_lock lock(gate_mutex);
+      parked = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return release; });
+    };
+    serve::SimulationService service(options);
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t terminal = 0;
+    std::size_t accepted = 0;
+    std::uint64_t shed = 0;
+    const auto sink = [&](const serve::Frame& frame) {
+      if (frame.type == serve::MessageType::kDone ||
+          frame.type == serve::MessageType::kError) {
+        std::unique_lock lock(done_mutex);
+        ++terminal;
+        done_cv.notify_one();
+      }
+    };
+    const auto submit = [&](std::size_t i, bool low_priority) {
+      serve::JobRequest request;
+      request.job_id = "shed-" + std::to_string(i);
+      request.instances = 1;
+      request.design_text = design_text;
+      request.low_priority = low_priority;
+      const serve::SubmitOutcome outcome =
+          service.submit(std::move(request), sink);
+      if (outcome.status == serve::SubmitStatus::kAccepted) {
+        ++accepted;
+      } else if (outcome.status == serve::SubmitStatus::kBusy &&
+                 outcome.busy_reason == serve::BusyReason::kShed) {
+        ++shed;
+      }
+    };
+
+    // Park the worker on the first (normal-priority) job, then flood. The
+    // park barrier makes the queue depths — and therefore the shed count —
+    // identical on every repetition.
+    submit(0, /*low_priority=*/false);
+    {
+      std::unique_lock lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return parked; });
+    }
+    for (std::size_t i = 1; i < kSubmissions; ++i) {
+      submit(i, /*low_priority=*/true);
+    }
+    {
+      std::unique_lock lock(gate_mutex);
+      release = true;
+    }
+    gate_cv.notify_all();
+    {
+      std::unique_lock lock(done_mutex);
+      done_cv.wait(lock, [&] { return terminal == accepted; });
+    }
+    service.shutdown();
+    shed_last = shed;
+  });
+  entry.shed = shed_last;
+  entry.steps = static_cast<double>(kSubmissions);
+  return entry;
+}
+
 /// E6: one design simulated clock-free (both execution modes) and as the
 /// translated clocked RTL. Steps are control steps for the clock-free
 /// entries and clock cycles for the clocked one.
@@ -318,6 +414,9 @@ void emit_json(std::ostream& os, const Config& config,
         os << ", \"speedup_vs_1worker\": "
            << e.throughput() / baseline->throughput();
       }
+    }
+    if (e.name == "service_shed") {
+      os << ", \"shed_jobs\": " << e.shed;
     }
     if (e.name == "service_warm") {
       const auto cold =
@@ -401,6 +500,8 @@ int main(int argc, char** argv) {
   // vs warm (LRU hit, lowering skipped).
   entries.push_back(measure_service(config, /*warm=*/false, "service_cold"));
   entries.push_back(measure_service(config, /*warm=*/true, "service_warm"));
+  // E15: load shedding under a saturated queue (see measure_service_shed).
+  entries.push_back(measure_service_shed(config));
 
   if (config.out_path.empty()) {
     emit_json(std::cout, config, entries);

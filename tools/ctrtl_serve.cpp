@@ -1,13 +1,16 @@
 // ctrtl_serve — persistent simulation service with a content-hashed design
-// cache, speaking the ctrtl-serve/1 wire protocol (docs/SERVICE.md) over a
+// cache, speaking the ctrtl-serve/2 wire protocol (docs/SERVICE.md) over a
 // Unix-domain socket.
 //
 // Usage:
 //   ctrtl_serve serve    --socket=PATH [--workers=N] [--lane-workers=N]
 //                        [--queue=N] [--cache=N] [--lane-block=N]
+//                        [--snapshot=PATH] [--shed=N] [--retry-after-ms=N]
 //   ctrtl_serve submit   --socket=PATH <file.rtd> [--job=ID] [--instances=N]
 //                        [--set input=value ...] [--fault-plan=FILE]
 //                        [--max-cycles=N] [--max-delta-cycles=N]
+//                        [--deadline-ms=N] [--priority=low|normal]
+//                        [--timeout-ms=N] [--retry=N]
 //   ctrtl_serve stats    --socket=PATH
 //   ctrtl_serve ping     --socket=PATH
 //   ctrtl_serve shutdown --socket=PATH
@@ -48,9 +51,12 @@ void usage() {
       stderr,
       "usage: ctrtl_serve <serve|submit|stats|ping|shutdown> --socket=PATH\n"
       "  serve     [--workers=N] [--lane-workers=N] [--queue=N] [--cache=N]\n"
-      "            [--lane-block=N]   run the service in the foreground\n"
+      "            [--lane-block=N] [--snapshot=PATH] [--shed=N]\n"
+      "            [--retry-after-ms=N]   run the service in the foreground\n"
       "  submit    <file.rtd> [--job=ID] [--instances=N] [--set in=val ...]\n"
       "            [--fault-plan=FILE] [--max-cycles=N] [--max-delta-cycles=N]\n"
+      "            [--deadline-ms=N] [--priority=low|normal]\n"
+      "            [--timeout-ms=N (0 = no read timeout)] [--retry=N]\n"
       "  stats     print service counters\n"
       "  ping      check liveness (HELLO exchange)\n"
       "  shutdown  stop the server\n");
@@ -63,6 +69,20 @@ bool parse_count(const std::string& arg, const char* flag, std::uint64_t* out) {
   if (end == text.c_str() || *end != '\0' || *out == 0) {
     std::fprintf(stderr, "%s expects a positive count, got '%s'\n", flag,
                  text.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Like parse_count, but 0 is a legal value (used by flags where zero
+/// means "disabled": --timeout-ms, --retry-after-ms).
+bool parse_count_zero_ok(const std::string& arg, const char* flag,
+                         std::uint64_t* out) {
+  const std::string text = arg.substr(std::strlen(flag));
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "%s expects a count, got '%s'\n", flag, text.c_str());
     return false;
   }
   return true;
@@ -107,19 +127,27 @@ int run_serve(const std::string& socket_path,
 }
 
 int run_submit(const std::string& socket_path,
-               const ctrtl::serve::JobRequest& request) {
+               const ctrtl::serve::JobRequest& request,
+               std::uint64_t timeout_ms, std::uint64_t retry_attempts) {
   using ctrtl::serve::JobOutcome;
   try {
     ctrtl::serve::ServeClient client;
+    client.set_read_timeout_ms(timeout_ms);
     client.connect(socket_path);
-    JobOutcome outcome = client.run_job(request);
+    ctrtl::serve::RetryPolicy policy;
+    policy.max_attempts = static_cast<std::size_t>(retry_attempts);
+    JobOutcome outcome = client.run_job_with_retry(request, policy);
     client.close();
     switch (outcome.status) {
       case JobOutcome::Status::kBusy:
         std::fprintf(stderr,
-                     "busy: queue full (%llu of %llu jobs queued), retry\n",
+                     "busy: %s (%llu of %llu jobs queued), retry after "
+                     "%llu ms\n",
+                     to_string(outcome.busy.reason).c_str(),
                      static_cast<unsigned long long>(outcome.busy.queued),
-                     static_cast<unsigned long long>(outcome.busy.capacity));
+                     static_cast<unsigned long long>(outcome.busy.capacity),
+                     static_cast<unsigned long long>(
+                         outcome.busy.retry_after_ms));
         return 2;
       case JobOutcome::Status::kError: {
         std::fprintf(stderr, "job error (%s):\n",
@@ -236,6 +264,8 @@ int main(int argc, char** argv) {
   ctrtl::serve::ServiceOptions service;
   ctrtl::serve::JobRequest request;
   std::uint64_t count = 0;
+  std::uint64_t timeout_ms = 30000;
+  std::uint64_t retry_attempts = 1;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -266,6 +296,41 @@ int main(int argc, char** argv) {
         return 1;
       }
       service.cache_capacity = count;
+    } else if (arg.rfind("--snapshot=", 0) == 0) {
+      service.snapshot_path = arg.substr(std::strlen("--snapshot="));
+    } else if (arg.rfind("--shed=", 0) == 0) {
+      if (!parse_count(arg, "--shed=", &count)) {
+        return 1;
+      }
+      service.shed_queue_depth = count;
+    } else if (arg.rfind("--retry-after-ms=", 0) == 0) {
+      if (!parse_count_zero_ok(arg, "--retry-after-ms=", &count)) {
+        return 1;
+      }
+      service.retry_after_ms = count;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parse_count(arg, "--deadline-ms=", &request.deadline_ms)) {
+        return 1;
+      }
+    } else if (arg.rfind("--priority=", 0) == 0) {
+      const std::string priority = arg.substr(std::strlen("--priority="));
+      if (priority == "low") {
+        request.low_priority = true;
+      } else if (priority == "normal") {
+        request.low_priority = false;
+      } else {
+        std::fprintf(stderr, "--priority expects low or normal, got '%s'\n",
+                     priority.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      if (!parse_count_zero_ok(arg, "--timeout-ms=", &timeout_ms)) {
+        return 1;
+      }
+    } else if (arg.rfind("--retry=", 0) == 0) {
+      if (!parse_count(arg, "--retry=", &retry_attempts)) {
+        return 1;
+      }
     } else if (arg.rfind("--job=", 0) == 0) {
       request.job_id = arg.substr(std::strlen("--job="));
     } else if (arg.rfind("--instances=", 0) == 0) {
@@ -333,5 +398,5 @@ int main(int argc, char** argv) {
     }
     request.has_fault_plan = true;
   }
-  return run_submit(socket_path, request);
+  return run_submit(socket_path, request, timeout_ms, retry_attempts);
 }
